@@ -1,0 +1,1 @@
+bench/ablations.ml: Binlog Common List Myraft Option Printf Raft Sim Stats String Workload

@@ -1,0 +1,1 @@
+bench/common.ml: List Myraft Printf Semisync Sim Stats

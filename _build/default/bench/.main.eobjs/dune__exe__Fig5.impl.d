@@ -1,0 +1,1 @@
+bench/fig5.ml: Common Myraft Printf Semisync Stats Workload

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Common Fig5 List Micro Myraft Printf Sys Table2

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Binlog Common Hashtbl Instance List Measure Printf Raft Staged Stats String Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/table2.ml: Common List Myraft Printf Semisync Sim Stats

@@ -1,0 +1,78 @@
+(* Shared plumbing for the reproduction benches: the paper's evaluation
+   topology on both stacks, experiment headers, and paper-vs-measured
+   rows. *)
+
+let s = Sim.Engine.s
+let ms = Sim.Engine.ms
+let us = Sim.Engine.us
+
+let header title =
+  Printf.printf "\n=======================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "=======================================================================\n%!"
+
+let section title = Printf.printf "\n--- %s ---\n%!" title
+
+let paper_vs_measured ~label ~paper ~measured =
+  Printf.printf "  %-44s paper: %-14s measured: %s\n%!" label paper measured
+
+(* The §6.1 A/B topology: primary + 2 in-region logtailers, five follower
+   regions with 2 logtailers each, two learners. *)
+let ab_members () = Myraft.Cluster.paper_members ()
+
+(* Latency model with production clients pinned ~10 ms RTT from every
+   server region (the paper reports "about 10ms" client->primary). *)
+let ab_latency () =
+  List.fold_left
+    (fun model region ->
+      Sim.Latency.override model ~region_a:"clients" ~region_b:region ~lo:(4_600.0 *. us)
+        ~hi:(5_400.0 *. us))
+    Sim.Latency.default
+    [ "r1"; "r2"; "r3"; "r4"; "r5"; "r6" ]
+
+(* Cost model for the production A/B: loaded fleet machines with large
+   row-based payloads (heavier prepare/flush/commit than the dedicated
+   sysbench box). *)
+let production_costs () =
+  {
+    Myraft.Params.default with
+    Myraft.Params.prepare_us = 1_300.0;
+    flush_base_us = 2_200.0;
+    flush_per_txn_us = 40.0;
+    (* checksum + compression scale with the production payloads (§3.4) *)
+    raft_stamp_us = 120.0;
+    commit_base_us = 1_600.0;
+    commit_per_txn_us = 30.0;
+    apply_per_txn_us = 500.0;
+  }
+
+let myraft_ab_cluster ~seed ~costs =
+  let cluster =
+    Myraft.Cluster.create ~seed ~params:costs ~latency:(ab_latency ())
+      ~replicaset:"rs-ab" ~members:(ab_members ()) ()
+  in
+  Myraft.Cluster.bootstrap cluster ~leader_id:"mysql1";
+  cluster
+
+let semisync_ab_cluster ~seed ~costs =
+  let cluster =
+    Semisync.Cluster.create ~seed ~costs ~latency:(ab_latency ()) ~replicaset:"rs-ab"
+      ~members:(ab_members ()) ()
+  in
+  Semisync.Cluster.bootstrap cluster ~leader_id:"mysql1";
+  cluster
+
+let pct h p = Stats.Histogram.percentile h p
+
+let dist_row ~label h =
+  Printf.printf "  %-12s n=%-6d avg=%10.1f  p50=%10.1f  p95=%10.1f  p99=%10.1f (us)\n%!"
+    label (Stats.Histogram.count h) (Stats.Histogram.mean h) (pct h 50.0) (pct h 95.0)
+    (pct h 99.0)
+
+let dist_row_ms ~label h =
+  Printf.printf "  %-10s %-10s pct99=%8.0f  pct95=%8.0f  median=%8.0f  avg=%8.0f (ms)\n%!"
+    (fst label) (snd label)
+    (pct h 99.0 /. ms)
+    (pct h 95.0 /. ms)
+    (pct h 50.0 /. ms)
+    (Stats.Histogram.mean h /. ms)

@@ -1,0 +1,68 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation plus the DESIGN.md ablations.
+
+     dune exec bench/main.exe               # run everything
+     dune exec bench/main.exe -- table2     # one experiment
+     dune exec bench/main.exe -- --list     # what exists
+
+   Experiment ids follow DESIGN.md: table1, fig5a (5a+5b), fig5c (5c+5d),
+   table2, proxy, mock, flexi, micro. *)
+
+let table1 () =
+  Common.header "Table 1 — roles in MyRaft compared to the prior setup";
+  print_string (Myraft.Roles.render ())
+
+let fig5ab () = ignore (Fig5.production ())
+
+let fig5cd () = ignore (Fig5.sysbench ())
+
+let table2 () = ignore (Table2.run ())
+
+let proxy () = ignore (Ablations.proxy ())
+
+let hotspot () = ignore (Ablations.hotspot ())
+
+let mock () = ignore (Ablations.mock ())
+
+let flexi () = ignore (Ablations.flexi ())
+
+let groupcommit () = ignore (Ablations.group_commit ())
+
+let stepdown () = ignore (Ablations.stepdown ())
+
+let micro () = Micro.run ()
+
+let experiments =
+  [
+    ("table1", "Table 1: role mapping", table1);
+    ("fig5a", "Fig 5a/5b: production A/B latency + throughput", fig5ab);
+    ("fig5c", "Fig 5c/5d: sysbench latency + throughput", fig5cd);
+    ("table2", "Table 2: promotion/failover downtime", table2);
+    ("proxy", "P1: proxying bandwidth ablation", proxy);
+    ("hotspot", "P2: leader NIC hotspot relief", hotspot);
+    ("mock", "A1: mock election ablation", mock);
+    ("flexi", "A2: FlexiRaft quorum mode ablation", flexi);
+    ("groupcommit", "A3: group-commit pipeline scaling", groupcommit);
+    ("stepdown", "A4: automatic step-down extension", stepdown);
+    ("micro", "M1: Bechamel micro-benchmarks", micro);
+  ]
+
+let run_all () =
+  Printf.printf "MyRaft reproduction bench harness — running all experiments\n%!";
+  List.iter (fun (_, _, f) -> f ()) experiments;
+  Printf.printf "\nAll experiments complete.\n%!"
+
+let () =
+  match Array.to_list Sys.argv with
+  | [] | [ _ ] -> run_all ()
+  | [ _; "--list" ] ->
+    List.iter (fun (id, descr, _) -> Printf.printf "%-8s %s\n" id descr) experiments
+  | _ :: ids ->
+    List.iter
+      (fun id ->
+        match List.find_opt (fun (eid, _, _) -> eid = id) experiments with
+        | Some (_, _, f) -> f ()
+        | None ->
+          Printf.eprintf "unknown experiment %S; try --list\n" id;
+          exit 1)
+      ids

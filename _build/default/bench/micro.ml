@@ -1,0 +1,110 @@
+(* M1 — Bechamel micro-benchmarks (real wall-clock time) of the hot data
+   structures: GTID-set operations, log append, CRC-32 checksumming,
+   quorum evaluation, and histogram recording. *)
+
+open Bechamel
+open Toolkit
+
+let gtid_set_add =
+  Test.make ~name:"gtid_set.add (1k gnos)"
+    (Staged.stage (fun () ->
+         let set = ref Binlog.Gtid_set.empty in
+         for g = 1 to 1000 do
+           set := Binlog.Gtid_set.add !set (Binlog.Gtid.make ~source:"srv" ~gno:g)
+         done;
+         !set))
+
+let gtid_set_contains =
+  let set =
+    let s = ref Binlog.Gtid_set.empty in
+    for g = 1 to 10_000 do
+      if g mod 3 <> 0 then s := Binlog.Gtid_set.add !s (Binlog.Gtid.make ~source:"srv" ~gno:g)
+    done;
+    !s
+  in
+  Test.make ~name:"gtid_set.contains (10k-gno set)"
+    (Staged.stage (fun () ->
+         Binlog.Gtid_set.contains set (Binlog.Gtid.make ~source:"srv" ~gno:7777)))
+
+let log_append =
+  Test.make ~name:"log_store.append (100 txns)"
+    (Staged.stage (fun () ->
+         let log = Binlog.Log_store.create () in
+         for i = 1 to 100 do
+           Binlog.Log_store.append log
+             (Binlog.Entry.make
+                ~opid:(Binlog.Opid.make ~term:1 ~index:i)
+                (Binlog.Entry.Transaction
+                   {
+                     gtid = Binlog.Gtid.make ~source:"srv" ~gno:i;
+                     events =
+                       [
+                         Binlog.Event.make
+                           (Binlog.Event.Write_rows
+                              {
+                                table = "t";
+                                ops = [ Binlog.Event.Insert { key = "k"; value = "v" } ];
+                              });
+                       ];
+                   }))
+         done;
+         log))
+
+let crc32 =
+  let payload = String.make 512 'x' in
+  Test.make ~name:"crc32 (512B payload)" (Staged.stage (fun () -> Binlog.Checksum.string payload))
+
+let quorum_check =
+  let cfg =
+    {
+      Raft.Types.members =
+        List.concat_map
+          (fun r ->
+            List.map
+              (fun i ->
+                {
+                  Raft.Types.id = Printf.sprintf "n%s%d" r i;
+                  region = r;
+                  voter = true;
+                  kind = Raft.Types.Mysql_server;
+                })
+              [ 1; 2; 3 ])
+          [ "r1"; "r2"; "r3"; "r4"; "r5"; "r6" ];
+    }
+  in
+  let acks = [ "nr11"; "nr12" ] in
+  Test.make ~name:"flexiraft data-quorum check (18 voters)"
+    (Staged.stage (fun () ->
+         Raft.Quorum.data_quorum_satisfied Raft.Quorum.Single_region_dynamic cfg
+           ~leader_region:"r1" ~acks))
+
+let histogram_record =
+  Test.make ~name:"histogram.record (1k samples)"
+    (Staged.stage (fun () ->
+         let h = Stats.Histogram.create () in
+         for i = 1 to 1000 do
+           Stats.Histogram.record h (float_of_int i)
+         done;
+         h))
+
+let run () =
+  Common.header "M1 — micro-benchmarks (Bechamel, real time)";
+  let tests =
+    [ gtid_set_add; gtid_set_contains; log_append; crc32; quorum_check; histogram_record ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed =
+        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-42s %12.1f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-42s (no estimate)\n%!" name)
+        analyzed)
+    tests

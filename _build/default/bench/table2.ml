@@ -1,0 +1,157 @@
+(* Table 2 reproduction (§6.2): promotion and failover downtime
+   distributions (pct99 / pct95 / median / avg, ms) for MyRaft vs the
+   semi-sync prior setup.
+
+   Downtime is measured exactly as in production: a probe client keeps
+   attempting small writes through service discovery; the downtime of an
+   incident is the largest gap between consecutive successful commits
+   around it.  Every trial runs a fresh replicaset with its own seed. *)
+
+open Common
+
+(* a trimmed multi-region FlexiRaft ring: 3 regions x (mysql + 2
+   logtailers) — big enough for region dynamics, small enough to run
+   hundreds of trials *)
+let trial_members () =
+  List.concat_map
+    (fun i ->
+      [
+        Myraft.Cluster.mysql (Printf.sprintf "mysql%d" i) (Printf.sprintf "r%d" i);
+        Myraft.Cluster.logtailer (Printf.sprintf "lt%da" i) (Printf.sprintf "r%d" i);
+        Myraft.Cluster.logtailer (Printf.sprintf "lt%db" i) (Printf.sprintf "r%d" i);
+      ])
+    [ 1; 2; 3 ]
+
+(* ----- MyRaft trials ----- *)
+
+let myraft_trial ~seed ~operation =
+  let cluster =
+    Myraft.Cluster.create ~seed ~replicaset:"rs-t2" ~members:(trial_members ()) ()
+  in
+  Myraft.Cluster.bootstrap cluster ~leader_id:"mysql1";
+  let probe = Myraft.Availability.start cluster ~client_id:"probe" in
+  Myraft.Cluster.run_for cluster (2.0 *. s);
+  let incident_at = Myraft.Cluster.now cluster in
+  (match operation with
+  | `Failover -> Myraft.Cluster.crash cluster "mysql1"
+  | `Promotion -> (
+    match Myraft.Cluster.transfer_leadership cluster ~target:"mysql2" with
+    | Ok () -> ()
+    | Error e -> failwith ("transfer: " ^ e)));
+  (* wait until a different primary serves writes again, then settle *)
+  ignore
+    (Myraft.Cluster.run_until cluster ~timeout:(60.0 *. s) (fun () ->
+         match Myraft.Cluster.primary cluster with
+         | Some srv -> Myraft.Server.id srv <> "mysql1"
+         | None -> false));
+  Myraft.Cluster.run_for cluster (3.0 *. s);
+  let end_at = Myraft.Cluster.now cluster in
+  Myraft.Availability.stop probe;
+  Myraft.Availability.max_downtime probe ~start_time:incident_at ~end_time:end_at
+
+(* ----- prior setup trials ----- *)
+
+let semisync_trial ~seed ~operation =
+  let cluster =
+    Semisync.Cluster.create ~seed ~replicaset:"rs-t2" ~members:(trial_members ()) ()
+  in
+  Semisync.Cluster.bootstrap cluster ~leader_id:"mysql1";
+  let probe =
+    Semisync.Cluster.start_probe cluster ~client_id:"probe"
+      ~probe_interval:(20.0 *. ms)
+  in
+  Semisync.Cluster.run_for cluster (2.0 *. s);
+  let incident_at = Semisync.Cluster.now cluster in
+  let orch = Semisync.Cluster.orchestrator cluster in
+  (match operation with
+  | `Failover -> Semisync.Cluster.crash cluster "mysql1"
+  | `Promotion -> (
+    match
+      Semisync.Orchestrator.graceful_promotion orch ~target:"mysql2" ~on_done:(fun () -> ())
+    with
+    | Ok () -> ()
+    | Error e -> failwith ("promotion: " ^ e)));
+  let settled () =
+    match Semisync.Cluster.primary cluster with
+    | Some srv -> Semisync.Server.id srv = "mysql2" || Semisync.Server.id srv = "mysql3"
+    | None -> false
+  in
+  ignore (Semisync.Cluster.run_until cluster ~step:(100.0 *. ms) ~timeout:(400.0 *. s) settled);
+  Semisync.Cluster.run_for cluster (5.0 *. s);
+  let end_at = Semisync.Cluster.now cluster in
+  Sim.Probe.stop probe;
+  Sim.Probe.max_downtime probe ~start_time:incident_at ~end_time:end_at
+
+(* ----- the table ----- *)
+
+let run_trials ~trials ~base_seed f =
+  let h = Stats.Histogram.create () in
+  for i = 1 to trials do
+    Stats.Histogram.record h (f ~seed:(base_seed + i))
+  done;
+  h
+
+let paper_rows =
+  [
+    ("Semi-Sync", "Failover", (180291.0, 98012.0, 55039.0, 59133.0));
+    ("Semi-Sync", "Promotion", (1968.0, 1676.0, 897.0, 956.0));
+    ("Raft", "Failover", (6632.0, 5030.0, 1887.0, 2389.0));
+    ("Raft", "Promotion", (357.0, 322.0, 202.0, 218.0));
+  ]
+
+let run ?(failover_trials = 40) ?(promotion_trials = 60) () =
+  header "Table 2 — MyRaft vs Semi-sync promotion/failover downtime (ms)";
+  Printf.printf "Trials: %d failovers, %d promotions per stack; fresh ring per trial.\n%!"
+    failover_trials promotion_trials;
+  let ss_fail =
+    run_trials ~trials:failover_trials ~base_seed:1000 (fun ~seed ->
+        semisync_trial ~seed ~operation:`Failover)
+  in
+  let ss_promo =
+    run_trials ~trials:promotion_trials ~base_seed:2000 (fun ~seed ->
+        semisync_trial ~seed ~operation:`Promotion)
+  in
+  let raft_fail =
+    run_trials ~trials:failover_trials ~base_seed:3000 (fun ~seed ->
+        myraft_trial ~seed ~operation:`Failover)
+  in
+  let raft_promo =
+    run_trials ~trials:promotion_trials ~base_seed:4000 (fun ~seed ->
+        myraft_trial ~seed ~operation:`Promotion)
+  in
+  section "measured";
+  Printf.printf "  %-10s %-10s %8s  %8s  %8s  %8s\n" "Mode" "Operation" "pct99" "pct95"
+    "median" "avg";
+  dist_row_ms ~label:("Semi-Sync", "Failover") ss_fail;
+  dist_row_ms ~label:("Semi-Sync", "Promotion") ss_promo;
+  dist_row_ms ~label:("Raft", "Failover") raft_fail;
+  dist_row_ms ~label:("Raft", "Promotion") raft_promo;
+  section "paper (Table 2)";
+  List.iter
+    (fun (mode, op, (p99, p95, med, avg)) ->
+      Printf.printf "  %-10s %-10s pct99=%8.0f  pct95=%8.0f  median=%8.0f  avg=%8.0f (ms)\n"
+        mode op p99 p95 med avg)
+    paper_rows;
+  section "bootstrap 95% confidence intervals for the averages (ms)";
+  let rng = Sim.Rng.of_int 99 in
+  List.iter
+    (fun (label, h) ->
+      let ci =
+        Stats.Summary.mean_ci ~rng (Stats.Summary.of_histogram h)
+      in
+      Printf.printf "  %-22s %s\n" label (Stats.Summary.ci_to_string ~scale:ms ci))
+    [
+      ("Semi-Sync failover", ss_fail);
+      ("Semi-Sync promotion", ss_promo);
+      ("Raft failover", raft_fail);
+      ("Raft promotion", raft_promo);
+    ];
+  section "headline ratios";
+  let avg h = Stats.Histogram.mean h /. ms in
+  paper_vs_measured ~label:"dead-primary failover improvement" ~paper:"24x"
+    ~measured:(Printf.sprintf "%.1fx (%.0fms -> %.0fms)" (avg ss_fail /. avg raft_fail)
+                 (avg ss_fail) (avg raft_fail));
+  paper_vs_measured ~label:"manual promotion improvement" ~paper:"4x"
+    ~measured:(Printf.sprintf "%.1fx (%.0fms -> %.0fms)" (avg ss_promo /. avg raft_promo)
+                 (avg ss_promo) (avg raft_promo));
+  (ss_fail, ss_promo, raft_fail, raft_promo)

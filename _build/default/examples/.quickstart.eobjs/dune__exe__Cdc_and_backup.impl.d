@@ -1,0 +1,1 @@
+examples/cdc_and_backup.ml: Binlog Control Downstream Myraft Option Printf Result Sim Storage

@@ -1,0 +1,1 @@
+examples/cdc_and_backup.mli:

@@ -1,0 +1,1 @@
+examples/failover_tour.ml: Myraft Printf Raft Sim Workload

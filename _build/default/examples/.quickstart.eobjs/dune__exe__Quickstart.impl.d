@@ -1,0 +1,1 @@
+examples/quickstart.ml: Binlog List Myraft Option Printf Sim Storage

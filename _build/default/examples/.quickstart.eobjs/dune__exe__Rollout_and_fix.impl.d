@@ -1,0 +1,1 @@
+examples/rollout_and_fix.ml: Binlog Control List Myraft Option Printf Semisync Sim Workload

@@ -1,0 +1,1 @@
+examples/rollout_and_fix.mli:

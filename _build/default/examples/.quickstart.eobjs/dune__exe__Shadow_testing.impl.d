@@ -1,0 +1,1 @@
+examples/shadow_testing.ml: List Myraft Printf Sim Workload

@@ -1,0 +1,1 @@
+examples/shadow_testing.mli:

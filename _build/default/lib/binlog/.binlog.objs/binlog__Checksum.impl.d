@@ -1,0 +1,1 @@
+lib/binlog/checksum.ml: Array Char Int32 Lazy String

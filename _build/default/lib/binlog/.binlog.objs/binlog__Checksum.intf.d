@@ -1,0 +1,1 @@
+lib/binlog/checksum.mli:

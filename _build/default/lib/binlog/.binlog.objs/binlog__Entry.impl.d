@@ -1,0 +1,1 @@
+lib/binlog/entry.ml: Checksum Event Gtid Int32 List Marshal Opid Printf String

@@ -1,0 +1,1 @@
+lib/binlog/entry.mli: Event Gtid Opid

@@ -1,0 +1,1 @@
+lib/binlog/event.ml: Gtid Gtid_set List Printf String

@@ -1,0 +1,1 @@
+lib/binlog/event.mli: Gtid Gtid_set

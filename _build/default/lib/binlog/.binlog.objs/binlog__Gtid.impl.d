@@ -1,0 +1,1 @@
+lib/binlog/gtid.ml: Format Hashtbl Int Printf String

@@ -1,0 +1,1 @@
+lib/binlog/gtid.mli: Format

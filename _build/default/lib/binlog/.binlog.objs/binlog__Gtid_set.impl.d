@@ -1,0 +1,1 @@
+lib/binlog/gtid_set.ml: Format Gtid List Map Option Printf String

@@ -1,0 +1,1 @@
+lib/binlog/gtid_set.mli: Format Gtid

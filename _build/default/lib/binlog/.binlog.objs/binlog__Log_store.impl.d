@@ -1,0 +1,1 @@
+lib/binlog/log_store.ml: Entry Gtid_set List Opid Printf Vec

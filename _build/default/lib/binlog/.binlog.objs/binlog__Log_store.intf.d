@@ -1,0 +1,1 @@
+lib/binlog/log_store.mli: Entry Gtid_set Opid

@@ -1,0 +1,1 @@
+lib/binlog/opid.mli: Format

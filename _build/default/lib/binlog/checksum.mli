@@ -1,0 +1,4 @@
+(** CRC-32 (IEEE 802.3, reflected) — the checksum MySQL stamps on binlog
+    events.  MyRaft generates it at OpId-assignment time (§3.4). *)
+
+val string : string -> int32

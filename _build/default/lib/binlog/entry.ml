@@ -1,0 +1,63 @@
+(* A Raft log entry as stored in the binlog.
+
+   One entry = one replicated unit: a whole transaction (its GTID plus its
+   row events), a leader-assertion no-op, a membership change, or a
+   replicated rotate marker.  Raft stamps the OpId; the checksum is
+   computed at that moment (§3.4) so corruption can be detected when the
+   log abstraction later re-reads the entry from disk. *)
+
+type payload =
+  | Transaction of { gtid : Gtid.t; events : Event.t list }
+  | Noop
+  | Config_change of { description : string; encoded : string }
+  | Rotate_marker of { next_file : string }
+
+type t = { opid : Opid.t; payload : payload; checksum : int32; size : int }
+
+let payload_bytes payload = Marshal.to_string payload []
+
+let payload_size payload =
+  match payload with
+  | Transaction { events; _ } ->
+    List.fold_left (fun acc e -> acc + Event.size e) 0 events
+  | Noop -> 31
+  | Config_change { encoded; _ } -> 40 + String.length encoded
+  | Rotate_marker { next_file } -> 27 + String.length next_file
+
+let make ~opid payload =
+  let checksum = Checksum.string (payload_bytes payload) in
+  { opid; payload; checksum; size = payload_size payload + 16 (* opid + checksum framing *) }
+
+let opid t = t.opid
+
+let term t = Opid.term t.opid
+
+let index t = Opid.index t.opid
+
+let payload t = t.payload
+
+let size t = t.size
+
+let checksum t = t.checksum
+
+let verify t = Int32.equal (Checksum.string (payload_bytes t.payload)) t.checksum
+
+let gtid t = match t.payload with Transaction { gtid; _ } -> Some gtid | _ -> None
+
+let is_transaction t = match t.payload with Transaction _ -> true | _ -> false
+
+(* Re-stamp an existing payload with a new OpId: used when a leader
+   replicates a client transaction whose payload was built before Raft
+   assigned the slot. *)
+let with_opid t ~opid = { t with opid }
+
+let describe t =
+  let body =
+    match t.payload with
+    | Transaction { gtid; events } ->
+      Printf.sprintf "txn %s (%d events)" (Gtid.to_string gtid) (List.length events)
+    | Noop -> "noop"
+    | Config_change { description; _ } -> "config: " ^ description
+    | Rotate_marker { next_file } -> "rotate -> " ^ next_file
+  in
+  Printf.sprintf "[%s] %s" (Opid.to_string t.opid) body

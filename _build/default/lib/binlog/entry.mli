@@ -1,0 +1,40 @@
+(** A Raft log entry as stored in the binlog: one replicated unit — a
+    whole transaction, a leader-assertion no-op, a membership change, or
+    a replicated rotate marker.  The checksum is computed when Raft
+    stamps the OpId (§3.4) so later corruption is detectable. *)
+
+type payload =
+  | Transaction of { gtid : Gtid.t; events : Event.t list }
+  | Noop
+  | Config_change of { description : string; encoded : string }
+  | Rotate_marker of { next_file : string }
+
+type t
+
+val make : opid:Opid.t -> payload -> t
+
+val opid : t -> Opid.t
+
+val term : t -> int
+
+val index : t -> int
+
+val payload : t -> payload
+
+(** Approximate wire/disk size in bytes. *)
+val size : t -> int
+
+val checksum : t -> int32
+
+(** Recompute and compare the checksum. *)
+val verify : t -> bool
+
+(** The transaction's GTID, if this entry is a transaction. *)
+val gtid : t -> Gtid.t option
+
+val is_transaction : t -> bool
+
+(** Re-stamp an existing payload with a new OpId. *)
+val with_opid : t -> opid:Opid.t -> t
+
+val describe : t -> string

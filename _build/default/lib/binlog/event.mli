@@ -1,0 +1,33 @@
+(** Binlog events (row-based replication): a transaction's payload is a
+    GTID event, table map + rows events, and a commit (XID) event.
+    Rotate events are replicated through Raft so file boundaries stay
+    identical across the replica set (§A.1). *)
+
+type row_op =
+  | Insert of { key : string; value : string }
+  | Update of { key : string; before : string; after : string }
+  | Delete of { key : string; before : string }
+
+type body =
+  | Format_description
+  | Previous_gtids of Gtid_set.t
+  | Gtid_event of Gtid.t
+  | Table_map of { table : string }
+  | Write_rows of { table : string; ops : row_op list }
+  | Query of { sql : string }
+  | Xid of { xid : int64 }
+  | Rotate of { next_file : string }
+
+type t
+
+val make : body -> t
+
+val body : t -> body
+
+val row_op_size : row_op -> int
+
+(** Approximate on-disk size in bytes (19-byte common header + body),
+    close enough to the real binlog format for bandwidth accounting. *)
+val size : t -> int
+
+val describe : t -> string

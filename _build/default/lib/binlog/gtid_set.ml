@@ -1,0 +1,120 @@
+(* GTID sets: per-source sorted lists of disjoint inclusive intervals,
+   exactly the structure behind MySQL's "uuid:1-5:7-9" notation.
+
+   These sets are the replica-position metadata MyRaft preserves: the
+   Previous-GTIDs header of every binlog file, gtid_executed on each
+   server, and the adjustments made when a demoted leader's log suffix is
+   truncated. *)
+
+type interval = { lo : int; hi : int } (* inclusive, lo <= hi *)
+
+module Source_map = Map.Make (String)
+
+type t = interval list Source_map.t (* sorted by lo, disjoint, non-adjacent *)
+
+let empty = Source_map.empty
+
+let is_empty = Source_map.is_empty
+
+(* Normalize a sorted interval list: merge overlapping/adjacent runs. *)
+let rec merge_sorted = function
+  | a :: b :: rest ->
+    if b.lo <= a.hi + 1 then merge_sorted ({ lo = a.lo; hi = max a.hi b.hi } :: rest)
+    else a :: merge_sorted (b :: rest)
+  | short -> short
+
+let add_interval t ~source ~lo ~hi =
+  if lo > hi || lo < 1 then invalid_arg "Gtid_set.add_interval";
+  let existing = Option.value (Source_map.find_opt source t) ~default:[] in
+  let merged =
+    merge_sorted (List.sort (fun a b -> compare a.lo b.lo) ({ lo; hi } :: existing))
+  in
+  Source_map.add source merged t
+
+let add t gtid = add_interval t ~source:(Gtid.source gtid) ~lo:(Gtid.gno gtid) ~hi:(Gtid.gno gtid)
+
+let remove t gtid =
+  let source = Gtid.source gtid and g = Gtid.gno gtid in
+  match Source_map.find_opt source t with
+  | None -> t
+  | Some intervals ->
+    let split acc iv =
+      if g < iv.lo || g > iv.hi then iv :: acc
+      else begin
+        let acc = if g > iv.lo then { lo = iv.lo; hi = g - 1 } :: acc else acc in
+        if g < iv.hi then { lo = g + 1; hi = iv.hi } :: acc else acc
+      end
+    in
+    let remaining = List.rev (List.fold_left split [] intervals) in
+    if remaining = [] then Source_map.remove source t else Source_map.add source remaining t
+
+let contains t gtid =
+  match Source_map.find_opt (Gtid.source gtid) t with
+  | None -> false
+  | Some intervals ->
+    let g = Gtid.gno gtid in
+    List.exists (fun iv -> iv.lo <= g && g <= iv.hi) intervals
+
+let union a b =
+  Source_map.union
+    (fun _ ia ib ->
+      Some (merge_sorted (List.sort (fun x y -> compare x.lo y.lo) (ia @ ib))))
+    a b
+
+let cardinal t =
+  Source_map.fold
+    (fun _ intervals acc ->
+      acc + List.fold_left (fun n iv -> n + iv.hi - iv.lo + 1) 0 intervals)
+    t 0
+
+let subset a b =
+  Source_map.for_all
+    (fun source intervals ->
+      match Source_map.find_opt source b with
+      | None -> false
+      | Some super ->
+        List.for_all
+          (fun iv -> List.exists (fun s -> s.lo <= iv.lo && iv.hi <= s.hi) super)
+          intervals)
+    a
+
+let equal a b = subset a b && subset b a
+
+(* Largest gno present for a source, 0 if none: used to continue a gno
+   sequence after promotion. *)
+let max_gno t ~source =
+  match Source_map.find_opt source t with
+  | None -> 0
+  | Some intervals -> List.fold_left (fun acc iv -> max acc iv.hi) 0 intervals
+
+let sources t = List.map fst (Source_map.bindings t)
+
+let fold_gtids t ~init f =
+  Source_map.fold
+    (fun source intervals acc ->
+      List.fold_left
+        (fun acc iv ->
+          let acc = ref acc in
+          for g = iv.lo to iv.hi do
+            acc := f !acc (Gtid.make ~source ~gno:g)
+          done;
+          !acc)
+        acc intervals)
+    t init
+
+let to_string t =
+  if is_empty t then "<empty>"
+  else
+    Source_map.bindings t
+    |> List.map (fun (source, intervals) ->
+           let ivs =
+             List.map
+               (fun iv ->
+                 if iv.lo = iv.hi then string_of_int iv.lo
+                 else Printf.sprintf "%d-%d" iv.lo iv.hi)
+               intervals
+           in
+           source ^ ":" ^ String.concat ":" ivs)
+    |> String.concat ","
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,242 @@
+(* The MySQL replication log, usable as Raft's replicated log.
+
+   A store is a sequence of log files plus an index file.  The same store
+   can be in [Binlog] mode (the node is a primary writing its own binary
+   log) or [Relay] mode (the node is a replica whose log is fed by Raft's
+   AppendEntries path); switching between the two — "rewiring" — is one of
+   the promotion/demotion orchestration steps (§3.2).  Entries are stored
+   once in a flat vector indexed by Raft log index; files hold [first,
+   last] ranges over that vector, so rotation and purge are pure metadata
+   operations, exactly like MySQL's index file manipulation.
+
+   Invariants:
+   - entry at vector slot i (i >= 1) has Raft index i; slot 0 is a sentinel
+   - file ranges partition [purged+1, last_index]
+   - terms are non-decreasing along the log. *)
+
+type mode = Binlog | Relay
+
+type file = {
+  file_name : string;
+  previous_gtids : Gtid_set.t; (* header: GTIDs in all earlier files *)
+  mutable first : int; (* first entry index in this file; 0 = none yet *)
+  mutable last : int; (* last entry index; first-1 when empty *)
+  mutable closed : bool;
+}
+
+type t = {
+  mutable mode : mode;
+  mutable files : file list; (* oldest first; last is the open file *)
+  entries : Entry.t option Vec.t; (* slot per index; None once purged *)
+  mutable purged_below : int; (* entries with index < this may be purged *)
+  mutable next_file_seq : int;
+  mutable gtids : Gtid_set.t; (* all GTIDs currently present in the log *)
+  mutable fsyncs : int; (* flush count, for introspection *)
+  (* The tail OpId is cached: reading the tail slot is wrong once a purge
+     has emptied the slots of a freshly-rotated (empty) current file. *)
+  mutable last_cached : Opid.t;
+  mutable purge_boundary : Opid.t; (* opid of the highest purged entry *)
+}
+
+let mode_prefix = function Binlog -> "binlog" | Relay -> "relaylog"
+
+let fresh_file t =
+  let name = Printf.sprintf "%s.%06d" (mode_prefix t.mode) t.next_file_seq in
+  t.next_file_seq <- t.next_file_seq + 1;
+  { file_name = name; previous_gtids = t.gtids; first = 0; last = -1; closed = false }
+
+let create ?(mode = Binlog) () =
+  let t =
+    {
+      mode;
+      files = [];
+      entries = Vec.create ~dummy:None;
+      purged_below = 1;
+      next_file_seq = 1;
+      gtids = Gtid_set.empty;
+      fsyncs = 0;
+      last_cached = Opid.zero;
+      purge_boundary = Opid.zero;
+    }
+  in
+  Vec.push t.entries None (* sentinel slot 0 *);
+  t.files <- [ fresh_file t ];
+  t
+
+let mode t = t.mode
+
+let last_index t = Vec.length t.entries - 1
+
+let last_opid t = t.last_cached
+
+let entry_at t index =
+  if index <= 0 || index > last_index t then None else Vec.get t.entries index
+
+(* The purge boundary acts like Raft's (last_included_index, term)
+   snapshot marker: its term stays answerable so replication whose
+   prev-entry sits exactly at the boundary keeps working after PURGE. *)
+let term_at t index =
+  if index = 0 then Some 0
+  else
+    match entry_at t index with
+    | Some e -> Some (Entry.term e)
+    | None ->
+      if index = Opid.index t.purge_boundary then Some (Opid.term t.purge_boundary)
+      else None
+
+let current_file t =
+  match List.rev t.files with
+  | f :: _ -> f
+  | [] -> assert false
+
+let append t entry =
+  let index = Entry.index entry in
+  if index <> last_index t + 1 then
+    invalid_arg
+      (Printf.sprintf "Log_store.append: index %d but log ends at %d" index (last_index t));
+  (match term_at t (last_index t) with
+  | Some prev_term when Entry.term entry < prev_term ->
+    invalid_arg "Log_store.append: term regression"
+  | _ -> ());
+  Vec.push t.entries (Some entry);
+  t.last_cached <- Entry.opid entry;
+  let f = current_file t in
+  if f.first = 0 then f.first <- index;
+  f.last <- index;
+  t.fsyncs <- t.fsyncs + 1;
+  (match Entry.gtid entry with
+  | Some g -> t.gtids <- Gtid_set.add t.gtids g
+  | None -> ())
+
+(* Entries in [from_index, from_index + max_count) that are still present.
+   Stops early at a purged hole. *)
+let entries_from t ~from_index ~max_count =
+  let rec collect idx n acc =
+    if n = 0 || idx > last_index t then List.rev acc
+    else
+      match Vec.get t.entries idx with
+      | Some e -> collect (idx + 1) (n - 1) (e :: acc)
+      | None -> List.rev acc
+  in
+  collect (max 1 from_index) max_count []
+
+(* Remove all entries with index >= [from_index]; returns them (ascending)
+   so the caller can clean up GTID metadata (§3.3 demotion step 4). *)
+let truncate_from t ~from_index =
+  if from_index <= t.purged_below - 1 then invalid_arg "Log_store.truncate_from: purged range";
+  if from_index > last_index t then []
+  else begin
+    let removed = Vec.truncate_to t.entries from_index in
+    let removed = List.filter_map (fun e -> e) removed in
+    (t.last_cached <-
+       (match Vec.get_opt t.entries (from_index - 1) with
+       | Some (Some e) -> Entry.opid e
+       | Some None -> t.purge_boundary (* tail now ends inside the purged range *)
+       | None -> Opid.zero));
+    List.iter
+      (fun e ->
+        match Entry.gtid e with
+        | Some g -> t.gtids <- Gtid_set.remove t.gtids g
+        | None -> ())
+      removed;
+    (* Rewind file ranges; drop files that became entirely empty except a
+       single open file. *)
+    let keep =
+      List.filter_map
+        (fun f ->
+          if f.first = 0 || f.first >= from_index then None
+          else begin
+            if f.last >= from_index then begin
+              f.last <- from_index - 1;
+              f.closed <- false
+            end;
+            Some f
+          end)
+        t.files
+    in
+    t.files <- (if keep = [] then [ fresh_file t ] else keep);
+    (match List.rev t.files with f :: _ -> f.closed <- false | [] -> ());
+    removed
+  end
+
+(* Close the current file and open a new one (FLUSH BINARY LOGS).  The
+   rotate entry itself is replicated through Raft by the caller; this
+   call only performs the local file switch. *)
+let rotate t =
+  let f = current_file t in
+  f.closed <- true;
+  t.files <- t.files @ [ fresh_file t ]
+
+(* SHOW BINARY LOGS view: (file name, size in bytes, entry count). *)
+let file_list t =
+  List.map
+    (fun f ->
+      let indices = if f.first = 0 then [] else List.init (f.last - f.first + 1) (fun i -> f.first + i) in
+      let size =
+        List.fold_left
+          (fun acc i ->
+            match Vec.get t.entries i with Some e -> acc + Entry.size e | None -> acc)
+          0 indices
+      in
+      (f.file_name, size, List.length indices))
+    t.files
+
+let file_names t = List.map (fun f -> f.file_name) t.files
+
+(* (name, first index, last index, closed) per file; first = 0 when the
+   file has no entries yet. *)
+let file_ranges t =
+  List.map (fun f -> (f.file_name, f.first, f.last, f.closed)) t.files
+
+(* PURGE LOGS TO <file>: drop whole files strictly older than [file].
+   The caller (MySQL consulting Raft, §A.1) is responsible for ensuring
+   the purged entries are consensus-committed and shipped. *)
+let purge_to t ~file =
+  if not (List.exists (fun f -> f.file_name = file) t.files) then
+    invalid_arg ("Log_store.purge_to: unknown file " ^ file);
+  let rec drop = function
+    | f :: rest when f.file_name <> file ->
+      if f.first > 0 then begin
+        (match Vec.get t.entries f.last with
+        | Some e -> t.purge_boundary <- Entry.opid e
+        | None -> ());
+        for i = f.first to f.last do
+          Vec.set t.entries i None
+        done;
+        t.purged_below <- max t.purged_below (f.last + 1)
+      end;
+      drop rest
+    | rest -> rest
+  in
+  t.files <- drop t.files
+
+let purged_below t = t.purged_below
+
+(* OpId of the highest purged entry ([Opid.zero] if nothing purged). *)
+let purge_boundary_opid t = t.purge_boundary
+
+let gtid_set t = t.gtids
+
+let fsync_count t = t.fsyncs
+
+(* Rewire the log between binlog and relay-log personas (§3.2).  The
+   entries are untouched — only the naming of future files changes, which
+   is exactly what promotion's "rewiring" step does. *)
+let switch_mode t new_mode =
+  if t.mode <> new_mode then begin
+    t.mode <- new_mode;
+    let f = current_file t in
+    if f.first = 0 then
+      (* current file is empty: replace it so its name matches the mode *)
+      t.files <- List.filteri (fun i _ -> i < List.length t.files - 1) t.files @ [ fresh_file t ]
+    else rotate t
+  end
+
+let all_entries t =
+  List.filter_map (fun e -> e) (Vec.to_list t.entries)
+
+let describe t =
+  Printf.sprintf "%s log: %d files, last=%s, gtids=%s"
+    (mode_prefix t.mode) (List.length t.files)
+    (Opid.to_string (last_opid t))
+    (Gtid_set.to_string t.gtids)

@@ -1,0 +1,76 @@
+(** The MySQL replication log, usable as Raft's replicated log.
+
+    A store is a sequence of log files plus an index file.  It runs in
+    [Binlog] mode (a primary writing its binary log) or [Relay] mode (a
+    replica's relay log fed by Raft); switching between the two —
+    "rewiring" — is a promotion/demotion orchestration step (§3.2).
+
+    Invariants: the entry at Raft index i lives at slot i; file ranges
+    partition the unpurged index space; terms are non-decreasing. *)
+
+type mode = Binlog | Relay
+
+type t
+
+val create : ?mode:mode -> unit -> t
+
+val mode : t -> mode
+
+val last_index : t -> int
+
+(** [Opid.zero] when empty. *)
+val last_opid : t -> Opid.t
+
+(** [None] for out-of-range or purged indexes. *)
+val entry_at : t -> int -> Entry.t option
+
+(** Term at an index; [Some 0] at index 0, [None] when unknown/purged. *)
+val term_at : t -> int -> int option
+
+(** Append the next entry.  Raises [Invalid_argument] on index gaps or
+    term regressions. *)
+val append : t -> Entry.t -> unit
+
+(** Present entries in [from_index, from_index+max_count); stops early at
+    a purged hole. *)
+val entries_from : t -> from_index:int -> max_count:int -> Entry.t list
+
+(** Remove all entries with index >= [from_index]; returns them
+    (ascending) so callers can clean up GTID metadata (§3.3 step 4). *)
+val truncate_from : t -> from_index:int -> Entry.t list
+
+(** Close the current file and open a new one (FLUSH BINARY LOGS). *)
+val rotate : t -> unit
+
+(** SHOW BINARY LOGS view: (file name, byte size, entry count). *)
+val file_list : t -> (string * int * int) list
+
+val file_names : t -> string list
+
+(** (name, first index, last index, closed) per file; first = 0 when the
+    file has no entries yet. *)
+val file_ranges : t -> (string * int * int * bool) list
+
+(** PURGE LOGS TO [file]: drop whole files strictly older than [file].
+    The caller is responsible for the §A.1 safety heuristics. *)
+val purge_to : t -> file:string -> unit
+
+(** Entries below this index may have been purged. *)
+val purged_below : t -> int
+
+(** OpId of the highest purged entry — the snapshot-style boundary whose
+    term stays answerable through {!term_at}. *)
+val purge_boundary_opid : t -> Opid.t
+
+(** All GTIDs currently present in the log. *)
+val gtid_set : t -> Gtid_set.t
+
+val fsync_count : t -> int
+
+(** Rewire between binlog and relay-log personas (§3.2); entries are
+    untouched, only future file naming changes. *)
+val switch_mode : t -> mode -> unit
+
+val all_entries : t -> Entry.t list
+
+val describe : t -> string

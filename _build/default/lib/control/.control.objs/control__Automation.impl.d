@@ -1,0 +1,1 @@
+lib/control/automation.ml: Binlog Downstream List Myraft Raft Sim

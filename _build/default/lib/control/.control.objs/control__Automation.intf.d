@@ -1,0 +1,1 @@
+lib/control/automation.mli: Downstream Myraft

@@ -1,0 +1,1 @@
+lib/control/enable_raft.ml: Binlog List Lock_service Myraft Option Semisync Sim Storage

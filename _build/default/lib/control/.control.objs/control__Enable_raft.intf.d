@@ -1,0 +1,1 @@
+lib/control/enable_raft.mli: Lock_service Myraft Semisync

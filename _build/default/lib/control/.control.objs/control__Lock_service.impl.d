@@ -1,0 +1,1 @@
+lib/control/lock_service.ml: Hashtbl Sim

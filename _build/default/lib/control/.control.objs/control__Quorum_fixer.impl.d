@@ -1,0 +1,1 @@
+lib/control/quorum_fixer.ml: Binlog List Myraft Raft Sim

@@ -1,0 +1,1 @@
+lib/control/quorum_fixer.mli: Binlog Myraft

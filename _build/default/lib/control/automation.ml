@@ -1,0 +1,145 @@
+(* Membership automation (§2.2): "membership changes are always initiated
+   by automation" — detect a member that needs replacing, allocate and
+   prepare a new one, and drive AddMember/RemoveMember on the leader one
+   change at a time. *)
+
+type replacement_report = {
+  removed : string;
+  added : string;
+  duration_us : float;
+}
+
+let s = Sim.Engine.s
+
+let leader_raft cluster =
+  match Myraft.Cluster.raft_leader cluster with
+  | Some id -> Myraft.Cluster.raft_of cluster id
+  | None -> None
+
+(* A config change is settled once the change entry is committed (the
+   pending-change latch clears), not merely appended. *)
+let wait_config_settled cluster ~pred =
+  Myraft.Cluster.run_until cluster ~timeout:(30.0 *. s) (fun () ->
+      match leader_raft cluster with
+      | Some r ->
+        Raft.Node.commit_index r > 0
+        && (not (Raft.Node.has_pending_config_change r))
+        && pred (Raft.Node.config r)
+      | None -> false)
+
+(* §A.1's external rotation automation: watch the primary's current
+   binlog file size in a monitoring loop and call FLUSH BINARY LOGS when
+   it exceeds the budget; opportunistically PURGE files that Raft's
+   region watermarks have cleared, keeping at most [keep_files]. *)
+type janitor = { mutable running : bool; mutable rotations : int; mutable purges : int }
+
+let rotations j = j.rotations
+
+let purges j = j.purges
+
+let stop_janitor j = j.running <- false
+
+let current_file_bytes server =
+  match List.rev (Binlog.Log_store.file_list (Myraft.Server.log server)) with
+  | (_, size, _) :: _ -> size
+  | [] -> 0
+
+let start_binlog_janitor ?(interval = 2.0 *. s) ?(keep_files = 3) cluster =
+  let j = { running = true; rotations = 0; purges = 0 } in
+  let engine = Myraft.Cluster.engine cluster in
+  let rec tick () =
+    if j.running then begin
+      (match Myraft.Cluster.primary cluster with
+      | Some primary ->
+        let budget = (Myraft.Cluster.params cluster).Myraft.Params.max_binlog_bytes in
+        if current_file_bytes primary > budget then (
+          match Myraft.Server.flush_binary_logs primary with
+          | Ok () -> j.rotations <- j.rotations + 1
+          | Error _ -> ());
+        if
+          List.length (Binlog.Log_store.file_names (Myraft.Server.log primary))
+          > keep_files
+        then begin
+          let purged = Myraft.Server.purge_binary_logs primary in
+          if purged > 0 then j.purges <- j.purges + purged
+        end
+      | None -> ());
+      ignore (Sim.Engine.schedule engine ~delay:interval tick)
+    end
+  in
+  ignore (Sim.Engine.schedule engine ~delay:interval tick);
+  j
+
+(* Replace [dead] with a freshly allocated member of the same kind and
+   region: RemoveMember, then allocate (optionally seeding the newcomer
+   from a backup — required when the history it needs has been purged
+   from the ring), then AddMember, then wait until it has caught up. *)
+let replace_member ?backup cluster ~dead ~replacement_id =
+  let started = Myraft.Cluster.now cluster in
+  match leader_raft cluster with
+  | None -> Error "no leader to drive the membership change"
+  | Some leader -> (
+    match Raft.Types.find_member (Raft.Node.config leader) dead with
+    | None -> Error (dead ^ " is not a member")
+    | Some old_member -> (
+      match Raft.Node.remove_member leader dead with
+      | Error e -> Error ("RemoveMember: " ^ e)
+      | Ok _ ->
+        if not (wait_config_settled cluster ~pred:(fun c -> not (Raft.Types.is_member c dead)))
+        then Error "RemoveMember did not commit"
+        else begin
+          (* allocate and prepare the new member *)
+          let spec =
+            match old_member.Raft.Types.kind with
+            | Raft.Types.Mysql_server ->
+              Myraft.Cluster.mysql ~voter:old_member.Raft.Types.voter replacement_id
+                old_member.Raft.Types.region
+            | Raft.Types.Logtailer ->
+              Myraft.Cluster.logtailer replacement_id old_member.Raft.Types.region
+          in
+          Myraft.Cluster.add_server cluster spec;
+          (match backup with
+          | Some b -> (
+            match
+              (match Myraft.Cluster.server cluster replacement_id with
+              | Some srv -> Downstream.Backup.restore_into_server b srv
+              | None -> (
+                match Myraft.Cluster.tailer cluster replacement_id with
+                | Some lt -> Downstream.Backup.restore_into_tailer b lt
+                | None -> Error "replacement node vanished"))
+            with
+            | Ok () -> ()
+            | Error e -> failwith ("backup restore: " ^ e))
+          | None -> ());
+          match
+            Raft.Node.add_member leader
+              {
+                Raft.Types.id = replacement_id;
+                region = old_member.Raft.Types.region;
+                voter = old_member.Raft.Types.voter;
+                kind = old_member.Raft.Types.kind;
+              }
+          with
+          | Error e -> Error ("AddMember: " ^ e)
+          | Ok _ ->
+            let caught_up () =
+              match Myraft.Cluster.raft_of cluster replacement_id with
+              | Some r ->
+                Raft.Types.is_member (Raft.Node.config r) replacement_id
+                && Binlog.Opid.index (Raft.Node.last_opid r)
+                   >= Raft.Node.commit_index leader
+              | None -> false
+            in
+            if
+              not
+                (Myraft.Cluster.run_until cluster ~timeout:(60.0 *. s) (fun () ->
+                     caught_up ()))
+            then Error "replacement did not catch up"
+            else
+              Ok
+                {
+                  removed = dead;
+                  added = replacement_id;
+                  duration_us = Myraft.Cluster.now cluster -. started;
+                }
+        end))

@@ -1,0 +1,38 @@
+(** Membership automation (§2.2) and the §A.1 binlog janitor.
+
+    "Membership changes are always initiated by automation": detect a
+    member that needs replacing, allocate and prepare a new one, drive
+    RemoveMember/AddMember on the leader one change at a time. *)
+
+type replacement_report = {
+  removed : string;
+  added : string;
+  duration_us : float;
+}
+
+(** {2 Binlog rotation/purge janitor (§A.1)} *)
+
+type janitor
+
+(** Watch the primary's current binlog file in a monitoring loop: FLUSH
+    BINARY LOGS past the size budget ([Params.max_binlog_bytes]), PURGE
+    watermark-cleared files beyond [keep_files]. *)
+val start_binlog_janitor : ?interval:float -> ?keep_files:int -> Myraft.Cluster.t -> janitor
+
+val stop_janitor : janitor -> unit
+
+val rotations : janitor -> int
+
+val purges : janitor -> int
+
+(** {2 Member replacement} *)
+
+(** Replace [dead] with a freshly allocated member of the same kind and
+    region.  Pass [backup] to seed the newcomer when the history it
+    needs has been purged from the ring. *)
+val replace_member :
+  ?backup:Downstream.Backup.t ->
+  Myraft.Cluster.t ->
+  dead:string ->
+  replacement_id:string ->
+  (replacement_report, string) result

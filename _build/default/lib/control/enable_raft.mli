@@ -1,0 +1,23 @@
+(** enable-raft (§5.2): converts a replicaset from semi-sync replication
+    to MyRaft through the paper's five steps — hold the replicaset lock,
+    safety checks, load the plugin + Raft config on every entity, stop
+    writes / catch up / bootstrap Raft, publish to discovery.  Only the
+    last phase incurs write unavailability ("usually a few seconds"),
+    which is measured and reported. *)
+
+type report = {
+  steps : (string * float) list;  (** (step, virtual duration µs) *)
+  write_unavailability_us : float;
+  transactions_migrated : int;
+}
+
+(** Run the rollout; on success returns the converted MyRaft replicaset,
+    seeded with the semi-sync primary's binlog (GTIDs preserved) and led
+    by the same primary. *)
+val run :
+  ?params:Myraft.Params.t ->
+  ?seed:int ->
+  members:Myraft.Cluster.member_spec list ->
+  lock_service:Lock_service.t ->
+  Semisync.Cluster.t ->
+  (Myraft.Cluster.t * report, string) result

@@ -1,0 +1,1 @@
+lib/core/applier.ml: Binlog List Params Queue Sim

@@ -1,0 +1,1 @@
+lib/core/applier.mli: Binlog Params Sim

@@ -1,0 +1,1 @@
+lib/core/availability.ml: Binlog Cluster Hashtbl List Printf Service_discovery Sim Wire

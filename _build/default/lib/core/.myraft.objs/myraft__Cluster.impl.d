@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Hashtbl List Logtailer Params Printf Raft Server Service_discovery Sim String Wire

@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Logtailer Params Raft Server Service_discovery Sim Wire

@@ -1,0 +1,1 @@
+lib/core/commands.ml: Applier Binlog List Option Printf Raft Server String

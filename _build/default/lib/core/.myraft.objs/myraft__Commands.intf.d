@@ -1,0 +1,1 @@
+lib/core/commands.mli: Server

@@ -1,0 +1,1 @@
+lib/core/logtailer.ml: Binlog List Option Params Raft Sim Wire

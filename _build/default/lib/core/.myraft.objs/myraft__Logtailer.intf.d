@@ -1,0 +1,1 @@
+lib/core/logtailer.mli: Binlog Params Raft Sim Wire

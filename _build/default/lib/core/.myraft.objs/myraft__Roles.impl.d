@@ -1,0 +1,1 @@
+lib/core/roles.ml: Buffer List Printf Raft

@@ -1,0 +1,1 @@
+lib/core/roles.mli: Raft

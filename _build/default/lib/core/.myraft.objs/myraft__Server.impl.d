@@ -1,0 +1,1 @@
+lib/core/server.ml: Applier Binlog Int64 List Params Pipeline Printf Raft Service_discovery Sim Storage Wire

@@ -1,0 +1,1 @@
+lib/core/server.mli: Applier Binlog Params Pipeline Raft Service_discovery Sim Storage Wire

@@ -1,0 +1,1 @@
+lib/core/service_discovery.mli: Sim

@@ -1,0 +1,1 @@
+lib/core/wire.ml: Binlog List Raft Sim String

@@ -1,0 +1,115 @@
+(* The replica's applier thread (§3.5).
+
+   Raft writes incoming transactions to the relay log and signals the
+   applier; the applier picks them up in log order, executes the RBR
+   payload (preparing the transaction in the engine), and pushes it into
+   the same three-stage commit pipeline used by the primary, where it
+   waits for the consensus-commit marker before engine commit.
+
+   [applied_index] is the highest log index whose effects are durably in
+   the engine with nothing earlier missing — what promotion step 2 waits
+   on to reach the no-op, and what positions the applier cursor after a
+   role change (§3.3 demotion step 5). *)
+
+type t = {
+  engine : Sim.Engine.t;
+  params : Params.t;
+  mutable running : bool;
+  mutable queue : Binlog.Entry.t Queue.t;
+  mutable busy : bool;
+  mutable applied_index : int;
+  mutable next_expected : int; (* next log index to enqueue *)
+  mutable applied_txns : int;
+  process : Binlog.Entry.t -> on_done:(ok:bool -> unit) -> unit;
+    (* prepare + pipeline submission; [on_done] fires after engine commit *)
+}
+
+let create ~engine ~params ~process =
+  {
+    engine;
+    params;
+    running = false;
+    queue = Queue.create ();
+    busy = false;
+    applied_index = 0;
+    next_expected = 1;
+    applied_txns = 0;
+    process;
+  }
+
+let applied_index t = t.applied_index
+
+let applied_txns t = t.applied_txns
+
+let is_running t = t.running
+
+(* Execute entries serially (the applier thread), but do NOT wait for
+   engine commit before picking up the next entry: the commit pipeline is
+   FIFO, so completions arrive in order and [applied_index] stays a
+   prefix watermark.  This is what lets a replica keep up with a
+   group-committing primary. *)
+let rec work t =
+  if t.running && not t.busy then
+    match Queue.take_opt t.queue with
+    | None -> ()
+    | Some entry ->
+      t.busy <- true;
+      let index = Binlog.Entry.index entry in
+      let cost =
+        match Binlog.Entry.payload entry with
+        | Binlog.Entry.Transaction _ -> t.params.Params.apply_per_txn_us
+        | _ -> 1.0 (* noop / rotate / config: nothing to execute *)
+      in
+      ignore
+        (Sim.Engine.schedule t.engine ~delay:cost (fun () ->
+             let generation_running = t.running in
+             t.process entry ~on_done:(fun ~ok ->
+                 if ok && t.running && generation_running then begin
+                   t.applied_index <- max t.applied_index index;
+                   if Binlog.Entry.is_transaction entry then
+                     t.applied_txns <- t.applied_txns + 1
+                 end);
+             t.busy <- false;
+             work t))
+
+(* Raft signal: new entries are in the relay log. *)
+let signal t entries =
+  if t.running then begin
+    List.iter
+      (fun e ->
+        if Binlog.Entry.index e >= t.next_expected then begin
+          Queue.add e t.queue;
+          t.next_expected <- Binlog.Entry.index e + 1
+        end)
+      entries;
+    ignore (Sim.Engine.schedule t.engine ~delay:t.params.Params.applier_wakeup_us (fun () -> work t))
+  end
+
+(* Truncation: drop queued entries at/above the truncation point and
+   rewind the cursor. *)
+let handle_truncation t ~from_index =
+  let keep = Queue.create () in
+  Queue.iter
+    (fun e -> if Binlog.Entry.index e < from_index then Queue.add e keep)
+    t.queue;
+  t.queue <- keep;
+  if t.next_expected > from_index then t.next_expected <- from_index;
+  if t.applied_index >= from_index then t.applied_index <- from_index - 1
+
+(* Start (or restart) the applier with its cursor positioned from the
+   engine's recovery point; [backlog] is the relay-log suffix after that
+   point. *)
+let start t ~from_index ~backlog =
+  t.running <- true;
+  Queue.clear t.queue;
+  t.busy <- false;
+  t.applied_index <- from_index - 1;
+  t.next_expected <- from_index;
+  signal t backlog
+
+let stop t =
+  t.running <- false;
+  Queue.clear t.queue;
+  t.busy <- false
+
+let queue_length t = Queue.length t.queue

@@ -1,0 +1,39 @@
+(** The replica's applier thread (§3.5): picks transactions from the
+    relay log in order, executes their RBR payloads, and pushes them
+    through the commit pipeline where they wait for the consensus-commit
+    marker.
+
+    [applied_index] is the highest log index durably in the engine with
+    nothing earlier missing — what promotion step 2 waits on, and what
+    positions the cursor after a role change (§3.3). *)
+
+type t
+
+(** [process entry ~on_done] must execute the entry (prepare + pipeline
+    submission); [on_done] fires after engine commit. *)
+val create :
+  engine:Sim.Engine.t ->
+  params:Params.t ->
+  process:(Binlog.Entry.t -> on_done:(ok:bool -> unit) -> unit) ->
+  t
+
+(** Start (or restart) with the cursor at [from_index]; [backlog] is the
+    relay-log suffix from that point. *)
+val start : t -> from_index:int -> backlog:Binlog.Entry.t list -> unit
+
+val stop : t -> unit
+
+val is_running : t -> bool
+
+(** Raft signal: new entries are in the relay log (duplicates and gaps
+    are filtered). *)
+val signal : t -> Binlog.Entry.t list -> unit
+
+(** Log truncation: drop queued entries at/above the point and rewind. *)
+val handle_truncation : t -> from_index:int -> unit
+
+val applied_index : t -> int
+
+val applied_txns : t -> int
+
+val queue_length : t -> int

@@ -1,0 +1,319 @@
+(* Replicaset assembly: builds a full MyRaft ring (MySQL servers +
+   logtailers) on a simulated multi-region network, wires service
+   discovery, and exposes the control operations the experiments use
+   (bootstrap, crash/restart, partitions, leadership transfer). *)
+
+type member_spec = {
+  spec_id : string;
+  spec_region : string;
+  spec_kind : Raft.Types.member_kind;
+  spec_voter : bool;
+}
+
+let mysql ?(voter = true) id region =
+  { spec_id = id; spec_region = region; spec_kind = Raft.Types.Mysql_server; spec_voter = voter }
+
+let logtailer id region =
+  { spec_id = id; spec_region = region; spec_kind = Raft.Types.Logtailer; spec_voter = true }
+
+type node = Mysql_node of Server.t | Tailer_node of Logtailer.t
+
+type t = {
+  engine : Sim.Engine.t;
+  topology : Sim.Topology.t;
+  network : Wire.t Sim.Network.t;
+  trace : Sim.Trace.t;
+  discovery : Service_discovery.t;
+  replicaset : string;
+  params : Params.t;
+  nodes : (string, node) Hashtbl.t;
+  mutable member_order : string list;
+  initial_config : Raft.Types.config;
+}
+
+let engine t = t.engine
+
+let network t = t.network
+
+let trace t = t.trace
+
+let discovery t = t.discovery
+
+let replicaset_name t = t.replicaset
+
+let initial_config t = t.initial_config
+
+let params t = t.params
+
+let member_ids t = t.member_order
+
+let node t id = Hashtbl.find_opt t.nodes id
+
+let server t id =
+  match node t id with Some (Mysql_node s) -> Some s | _ -> None
+
+let tailer t id =
+  match node t id with Some (Tailer_node l) -> Some l | _ -> None
+
+let servers t =
+  List.filter_map (fun id -> server t id) t.member_order
+
+let tailers t =
+  List.filter_map (fun id -> tailer t id) t.member_order
+
+let raft_of t id =
+  match node t id with
+  | Some (Mysql_node s) -> Some (Server.raft s)
+  | Some (Tailer_node l) -> Some (Logtailer.raft l)
+  | None -> None
+
+let is_crashed t id =
+  match node t id with
+  | Some (Mysql_node s) -> Server.is_crashed s
+  | Some (Tailer_node l) -> Logtailer.is_crashed l
+  | None -> true
+
+(* The node currently acting as Raft leader, if any. *)
+let raft_leader t =
+  List.find_opt
+    (fun id ->
+      (not (is_crashed t id))
+      && match raft_of t id with Some r -> Raft.Node.is_leader r | None -> false)
+    t.member_order
+
+(* The MySQL server currently serving as writable primary, if any. *)
+let primary t =
+  List.find_map
+    (fun s ->
+      if Server.role s = Server.Primary && Server.writes_enabled s && not (Server.is_crashed s)
+      then Some s
+      else None)
+    (servers t)
+
+let config_of_specs specs =
+  {
+    Raft.Types.members =
+      List.map
+        (fun s ->
+          {
+            Raft.Types.id = s.spec_id;
+            region = s.spec_region;
+            voter = s.spec_voter;
+            kind = s.spec_kind;
+          })
+        specs;
+  }
+
+let create ?(seed = 7) ?(params = Params.default) ?(latency = Sim.Latency.default)
+    ?(echo_trace = false) ~replicaset ~members () =
+  let engine = Sim.Engine.create ~seed () in
+  let topology = Sim.Topology.create () in
+  List.iter (fun s -> Sim.Topology.add_node topology ~id:s.spec_id ~region:s.spec_region) members;
+  let network = Sim.Network.create engine topology ~latency () in
+  let trace = Sim.Trace.create ~echo:echo_trace engine in
+  let discovery = Service_discovery.create engine in
+  let initial_config = config_of_specs members in
+  let t =
+    {
+      engine;
+      topology;
+      network;
+      trace;
+      discovery;
+      replicaset;
+      params;
+      nodes = Hashtbl.create 16;
+      member_order = List.map (fun s -> s.spec_id) members;
+      initial_config;
+    }
+  in
+  let send ~src ~dst msg =
+    Sim.Network.send network ~src ~dst ~size:(Wire.size msg) msg
+  in
+  List.iter
+    (fun s ->
+      let id = s.spec_id in
+      let send_from ~dst msg = send ~src:id ~dst msg in
+      let n =
+        match s.spec_kind with
+        | Raft.Types.Mysql_server ->
+          Mysql_node
+            (Server.create ~engine ~id ~region:s.spec_region ~replicaset
+               ~send:send_from ~discovery ~params ~initial_config ~trace ())
+        | Raft.Types.Logtailer ->
+          Tailer_node
+            (Logtailer.create ~engine ~id ~region:s.spec_region ~send:send_from ~params
+               ~initial_config ~trace ())
+      in
+      Hashtbl.replace t.nodes id n;
+      Sim.Network.register network id (fun ~src msg ->
+          match Hashtbl.find_opt t.nodes id with
+          | Some (Mysql_node server) -> Server.handle_message server ~src msg
+          | Some (Tailer_node l) -> Logtailer.handle_message l ~src msg
+          | None -> ()))
+    members;
+  t
+
+(* Create and wire a brand-new node at runtime (the "allocate and prepare
+   a new member" step of §2.2's membership changes).  The node starts
+   outside the ring; the caller then issues AddMember on the leader. *)
+let add_server t spec =
+  if Hashtbl.mem t.nodes spec.spec_id then invalid_arg "Cluster.add_server: duplicate id";
+  Sim.Topology.add_node t.topology ~id:spec.spec_id ~region:spec.spec_region;
+  let send_from ~dst msg =
+    Sim.Network.send t.network ~src:spec.spec_id ~dst ~size:(Wire.size msg) msg
+  in
+  (* The newcomer's view of the ring: the current leader's config (it is
+     not a member yet; the AddMember entry will make it one). *)
+  let base_config =
+    match raft_leader t with
+    | Some leader_id -> (
+      match raft_of t leader_id with Some r -> Raft.Node.config r | None -> t.initial_config)
+    | None -> t.initial_config
+  in
+  let n =
+    match spec.spec_kind with
+    | Raft.Types.Mysql_server ->
+      Mysql_node
+        (Server.create ~engine:t.engine ~id:spec.spec_id ~region:spec.spec_region
+           ~replicaset:t.replicaset ~send:send_from ~discovery:t.discovery ~params:t.params
+           ~initial_config:base_config ~trace:t.trace ())
+    | Raft.Types.Logtailer ->
+      Tailer_node
+        (Logtailer.create ~engine:t.engine ~id:spec.spec_id ~region:spec.spec_region
+           ~send:send_from ~params:t.params ~initial_config:base_config ~trace:t.trace ())
+  in
+  Hashtbl.replace t.nodes spec.spec_id n;
+  Sim.Network.register t.network spec.spec_id (fun ~src msg ->
+      match Hashtbl.find_opt t.nodes spec.spec_id with
+      | Some (Mysql_node server) -> Server.handle_message server ~src msg
+      | Some (Tailer_node l) -> Logtailer.handle_message l ~src msg
+      | None -> ());
+  t.member_order <- t.member_order @ [ spec.spec_id ]
+
+(* ----- clients ----- *)
+
+let register_client t ~id ~region ~handler =
+  Sim.Topology.add_node t.topology ~id ~region;
+  Sim.Network.register t.network id handler
+
+let send_from_client t ~client ~dst msg =
+  Sim.Network.send t.network ~src:client ~dst ~size:(Wire.size msg) msg
+
+let set_link_latency t ~a ~b ~latency = Sim.Network.set_link_latency t.network ~a ~b ~latency
+
+(* ----- time control ----- *)
+
+let run_for t duration = Sim.Engine.run_for t.engine duration
+
+let now t = Sim.Engine.now t.engine
+
+(* Advance time in [step]-sized chunks until [pred] holds or [timeout]
+   virtual time elapses.  Returns whether the predicate held. *)
+let run_until t ?(step = 10.0 *. Sim.Engine.ms) ~timeout pred =
+  let deadline = Sim.Engine.now t.engine +. timeout in
+  let rec loop () =
+    if pred () then true
+    else if Sim.Engine.now t.engine >= deadline then false
+    else begin
+      Sim.Engine.run_for t.engine step;
+      loop ()
+    end
+  in
+  loop ()
+
+(* ----- bootstrap ----- *)
+
+(* Deterministically elect [leader_id] and wait until its MySQL side
+   finished promotion (writes enabled, discovery published). *)
+let bootstrap t ~leader_id =
+  (match raft_of t leader_id with
+  | Some r -> ignore (Sim.Engine.schedule t.engine ~delay:Sim.Engine.ms (fun () ->
+                          Raft.Node.trigger_election r))
+  | None -> invalid_arg ("Cluster.bootstrap: unknown node " ^ leader_id));
+  let ok =
+    run_until t ~timeout:(30.0 *. Sim.Engine.s) (fun () ->
+        match primary t with
+        | Some s ->
+          Server.id s = leader_id
+          && Service_discovery.primary_of t.discovery ~replicaset:t.replicaset
+             = Some leader_id
+        | None -> false)
+  in
+  if not ok then failwith ("Cluster.bootstrap: " ^ leader_id ^ " did not become primary")
+
+(* ----- fault injection / control ----- *)
+
+let crash t id =
+  (match node t id with
+  | Some (Mysql_node s) -> Server.crash s
+  | Some (Tailer_node l) -> Logtailer.crash l
+  | None -> invalid_arg ("Cluster.crash: unknown node " ^ id));
+  Sim.Network.set_down t.network id
+
+let restart t id =
+  Sim.Network.set_up t.network id;
+  match node t id with
+  | Some (Mysql_node s) -> Server.restart s
+  | Some (Tailer_node l) -> Logtailer.restart l
+  | None -> invalid_arg ("Cluster.restart: unknown node " ^ id)
+
+let isolate t id = Sim.Network.isolate_node t.network id
+
+let heal t id = Sim.Network.heal_node t.network id
+
+(* Ask the current leader to gracefully transfer leadership to [target].
+   Returns an error when there is no leader or Raft rejects the call. *)
+let transfer_leadership t ~target =
+  match raft_leader t with
+  | None -> Error "no current leader"
+  | Some leader_id -> (
+    match raft_of t leader_id with
+    | Some r -> Raft.Node.transfer_leadership r ~target
+    | None -> Error "leader vanished")
+
+let describe t =
+  let lines =
+    List.map
+      (fun id ->
+        match node t id with
+        | Some (Mysql_node s) when Server.is_crashed s -> Server.id s ^ " [DOWN]"
+        | Some (Mysql_node s) -> Server.describe s
+        | Some (Tailer_node l) when Logtailer.is_crashed l -> Logtailer.id l ^ " [DOWN]"
+        | Some (Tailer_node l) ->
+          Printf.sprintf "%s [logtailer] %s" (Logtailer.id l)
+            (Raft.Node.describe (Logtailer.raft l))
+        | None -> id ^ ": ?")
+      t.member_order
+  in
+  String.concat "\n" lines
+
+(* ----- canonical topologies ----- *)
+
+(* A compact single-region ring: 1 primary-capable + 2 more MySQL voters. *)
+let small_members () =
+  [ mysql "mysql1" "r1"; mysql "mysql2" "r1"; mysql "mysql3" "r1" ]
+
+(* One region, MySQL + two logtailers: the minimal FlexiRaft data quorum. *)
+let single_region_members () =
+  [
+    mysql "mysql1" "r1";
+    logtailer "lt1a" "r1";
+    logtailer "lt1b" "r1";
+    mysql "mysql2" "r1";
+  ]
+
+(* The evaluation topology of §6.1: a primary with two in-region
+   logtailers, five followers in five other regions (two logtailers
+   each), and two learners. *)
+let paper_members () =
+  let region i = Printf.sprintf "r%d" i in
+  let per_region i =
+    [
+      mysql (Printf.sprintf "mysql%d" i) (region i);
+      logtailer (Printf.sprintf "lt%da" i) (region i);
+      logtailer (Printf.sprintf "lt%db" i) (region i);
+    ]
+  in
+  List.concat_map per_region [ 1; 2; 3; 4; 5; 6 ]
+  @ [ mysql ~voter:false "learner1" (region 2); mysql ~voter:false "learner2" (region 3) ]

@@ -1,0 +1,126 @@
+(** Replicaset assembly: a full MyRaft ring (MySQL servers + logtailers)
+    on a simulated multi-region network, with service discovery and the
+    control operations the experiments use. *)
+
+type member_spec = {
+  spec_id : string;
+  spec_region : string;
+  spec_kind : Raft.Types.member_kind;
+  spec_voter : bool;
+}
+
+(** A primary-capable MySQL member ([voter:false] makes a learner). *)
+val mysql : ?voter:bool -> string -> string -> member_spec
+
+(** A logtailer (witness: voter without a database). *)
+val logtailer : string -> string -> member_spec
+
+type node = Mysql_node of Server.t | Tailer_node of Logtailer.t
+
+type t
+
+val create :
+  ?seed:int ->
+  ?params:Params.t ->
+  ?latency:Sim.Latency.t ->
+  ?echo_trace:bool ->
+  replicaset:string ->
+  members:member_spec list ->
+  unit ->
+  t
+
+(** {2 Accessors} *)
+
+val engine : t -> Sim.Engine.t
+
+val network : t -> Wire.t Sim.Network.t
+
+val trace : t -> Sim.Trace.t
+
+val discovery : t -> Service_discovery.t
+
+val replicaset_name : t -> string
+
+val initial_config : t -> Raft.Types.config
+
+val params : t -> Params.t
+
+val member_ids : t -> string list
+
+val node : t -> string -> node option
+
+val server : t -> string -> Server.t option
+
+val tailer : t -> string -> Logtailer.t option
+
+val servers : t -> Server.t list
+
+val tailers : t -> Logtailer.t list
+
+val raft_of : t -> string -> Raft.Node.t option
+
+val is_crashed : t -> string -> bool
+
+(** The node currently acting as Raft leader, if any. *)
+val raft_leader : t -> string option
+
+(** The MySQL server currently serving as writable primary, if any. *)
+val primary : t -> Server.t option
+
+(** {2 Runtime membership} *)
+
+(** Create and wire a brand-new node ("allocate and prepare a new
+    member", §2.2); the caller then issues AddMember on the leader. *)
+val add_server : t -> member_spec -> unit
+
+(** {2 Clients} *)
+
+val register_client :
+  t -> id:string -> region:string -> handler:(src:string -> Wire.t -> unit) -> unit
+
+val send_from_client : t -> client:string -> dst:string -> Wire.t -> unit
+
+val set_link_latency : t -> a:string -> b:string -> latency:float -> unit
+
+(** {2 Time control} *)
+
+val run_for : t -> float -> unit
+
+val now : t -> float
+
+(** Advance time in [step] chunks until [pred] holds or [timeout]
+    elapses; returns whether it held. *)
+val run_until : t -> ?step:float -> timeout:float -> (unit -> bool) -> bool
+
+(** Deterministically elect [leader_id] and wait for its MySQL side to
+    finish promotion.  Raises on failure. *)
+val bootstrap : t -> leader_id:string -> unit
+
+(** {2 Fault injection / control} *)
+
+val crash : t -> string -> unit
+
+val restart : t -> string -> unit
+
+val isolate : t -> string -> unit
+
+val heal : t -> string -> unit
+
+(** Ask the current leader for a graceful transfer (§2.2). *)
+val transfer_leadership : t -> target:string -> (unit, string) result
+
+val describe : t -> string
+
+(** {2 Canonical topologies} *)
+
+(** Three MySQL voters in one region. *)
+val small_members : unit -> member_spec list
+
+(** One region: MySQL + two logtailers (the minimal FlexiRaft data
+    quorum) + one more MySQL. *)
+val single_region_members : unit -> member_spec list
+
+(** The §6.1 evaluation topology: a primary with two in-region
+    logtailers, five follower regions with two logtailers each, and two
+    learners. *)
+val paper_members : unit -> member_spec list

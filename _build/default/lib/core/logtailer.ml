@@ -1,0 +1,131 @@
+(* A logtailer: a Raft witness — a full voter with a replication log but
+   no storage engine and no database (§2.1, Table 1).
+
+   In-region logtailers are what make FlexiRaft's small data-commit
+   quorums durable: the leader's self-vote plus one logtailer ack commits
+   a transaction.  Because a logtailer often has the longest log, Raft's
+   longest-log-wins voting can elect it as a *temporary* leader; its
+   leader-start orchestration immediately transfers leadership to the
+   most caught-up MySQL voter (§2.2 failover). *)
+
+type t = {
+  id : string;
+  region : string;
+  engine : Sim.Engine.t;
+  trace : Sim.Trace.t;
+  params : Params.t;
+  send : dst:string -> Wire.t -> unit;
+  log : Binlog.Log_store.t;
+  durable : Raft.Node.durable;
+  initial_config : Raft.Types.config;
+  mutable raft : Raft.Node.t option;
+  mutable crashed : bool;
+  mutable interim_leaderships : int;
+}
+
+let id t = t.id
+
+let raft t = match t.raft with Some r -> r | None -> failwith (t.id ^ ": raft not wired")
+
+let log t = t.log
+
+let is_crashed t = t.crashed
+
+let interim_leaderships t = t.interim_leaderships
+
+let tracef t fmt = Sim.Trace.record t.trace ~tag:"logtailer" fmt
+
+(* When a logtailer wins an election it hands leadership to a MySQL
+   server: wait for a MySQL voter to be fully caught up, then run a
+   regular graceful transfer.  After a bounded wait, transfer to the most
+   caught-up MySQL voter regardless. *)
+let orchestrate_handoff t =
+  t.interim_leaderships <- t.interim_leaderships + 1;
+  tracef t "%s: elected as interim leader; handing off to a MySQL server" t.id;
+  let deadline = Sim.Engine.now t.engine +. (5.0 *. Sim.Engine.s) in
+  let rec attempt () =
+    if (not t.crashed) && Raft.Node.is_leader (raft t) then begin
+      let r = raft t in
+      let cfg = Raft.Node.config r in
+      let last = Binlog.Opid.index (Raft.Node.last_opid r) in
+      let mysql_voters =
+        List.filter
+          (fun m -> m.Raft.Types.voter && m.Raft.Types.kind = Raft.Types.Mysql_server)
+          cfg.Raft.Types.members
+      in
+      let ranked =
+        List.filter_map
+          (fun m ->
+            Option.map
+              (fun match_index -> (match_index, m.Raft.Types.id))
+              (Raft.Node.match_index_of r ~peer:m.Raft.Types.id))
+          mysql_voters
+        |> List.sort (fun a b -> compare b a)
+      in
+      match ranked with
+      | (best_match, best) :: _
+        when best_match >= last || Sim.Engine.now t.engine >= deadline -> (
+        match Raft.Node.transfer_leadership r ~target:best with
+        | Ok () -> ()
+        | Error reason ->
+          tracef t "%s: handoff transfer failed (%s); retrying" t.id reason;
+          ignore (Sim.Engine.schedule t.engine ~delay:(100.0 *. Sim.Engine.ms) attempt))
+      | _ -> ignore (Sim.Engine.schedule t.engine ~delay:(50.0 *. Sim.Engine.ms) attempt)
+    end
+  in
+  attempt ()
+
+let make_callbacks t =
+  let cb = Raft.Node.default_callbacks () in
+  cb.Raft.Node.on_leader_start <- (fun ~noop_index:_ -> orchestrate_handoff t);
+  cb
+
+let make_raft t =
+  Raft.Node.create ~engine:t.engine ~id:t.id ~region:t.region
+    ~send:(fun ~dst msg -> t.send ~dst (Wire.Raft_msg msg))
+    ~log:(Raft.Node.log_ops_of_store t.log)
+    ~callbacks:(make_callbacks t) ~params:t.params.Params.raft
+    ~initial_config:t.initial_config ~durable:t.durable ~trace:t.trace ()
+
+let create ~engine ~id ~region ~send ~params ~initial_config ~trace () =
+  let t =
+    {
+      id;
+      region;
+      engine;
+      trace;
+      params;
+      send;
+      log = Binlog.Log_store.create ~mode:Binlog.Log_store.Relay ();
+      durable = Raft.Node.fresh_durable ();
+      initial_config;
+      raft = None;
+      crashed = false;
+      interim_leaderships = 0;
+    }
+  in
+  t.raft <- Some (make_raft t);
+  t
+
+let handle_message t ~src msg =
+  if not t.crashed then
+    match msg with
+    | Wire.Raft_msg m -> Raft.Node.handle_message (raft t) ~src m
+    | Wire.Write_request { write_id; client; _ } ->
+      t.send ~dst:client
+        (Wire.Write_reply { write_id; outcome = Wire.Rejected "logtailer has no database" })
+    | Wire.Write_reply _ -> ()
+
+let crash t =
+  if not t.crashed then begin
+    t.crashed <- true;
+    Raft.Node.stop (raft t);
+    tracef t "%s: CRASHED" t.id
+  end
+
+let restart t =
+  if t.crashed then begin
+    t.crashed <- false;
+    t.raft <- Some (make_raft t);
+    tracef t "%s: restarted" t.id
+  end

@@ -1,0 +1,36 @@
+(** A logtailer: a Raft witness — a full voter with a replication log
+    but no storage engine (§2.1, Table 1).  In-region logtailers make
+    FlexiRaft's small data quorums durable; when one wins an election
+    (longest log) it immediately transfers leadership to the most
+    caught-up MySQL voter (§2.2). *)
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  id:string ->
+  region:string ->
+  send:(dst:string -> Wire.t -> unit) ->
+  params:Params.t ->
+  initial_config:Raft.Types.config ->
+  trace:Sim.Trace.t ->
+  unit ->
+  t
+
+val id : t -> string
+
+val raft : t -> Raft.Node.t
+
+val log : t -> Binlog.Log_store.t
+
+val is_crashed : t -> bool
+
+(** How many times this logtailer won an interim leadership and handed
+    it off. *)
+val interim_leaderships : t -> int
+
+val handle_message : t -> src:string -> Wire.t -> unit
+
+val crash : t -> unit
+
+val restart : t -> unit

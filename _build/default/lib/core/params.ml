@@ -1,0 +1,51 @@
+(* Tunable costs of the simulated MySQL server, in microseconds.
+
+   These model CPU / storage work that is not network latency: engine
+   prepare, binlog flush (fsync), engine group commit, applier work, and
+   the orchestration steps of promotion/demotion.  Defaults are calibrated
+   so the sysbench experiment of §6.1 lands in the paper's regime
+   (sub-millisecond commits with in-region quorums). *)
+
+type t = {
+  prepare_us : float; (* engine prepare incl. locks + WAL markers *)
+  flush_base_us : float; (* binlog group flush: fixed fsync cost *)
+  flush_per_txn_us : float; (* marginal cost per txn in a flush group *)
+  raft_stamp_us : float; (* MyRaft extra: checksum + compress + OpId (§3.4) *)
+  commit_base_us : float; (* engine group commit: fixed cost *)
+  commit_per_txn_us : float;
+  apply_per_txn_us : float; (* applier executing an RBR payload *)
+  applier_wakeup_us : float; (* applier thread scheduling delay *)
+  (* Promotion orchestration step costs (§3.3) *)
+  rewire_logs_us : float;
+  enable_writes_us : float;
+  publish_discovery_us : float;
+  catchup_check_interval_us : float;
+  (* Demotion orchestration step costs *)
+  abort_in_flight_us : float;
+  disable_writes_us : float;
+  applier_start_us : float;
+  (* Binlog rotation policy *)
+  max_binlog_bytes : int;
+  raft : Raft.Node.params;
+}
+
+let default =
+  {
+    prepare_us = 40.0;
+    flush_base_us = 150.0;
+    flush_per_txn_us = 4.0;
+    raft_stamp_us = 5.0;
+    commit_base_us = 100.0;
+    commit_per_txn_us = 4.0;
+    apply_per_txn_us = 60.0;
+    applier_wakeup_us = 20.0;
+    rewire_logs_us = 15_000.0;
+    enable_writes_us = 5_000.0;
+    publish_discovery_us = 30_000.0;
+    catchup_check_interval_us = 5_000.0;
+    abort_in_flight_us = 10_000.0;
+    disable_writes_us = 3_000.0;
+    applier_start_us = 20_000.0;
+    max_binlog_bytes = 64 * 1024 * 1024;
+    raft = Raft.Node.default_params;
+  }

@@ -1,0 +1,26 @@
+(** Tunable costs of the simulated MySQL server, in microseconds: the
+    CPU/storage work that is not network latency.  Defaults are
+    calibrated so the sysbench experiment of §6.1 lands in the paper's
+    regime (sub-millisecond commits under in-region quorums). *)
+
+type t = {
+  prepare_us : float;  (** engine prepare incl. locks + WAL markers *)
+  flush_base_us : float;  (** binlog group flush: fixed fsync cost *)
+  flush_per_txn_us : float;  (** marginal cost per txn in a flush group *)
+  raft_stamp_us : float;  (** MyRaft extra: checksum + compress + OpId (§3.4) *)
+  commit_base_us : float;  (** engine group commit: fixed cost *)
+  commit_per_txn_us : float;
+  apply_per_txn_us : float;  (** applier executing an RBR payload *)
+  applier_wakeup_us : float;
+  rewire_logs_us : float;  (** §3.3 promotion step costs... *)
+  enable_writes_us : float;
+  publish_discovery_us : float;
+  catchup_check_interval_us : float;
+  abort_in_flight_us : float;  (** ...and demotion step costs *)
+  disable_writes_us : float;
+  applier_start_us : float;
+  max_binlog_bytes : int;  (** rotation budget consulted by the janitor *)
+  raft : Raft.Node.params;
+}
+
+val default : t

@@ -1,0 +1,181 @@
+(* The three-stage commit pipeline (§3.4, §3.5).
+
+   Stage 1 (Flush): transactions queued while the flusher is busy are
+   flushed together — MySQL group commit.  On the primary the flush
+   appends each transaction to the binlog *through Raft*; on a replica it
+   writes the applier's local log.  The stage's [flush] closure performs
+   that work and returns the Raft index the item must wait for.
+
+   Stage 2 (Wait for Raft consensus commit): a flushed group blocks until
+   Raft's commit marker covers its last index.  On the leader the marker
+   advances when the data quorum's acknowledgements arrive; on a follower
+   when the leader's piggybacked marker arrives — the same wait in both
+   cases, preserving the paper's primary/replica symmetry.
+
+   Stage 3 (Engine commit): the group is durably committed to the storage
+   engine and each item's completion callback runs (returning success to
+   the client, releasing row locks).
+
+   Groups move through stages strictly in order, one group at a time per
+   stage, mirroring the per-stage mutexes in MySQL. *)
+
+type item = {
+  label : string;
+  flush : unit -> (int, string) result; (* returns raft index to wait on *)
+  finish : ok:bool -> unit;
+}
+
+type group = { items : (item * int) list; group_max_index : int }
+
+type t = {
+  engine : Sim.Engine.t;
+  params : Params.t;
+  mutable flush_queue : item list; (* reversed: newest first *)
+  mutable flushing : bool;
+  mutable wait_queue : group list; (* reversed *)
+  mutable commit_queue : group list; (* reversed *)
+  mutable committing : bool;
+  mutable commit_watermark : int; (* raft commit index *)
+  mutable aborted : bool;
+  mutable flushed_txns : int;
+  mutable committed_txns : int;
+  mutable groups_formed : int;
+  is_primary_path : bool; (* primaries pay the Raft stamping cost *)
+}
+
+let create ~engine ~params ~is_primary_path =
+  {
+    engine;
+    params;
+    flush_queue = [];
+    flushing = false;
+    wait_queue = [];
+    commit_queue = [];
+    committing = false;
+    commit_watermark = 0;
+    aborted = false;
+    flushed_txns = 0;
+    committed_txns = 0;
+    groups_formed = 0;
+    is_primary_path;
+  }
+
+let committed_txns t = t.committed_txns
+
+let groups_formed t = t.groups_formed
+
+let mean_group_size t =
+  if t.groups_formed = 0 then 0.0
+  else float_of_int t.flushed_txns /. float_of_int t.groups_formed
+
+let rec start_commit_cycle t =
+  if (not t.committing) && t.commit_queue <> [] && not t.aborted then begin
+    t.committing <- true;
+    let groups = List.rev t.commit_queue in
+    t.commit_queue <- [];
+    let group = List.hd groups in
+    t.commit_queue <- List.rev (List.tl groups);
+    let n = List.length group.items in
+    let cost =
+      t.params.Params.commit_base_us
+      +. (t.params.Params.commit_per_txn_us *. float_of_int n)
+    in
+    ignore
+      (Sim.Engine.schedule t.engine ~delay:cost (fun () ->
+           List.iter (fun (item, _) -> item.finish ~ok:true) group.items;
+           t.committed_txns <- t.committed_txns + n;
+           t.committing <- false;
+           start_commit_cycle t))
+  end
+
+(* Move consensus-committed groups from the wait stage to the commit
+   stage, preserving order. *)
+let rec drain_wait t =
+  match List.rev t.wait_queue with
+  | group :: rest when group.group_max_index <= t.commit_watermark ->
+    t.wait_queue <- List.rev rest;
+    t.commit_queue <- group :: t.commit_queue;
+    drain_wait t
+  | _ -> start_commit_cycle t
+
+let notify_commit_index t index =
+  if index > t.commit_watermark then begin
+    t.commit_watermark <- index;
+    drain_wait t
+  end
+
+let rec start_flush_cycle t =
+  if (not t.flushing) && t.flush_queue <> [] && not t.aborted then begin
+    t.flushing <- true;
+    let batch = List.rev t.flush_queue in
+    t.flush_queue <- [];
+    let n = List.length batch in
+    let stamp = if t.is_primary_path then t.params.Params.raft_stamp_us else 0.0 in
+    let cost =
+      t.params.Params.flush_base_us
+      +. ((t.params.Params.flush_per_txn_us +. stamp) *. float_of_int n)
+    in
+    ignore
+      (Sim.Engine.schedule t.engine ~delay:cost (fun () ->
+           if t.aborted then List.iter (fun item -> item.finish ~ok:false) batch
+           else begin
+             let flushed =
+               List.filter_map
+                 (fun item ->
+                   match item.flush () with
+                   | Ok index -> Some (item, index)
+                   | Error _ ->
+                     item.finish ~ok:false;
+                     None)
+                 batch
+             in
+             if flushed <> [] then begin
+               let group_max_index =
+                 List.fold_left (fun acc (_, i) -> max acc i) 0 flushed
+               in
+               t.flushed_txns <- t.flushed_txns + List.length flushed;
+               t.groups_formed <- t.groups_formed + 1;
+               t.wait_queue <- { items = flushed; group_max_index } :: t.wait_queue;
+               drain_wait t
+             end;
+             t.flushing <- false;
+             start_flush_cycle t
+           end))
+  end
+
+let submit t item =
+  if t.aborted then item.finish ~ok:false
+  else begin
+    t.flush_queue <- item :: t.flush_queue;
+    start_flush_cycle t
+  end
+
+(* Abort everything in flight: demotion step 1 (§3.3) — the prepared
+   transactions behind these items are rolled back by the caller. *)
+let abort_all t =
+  t.aborted <- true;
+  let pending =
+    List.rev_append t.flush_queue
+      (List.concat_map
+         (fun g -> List.map fst g.items)
+         (List.rev_append t.wait_queue (List.rev t.commit_queue)))
+  in
+  t.flush_queue <- [];
+  t.wait_queue <- [];
+  t.commit_queue <- [];
+  List.iter (fun item -> item.finish ~ok:false) pending;
+  List.length pending
+
+(* Re-arm after a role change (the pipeline object survives demote +
+   promote cycles). *)
+let reset t =
+  t.aborted <- false;
+  t.flushing <- false;
+  t.committing <- false;
+  t.commit_watermark <- 0
+
+let in_flight t =
+  List.length t.flush_queue
+  + List.fold_left (fun acc g -> acc + List.length g.items) 0 t.wait_queue
+  + List.fold_left (fun acc g -> acc + List.length g.items) 0 t.commit_queue
+  + (if t.flushing then 1 else 0)

@@ -1,0 +1,39 @@
+(** The three-stage commit pipeline (§3.4, §3.5): group flush, wait for
+    Raft consensus commit, engine group commit.  One implementation
+    serves both the primary (flush = binlog append through Raft) and
+    replicas (the applier feeds it), preserving the paper's symmetry. *)
+
+type item = {
+  label : string;
+  flush : unit -> (int, string) result;
+      (** perform the flush work; returns the Raft index to wait on *)
+  finish : ok:bool -> unit;
+      (** runs at engine commit ([ok = true]) or on abort/failure *)
+}
+
+type t
+
+(** [is_primary_path] selects whether groups pay the MyRaft stamping
+    cost (checksum + compression + OpId, §3.4). *)
+val create : engine:Sim.Engine.t -> params:Params.t -> is_primary_path:bool -> t
+
+val submit : t -> item -> unit
+
+(** Raft's commit marker advanced: release covered groups, in order. *)
+val notify_commit_index : t -> int -> unit
+
+(** Demotion step 1 (§3.3): fail everything in flight; returns the count.
+    Until {!reset}, new submissions fail immediately. *)
+val abort_all : t -> int
+
+(** Re-arm after a role change. *)
+val reset : t -> unit
+
+val in_flight : t -> int
+
+val committed_txns : t -> int
+
+val groups_formed : t -> int
+
+(** Average flush group size: > 1 under load means group commit works. *)
+val mean_group_size : t -> float

@@ -1,0 +1,78 @@
+(* Table 1: roles in MyRaft compared to the prior setup. *)
+
+type row = {
+  myraft_role : string;
+  entity : string;
+  database_role : string;
+  in_region_logtailers : string;
+  prior_setup_role : string;
+  has_database : string;
+  serves_reads : string;
+  serves_writes : string;
+}
+
+let rows =
+  [
+    {
+      myraft_role = "Leader";
+      entity = "MySQL";
+      database_role = "Primary";
+      in_region_logtailers = "Yes";
+      prior_setup_role = "Primary";
+      has_database = "Yes";
+      serves_reads = "Yes";
+      serves_writes = "Yes";
+    };
+    {
+      myraft_role = "Follower";
+      entity = "MySQL";
+      database_role = "Failover replica";
+      in_region_logtailers = "Yes";
+      prior_setup_role = "Replica";
+      has_database = "Yes";
+      serves_reads = "Yes";
+      serves_writes = "No";
+    };
+    {
+      myraft_role = "Learner";
+      entity = "MySQL";
+      database_role = "Non-failover replica";
+      in_region_logtailers = "No";
+      prior_setup_role = "Replica";
+      has_database = "Yes";
+      serves_reads = "Yes";
+      serves_writes = "No";
+    };
+    {
+      myraft_role = "Witness";
+      entity = "Logtailer";
+      database_role = "N/A";
+      in_region_logtailers = "Yes";
+      prior_setup_role = "Semi-Sync Acker";
+      has_database = "No";
+      serves_reads = "No";
+      serves_writes = "No";
+    };
+  ]
+
+(* The role a member of a running ring maps to in Table 1's terms. *)
+let classify (member : Raft.Types.member) ~is_leader =
+  match (member.Raft.Types.kind, member.Raft.Types.voter, is_leader) with
+  | Raft.Types.Logtailer, _, _ -> "Witness"
+  | Raft.Types.Mysql_server, true, true -> "Leader"
+  | Raft.Types.Mysql_server, true, false -> "Follower"
+  | Raft.Types.Mysql_server, false, _ -> "Learner"
+
+let render () =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-9s %-10s %-20s %-11s %-16s %-8s %-5s %-6s\n" "MyRaft" "Entity"
+       "Database Role" "w/InRegLTs" "Prior Setup" "Database" "Read" "Write");
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-9s %-10s %-20s %-11s %-16s %-8s %-5s %-6s\n" r.myraft_role
+           r.entity r.database_role r.in_region_logtailers r.prior_setup_role
+           r.has_database r.serves_reads r.serves_writes))
+    rows;
+  Buffer.contents buf

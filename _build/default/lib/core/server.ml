@@ -1,0 +1,552 @@
+(* A MyRaft MySQL server: storage engine + replication log + commit
+   pipeline + applier, integrated with Raft through the mysql_raft_repl
+   plugin (§3).
+
+   The plugin surface is the [callbacks] record handed to the Raft node:
+   Raft orchestrates MySQL's role through it (promotion/demotion of
+   §3.3), advances the pipeline's consensus-commit watermark, signals the
+   applier about new relay-log entries, and reports truncations so GTID
+   metadata can be cleaned up.  Raft reads and writes the server's
+   binlog/relay-log through the log abstraction ([Raft.Node.log_ops]
+   specialised to [Binlog.Log_store]).
+
+   Durable state (survives crash/restart): storage engine contents, log
+   files, Raft term/vote.  Everything else is rebuilt by [restart]. *)
+
+type role = Primary | Replica
+
+let role_to_string = function Primary -> "primary" | Replica -> "replica"
+
+type pending_retry = { mutable attempts : int }
+
+type t = {
+  id : string;
+  region : string;
+  replicaset : string;
+  engine : Sim.Engine.t;
+  trace : Sim.Trace.t;
+  params : Params.t;
+  send : dst:string -> Wire.t -> unit;
+  discovery : Service_discovery.t;
+  initial_config : Raft.Types.config;
+  (* durable across crashes *)
+  storage : Storage.Engine.t;
+  log : Binlog.Log_store.t;
+  durable : Raft.Node.durable;
+  (* volatile *)
+  mutable raft : Raft.Node.t option;
+  mutable pipeline : Pipeline.t;
+  mutable applier : Applier.t option;
+  mutable role : role;
+  mutable writes_enabled : bool;
+  mutable crashed : bool;
+  mutable next_gno : int;
+  mutable next_xid : int64;
+  mutable orchestration_epoch : int; (* invalidates in-flight orchestrations *)
+  rng : Sim.Rng.t;
+  (* counters *)
+  mutable promotions : int;
+  mutable demotions : int;
+  mutable writes_committed : int;
+  mutable writes_rejected : int;
+  mutable truncated_gtids : Binlog.Gtid.t list;
+}
+
+let id t = t.id
+
+let raft t = match t.raft with Some r -> r | None -> failwith (t.id ^ ": raft not wired")
+
+let applier t =
+  match t.applier with Some a -> a | None -> failwith (t.id ^ ": applier not wired")
+
+let role t = t.role
+
+let writes_enabled t = t.writes_enabled
+
+let is_crashed t = t.crashed
+
+let storage t = t.storage
+
+let log t = t.log
+
+let pipeline t = t.pipeline
+
+let promotions t = t.promotions
+
+let demotions t = t.demotions
+
+let writes_committed t = t.writes_committed
+
+let writes_rejected t = t.writes_rejected
+
+let truncated_gtids t = List.rev t.truncated_gtids
+
+let gtid_executed t =
+  match t.role with
+  | Primary -> Binlog.Log_store.gtid_set t.log
+  | Replica -> Storage.Engine.gtid_executed t.storage
+
+let tracef t fmt = Sim.Trace.record t.trace ~tag:"mysql" fmt
+
+(* Orchestration steps run over a live fleet; their durations vary run to
+   run (I/O, scheduling, service-discovery load).  Scale a nominal step
+   cost by a lognormal factor with median 1. *)
+let jittered t nominal = nominal *. Sim.Rng.lognormal t.rng ~mu:0.0 ~sigma:0.35
+
+(* ----- applier wiring (§3.5) ----- *)
+
+(* Execute one relay-log entry: prepare the transaction in the engine and
+   push it into the commit pipeline, where it awaits the consensus-commit
+   marker before engine commit. *)
+let applier_process t entry ~on_done =
+  match Binlog.Entry.payload entry with
+  | Binlog.Entry.Transaction { gtid; events } ->
+    if Storage.Engine.has_committed t.storage gtid then on_done ~ok:true (* idempotent replay *)
+    else begin
+      let writes =
+        List.filter_map
+          (fun ev ->
+            match Binlog.Event.body ev with
+            | Binlog.Event.Write_rows { table; ops } ->
+              Some (List.map (fun op -> (table, op)) ops)
+            | _ -> None)
+          events
+        |> List.concat
+      in
+      let rec try_prepare (retry : pending_retry) =
+        let retry_later () =
+          retry.attempts <- retry.attempts + 1;
+          if retry.attempts > 100_000 then on_done ~ok:false
+          else
+            ignore
+              (Sim.Engine.schedule t.engine ~delay:(50.0 *. Sim.Engine.us) (fun () ->
+                   try_prepare retry))
+        in
+        if Storage.Engine.has_committed t.storage gtid then on_done ~ok:true
+        else if Storage.Engine.is_prepared t.storage gtid then
+          (* An in-flight copy of the same transaction (e.g. submitted by
+             the client path before a role change) is already in the
+             pipeline; wait for it to settle. *)
+          retry_later ()
+        else
+          match Storage.Engine.prepare t.storage ~gtid ~writes with
+          | () ->
+            let index = Binlog.Entry.index entry in
+            Pipeline.submit t.pipeline
+              {
+                Pipeline.label = Binlog.Gtid.to_string gtid;
+                flush = (fun () -> Ok index);
+                finish =
+                  (fun ~ok ->
+                    (* The prepared copy may have been rolled back by a log
+                       truncation while this item waited for consensus; a
+                       truncated transaction must not commit. *)
+                    if ok && Storage.Engine.is_prepared t.storage gtid then begin
+                      Storage.Engine.commit_prepared t.storage ~gtid
+                        ~opid:(Binlog.Entry.opid entry);
+                      on_done ~ok:true
+                    end
+                    else begin
+                      Storage.Engine.rollback_prepared t.storage ~gtid;
+                      on_done ~ok:false
+                    end);
+              }
+          | exception Storage.Engine.Lock_conflict _ ->
+            (* A row lock is held by an in-pipeline transaction; it will
+               be released at its engine commit.  Retry shortly. *)
+            retry_later ()
+      in
+      try_prepare { attempts = 0 }
+    end
+  | Binlog.Entry.Rotate_marker _ ->
+    (* Replicated rotate event (§A.1): close the current relay-log file
+       once the event is consensus committed. *)
+    Pipeline.submit t.pipeline
+      {
+        Pipeline.label = "rotate";
+        flush = (fun () -> Ok (Binlog.Entry.index entry));
+        finish =
+          (fun ~ok ->
+            if ok then Binlog.Log_store.rotate t.log;
+            on_done ~ok);
+      }
+  | Binlog.Entry.Noop | Binlog.Entry.Config_change _ ->
+    (* Nothing to execute, but order through the pipeline so
+       applied_index remains a committed-prefix watermark. *)
+    Pipeline.submit t.pipeline
+      {
+        Pipeline.label = "noop";
+        flush = (fun () -> Ok (Binlog.Entry.index entry));
+        finish = (fun ~ok -> on_done ~ok);
+      }
+
+(* ----- orchestration: replica -> primary (§3.3) ----- *)
+
+let rec promotion_catchup t ~epoch ~noop_index =
+  if t.orchestration_epoch = epoch && not t.crashed then begin
+    let r = raft t in
+    if not (Raft.Node.is_leader r) then tracef t "%s: promotion cancelled (lost leadership)" t.id
+    else if
+      Raft.Node.commit_index r >= noop_index
+      && Applier.applied_index (applier t) >= noop_index
+    then promotion_rewire t ~epoch
+    else
+      ignore
+        (Sim.Engine.schedule t.engine ~delay:t.params.Params.catchup_check_interval_us
+           (fun () -> promotion_catchup t ~epoch ~noop_index))
+  end
+
+and promotion_rewire t ~epoch =
+  (* Step 3: stop the applier and rewire relay-log -> binlog. *)
+  Applier.stop (applier t);
+  ignore
+    (Sim.Engine.schedule t.engine ~delay:(jittered t t.params.Params.rewire_logs_us) (fun () ->
+         if t.orchestration_epoch = epoch && not t.crashed && Raft.Node.is_leader (raft t)
+         then begin
+           Binlog.Log_store.switch_mode t.log Binlog.Log_store.Binlog;
+           ignore
+             (Sim.Engine.schedule t.engine ~delay:(jittered t t.params.Params.enable_writes_us)
+                (fun () ->
+                  if
+                    t.orchestration_epoch = epoch && not t.crashed
+                    && Raft.Node.is_leader (raft t)
+                  then begin
+                    (* Step 4: allow client writes. *)
+                    t.role <- Primary;
+                    t.writes_enabled <- true;
+                    t.next_gno <-
+                      Binlog.Gtid_set.max_gno (Binlog.Log_store.gtid_set t.log)
+                        ~source:t.id
+                      + 1;
+                    t.promotions <- t.promotions + 1;
+                    tracef t "%s: promoted to primary (term %d)" t.id
+                      (Raft.Node.current_term (raft t));
+                    (* Step 5: publish the new role to service discovery. *)
+                    Service_discovery.publish_primary t.discovery
+                      ~replicaset:t.replicaset ~primary:t.id
+                      ~delay:(jittered t t.params.Params.publish_discovery_us)
+                  end))
+         end))
+
+let begin_promotion t ~noop_index =
+  t.orchestration_epoch <- t.orchestration_epoch + 1;
+  let epoch = t.orchestration_epoch in
+  tracef t "%s: promotion orchestration started (noop %d)" t.id noop_index;
+  (* Step 1 is the no-op Raft already appended.  Step 2: catch the applier
+     up to it.  The no-op (and possibly a relay-log backlog) was appended
+     locally by Raft itself, so the applier is re-pointed at the engine's
+     recovery cursor and fed the whole local log suffix — which includes
+     the no-op. *)
+  Applier.stop (applier t);
+  let from_index = Binlog.Opid.index (Storage.Engine.last_committed_opid t.storage) + 1 in
+  let backlog = Binlog.Log_store.entries_from t.log ~from_index ~max_count:max_int in
+  Applier.start (applier t) ~from_index ~backlog;
+  promotion_catchup t ~epoch ~noop_index
+
+(* ----- orchestration: primary -> replica (§3.3) ----- *)
+
+let start_applier_from_recovery_point t =
+  (* Step 5: position the applier from the engine's recovery protocol —
+     the last transaction committed in engine determines the cursor. *)
+  let from_index = Binlog.Opid.index (Storage.Engine.last_committed_opid t.storage) + 1 in
+  let backlog = Binlog.Log_store.entries_from t.log ~from_index ~max_count:max_int in
+  Applier.start (applier t) ~from_index ~backlog
+
+let begin_demotion t =
+  t.orchestration_epoch <- t.orchestration_epoch + 1;
+  let epoch = t.orchestration_epoch in
+  tracef t "%s: demotion orchestration started" t.id;
+  (* Step 1: abort in-flight transactions (waiting for consensus): they
+     are prepared in the engine, so roll them back online. *)
+  let aborted_items = Pipeline.abort_all t.pipeline in
+  let pending = Storage.Engine.prepared_gtids t.storage in
+  List.iter (fun gtid -> Storage.Engine.rollback_prepared t.storage ~gtid) pending;
+  (* Step 2: disable client writes. *)
+  t.writes_enabled <- false;
+  if t.role = Primary then t.demotions <- t.demotions + 1;
+  t.role <- Replica;
+  tracef t "%s: demoted (aborted %d in-flight, rolled back %d prepared)" t.id
+    aborted_items (List.length pending);
+  ignore
+    (Sim.Engine.schedule t.engine
+       ~delay:(jittered t (t.params.Params.abort_in_flight_us +. t.params.Params.disable_writes_us))
+       (fun () ->
+         if t.orchestration_epoch = epoch && not t.crashed then begin
+           (* Step 3: rewire binlog -> relay-log. *)
+           Binlog.Log_store.switch_mode t.log Binlog.Log_store.Relay;
+           ignore
+             (Sim.Engine.schedule t.engine
+                ~delay:(jittered t (t.params.Params.rewire_logs_us +. t.params.Params.applier_start_us))
+                (fun () ->
+                  if t.orchestration_epoch = epoch && not t.crashed then begin
+                    Pipeline.reset t.pipeline;
+                    Pipeline.notify_commit_index t.pipeline
+                      (Raft.Node.commit_index (raft t));
+                    start_applier_from_recovery_point t
+                  end))
+         end))
+
+(* ----- raft wiring (the mysql_raft_repl plugin, §3.1) ----- *)
+
+let make_callbacks t =
+  let cb = Raft.Node.default_callbacks () in
+  cb.Raft.Node.on_leader_start <- (fun ~noop_index -> begin_promotion t ~noop_index);
+  cb.Raft.Node.on_step_down <- (fun () -> begin_demotion t);
+  cb.Raft.Node.on_commit_advance <-
+    (fun ~commit_index -> Pipeline.notify_commit_index t.pipeline commit_index);
+  cb.Raft.Node.on_entries_appended <-
+    (fun entries ->
+      if t.role = Replica then Applier.signal (applier t) entries);
+  cb.Raft.Node.on_truncated <-
+    (fun removed ->
+      (* §3.3 demotion step 4: GTIDs of truncated transactions are removed
+         from all GTID metadata; prepared copies are rolled back. *)
+      let from_index =
+        List.fold_left (fun acc e -> min acc (Binlog.Entry.index e)) max_int removed
+      in
+      List.iter
+        (fun e ->
+          match Binlog.Entry.gtid e with
+          | Some gtid ->
+            Storage.Engine.rollback_prepared t.storage ~gtid;
+            t.truncated_gtids <- gtid :: t.truncated_gtids
+          | None -> ())
+        removed;
+      if t.applier <> None then Applier.handle_truncation (applier t) ~from_index;
+      tracef t "%s: truncated %d entries from index %d" t.id (List.length removed)
+        from_index);
+  cb.Raft.Node.on_quiesce <-
+    (fun () ->
+      tracef t "%s: quiesced for leadership transfer" t.id;
+      t.writes_enabled <- false);
+  cb.Raft.Node.on_transfer_aborted <-
+    (fun ~reason ->
+      tracef t "%s: transfer aborted (%s); re-enabling writes" t.id reason;
+      if t.role = Primary && Raft.Node.is_leader (raft t) then t.writes_enabled <- true);
+  cb
+
+let make_raft t =
+  Raft.Node.create ~engine:t.engine ~id:t.id ~region:t.region
+    ~send:(fun ~dst msg -> t.send ~dst (Wire.Raft_msg msg))
+    ~log:(Raft.Node.log_ops_of_store t.log)
+    ~callbacks:(make_callbacks t) ~params:t.params.Params.raft
+    ~initial_config:t.initial_config ~durable:t.durable ~trace:t.trace ()
+
+(* ----- client write path (§3.4) ----- *)
+
+let reject t ~reason ~reply =
+  t.writes_rejected <- t.writes_rejected + 1;
+  reply (Wire.Rejected reason)
+
+let submit_write t ~table ~ops ~reply =
+  if t.crashed then () (* no response: the client times out *)
+  else if t.role <> Primary || not t.writes_enabled then
+    reject t ~reason:"server is read-only" ~reply
+  else if not (Raft.Node.is_leader (raft t)) then
+    reject t ~reason:"not the raft leader" ~reply
+  else begin
+    (* Prepare in the engine on the client connection's thread. *)
+    ignore
+      (Sim.Engine.schedule t.engine ~delay:t.params.Params.prepare_us (fun () ->
+           if t.crashed || t.role <> Primary || not t.writes_enabled then
+             reject t ~reason:"demoted during prepare" ~reply
+           else begin
+             let gtid = Binlog.Gtid.make ~source:t.id ~gno:t.next_gno in
+             t.next_gno <- t.next_gno + 1;
+             let writes = List.map (fun op -> (table, op)) ops in
+             match Storage.Engine.prepare t.storage ~gtid ~writes with
+             | exception Storage.Engine.Lock_conflict _ ->
+               reject t ~reason:"lock wait conflict" ~reply
+             | () ->
+               let xid = t.next_xid in
+               t.next_xid <- Int64.add t.next_xid 1L;
+               let events =
+                 [
+                   Binlog.Event.make (Binlog.Event.Gtid_event gtid);
+                   Binlog.Event.make (Binlog.Event.Table_map { table });
+                   Binlog.Event.make (Binlog.Event.Write_rows { table; ops });
+                   Binlog.Event.make (Binlog.Event.Xid { xid });
+                 ]
+               in
+               let payload = Binlog.Entry.Transaction { gtid; events } in
+               let opid = ref Binlog.Opid.zero in
+               Pipeline.submit t.pipeline
+                 {
+                   Pipeline.label = Binlog.Gtid.to_string gtid;
+                   flush =
+                     (fun () ->
+                       match Raft.Node.client_append (raft t) payload with
+                       | Ok assigned ->
+                         opid := assigned;
+                         Ok (Binlog.Opid.index assigned)
+                       | Error e -> Error e);
+                   finish =
+                     (fun ~ok ->
+                       if ok && Storage.Engine.is_prepared t.storage gtid then begin
+                         Storage.Engine.commit_prepared t.storage ~gtid ~opid:!opid;
+                         t.writes_committed <- t.writes_committed + 1;
+                         reply Wire.Committed
+                       end
+                       else begin
+                         Storage.Engine.rollback_prepared t.storage ~gtid;
+                         reject t ~reason:"aborted (role change)" ~reply
+                       end);
+                 }
+           end))
+  end
+
+(* ----- read path ----- *)
+
+(* Reads are served from the local engine on any MySQL role (Table 1:
+   leader, follower and learner all serve reads; replicas may lag). *)
+let read t ~table ~key =
+  if t.crashed then Error "server is down"
+  else Ok (Storage.Engine.get t.storage ~table ~key)
+
+(* WAIT_FOR_EXECUTED_GTID_SET: block (poll) until the transaction is in
+   the local engine — the MySQL primitive for read-your-writes on a
+   replica.  [k] receives whether the GTID arrived before [timeout]. *)
+let wait_for_executed_gtid t gtid ~timeout ~k =
+  let deadline = Sim.Engine.now t.engine +. timeout in
+  let rec poll () =
+    if t.crashed then k false
+    else if Storage.Engine.has_committed t.storage gtid then k true
+    else if Sim.Engine.now t.engine >= deadline then k false
+    else ignore (Sim.Engine.schedule t.engine ~delay:(500.0 *. Sim.Engine.us) poll)
+  in
+  poll ()
+
+(* ----- log maintenance (§A.1) ----- *)
+
+(* FLUSH BINARY LOGS on the primary: the rotate event goes through the
+   commit pipeline and Raft; the file switch happens once it is
+   consensus committed. *)
+let flush_binary_logs t =
+  if t.role <> Primary || not (Raft.Node.is_leader (raft t)) then
+    Error "FLUSH BINARY LOGS: not the primary"
+  else begin
+    Pipeline.submit t.pipeline
+      {
+        Pipeline.label = "rotate";
+        flush =
+          (fun () ->
+            match
+              Raft.Node.client_append (raft t)
+                (Binlog.Entry.Rotate_marker { next_file = "next" })
+            with
+            | Ok opid -> Ok (Binlog.Opid.index opid)
+            | Error e -> Error e);
+        finish = (fun ~ok -> if ok then Binlog.Log_store.rotate t.log);
+      };
+    Ok ()
+  end
+
+(* PURGE BINARY LOGS: MySQL only purges by consulting Raft's
+   region-watermark heuristic (§A.1), so severely lagging out-of-region
+   members can still request old files.  Whole closed files whose last
+   entry is at or below the safe index are dropped; returns the number of
+   files purged. *)
+let purge_binary_logs t =
+  let safe = Raft.Node.safe_purge_index (raft t) in
+  let rec boundary purged = function
+    | (name, first, last, closed) :: rest ->
+      if closed && first > 0 && last <= safe && rest <> [] then boundary (purged + 1) rest
+      else (purged, Some name)
+    | [] -> (purged, None)
+  in
+  match boundary 0 (Binlog.Log_store.file_ranges t.log) with
+  | 0, _ | _, None -> 0
+  | purged, Some keep_from ->
+    Binlog.Log_store.purge_to t.log ~file:keep_from;
+    tracef t "%s: purged %d binlog files (safe index %d)" t.id purged safe;
+    purged
+
+(* ----- crash / restart ----- *)
+
+let crash t =
+  if not t.crashed then begin
+    t.crashed <- true;
+    t.orchestration_epoch <- t.orchestration_epoch + 1;
+    Raft.Node.stop (raft t);
+    Applier.stop (applier t);
+    ignore (Pipeline.abort_all t.pipeline);
+    (* In-memory state is gone; prepared transactions will be rolled back
+       by recovery at restart (§A.2). *)
+    t.writes_enabled <- false;
+    t.role <- Replica;
+    tracef t "%s: CRASHED" t.id
+  end
+
+let restart t =
+  if t.crashed then begin
+    t.crashed <- false;
+    t.orchestration_epoch <- t.orchestration_epoch + 1;
+    let rolled_back = Storage.Engine.crash_recover t.storage in
+    t.pipeline <- Pipeline.create ~engine:t.engine ~params:t.params ~is_primary_path:true;
+    Binlog.Log_store.switch_mode t.log Binlog.Log_store.Relay;
+    t.raft <- Some (make_raft t);
+    Pipeline.notify_commit_index t.pipeline (Raft.Node.commit_index (raft t));
+    start_applier_from_recovery_point t;
+    tracef t "%s: restarted (recovery rolled back %d prepared txns)" t.id rolled_back
+  end
+
+(* ----- message handling ----- *)
+
+let handle_message t ~src msg =
+  if not t.crashed then
+    match msg with
+    | Wire.Raft_msg m -> Raft.Node.handle_message (raft t) ~src m
+    | Wire.Write_request { write_id; table; ops; client } ->
+      submit_write t ~table ~ops ~reply:(fun outcome ->
+          t.send ~dst:client (Wire.Write_reply { write_id; outcome }))
+    | Wire.Write_reply _ -> () (* servers don't issue writes *)
+
+(* ----- construction ----- *)
+
+let create ~engine ~id ~region ~replicaset ~send ~discovery ~params ~initial_config
+    ~trace () =
+  let t =
+    {
+      id;
+      region;
+      replicaset;
+      engine;
+      trace;
+      params;
+      send;
+      discovery;
+      initial_config;
+      storage = Storage.Engine.create ();
+      log = Binlog.Log_store.create ~mode:Binlog.Log_store.Relay ();
+      durable = Raft.Node.fresh_durable ();
+      raft = None;
+      pipeline = Pipeline.create ~engine ~params ~is_primary_path:true;
+      applier = None;
+      role = Replica;
+      writes_enabled = false;
+      crashed = false;
+      next_gno = 1;
+      next_xid = 1L;
+      orchestration_epoch = 0;
+      rng = Sim.Rng.split (Sim.Engine.rng engine);
+      promotions = 0;
+      demotions = 0;
+      writes_committed = 0;
+      writes_rejected = 0;
+      truncated_gtids = [];
+    }
+  in
+  t.applier <-
+    Some
+      (Applier.create ~engine ~params ~process:(fun entry ~on_done ->
+           applier_process t entry ~on_done));
+  t.raft <- Some (make_raft t);
+  start_applier_from_recovery_point t;
+  t
+
+let describe t =
+  Printf.sprintf "%s [%s%s] %s | engine: %d txns | %s" t.id (role_to_string t.role)
+    (if t.writes_enabled then ",rw" else ",ro")
+    (Raft.Node.describe (raft t))
+    (Storage.Engine.committed_count t.storage)
+    (Binlog.Log_store.describe t.log)

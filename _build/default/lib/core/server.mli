@@ -1,0 +1,103 @@
+(** A MyRaft MySQL server: storage engine + replication log + commit
+    pipeline + applier, integrated with Raft through the mysql_raft_repl
+    plugin surface (§3).
+
+    Raft orchestrates the MySQL role through callbacks (promotion and
+    demotion step sequences of §3.3) and reads/writes the binlog through
+    the log abstraction.  Durable across crashes: engine contents, log
+    files, Raft term/vote; everything else is rebuilt by {!restart}. *)
+
+type role = Primary | Replica
+
+val role_to_string : role -> string
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  id:string ->
+  region:string ->
+  replicaset:string ->
+  send:(dst:string -> Wire.t -> unit) ->
+  discovery:Service_discovery.t ->
+  params:Params.t ->
+  initial_config:Raft.Types.config ->
+  trace:Sim.Trace.t ->
+  unit ->
+  t
+
+val id : t -> string
+
+val raft : t -> Raft.Node.t
+
+val applier : t -> Applier.t
+
+val role : t -> role
+
+val writes_enabled : t -> bool
+
+val is_crashed : t -> bool
+
+val storage : t -> Storage.Engine.t
+
+val log : t -> Binlog.Log_store.t
+
+val pipeline : t -> Pipeline.t
+
+(** Executed GTIDs: the binlog set on a primary, the engine set on a
+    replica. *)
+val gtid_executed : t -> Binlog.Gtid_set.t
+
+(** {2 Client write path (§3.4)} *)
+
+(** Prepare in the engine, assign a GTID, run the transaction through
+    the three-stage pipeline; [reply] fires with the outcome. *)
+val submit_write :
+  t -> table:string -> ops:Binlog.Event.row_op list -> reply:(Wire.write_outcome -> unit) -> unit
+
+(** {2 Read path} *)
+
+(** Local engine read, served by any MySQL role (Table 1); replicas may
+    be stale. *)
+val read : t -> table:string -> key:string -> (string option, string) result
+
+(** WAIT_FOR_EXECUTED_GTID_SET: poll until [gtid] is engine-committed
+    locally (read-your-writes on a replica); [k] receives whether it
+    arrived before [timeout]. *)
+val wait_for_executed_gtid : t -> Binlog.Gtid.t -> timeout:float -> k:(bool -> unit) -> unit
+
+(** {2 Log maintenance (§A.1)} *)
+
+(** FLUSH BINARY LOGS: replicate a rotate event through Raft, switch
+    files once consensus committed.  Primary only. *)
+val flush_binary_logs : t -> (unit, string) result
+
+(** PURGE BINARY LOGS, gated on Raft's region watermarks; returns how
+    many files were purged. *)
+val purge_binary_logs : t -> int
+
+(** {2 Lifecycle} *)
+
+(** Process/host crash: volatile state is lost; the engine rolls back
+    prepared transactions at {!restart} (§A.2). *)
+val crash : t -> unit
+
+val restart : t -> unit
+
+(** Network delivery entry point. *)
+val handle_message : t -> src:string -> Wire.t -> unit
+
+(** {2 Counters} *)
+
+val promotions : t -> int
+
+val demotions : t -> int
+
+val writes_committed : t -> int
+
+val writes_rejected : t -> int
+
+(** GTIDs removed from metadata by log truncations (§3.3 step 4). *)
+val truncated_gtids : t -> Binlog.Gtid.t list
+
+val describe : t -> string

@@ -1,0 +1,25 @@
+(* Service discovery: the registry clients consult to find the primary of
+   a replicaset.  Publication takes (virtual) time — the last promotion
+   orchestration step (§3.3 step 5) — so there is a window where clients
+   still address the old primary; that window is part of what the
+   downtime evaluation measures. *)
+
+type t = {
+  engine : Sim.Engine.t;
+  primaries : (string, Sim.Topology.node_id) Hashtbl.t; (* replicaset -> primary *)
+  mutable publications : (float * string * Sim.Topology.node_id) list;
+}
+
+let create engine = { engine; primaries = Hashtbl.create 4; publications = [] }
+
+(* Record the role change after [delay] (the publish latency). *)
+let publish_primary t ~replicaset ~primary ~delay =
+  ignore
+    (Sim.Engine.schedule t.engine ~delay (fun () ->
+         Hashtbl.replace t.primaries replicaset primary;
+         t.publications <-
+           (Sim.Engine.now t.engine, replicaset, primary) :: t.publications))
+
+let primary_of t ~replicaset = Hashtbl.find_opt t.primaries replicaset
+
+let publications t = List.rev t.publications

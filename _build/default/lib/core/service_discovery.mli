@@ -1,0 +1,16 @@
+(** Service discovery: the registry clients consult to find a
+    replicaset's primary.  Publication takes virtual time (§3.3 step 5),
+    so there is a client-visible window after every role change — part
+    of what the downtime evaluation measures. *)
+
+type t
+
+val create : Sim.Engine.t -> t
+
+(** Record the role change after [delay] (the publish latency). *)
+val publish_primary : t -> replicaset:string -> primary:Sim.Topology.node_id -> delay:float -> unit
+
+val primary_of : t -> replicaset:string -> Sim.Topology.node_id option
+
+(** (time, replicaset, primary) publication history, oldest first. *)
+val publications : t -> (float * string * Sim.Topology.node_id) list

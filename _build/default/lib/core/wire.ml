@@ -1,0 +1,26 @@
+(* Everything that travels on a MyRaft replicaset's network: Raft RPCs
+   between ring members plus client write traffic to the primary. *)
+
+type write_request = {
+  write_id : int;
+  table : string;
+  ops : Binlog.Event.row_op list;
+  client : Sim.Topology.node_id;
+}
+
+type write_outcome =
+  | Committed
+  | Rejected of string (* not primary / read-only / lock conflict *)
+
+type t =
+  | Raft_msg of Raft.Message.t
+  | Write_request of write_request
+  | Write_reply of { write_id : int; outcome : write_outcome }
+
+(* Wire size in bytes for bandwidth accounting. *)
+let size = function
+  | Raft_msg m -> Raft.Message.size m
+  | Write_request { ops; table; _ } ->
+    48 + String.length table
+    + List.fold_left (fun acc op -> acc + Binlog.Event.row_op_size op) 0 ops
+  | Write_reply _ -> 32

@@ -1,0 +1,1 @@
+lib/downstream/backup.ml: Binlog Int32 List Myraft Printf Raft Storage

@@ -1,0 +1,1 @@
+lib/downstream/backup.mli: Binlog Myraft

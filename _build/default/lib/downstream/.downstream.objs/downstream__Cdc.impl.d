@@ -1,0 +1,1 @@
+lib/downstream/cdc.ml: Binlog List Myraft Printf Raft Sim

@@ -1,0 +1,1 @@
+lib/downstream/cdc.mli: Binlog Myraft

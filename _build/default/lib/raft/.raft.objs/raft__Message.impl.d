@@ -1,0 +1,1 @@
+lib/raft/message.ml: Binlog List Printf String Types

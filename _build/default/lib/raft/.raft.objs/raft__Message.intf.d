@@ -1,0 +1,1 @@
+lib/raft/message.mli: Binlog Types

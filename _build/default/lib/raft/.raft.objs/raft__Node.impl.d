@@ -1,0 +1,1 @@
+lib/raft/node.ml: Binlog Hashtbl List Log_cache Message Option Printf Quorum Sim Types

@@ -1,0 +1,1 @@
+lib/raft/node.mli: Binlog Log_cache Message Quorum Sim Types

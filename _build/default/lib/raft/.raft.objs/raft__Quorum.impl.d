@@ -1,0 +1,1 @@
+lib/raft/quorum.ml: List Types

@@ -1,0 +1,1 @@
+lib/raft/types.ml: Hashtbl List Marshal Option Printf String

@@ -1,0 +1,94 @@
+(* Leader-side in-memory cache of recent log entries (§3.1, §3.4).
+
+   The leader compresses and caches each transaction it appends so that
+   replication to (mostly caught-up) followers never touches the log
+   files.  When a follower has fallen far enough behind that the entries
+   it needs have been evicted, the leader falls back to the log
+   abstraction — "parsing historical binary log files" — which we surface
+   as a [disk_reads] counter so tests can assert the fallback happened.
+
+   Eviction is FIFO by index with a total-bytes budget, matching a cache
+   over a strictly appended sequence. *)
+
+type t = {
+  entries : (int, Binlog.Entry.t) Hashtbl.t;
+  mutable first_cached : int; (* lowest index still cached; 0 when empty *)
+  mutable last_cached : int;
+  mutable bytes : int;
+  max_bytes : int;
+  mutable disk_reads : int;
+  mutable hits : int;
+}
+
+let create ?(max_bytes = 4 * 1024 * 1024) () =
+  {
+    entries = Hashtbl.create 1024;
+    first_cached = 0;
+    last_cached = 0;
+    bytes = 0;
+    max_bytes;
+    disk_reads = 0;
+    hits = 0;
+  }
+
+let evict_oldest t =
+  match Hashtbl.find_opt t.entries t.first_cached with
+  | Some e ->
+    Hashtbl.remove t.entries t.first_cached;
+    t.bytes <- t.bytes - Binlog.Entry.size e;
+    t.first_cached <- t.first_cached + 1
+  | None -> t.first_cached <- t.first_cached + 1
+
+let put t entry =
+  let index = Binlog.Entry.index entry in
+  if t.first_cached = 0 then t.first_cached <- index;
+  Hashtbl.replace t.entries index entry;
+  t.last_cached <- max t.last_cached index;
+  t.bytes <- t.bytes + Binlog.Entry.size entry;
+  while t.bytes > t.max_bytes && t.first_cached < t.last_cached do
+    evict_oldest t
+  done
+
+(* Drop cached entries at or above [index] (log truncation on the leader
+   is impossible in Raft, but a demoted leader reuses the same cache). *)
+let truncate_from t ~index =
+  for i = index to t.last_cached do
+    match Hashtbl.find_opt t.entries i with
+    | Some e ->
+      Hashtbl.remove t.entries i;
+      t.bytes <- t.bytes - Binlog.Entry.size e
+    | None -> ()
+  done;
+  if t.last_cached >= index then t.last_cached <- index - 1;
+  if t.first_cached > t.last_cached then begin
+    t.first_cached <- 0;
+    t.last_cached <- 0;
+    t.bytes <- 0
+  end
+
+(* Read [from_index, from_index+max_count) preferring the cache, falling
+   back to [read_log] for the cold prefix. *)
+let read t ~from_index ~max_count ~read_log =
+  let rec collect idx n acc =
+    if n = 0 then List.rev acc
+    else
+      match Hashtbl.find_opt t.entries idx with
+      | Some e ->
+        t.hits <- t.hits + 1;
+        collect (idx + 1) (n - 1) (e :: acc)
+      | None -> (
+        match read_log idx with
+        | Some e ->
+          t.disk_reads <- t.disk_reads + 1;
+          collect (idx + 1) (n - 1) (e :: acc)
+        | None -> List.rev acc)
+  in
+  collect from_index max_count []
+
+let contains t ~index = Hashtbl.mem t.entries index
+
+let disk_reads t = t.disk_reads
+
+let hits t = t.hits
+
+let cached_bytes t = t.bytes

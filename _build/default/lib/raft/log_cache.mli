@@ -1,0 +1,30 @@
+(** Leader-side in-memory cache of recent log entries (§3.1, §3.4).
+
+    Replication to caught-up followers never touches the log files; when
+    a follower has fallen behind the eviction horizon the leader falls
+    back to the log abstraction — "parsing historical binary log files" —
+    surfaced by the [disk_reads] counter. *)
+
+type t
+
+val create : ?max_bytes:int -> unit -> t
+
+val put : t -> Binlog.Entry.t -> unit
+
+(** Drop cached entries at or above [index] (a demoted leader reuses the
+    cache). *)
+val truncate_from : t -> index:int -> unit
+
+(** Read a range preferring the cache, calling [read_log] for cold
+    indexes; stops at the first missing entry. *)
+val read :
+  t -> from_index:int -> max_count:int -> read_log:(int -> Binlog.Entry.t option) ->
+  Binlog.Entry.t list
+
+val contains : t -> index:int -> bool
+
+val disk_reads : t -> int
+
+val hits : t -> int
+
+val cached_bytes : t -> int

@@ -1,0 +1,128 @@
+(* Raft RPCs, including the proxying extensions of §4.2.
+
+   [Proxied] wraps any message with the remaining hop list: a node
+   receiving [Proxied { next_hops = [d]; inner }] is the final proxy for
+   [inner] and must deliver it to [d] — reconstituting the payload from
+   its own log when the inner AppendEntries carries [Refs] instead of
+   entry bodies (PROXY_OP).  Responses travel the reverse route carried in
+   [reply_route]. *)
+
+type node_id = Types.node_id
+
+type ae_payload =
+  | Entries of Binlog.Entry.t list
+  | Refs of { first_index : int; last_index : int; last_term : int }
+    (* PROXY_OP: metadata only; [last_term] lets the proxy verify its local
+       copy matches the leader's view before reconstituting *)
+
+type append_entries = {
+  term : int;
+  leader_id : node_id;
+  leader_region : string;
+  prev_opid : Binlog.Opid.t;
+  payload : ae_payload;
+  commit_index : int;
+  seq : int; (* per-peer send sequence; echoed in the response *)
+  reply_route : node_id list; (* hops the response retraces to the leader *)
+}
+
+type append_response = {
+  term : int;
+  from : node_id;
+  success : bool;
+  last_log_index : int; (* follower's last index after processing *)
+  request_seq : int; (* the [seq] of the AppendEntries being answered *)
+}
+
+type vote_phase = Pre | Real | Mock of { snapshot : Binlog.Opid.t }
+
+type request_vote = {
+  term : int; (* proposed term for Pre/Mock, actual for Real *)
+  candidate : node_id;
+  candidate_region : string;
+  last_opid : Binlog.Opid.t;
+  phase : vote_phase;
+  (* FlexiRaft voting history: the highest constraint term the candidate
+     knows (max of its authoritative last-leader term and its granted-vote
+     term).  A voter holding a higher-term constraint denies the vote and
+     ships its constraints back, so a candidate can never win an election
+     whose quorum fails to cover a region that may hold committed data. *)
+  candidate_constraint_term : int;
+}
+
+type vote_response = {
+  term : int;
+  from : node_id;
+  granted : bool;
+  phase : vote_phase;
+  (* FlexiRaft hints: the most recent authoritative leader this voter
+     knows of, and the highest-term candidate it has granted a vote to —
+     both feed the candidate's intersection-region computation. *)
+  last_known_leader : (int * string) option;
+  vote_constraint : (int * string) option;
+}
+
+type t =
+  | Append_entries of append_entries
+  | Append_entries_response of append_response
+  | Request_vote of request_vote
+  | Request_vote_response of vote_response
+  | Timeout_now of { term : int }
+  | Run_mock_election of { term : int; snapshot : Binlog.Opid.t; requester : node_id }
+  | Mock_election_result of { ok : bool; target : node_id; votes : int }
+  | Proxied of { next_hops : node_id list; inner : t }
+
+(* Wire sizes in bytes, used for the §4.2.2 bandwidth accounting.  Header
+   overhead matches the paper's back-of-the-envelope framing (tens of
+   bytes of metadata per RPC, ~500 byte average data payloads). *)
+let rec size = function
+  | Append_entries ae ->
+    let payload_size =
+      match ae.payload with
+      | Entries entries ->
+        List.fold_left (fun acc e -> acc + Binlog.Entry.size e) 0 entries
+      | Refs _ -> 12
+    in
+    40 + (4 * List.length ae.reply_route) + payload_size
+  | Append_entries_response _ -> 32
+  | Request_vote _ -> 48
+  | Request_vote_response _ -> 44
+  | Timeout_now _ -> 16
+  | Run_mock_election _ -> 32
+  | Mock_election_result _ -> 24
+  | Proxied { next_hops; inner } -> 16 + (4 * List.length next_hops) + size inner
+
+let phase_to_string = function
+  | Pre -> "pre"
+  | Real -> "real"
+  | Mock _ -> "mock"
+
+let rec describe = function
+  | Append_entries ae ->
+    let payload =
+      match ae.payload with
+      | Entries [] -> "heartbeat"
+      | Entries es -> Printf.sprintf "%d entries" (List.length es)
+      | Refs { first_index; last_index; _ } ->
+        Printf.sprintf "PROXY_OP %d..%d" first_index last_index
+    in
+    Printf.sprintf "AE(t%d from %s, prev %s, %s, commit %d)" ae.term ae.leader_id
+      (Binlog.Opid.to_string ae.prev_opid) payload ae.commit_index
+  | Append_entries_response r ->
+    Printf.sprintf "AE-resp(t%d from %s, %s, last %d)" r.term r.from
+      (if r.success then "ok" else "fail")
+      r.last_log_index
+  | Request_vote rv ->
+    Printf.sprintf "Vote-req(%s, t%d, %s, last %s)" (phase_to_string rv.phase) rv.term
+      rv.candidate
+      (Binlog.Opid.to_string rv.last_opid)
+  | Request_vote_response vr ->
+    Printf.sprintf "Vote-resp(%s, t%d from %s, %s)" (phase_to_string vr.phase) vr.term
+      vr.from
+      (if vr.granted then "granted" else "denied")
+  | Timeout_now { term } -> Printf.sprintf "TimeoutNow(t%d)" term
+  | Run_mock_election { term; _ } -> Printf.sprintf "RunMockElection(t%d)" term
+  | Mock_election_result { ok; _ } ->
+    Printf.sprintf "MockResult(%s)" (if ok then "ok" else "failed")
+  | Proxied { next_hops; inner } ->
+    Printf.sprintf "Proxied(via %s: %s)" (String.concat "," next_hops) (describe inner)

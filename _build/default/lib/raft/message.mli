@@ -1,0 +1,71 @@
+(** Raft RPCs, including the proxying extensions of §4.2.
+
+    [Proxied] wraps any message with the remaining hop list: the final
+    proxy reconstitutes [Refs] payloads (PROXY_OPs) from its own log
+    before delivery; responses retrace [reply_route]. *)
+
+type node_id = Types.node_id
+
+type ae_payload =
+  | Entries of Binlog.Entry.t list
+  | Refs of { first_index : int; last_index : int; last_term : int }
+      (** PROXY_OP: metadata only; [last_term] lets the proxy verify its
+          local copy matches the leader's view before reconstituting *)
+
+type append_entries = {
+  term : int;
+  leader_id : node_id;
+  leader_region : string;
+  prev_opid : Binlog.Opid.t;
+  payload : ae_payload;
+  commit_index : int;
+  seq : int;  (** per-peer send sequence; echoed in the response *)
+  reply_route : node_id list;  (** hops the response retraces to the leader *)
+}
+
+type append_response = {
+  term : int;
+  from : node_id;
+  success : bool;
+  last_log_index : int;
+  request_seq : int;  (** the [seq] of the AppendEntries being answered *)
+}
+
+type vote_phase = Pre | Real | Mock of { snapshot : Binlog.Opid.t }
+
+type request_vote = {
+  term : int;
+  candidate : node_id;
+  candidate_region : string;
+  last_opid : Binlog.Opid.t;
+  phase : vote_phase;
+  candidate_constraint_term : int;
+      (** FlexiRaft voting history: the highest constraint term the
+          candidate knows; staler-than-voter candidates are denied *)
+}
+
+type vote_response = {
+  term : int;
+  from : node_id;
+  granted : bool;
+  phase : vote_phase;
+  last_known_leader : (int * string) option;
+  vote_constraint : (int * string) option;
+}
+
+type t =
+  | Append_entries of append_entries
+  | Append_entries_response of append_response
+  | Request_vote of request_vote
+  | Request_vote_response of vote_response
+  | Timeout_now of { term : int }
+  | Run_mock_election of { term : int; snapshot : Binlog.Opid.t; requester : node_id }
+  | Mock_election_result of { ok : bool; target : node_id; votes : int }
+  | Proxied of { next_hops : node_id list; inner : t }
+
+(** Wire size in bytes for bandwidth accounting (§4.2.2). *)
+val size : t -> int
+
+val phase_to_string : vote_phase -> string
+
+val describe : t -> string

@@ -1,0 +1,1161 @@
+(* The Raft replica state machine (the kuduraft stand-in), with the
+   paper's three extensions: FlexiRaft quorums (§4.1), proxying (§4.2),
+   and mock elections (§4.3).
+
+   The node is deliberately unaware of MySQL: it reads and writes its log
+   through [log_ops] (the log abstraction of §3.1 that the plugin
+   specializes to binlogs) and drives the database through [callbacks]
+   (the orchestration API of §3.3).  Witnesses are nodes whose log_ops
+   wrap a bare log with no state machine behind it.
+
+   Faithful kuduraft behaviours kept on purpose:
+   - no automatic leader step-down: a leader that loses its quorum keeps
+     the role until it observes a higher term (§4.1);
+   - graceful TransferLeadership runs no pre-election; mock elections
+     fill that gap (§4.3);
+   - one membership change at a time (§2.2). *)
+
+type node_id = Types.node_id
+
+(* Log abstraction (§3.1): everything Raft needs from a log, supplied by
+   the embedder.  The MySQL plugin backs it with binlog/relay-log files. *)
+type log_ops = {
+  append : Binlog.Entry.t -> unit;
+  entry_at : int -> Binlog.Entry.t option;
+  last_opid : unit -> Binlog.Opid.t;
+  term_at : int -> int option;
+  truncate_from : int -> Binlog.Entry.t list;
+}
+
+let log_ops_of_store (store : Binlog.Log_store.t) =
+  {
+    append = Binlog.Log_store.append store;
+    entry_at = (fun i -> Binlog.Log_store.entry_at store i);
+    last_opid = (fun () -> Binlog.Log_store.last_opid store);
+    term_at = (fun i -> Binlog.Log_store.term_at store i);
+    truncate_from = (fun i -> Binlog.Log_store.truncate_from store ~from_index:i);
+  }
+
+(* Orchestration callbacks from Raft into the state machine (§3.3). *)
+type callbacks = {
+  mutable on_leader_start : noop_index:int -> unit;
+  mutable on_step_down : unit -> unit;
+  mutable on_commit_advance : commit_index:int -> unit;
+  mutable on_entries_appended : Binlog.Entry.t list -> unit;
+  mutable on_truncated : Binlog.Entry.t list -> unit;
+  mutable on_quiesce : unit -> unit;
+  mutable on_transfer_aborted : reason:string -> unit;
+  mutable on_config_change : Types.config -> unit;
+}
+
+let default_callbacks () =
+  {
+    on_leader_start = (fun ~noop_index:_ -> ());
+    on_step_down = (fun () -> ());
+    on_commit_advance = (fun ~commit_index:_ -> ());
+    on_entries_appended = (fun _ -> ());
+    on_truncated = (fun _ -> ());
+    on_quiesce = (fun () -> ());
+    on_transfer_aborted = (fun ~reason:_ -> ());
+    on_config_change = (fun _ -> ());
+  }
+
+type params = {
+  heartbeat_interval : float; (* 500 ms in production (§6.2) *)
+  missed_heartbeats : int; (* 3 consecutive misses trigger an election *)
+  election_jitter : float; (* randomized extra timeout *)
+  quorum_mode : Quorum.mode;
+  proxying : bool;
+  max_entries_per_ae : int;
+  proxy_wait : float; (* wait before degrading a PROXY_OP to heartbeat *)
+  proxy_retry_interval : float;
+  mock_election_timeout : float;
+  (* §4.3 "lagging": a voter in the candidate's region rejects a mock vote
+     when it trails the leader's snapshot by more than this many entries —
+     replication-pipeline distance is fine, an unhealthy logtailer is not. *)
+  mock_lag_allowance : int;
+  transfer_timeout : float;
+  use_pre_elections : bool;
+  use_mock_elections : bool;
+  (* kuduraft does NOT implement automatic step down (§4.1): an isolated
+     leader keeps the role (and its uncommittable tail grows) until it
+     sees a higher term.  This optional extension steps the leader down
+     after [auto_step_down_after] without any data-quorum contact,
+     failing clients fast instead of letting them block. 0 = disabled
+     (the paper's production behaviour). *)
+  auto_step_down_after : float;
+  cache_bytes : int;
+}
+
+let default_params =
+  {
+    heartbeat_interval = 500.0 *. Sim.Engine.ms;
+    missed_heartbeats = 3;
+    election_jitter = 500.0 *. Sim.Engine.ms;
+    quorum_mode = Quorum.Single_region_dynamic;
+    proxying = true;
+    max_entries_per_ae = 64;
+    proxy_wait = 200.0 *. Sim.Engine.ms;
+    proxy_retry_interval = 20.0 *. Sim.Engine.ms;
+    mock_election_timeout = 300.0 *. Sim.Engine.ms;
+    mock_lag_allowance = 2_000;
+    transfer_timeout = 3.0 *. Sim.Engine.s;
+    use_pre_elections = true;
+    use_mock_elections = true;
+    auto_step_down_after = 0.0;
+    cache_bytes = 4 * 1024 * 1024;
+  }
+
+(* Durable per-identity state (survives crashes): the Raft term and vote,
+   plus the FlexiRaft constraints — the authoritative last known leader
+   and the highest-term candidate granted a vote (voting history, §4.1).
+   Forgetting either across a restart could let a quorum form that fails
+   to intersect committed data, exactly like forgetting voted_for. *)
+type durable = {
+  mutable current_term : int;
+  mutable voted_for : node_id option;
+  mutable last_known_leader : (int * string) option; (* (term, region) *)
+  mutable vote_constraint : (int * string) option; (* (term, region) *)
+}
+
+let fresh_durable () =
+  { current_term = 0; voted_for = None; last_known_leader = None; vote_constraint = None }
+
+type peer_state = {
+  peer_id : node_id;
+  mutable next_index : int;
+  mutable match_index : int;
+  mutable in_flight : bool;
+  mutable send_seq : int; (* seq of the most recent AE to this peer *)
+  mutable last_ack : float;
+  mutable responded : bool; (* has acked this leader at least once *)
+}
+
+type election = {
+  phase : Message.vote_phase;
+  election_term : int;
+  mutable votes : node_id list;
+  mutable auth_hint : (int * string) option; (* best authoritative leader seen *)
+  mutable vote_hint : (int * string) option; (* best granted-vote constraint seen *)
+  mock_requester : node_id option; (* respond here when phase = Mock *)
+  mutable decided : bool;
+}
+
+type transfer = {
+  transfer_target : node_id;
+  mutable quiesced : bool;
+  transfer_deadline : Sim.Engine.handle;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  id : node_id;
+  region : string;
+  send : dst:node_id -> Message.t -> unit;
+  log : log_ops;
+  durable : durable;
+  params : params;
+  trace : Sim.Trace.t;
+  rng : Sim.Rng.t;
+  callbacks : callbacks;
+  cache : Log_cache.t;
+  mutable role : Types.role;
+  mutable leader_id : node_id option;
+  mutable commit_index : int;
+  mutable config_stack : (int * Types.config) list; (* head = current *)
+  mutable pending_config_index : int option;
+  peers : (node_id, peer_state) Hashtbl.t;
+  mutable election : election option;
+  mutable election_timer : Sim.Engine.handle option;
+  mutable heartbeat_timer : Sim.Engine.handle option;
+  mutable transfer : transfer option;
+  mutable force_election_quorum : bool; (* Quorum Fixer override *)
+  mutable stopped : bool;
+  mutable last_leader_contact : float;
+  mutable elections_started : int;
+  mutable times_elected : int;
+}
+
+let id t = t.id
+
+let region t = t.region
+
+let role t = t.role
+
+let is_leader t = t.role = Types.Leader
+
+let current_term t = t.durable.current_term
+
+let commit_index t = t.commit_index
+
+let leader_id t = t.leader_id
+
+let last_opid t = t.log.last_opid ()
+
+let last_index t = Binlog.Opid.index (last_opid t)
+
+let config t = match t.config_stack with (_, c) :: _ -> c | [] -> assert false
+
+let quorum_mode t = t.params.quorum_mode
+
+let elections_started t = t.elections_started
+
+let times_elected t = t.times_elected
+
+let cache t = t.cache
+
+let me t = Types.find_member (config t) t.id
+
+let is_voter t = match me t with Some m -> m.Types.voter | None -> false
+
+let set_force_election_quorum t v = t.force_election_quorum <- v
+
+(* The highest term at which this node knows data may have committed —
+   from an authoritative leader or from a vote it granted. *)
+let constraint_term t =
+  let term = function Some (x, _) -> x | None -> 0 in
+  max (term t.durable.last_known_leader) (term t.durable.vote_constraint)
+
+let tracef t tag fmt = Sim.Trace.record t.trace ~tag fmt
+
+(* ----- timers ----- *)
+
+let cancel_timer = function Some h -> Sim.Engine.cancel h | None -> ()
+
+let election_timeout t =
+  (float_of_int t.params.missed_heartbeats *. t.params.heartbeat_interval)
+  +. Sim.Rng.uniform t.rng ~lo:0.0 ~hi:t.params.election_jitter
+
+let rec reset_election_timer t =
+  cancel_timer t.election_timer;
+  t.election_timer <- None;
+  if (not t.stopped) && t.role <> Types.Leader && is_voter t then
+    t.election_timer <-
+      Some (Sim.Engine.schedule t.engine ~delay:(election_timeout t) (fun () ->
+                on_election_timeout t))
+
+and on_election_timeout t =
+  if (not t.stopped) && t.role <> Types.Leader && is_voter t then begin
+    if t.params.use_pre_elections then begin_election t ~phase:Message.Pre
+    else begin_election t ~phase:Message.Real;
+    reset_election_timer t
+  end
+
+(* ----- sending with optional proxy routing ----- *)
+
+and send_routed t ~hops ~final msg =
+  match hops with
+  | [] -> t.send ~dst:final msg
+  | h :: rest -> t.send ~dst:h (Message.Proxied { next_hops = rest @ [ final ]; inner = msg })
+
+(* Pick the designated proxy for a remote region: the most caught-up
+   responsive member there.  The proxy itself receives full AppendEntries
+   payloads directly; its region-mates receive PROXY_OPs through it.
+   Returns None when no healthy member exists (route around, §4.2.3). *)
+and designated_proxy t ~region =
+  let now = Sim.Engine.now t.engine in
+  let healthy_cutoff = 3.0 *. t.params.heartbeat_interval in
+  let candidates =
+    Hashtbl.fold
+      (fun pid p acc ->
+        match Types.find_member (config t) pid with
+        | Some m when m.Types.region = region ->
+          (* A proxy must have acknowledged this leader at least once —
+             a node that has never responded may be dead and would
+             blackhole its whole region (§4.2.3 route-around). *)
+          if p.responded && now -. p.last_ack <= healthy_cutoff then
+            (p.match_index, pid) :: acc
+          else acc
+        | _ -> acc)
+      t.peers []
+  in
+  match List.sort (fun a b -> compare b a) candidates with
+  | (_, pid) :: _ -> Some pid
+  | [] -> None
+
+(* ----- replication (leader side) ----- *)
+
+and replicate_to t peer ~allow_empty =
+  if t.role = Types.Leader && not peer.in_flight then begin
+    let from_index = peer.next_index in
+    let entries =
+      Log_cache.read t.cache ~from_index ~max_count:t.params.max_entries_per_ae
+        ~read_log:t.log.entry_at
+    in
+    if entries <> [] || allow_empty then begin
+      let prev_index = from_index - 1 in
+      match t.log.term_at prev_index with
+      | None -> tracef t "raft" "%s: cannot replicate to %s: index %d purged" t.id peer.peer_id prev_index
+      | Some prev_term ->
+        let prev_opid = Binlog.Opid.make ~term:prev_term ~index:prev_index in
+        peer.send_seq <- peer.send_seq + 1;
+        let direct_ae reply_route payload =
+          {
+            Message.term = t.durable.current_term;
+            leader_id = t.id;
+            leader_region = t.region;
+            prev_opid;
+            payload;
+            commit_index = t.commit_index;
+            seq = peer.send_seq;
+            reply_route;
+          }
+        in
+        peer.in_flight <- true;
+        let peer_region =
+          match Types.find_member (config t) peer.peer_id with
+          | Some m -> m.Types.region
+          | None -> t.region
+        in
+        let use_proxy =
+          t.params.proxying && peer_region <> t.region && entries <> []
+        in
+        let proxy =
+          match if use_proxy then designated_proxy t ~region:peer_region else None with
+          | Some p when p <> peer.peer_id -> Some p
+          | _ -> None (* the designated proxy itself gets the full payload *)
+        in
+        (match proxy with
+        | Some proxy_id ->
+          (* PROXY_OP: ship metadata only; the proxy reconstitutes the
+             payload from its own log (§4.2.1). *)
+          let first_index = Binlog.Entry.index (List.hd entries) in
+          let last = List.nth entries (List.length entries - 1) in
+          let refs =
+            Message.Refs
+              {
+                first_index;
+                last_index = Binlog.Entry.index last;
+                last_term = Binlog.Entry.term last;
+              }
+          in
+          let ae = direct_ae [ proxy_id ] refs in
+          send_routed t ~hops:[ proxy_id ] ~final:peer.peer_id (Message.Append_entries ae)
+        | None ->
+          let ae = direct_ae [] (Message.Entries entries) in
+          t.send ~dst:peer.peer_id (Message.Append_entries ae))
+    end
+  end
+
+and replicate_all t ~allow_empty =
+  Hashtbl.iter (fun _ peer -> replicate_to t peer ~allow_empty) t.peers
+
+(* ----- commit marker ----- *)
+
+and advance_commit t =
+  if t.role = Types.Leader then begin
+    let cfg = config t in
+    let self_index = last_index t in
+    let rec scan n best =
+      if n > self_index then best
+      else begin
+        let acks =
+          t.id
+          :: Hashtbl.fold
+               (fun pid p acc -> if p.match_index >= n then pid :: acc else acc)
+               t.peers []
+        in
+        let quorum =
+          Quorum.data_quorum_satisfied t.params.quorum_mode cfg ~leader_region:t.region
+            ~acks
+        in
+        if quorum then scan (n + 1) (Some n) else best
+      end
+    in
+    match scan (t.commit_index + 1) None with
+    | Some n when n > t.commit_index ->
+      (* Raft safety: only commit entries from the current term directly. *)
+      let term_ok =
+        match t.log.term_at n with
+        | Some term -> term = t.durable.current_term
+        | None -> false
+      in
+      if term_ok then begin
+        t.commit_index <- n;
+        (match t.pending_config_index with
+        | Some i when i <= n -> t.pending_config_index <- None
+        | _ -> ());
+        t.callbacks.on_commit_advance ~commit_index:n
+      end
+    | _ -> ()
+  end
+
+(* ----- config handling ----- *)
+
+and apply_config_entry t entry =
+  match Binlog.Entry.payload entry with
+  | Binlog.Entry.Config_change { encoded; description } ->
+    let cfg = Types.decode_config encoded in
+    t.config_stack <- (Binlog.Entry.index entry, cfg) :: t.config_stack;
+    sync_peers t;
+    tracef t "raft" "%s: config now [%s] (%s)" t.id (Types.describe_config cfg) description;
+    t.callbacks.on_config_change cfg;
+    reset_election_timer t
+  | _ -> ()
+
+and revert_configs_from t ~index =
+  let rec pop = function
+    | (i, _) :: rest when i >= index && rest <> [] -> pop rest
+    | stack -> stack
+  in
+  let before = List.length t.config_stack in
+  t.config_stack <- pop t.config_stack;
+  if List.length t.config_stack <> before then begin
+    sync_peers t;
+    t.callbacks.on_config_change (config t)
+  end
+
+(* Keep the leader's peer table in sync with the current config. *)
+and sync_peers t =
+  if t.role = Types.Leader then begin
+    let cfg = config t in
+    List.iter
+      (fun m ->
+        if m.Types.id <> t.id && not (Hashtbl.mem t.peers m.Types.id) then
+          Hashtbl.replace t.peers m.Types.id
+            {
+              peer_id = m.Types.id;
+              next_index = last_index t + 1;
+              match_index = 0;
+              in_flight = false;
+              send_seq = 0;
+              last_ack = Sim.Engine.now t.engine;
+              responded = false;
+            })
+      cfg.Types.members;
+    let stale =
+      Hashtbl.fold
+        (fun pid _ acc -> if Types.is_member cfg pid then acc else pid :: acc)
+        t.peers []
+    in
+    List.iter (Hashtbl.remove t.peers) stale
+  end
+
+(* ----- role transitions ----- *)
+
+and step_down t ~term ~new_leader =
+  let was_leader = t.role = Types.Leader in
+  if term > t.durable.current_term then begin
+    t.durable.current_term <- term;
+    t.durable.voted_for <- None
+  end;
+  t.role <- Types.Follower;
+  t.leader_id <- new_leader;
+  t.election <- None;
+  (match t.transfer with
+  | Some tr ->
+    Sim.Engine.cancel tr.transfer_deadline;
+    t.transfer <- None
+  | None -> ());
+  cancel_timer t.heartbeat_timer;
+  t.heartbeat_timer <- None;
+  if was_leader then begin
+    tracef t "raft" "%s: stepping down at term %d" t.id t.durable.current_term;
+    Hashtbl.reset t.peers;
+    t.callbacks.on_step_down ()
+  end;
+  reset_election_timer t
+
+and become_leader t =
+  t.role <- Types.Leader;
+  t.leader_id <- Some t.id;
+  t.election <- None;
+  t.durable.last_known_leader <- Some (t.durable.current_term, t.region);
+  t.times_elected <- t.times_elected + 1;
+  cancel_timer t.election_timer;
+  t.election_timer <- None;
+  Hashtbl.reset t.peers;
+  sync_peers t;
+  (* Assert leadership with a no-op entry; committing it consensus-commits
+     the whole tail of the log (§3.3 promotion step 1). *)
+  let noop_index = last_index t + 1 in
+  let entry =
+    Binlog.Entry.make
+      ~opid:(Binlog.Opid.make ~term:t.durable.current_term ~index:noop_index)
+      Binlog.Entry.Noop
+  in
+  t.log.append entry;
+  Log_cache.put t.cache entry;
+  tracef t "raft" "%s: elected leader at term %d (noop %d)" t.id t.durable.current_term
+    noop_index;
+  start_heartbeats t;
+  replicate_all t ~allow_empty:true;
+  advance_commit t (* single-voter rings commit immediately *);
+  t.callbacks.on_leader_start ~noop_index
+
+(* Optional auto step-down (extension; see params): has a data quorum
+   acknowledged this leader within the configured window? *)
+and quorum_contact_recent t =
+  let now = Sim.Engine.now t.engine in
+  let acks =
+    t.id
+    :: Hashtbl.fold
+         (fun pid p acc ->
+           if now -. p.last_ack <= t.params.auto_step_down_after then pid :: acc else acc)
+         t.peers []
+  in
+  Quorum.data_quorum_satisfied t.params.quorum_mode (config t) ~leader_region:t.region
+    ~acks
+
+and start_heartbeats t =
+  cancel_timer t.heartbeat_timer;
+  let rec tick () =
+    if t.role = Types.Leader && not t.stopped then begin
+      if
+        t.params.auto_step_down_after > 0.0
+        && (not (quorum_contact_recent t))
+        && last_index t > t.commit_index
+      then begin
+        (* no data-quorum contact within the window and an uncommittable
+           tail is building: abdicate instead of blocking clients *)
+        tracef t "raft" "%s: auto step-down (no quorum contact)" t.id;
+        step_down t ~term:t.durable.current_term ~new_leader:None
+      end
+      else begin
+        (* Heartbeats also serve as retransmissions: clear in-flight flags
+           so lost messages do not wedge a peer forever. *)
+        Hashtbl.iter (fun _ p -> p.in_flight <- false) t.peers;
+        replicate_all t ~allow_empty:true;
+        t.heartbeat_timer <-
+          Some (Sim.Engine.schedule t.engine ~delay:t.params.heartbeat_interval tick)
+      end
+    end
+  in
+  t.heartbeat_timer <-
+    Some (Sim.Engine.schedule t.engine ~delay:t.params.heartbeat_interval tick)
+
+(* ----- elections ----- *)
+
+and begin_election t ~phase =
+  let cfg = config t in
+  if is_voter t then begin
+    let election_term =
+      match phase with
+      | Message.Real ->
+        t.durable.current_term <- t.durable.current_term + 1;
+        t.durable.voted_for <- Some t.id;
+        t.durable.current_term
+      | Message.Pre | Message.Mock _ -> t.durable.current_term + 1
+    in
+    (match phase with
+    | Message.Real ->
+      t.role <- Types.Candidate;
+      t.elections_started <- t.elections_started + 1
+    | _ -> ());
+    let election =
+      {
+        phase;
+        election_term;
+        votes = [ t.id ];
+        auth_hint = t.durable.last_known_leader;
+        vote_hint = t.durable.vote_constraint;
+        mock_requester = None;
+        decided = false;
+      }
+    in
+    t.election <- Some election;
+    tracef t "raft" "%s: starting %s election for term %d" t.id
+      (Message.phase_to_string phase) election_term;
+    let request =
+      Message.Request_vote
+        {
+          term = election_term;
+          candidate = t.id;
+          candidate_region = t.region;
+          last_opid = last_opid t;
+          phase;
+          candidate_constraint_term = constraint_term t;
+        }
+    in
+    List.iter
+      (fun m ->
+        if m.Types.id <> t.id && m.Types.voter then t.send ~dst:m.Types.id request)
+      cfg.Types.members;
+    (* A single-voter ring elects itself instantly. *)
+    check_election_quorum t election
+  end
+
+and begin_mock_election t ~snapshot ~requester =
+  let cfg = config t in
+  let election_term = t.durable.current_term + 1 in
+  let election =
+    {
+      phase = Message.Mock { snapshot };
+      election_term;
+      votes = [ t.id ];
+      auth_hint = t.durable.last_known_leader;
+      vote_hint = t.durable.vote_constraint;
+      mock_requester = Some requester;
+      decided = false;
+    }
+  in
+  t.election <- Some election;
+  tracef t "raft" "%s: running mock election (snapshot %s)" t.id
+    (Binlog.Opid.to_string snapshot);
+  let request =
+    Message.Request_vote
+      {
+        term = election_term;
+        candidate = t.id;
+        candidate_region = t.region;
+        last_opid = last_opid t;
+        phase = Message.Mock { snapshot };
+        candidate_constraint_term = constraint_term t;
+      }
+  in
+  List.iter
+    (fun m -> if m.Types.id <> t.id && m.Types.voter then t.send ~dst:m.Types.id request)
+    cfg.Types.members;
+  (* Guard against vote loss: decide "failed" after a timeout. *)
+  ignore
+    (Sim.Engine.schedule t.engine ~delay:t.params.mock_election_timeout (fun () ->
+         match t.election with
+         | Some e when e.phase = Message.Mock { snapshot } && not e.decided ->
+           e.decided <- true;
+           t.election <- None;
+           t.send ~dst:requester
+             (Message.Mock_election_result
+                { ok = false; target = t.id; votes = List.length e.votes })
+         | _ -> ()));
+  check_election_quorum t election
+
+and best_hint a b =
+  match (a, b) with
+  | None, h | h, None -> h
+  | Some (ta, _), Some (tb, _) -> if tb > ta then b else a
+
+and check_election_quorum t election =
+  if not election.decided then begin
+    let cfg = config t in
+    let satisfied =
+      t.force_election_quorum
+      || Quorum.election_quorum_satisfied t.params.quorum_mode cfg
+           ~candidate_region:t.region
+           ~last_leader:(best_hint t.durable.last_known_leader election.auth_hint)
+           ~vote_constraint:(best_hint t.durable.vote_constraint election.vote_hint)
+           ~votes:election.votes
+    in
+    if satisfied then begin
+      election.decided <- true;
+      match election.phase with
+      | Message.Real ->
+        t.election <- None;
+        become_leader t
+      | Message.Pre ->
+        t.election <- None;
+        begin_election t ~phase:Message.Real
+      | Message.Mock _ ->
+        t.election <- None;
+        (match election.mock_requester with
+        | Some requester ->
+          t.send ~dst:requester
+            (Message.Mock_election_result
+               { ok = true; target = t.id; votes = List.length election.votes })
+        | None -> ())
+    end
+  end
+
+(* ----- vote handling ----- *)
+
+and handle_request_vote t (rv : Message.request_vote) =
+  let my_last = last_opid t in
+  let log_ok = Binlog.Opid.at_least_as_up_to_date_as rv.last_opid my_last in
+  let now = Sim.Engine.now t.engine in
+  let heard_from_leader_recently =
+    t.leader_id <> None
+    && now -. t.last_leader_contact
+       < float_of_int t.params.missed_heartbeats *. t.params.heartbeat_interval
+  in
+  (* FlexiRaft voting history (§4.1): never vote for a candidate whose
+     constraint knowledge is staler than ours — its election quorum might
+     miss a region that committed data.  The denial response carries our
+     constraints, so the candidate learns and retries correctly. *)
+  let history_ok = rv.candidate_constraint_term >= constraint_term t in
+  let granted =
+    match rv.phase with
+    | Message.Pre ->
+      (* Pre-votes don't disturb state; leader stickiness applies. *)
+      rv.term > t.durable.current_term && log_ok && history_ok
+      && not heard_from_leader_recently
+    | Message.Mock { snapshot } ->
+      (* §4.3: reject when this voter lags the leader's snapshot and sits
+         in the candidate's region — it could not serve in the new data
+         quorum.  Ordinary replication-pipeline distance is allowed. *)
+      let in_candidate_region = t.region = rv.candidate_region in
+      let lagging =
+        Binlog.Opid.index snapshot - Binlog.Opid.index my_last > t.params.mock_lag_allowance
+      in
+      rv.term > t.durable.current_term && not (in_candidate_region && lagging)
+    | Message.Real ->
+      if rv.term > t.durable.current_term then step_down t ~term:rv.term ~new_leader:None;
+      rv.term = t.durable.current_term && log_ok && history_ok
+      && (t.durable.voted_for = None || t.durable.voted_for = Some rv.candidate)
+  in
+  (match rv.phase with
+  | Message.Real when granted ->
+    t.durable.voted_for <- Some rv.candidate;
+    (* Voting history: the candidate may win, so its (term, region) is
+       now a possible data-quorum location future elections must
+       intersect. *)
+    (match t.durable.vote_constraint with
+    | Some (term, _) when term >= rv.term -> ()
+    | _ -> t.durable.vote_constraint <- Some (rv.term, rv.candidate_region));
+    (* Granting a real vote fences the erstwhile leader's view and resets
+       our failover clock. *)
+    if t.role = Types.Leader then step_down t ~term:rv.term ~new_leader:None;
+    reset_election_timer t
+  | _ -> ());
+  t.send ~dst:rv.candidate
+    (Message.Request_vote_response
+       {
+         term = t.durable.current_term;
+         from = t.id;
+         granted;
+         phase = rv.phase;
+         last_known_leader = t.durable.last_known_leader;
+         vote_constraint = t.durable.vote_constraint;
+       })
+
+and handle_vote_response t (vr : Message.vote_response) =
+  if vr.term > t.durable.current_term then step_down t ~term:vr.term ~new_leader:None
+  else
+    match t.election with
+    | Some election when election.phase = vr.phase && not election.decided ->
+      election.auth_hint <- best_hint election.auth_hint vr.last_known_leader;
+      election.vote_hint <- best_hint election.vote_hint vr.vote_constraint;
+      if vr.granted && not (List.mem vr.from election.votes) then begin
+        election.votes <- vr.from :: election.votes;
+        check_election_quorum t election
+      end
+    | _ -> ()
+
+(* ----- append entries (follower side) ----- *)
+
+and handle_append_entries t ~src:_ (ae : Message.append_entries) =
+  (* Responses retrace the proxy route back to the leader (§4.2.1). *)
+  let reply response =
+    send_routed t ~hops:ae.reply_route ~final:ae.leader_id
+      (Message.Append_entries_response response)
+  in
+  if ae.term < t.durable.current_term then
+    reply
+      {
+        Message.term = t.durable.current_term;
+        from = t.id;
+        success = false;
+        last_log_index = last_index t;
+        request_seq = ae.seq;
+      }
+  else begin
+    if ae.term > t.durable.current_term || t.role <> Types.Follower then
+      step_down t ~term:ae.term ~new_leader:(Some ae.leader_id);
+    t.leader_id <- Some ae.leader_id;
+    t.last_leader_contact <- Sim.Engine.now t.engine;
+    (match t.durable.last_known_leader with
+    | Some (term, _) when term >= ae.term -> ()
+    | _ -> t.durable.last_known_leader <- Some (ae.term, ae.leader_region));
+    reset_election_timer t;
+    let prev = ae.prev_opid in
+    let prev_index = Binlog.Opid.index prev in
+    let ok_prev =
+      prev_index <= last_index t
+      && t.log.term_at prev_index = Some (Binlog.Opid.term prev)
+    in
+    if not ok_prev then begin
+      let hint = if prev_index > last_index t then last_index t else prev_index - 1 in
+      reply
+        {
+          Message.term = t.durable.current_term;
+          from = t.id;
+          success = false;
+          last_log_index = max 0 hint;
+          request_seq = ae.seq;
+        }
+    end
+    else begin
+      let entries =
+        match ae.payload with
+        | Message.Entries entries -> entries
+        | Message.Refs _ ->
+          (* A PROXY_OP reached a final destination un-reconstituted; treat
+             as a heartbeat (degraded, §4.2.1). *)
+          []
+      in
+      let appended = ref [] in
+      List.iter
+        (fun entry ->
+          let idx = Binlog.Entry.index entry in
+          let have = t.log.term_at idx in
+          match have with
+          | Some term when term = Binlog.Entry.term entry -> () (* already have it *)
+          | Some _ ->
+            (* Conflicting suffix: truncate, clean up GTIDs, revert configs
+               (§3.3 demotion step 4), then append. *)
+            let removed = t.log.truncate_from idx in
+            Log_cache.truncate_from t.cache ~index:idx;
+            revert_configs_from t ~index:idx;
+            if removed <> [] then t.callbacks.on_truncated removed;
+            t.log.append entry;
+            Log_cache.put t.cache entry;
+            appended := entry :: !appended;
+            apply_config_entry t entry
+          | None ->
+            if idx = last_index t + 1 then begin
+              t.log.append entry;
+              Log_cache.put t.cache entry;
+              appended := entry :: !appended;
+              apply_config_entry t entry
+            end)
+        entries;
+      let appended = List.rev !appended in
+      if appended <> [] then t.callbacks.on_entries_appended appended;
+      let new_commit = min ae.commit_index (last_index t) in
+      if new_commit > t.commit_index then begin
+        t.commit_index <- new_commit;
+        t.callbacks.on_commit_advance ~commit_index:new_commit
+      end;
+      reply
+        {
+          Message.term = t.durable.current_term;
+          from = t.id;
+          success = true;
+          last_log_index = last_index t;
+          request_seq = ae.seq;
+        }
+    end
+  end
+
+and handle_append_response t (r : Message.append_response) =
+  if r.term > t.durable.current_term then step_down t ~term:r.term ~new_leader:None
+  else if t.role = Types.Leader then
+    match Hashtbl.find_opt t.peers r.from with
+    | None -> ()
+    | Some peer ->
+      peer.last_ack <- Sim.Engine.now t.engine;
+      peer.responded <- true;
+      let latest = r.request_seq = peer.send_seq in
+      if r.success then begin
+        if r.last_log_index > peer.match_index then peer.match_index <- r.last_log_index;
+        peer.next_index <- max peer.next_index (r.last_log_index + 1);
+        advance_commit t;
+        check_transfer_progress t;
+        (* Only the response to the LATEST send re-opens the window:
+           stale duplicate responses (heartbeat retransmissions) still
+           carry progress information but must not spawn extra sends —
+           that would grow the outstanding window without bound. *)
+        if latest then begin
+          peer.in_flight <- false;
+          if peer.next_index <= last_index t then replicate_to t peer ~allow_empty:false
+        end
+      end
+      else if latest then begin
+        peer.in_flight <- false;
+        peer.next_index <- max 1 (min (peer.next_index - 1) (r.last_log_index + 1));
+        replicate_to t peer ~allow_empty:false
+      end
+
+(* ----- leadership transfer (§2.2 promotion + §4.3 mock elections) ----- *)
+
+and abort_transfer t ~reason =
+  match t.transfer with
+  | None -> ()
+  | Some tr ->
+    Sim.Engine.cancel tr.transfer_deadline;
+    t.transfer <- None;
+    tracef t "raft" "%s: transfer to %s aborted: %s" t.id tr.transfer_target reason;
+    if tr.quiesced then t.callbacks.on_transfer_aborted ~reason
+
+and start_transfer_catchup t tr =
+  (* Quiesce: stop accepting client writes, then push the target to the
+     tail of the log and fire TimeoutNow. *)
+  tr.quiesced <- true;
+  t.callbacks.on_quiesce ();
+  (match Hashtbl.find_opt t.peers tr.transfer_target with
+  | Some peer ->
+    peer.in_flight <- false;
+    replicate_to t peer ~allow_empty:true
+  | None -> ());
+  check_transfer_progress t
+
+and check_transfer_progress t =
+  match t.transfer with
+  | Some tr when tr.quiesced && t.role = Types.Leader -> (
+    match Hashtbl.find_opt t.peers tr.transfer_target with
+    | Some peer when peer.match_index >= last_index t ->
+      tracef t "raft" "%s: target %s caught up; sending TimeoutNow" t.id tr.transfer_target;
+      t.send ~dst:tr.transfer_target (Message.Timeout_now { term = t.durable.current_term });
+      Sim.Engine.cancel tr.transfer_deadline;
+      t.transfer <- None
+    | _ -> ())
+  | _ -> ()
+
+let transfer_leadership t ~target =
+  if t.role <> Types.Leader then Error "not the leader"
+  else if target = t.id then Error "cannot transfer to self"
+  else
+    match Types.find_member (config t) target with
+    | None -> Error "target is not a member"
+    | Some m when not m.Types.voter -> Error "target is not a voter"
+    | Some _ ->
+      if t.transfer <> None then Error "transfer already in progress"
+      else begin
+        let deadline =
+          Sim.Engine.schedule t.engine ~delay:t.params.transfer_timeout (fun () ->
+              abort_transfer t ~reason:"timeout")
+        in
+        let tr = { transfer_target = target; quiesced = false; transfer_deadline = deadline } in
+        t.transfer <- Some tr;
+        if t.params.use_mock_elections then begin
+          tracef t "raft" "%s: mock election on %s before transfer" t.id target;
+          t.send ~dst:target
+            (Message.Run_mock_election
+               { term = t.durable.current_term; snapshot = last_opid t; requester = t.id })
+        end
+        else start_transfer_catchup t tr;
+        Ok ()
+      end
+
+let handle_mock_result t (ok, target) =
+  match t.transfer with
+  | Some tr when tr.transfer_target = target && not tr.quiesced ->
+    if ok then start_transfer_catchup t tr
+    else abort_transfer t ~reason:"mock election failed"
+  | _ -> ()
+
+(* ----- client/API operations ----- *)
+
+let client_append t payload =
+  if t.role <> Types.Leader then Error "not the leader"
+  else begin
+    let opid =
+      Binlog.Opid.make ~term:t.durable.current_term ~index:(last_index t + 1)
+    in
+    let entry = Binlog.Entry.make ~opid payload in
+    t.log.append entry;
+    Log_cache.put t.cache entry;
+    replicate_all t ~allow_empty:false;
+    advance_commit t;
+    Ok opid
+  end
+
+let change_membership t new_config ~description =
+  if t.role <> Types.Leader then Error "not the leader"
+  else if t.pending_config_index <> None then
+    Error "a membership change is already in progress"
+  else begin
+    let encoded = Types.encode_config new_config in
+    match client_append t (Binlog.Entry.Config_change { description; encoded }) with
+    | Error e -> Error e
+    | Ok opid ->
+      t.pending_config_index <- Some (Binlog.Opid.index opid);
+      t.config_stack <- (Binlog.Opid.index opid, new_config) :: t.config_stack;
+      sync_peers t;
+      t.callbacks.on_config_change new_config;
+      tracef t "raft" "%s: membership change '%s' at index %d" t.id description
+        (Binlog.Opid.index opid);
+      Ok opid
+  end
+
+let add_member t member =
+  let cfg = config t in
+  if Types.is_member cfg member.Types.id then Error "already a member"
+  else
+    change_membership t
+      { Types.members = cfg.Types.members @ [ member ] }
+      ~description:("add " ^ Types.describe_member member)
+
+let remove_member t member_id =
+  let cfg = config t in
+  if member_id = t.id then Error "leader cannot remove itself (transfer first)"
+  else if not (Types.is_member cfg member_id) then Error "not a member"
+  else
+    change_membership t
+      { Types.members = List.filter (fun m -> m.Types.id <> member_id) cfg.Types.members }
+      ~description:("remove " ^ member_id)
+
+let promote_learner t member_id =
+  let cfg = config t in
+  match Types.find_member cfg member_id with
+  | None -> Error "not a member"
+  | Some m when m.Types.voter -> Error "already a voter"
+  | Some m ->
+    let members =
+      List.map
+        (fun x -> if x.Types.id = member_id then { m with Types.voter = true } else x)
+        cfg.Types.members
+    in
+    change_membership t { Types.members } ~description:("promote " ^ member_id)
+
+let has_pending_config_change t = t.pending_config_index <> None
+
+let trigger_election t =
+  if t.role <> Types.Leader && is_voter t then begin_election t ~phase:Message.Real
+
+(* Region watermark: the highest log index known to have reached at least
+   one member of [region]; the purge heuristics of §A.1 take the minimum
+   across regions so a file is only purged once shipped out of every
+   region. *)
+let region_watermark t ~region:r =
+  if t.role <> Types.Leader then 0
+  else
+    Hashtbl.fold
+      (fun pid p acc ->
+        match Types.find_member (config t) pid with
+        | Some m when m.Types.region = r -> max acc p.match_index
+        | _ -> acc)
+      t.peers
+      (if t.region = r then last_index t else 0)
+
+let safe_purge_index t =
+  if t.role <> Types.Leader then 0
+  else
+    let regions = Types.regions_with_voters (config t) in
+    let watermark =
+      List.fold_left (fun acc r -> min acc (region_watermark t ~region:r)) max_int regions
+    in
+    min watermark t.commit_index
+
+let match_index_of t ~peer =
+  match Hashtbl.find_opt t.peers peer with Some p -> Some p.match_index | None -> None
+
+(* ----- proxy forwarding (§4.2) ----- *)
+
+let deliver_reconstituted t ~dst (ae : Message.append_entries) ~first_index ~last_index:last ~expected_last_term =
+  (* Reconstitute the PROXY_OP payload from our local log.  If our copy of
+     [last] does not carry the term the leader expects, our log has not
+     caught up to the leader's view; degrade rather than ship stale data. *)
+  let rec gather idx acc =
+    if idx > last then Some (List.rev acc)
+    else
+      match t.log.entry_at idx with
+      | Some e -> gather (idx + 1) (e :: acc)
+      | None -> None
+  in
+  let entries =
+    if t.log.term_at last = Some expected_last_term then gather first_index [] else None
+  in
+  let payload =
+    match entries with
+    | Some entries -> Message.Entries entries
+    | None -> Message.Entries [] (* degraded to heartbeat *)
+  in
+  t.send ~dst (Message.Append_entries { ae with payload })
+
+let handle_proxied t ~next_hops ~inner =
+  match next_hops with
+  | [] -> None (* malformed; treat inner as addressed to us *)
+  | [ dst ] -> (
+    match inner with
+    | Message.Append_entries
+        ({ payload = Message.Refs { first_index; last_index = last; last_term }; _ } as ae)
+      ->
+      (* We are the final proxy: wait (bounded) for our log to contain the
+         referenced entries, then reconstitute. *)
+      let expected_last_term = last_term in
+      let deadline = Sim.Engine.now t.engine +. t.params.proxy_wait in
+      let rec attempt () =
+        if t.stopped then ()
+        else if
+          Binlog.Opid.index (t.log.last_opid ()) >= last
+          || Sim.Engine.now t.engine >= deadline
+        then
+          deliver_reconstituted t ~dst ae ~first_index ~last_index:last ~expected_last_term
+        else
+          ignore (Sim.Engine.schedule t.engine ~delay:t.params.proxy_retry_interval attempt)
+      in
+      attempt ();
+      Some ()
+    | _ ->
+      t.send ~dst inner;
+      Some ())
+  | h :: rest ->
+    t.send ~dst:h (Message.Proxied { next_hops = rest; inner });
+    Some ()
+
+(* ----- message dispatch ----- *)
+
+let rec handle_message t ~src msg =
+  if not t.stopped then
+    match msg with
+    | Message.Append_entries ae -> handle_append_entries t ~src ae
+    | Message.Append_entries_response r -> handle_append_response t r
+    | Message.Request_vote rv -> handle_request_vote t rv
+    | Message.Request_vote_response vr -> handle_vote_response t vr
+    | Message.Timeout_now { term } ->
+      if term >= t.durable.current_term && is_voter t && t.role <> Types.Leader then begin
+        tracef t "raft" "%s: TimeoutNow received; starting election" t.id;
+        begin_election t ~phase:Message.Real
+      end
+    | Message.Run_mock_election { snapshot; requester; _ } ->
+      begin_mock_election t ~snapshot ~requester
+    | Message.Mock_election_result { ok; target; _ } -> handle_mock_result t (ok, target)
+    | Message.Proxied { next_hops; inner } -> (
+      match handle_proxied t ~next_hops ~inner with
+      | Some () -> ()
+      | None -> handle_message t ~src inner)
+
+(* ----- lifecycle ----- *)
+
+let create ~engine ~id ~region ~send ~log ~callbacks ~params ~initial_config ~durable
+    ~trace () =
+  let t =
+    {
+      engine;
+      id;
+      region;
+      send;
+      log;
+      durable;
+      params;
+      trace;
+      rng = Sim.Rng.split (Sim.Engine.rng engine);
+      callbacks;
+      cache = Log_cache.create ~max_bytes:params.cache_bytes ();
+      role = Types.Follower;
+      leader_id = None;
+      commit_index = 0;
+      config_stack = [ (0, initial_config) ];
+      pending_config_index = None;
+      peers = Hashtbl.create 16;
+      election = None;
+      election_timer = None;
+      heartbeat_timer = None;
+      transfer = None;
+      force_election_quorum = false;
+      stopped = false;
+      last_leader_contact = neg_infinity;
+      elections_started = 0;
+      times_elected = 0;
+    }
+  in
+  (* Recover config history from the log (restart path). *)
+  let rec scan idx =
+    if idx <= Binlog.Opid.index (log.last_opid ()) then begin
+      (match log.entry_at idx with
+      | Some entry -> (
+        match Binlog.Entry.payload entry with
+        | Binlog.Entry.Config_change { encoded; _ } ->
+          t.config_stack <- (idx, Types.decode_config encoded) :: t.config_stack
+        | _ -> ())
+      | None -> ());
+      scan (idx + 1)
+    end
+  in
+  scan 1;
+  reset_election_timer t;
+  t
+
+let stop t =
+  t.stopped <- true;
+  cancel_timer t.election_timer;
+  cancel_timer t.heartbeat_timer;
+  t.election_timer <- None;
+  t.heartbeat_timer <- None
+
+let is_stopped t = t.stopped
+
+let describe t =
+  Printf.sprintf "%s: %s term=%d commit=%d last=%s leader=%s" t.id
+    (Types.role_to_string t.role) t.durable.current_term t.commit_index
+    (Binlog.Opid.to_string (last_opid t))
+    (Option.value t.leader_id ~default:"?")

@@ -1,0 +1,173 @@
+(** The Raft replica state machine (the kuduraft stand-in) with the
+    paper's extensions: FlexiRaft quorums (§4.1), proxying (§4.2) and
+    mock elections (§4.3).
+
+    The node is unaware of MySQL: it reads/writes its log through
+    {!log_ops} (the log abstraction of §3.1) and drives the database
+    through {!callbacks} (the orchestration API of §3.3).  Witnesses are
+    nodes whose log has no state machine behind it.
+
+    kuduraft behaviours kept on purpose: no automatic leader step-down;
+    graceful TransferLeadership runs no pre-election (mock elections
+    fill that gap); one membership change at a time. *)
+
+type node_id = Types.node_id
+
+(** Log abstraction (§3.1): everything Raft needs from a log.  The MySQL
+    plugin backs it with binlog/relay-log files. *)
+type log_ops = {
+  append : Binlog.Entry.t -> unit;
+  entry_at : int -> Binlog.Entry.t option;
+  last_opid : unit -> Binlog.Opid.t;
+  term_at : int -> int option;
+  truncate_from : int -> Binlog.Entry.t list;
+}
+
+(** Specialize the abstraction to a {!Binlog.Log_store}. *)
+val log_ops_of_store : Binlog.Log_store.t -> log_ops
+
+(** Orchestration callbacks from Raft into the state machine (§3.3);
+    mutable so the embedder can wire them after construction. *)
+type callbacks = {
+  mutable on_leader_start : noop_index:int -> unit;
+  mutable on_step_down : unit -> unit;
+  mutable on_commit_advance : commit_index:int -> unit;
+  mutable on_entries_appended : Binlog.Entry.t list -> unit;
+  mutable on_truncated : Binlog.Entry.t list -> unit;
+  mutable on_quiesce : unit -> unit;
+  mutable on_transfer_aborted : reason:string -> unit;
+  mutable on_config_change : Types.config -> unit;
+}
+
+(** All callbacks are no-ops. *)
+val default_callbacks : unit -> callbacks
+
+type params = {
+  heartbeat_interval : float;  (** 500 ms in production (§6.2) *)
+  missed_heartbeats : int;  (** consecutive misses before an election *)
+  election_jitter : float;
+  quorum_mode : Quorum.mode;
+  proxying : bool;
+  max_entries_per_ae : int;
+  proxy_wait : float;  (** wait before degrading a PROXY_OP to heartbeat *)
+  proxy_retry_interval : float;
+  mock_election_timeout : float;
+  mock_lag_allowance : int;
+      (** §4.3 "lagging": an in-candidate-region voter rejects a mock
+          vote when it trails the snapshot by more than this many
+          entries *)
+  transfer_timeout : float;
+  use_pre_elections : bool;
+  use_mock_elections : bool;
+  auto_step_down_after : float;
+      (** optional extension (0 = disabled, the kuduraft behaviour of
+          §4.1): an isolated leader with an uncommittable tail abdicates
+          after this long without data-quorum contact *)
+  cache_bytes : int;
+}
+
+val default_params : params
+
+(** Durable per-identity state (survives crashes): term, vote, and the
+    FlexiRaft last-known-leader / voting-history constraints. *)
+type durable
+
+val fresh_durable : unit -> durable
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  id:node_id ->
+  region:string ->
+  send:(dst:node_id -> Message.t -> unit) ->
+  log:log_ops ->
+  callbacks:callbacks ->
+  params:params ->
+  initial_config:Types.config ->
+  durable:durable ->
+  trace:Sim.Trace.t ->
+  unit ->
+  t
+
+(** Cancel timers; the node ignores everything afterwards (crash). *)
+val stop : t -> unit
+
+val is_stopped : t -> bool
+
+(** Deliver one RPC (the embedder owns the network). *)
+val handle_message : t -> src:node_id -> Message.t -> unit
+
+(** {2 Client operations (leader only)} *)
+
+(** Append a payload; Raft assigns the OpId and starts replication. *)
+val client_append : t -> Binlog.Entry.payload -> (Binlog.Opid.t, string) result
+
+(** Membership changes (§2.2) — one at a time. *)
+val change_membership :
+  t -> Types.config -> description:string -> (Binlog.Opid.t, string) result
+
+val add_member : t -> Types.member -> (Binlog.Opid.t, string) result
+
+val remove_member : t -> node_id -> (Binlog.Opid.t, string) result
+
+val promote_learner : t -> node_id -> (Binlog.Opid.t, string) result
+
+(** Graceful transfer: optional mock election, quiesce, catch-up,
+    TimeoutNow (§2.2, §4.3).  Completion/abort is reported through the
+    callbacks. *)
+val transfer_leadership : t -> target:node_id -> (unit, string) result
+
+(** Start a real election immediately (bootstrap, TimeoutNow path,
+    Quorum Fixer). *)
+val trigger_election : t -> unit
+
+(** {2 Introspection} *)
+
+val id : t -> node_id
+
+val region : t -> string
+
+val role : t -> Types.role
+
+val is_leader : t -> bool
+
+val current_term : t -> int
+
+val commit_index : t -> int
+
+val leader_id : t -> node_id option
+
+val last_opid : t -> Binlog.Opid.t
+
+val last_index : t -> int
+
+val config : t -> Types.config
+
+val quorum_mode : t -> Quorum.mode
+
+val is_voter : t -> bool
+
+val has_pending_config_change : t -> bool
+
+val elections_started : t -> int
+
+val times_elected : t -> int
+
+val cache : t -> Log_cache.t
+
+(** Leader-side replication progress of one peer. *)
+val match_index_of : t -> peer:node_id -> int option
+
+(** Highest index known to have reached at least one member of a region
+    (purge heuristics, §A.1). *)
+val region_watermark : t -> region:string -> int
+
+(** Highest index safe to purge: shipped to every region and committed. *)
+val safe_purge_index : t -> int
+
+(** Quorum Fixer override (§5.3): when set, this node's elections are
+    satisfied by its own vote. *)
+val set_force_election_quorum : t -> bool -> unit
+
+val describe : t -> string

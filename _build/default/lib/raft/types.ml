@@ -1,0 +1,72 @@
+(* Raft ring membership types.
+
+   The role mapping of Table 1: a MySQL follower is a voter with a
+   storage engine; a learner is a non-voter with an engine (non-failover
+   replica); a witness (logtailer) is a voter without an engine. *)
+
+type node_id = string
+
+type role = Leader | Follower | Candidate
+
+let role_to_string = function
+  | Leader -> "leader"
+  | Follower -> "follower"
+  | Candidate -> "candidate"
+
+type member_kind = Mysql_server | Logtailer
+
+type member = {
+  id : node_id;
+  region : string;
+  voter : bool;
+  kind : member_kind;
+}
+
+(* A witness is a voter with no storage engine; a learner is a non-voting
+   MySQL replica. *)
+let is_witness m = m.kind = Logtailer
+
+let is_learner m = (not m.voter) && m.kind = Mysql_server
+
+type config = { members : member list }
+
+let config_members c = c.members
+
+let find_member c id = List.find_opt (fun m -> m.id = id) c.members
+
+let is_member c id = Option.is_some (find_member c id)
+
+let voters c = List.filter (fun m -> m.voter) c.members
+
+let voter_ids c = List.map (fun m -> m.id) (voters c)
+
+let learners c = List.filter is_learner c.members
+
+let voters_in_region c region = List.filter (fun m -> m.region = region) (voters c)
+
+let regions_with_voters c =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun m ->
+      if m.voter && not (Hashtbl.mem seen m.region) then begin
+        Hashtbl.replace seen m.region ();
+        Some m.region
+      end
+      else None)
+    c.members
+
+let member_ids c = List.map (fun m -> m.id) c.members
+
+(* Config changes are carried in the log as opaque strings so the log
+   layer stays independent of Raft. *)
+let encode_config c = Marshal.to_string c []
+
+let decode_config s : config = Marshal.from_string s 0
+
+let describe_member m =
+  Printf.sprintf "%s@%s(%s%s)" m.id m.region
+    (match m.kind with Mysql_server -> "mysql" | Logtailer -> "logtailer")
+    (if m.voter then ",voter" else ",non-voter")
+
+let describe_config c =
+  String.concat ", " (List.map describe_member c.members)

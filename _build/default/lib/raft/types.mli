@@ -1,0 +1,53 @@
+(** Raft ring membership types — the role mapping of Table 1: a MySQL
+    follower is a voter with a storage engine, a learner is a non-voter
+    with an engine, a witness (logtailer) is a voter without one. *)
+
+type node_id = string
+
+type role = Leader | Follower | Candidate
+
+val role_to_string : role -> string
+
+type member_kind = Mysql_server | Logtailer
+
+type member = {
+  id : node_id;
+  region : string;
+  voter : bool;
+  kind : member_kind;
+}
+
+val is_witness : member -> bool
+
+val is_learner : member -> bool
+
+type config = { members : member list }
+
+val config_members : config -> member list
+
+val find_member : config -> node_id -> member option
+
+val is_member : config -> node_id -> bool
+
+val voters : config -> member list
+
+val voter_ids : config -> node_id list
+
+val learners : config -> member list
+
+val voters_in_region : config -> string -> member list
+
+(** Regions hosting at least one voter, in member order. *)
+val regions_with_voters : config -> string list
+
+val member_ids : config -> node_id list
+
+(** Config changes ride the log as opaque strings so the log layer stays
+    independent of Raft. *)
+val encode_config : config -> string
+
+val decode_config : string -> config
+
+val describe_member : member -> string
+
+val describe_config : config -> string

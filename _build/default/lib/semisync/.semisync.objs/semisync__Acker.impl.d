@@ -1,0 +1,1 @@
+lib/semisync/acker.ml: Binlog Int32 List Sim Wire

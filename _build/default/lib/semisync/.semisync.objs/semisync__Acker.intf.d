@@ -1,0 +1,1 @@
+lib/semisync/acker.mli: Binlog Sim Wire

@@ -1,0 +1,1 @@
+lib/semisync/cluster.ml: Acker Binlog Hashtbl List Myraft Option Orchestrator Params Printf Raft Server Sim String Wire

@@ -1,0 +1,1 @@
+lib/semisync/cluster.mli: Acker Myraft Orchestrator Params Server Sim Wire

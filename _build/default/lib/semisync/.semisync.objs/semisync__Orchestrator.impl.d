@@ -1,0 +1,1 @@
+lib/semisync/orchestrator.ml: Acker Hashtbl List Myraft Params Server Sim Wire

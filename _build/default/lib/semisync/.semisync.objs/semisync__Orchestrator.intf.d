@@ -1,0 +1,1 @@
+lib/semisync/orchestrator.mli: Acker Hashtbl Myraft Params Server Sim Wire

@@ -1,0 +1,1 @@
+lib/semisync/params.mli:

@@ -1,0 +1,1 @@
+lib/semisync/server.ml: Binlog Hashtbl Int64 List Myraft Params Queue Sim Storage Wire

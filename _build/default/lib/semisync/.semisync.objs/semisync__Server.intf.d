@@ -1,0 +1,1 @@
+lib/semisync/server.mli: Binlog Myraft Params Sim Storage Wire

@@ -1,0 +1,1 @@
+lib/semisync/wire.mli: Binlog

@@ -1,0 +1,25 @@
+(* Messages of the prior setup: primary->replica shipping, semi-sync
+   acks, client writes, and the orchestrator's out-of-band health pings. *)
+
+type t =
+  | Replicate of { entries : Binlog.Entry.t list }
+  | Ack of { seq : int; from_acker : bool }
+  | Write_request of {
+      write_id : int;
+      table : string;
+      ops : Binlog.Event.row_op list;
+      client : string;
+    }
+  | Write_reply of { write_id : int; ok : bool }
+  | Ping of { ping_id : int }
+  | Pong of { ping_id : int }
+
+let size = function
+  | Replicate { entries } ->
+    48 + List.fold_left (fun acc e -> acc + Binlog.Entry.size e) 0 entries
+  | Ack _ -> 40
+  | Write_request { ops; table; _ } ->
+    48 + String.length table
+    + List.fold_left (fun acc op -> acc + Binlog.Event.row_op_size op) 0 ops
+  | Write_reply _ -> 32
+  | Ping _ | Pong _ -> 24

@@ -1,0 +1,18 @@
+(** Messages of the prior setup: primary->replica shipping, semi-sync
+    acks, client writes, and the orchestrator's health pings. *)
+
+type t =
+  | Replicate of { entries : Binlog.Entry.t list }
+  | Ack of { seq : int; from_acker : bool }
+  | Write_request of {
+      write_id : int;
+      table : string;
+      ops : Binlog.Event.row_op list;
+      client : string;
+    }
+  | Write_reply of { write_id : int; ok : bool }
+  | Ping of { ping_id : int }
+  | Pong of { ping_id : int }
+
+(** Wire size in bytes for bandwidth accounting. *)
+val size : t -> int

@@ -1,0 +1,20 @@
+(** Array-backed binary min-heap keyed by (key, seq).
+
+    The sequence number breaks ties so same-instant events pop in push
+    order, keeping simulation runs deterministic. *)
+
+type 'a entry = { key : float; seq : int; value : 'a }
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:float -> seq:int -> 'a -> unit
+
+val peek : 'a t -> 'a entry option
+
+val pop : 'a t -> 'a entry option

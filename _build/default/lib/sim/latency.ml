@@ -1,0 +1,47 @@
+(* One-way network delay models, in microseconds.
+
+   The defaults are calibrated to the paper's setting: sub-millisecond
+   round trips inside a region, tens of milliseconds across regions. *)
+
+type t = {
+  same_region : Rng.t -> float;
+  cross_region : src:Topology.region -> dst:Topology.region -> Rng.t -> float;
+}
+
+(* Deterministic pseudo-distance between two region names so that a given
+   region pair always sees the same base latency without explicit
+   configuration.  Spread one-way delays over [lo, hi]. *)
+let pair_base ~lo ~hi src dst =
+  let a, b = if src < dst then (src, dst) else (dst, src) in
+  let h = Hashtbl.hash (a, b) in
+  let frac = float_of_int (h mod 1000) /. 1000.0 in
+  lo +. ((hi -. lo) *. frac)
+
+let default =
+  {
+    (* ~0.2-0.4ms RTT in-region *)
+    same_region = (fun rng -> Rng.uniform rng ~lo:90.0 ~hi:180.0);
+    (* ~30-80ms RTT cross-region, stable per pair, small jitter *)
+    cross_region =
+      (fun ~src ~dst rng ->
+        let base = pair_base ~lo:15_000.0 ~hi:40_000.0 src dst in
+        base +. Rng.uniform rng ~lo:0.0 ~hi:(base *. 0.05));
+  }
+
+(* A model with fixed means, useful in unit tests. *)
+let fixed ~same ~cross =
+  { same_region = (fun _ -> same); cross_region = (fun ~src:_ ~dst:_ _ -> cross) }
+
+(* Override the delay for one specific region pair (e.g. pin clients at
+   ~10 ms RTT from the primary region, §6.1). *)
+let override t ~region_a ~region_b ~lo ~hi =
+  let cross ~src ~dst rng =
+    if (src = region_a && dst = region_b) || (src = region_b && dst = region_a) then
+      Rng.uniform rng ~lo ~hi
+    else t.cross_region ~src ~dst rng
+  in
+  { t with cross_region = cross }
+
+let one_way t ~src_region ~dst_region rng =
+  if src_region = dst_region then t.same_region rng
+  else t.cross_region ~src:src_region ~dst:dst_region rng

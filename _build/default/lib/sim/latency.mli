@@ -1,0 +1,27 @@
+(** One-way network delay models, in microseconds.
+
+    Defaults are calibrated to the paper's setting: sub-millisecond
+    round trips inside a region, tens of milliseconds across regions. *)
+
+type t = {
+  same_region : Rng.t -> float;
+  cross_region : src:Topology.region -> dst:Topology.region -> Rng.t -> float;
+}
+
+(** In-region ~0.2-0.4 ms RTT; cross-region ~30-80 ms RTT, stable per
+    region pair with small jitter. *)
+val default : t
+
+(** Fixed means, for unit tests. *)
+val fixed : same:float -> cross:float -> t
+
+(** Deterministic base one-way delay for a region pair, spread over
+    [lo, hi] by a hash of the pair. *)
+val pair_base : lo:float -> hi:float -> Topology.region -> Topology.region -> float
+
+(** Override the delay for one specific region pair with uniform(lo,hi)
+    (e.g. pin clients at ~10 ms RTT from the primary region, §6.1). *)
+val override : t -> region_a:Topology.region -> region_b:Topology.region -> lo:float -> hi:float -> t
+
+(** Draw a one-way delay. *)
+val one_way : t -> src_region:Topology.region -> dst_region:Topology.region -> Rng.t -> float

@@ -1,0 +1,185 @@
+(* Simulated message network.
+
+   Typed over the protocol's message type.  Delivery incurs a one-way
+   latency drawn from the latency model; messages to crashed nodes or
+   across a partition are silently dropped (the transports the paper's
+   systems run over are not reliable either — Raft tolerates loss).
+
+   The network also keeps per-(src,dst) and per-region-pair byte counters,
+   which the proxying evaluation (§4.2.2) reads to compare cross-region
+   bandwidth with and without PROXY_OP forwarding. *)
+
+type stats = {
+  mutable messages : int;
+  mutable bytes : int;
+}
+
+type 'msg t = {
+  engine : Engine.t;
+  topology : Topology.t;
+  latency : Latency.t;
+  rng : Rng.t;
+  handlers : (Topology.node_id, src:Topology.node_id -> 'msg -> unit) Hashtbl.t;
+  down : (Topology.node_id, unit) Hashtbl.t;
+  (* Partitions are sets of unordered region pairs plus isolated nodes. *)
+  cut_region_pairs : (Topology.region * Topology.region, unit) Hashtbl.t;
+  isolated : (Topology.node_id, unit) Hashtbl.t;
+  link_stats : (Topology.node_id * Topology.node_id, stats) Hashtbl.t;
+  region_stats : (Topology.region * Topology.region, stats) Hashtbl.t;
+  (* Per-node-pair one-way latency overrides (e.g. a client colocated
+     with the primary, or a client pinned at 10 ms from it). *)
+  link_latency : (Topology.node_id * Topology.node_id, float) Hashtbl.t;
+  (* Optional per-node egress capacity (bytes/µs): when set, sends from
+     that node serialize through its NIC — the leader-hotspot effect
+     proxying exists to relieve (§4.2). *)
+  egress_rate : (Topology.node_id, float) Hashtbl.t;
+  egress_free_at : (Topology.node_id, float) Hashtbl.t;
+  egress_queue_delay : (Topology.node_id, float ref) Hashtbl.t;
+  mutable dropped : int;
+}
+
+let create engine topology ?(latency = Latency.default) () =
+  {
+    engine;
+    topology;
+    latency;
+    rng = Rng.split (Engine.rng engine);
+    handlers = Hashtbl.create 32;
+    down = Hashtbl.create 8;
+    cut_region_pairs = Hashtbl.create 4;
+    isolated = Hashtbl.create 4;
+    link_stats = Hashtbl.create 64;
+    region_stats = Hashtbl.create 16;
+    link_latency = Hashtbl.create 8;
+    egress_rate = Hashtbl.create 4;
+    egress_free_at = Hashtbl.create 4;
+    egress_queue_delay = Hashtbl.create 4;
+    dropped = 0;
+  }
+
+(* Fix the one-way latency between two nodes (both directions). *)
+let set_link_latency t ~a ~b ~latency =
+  Hashtbl.replace t.link_latency (a, b) latency;
+  Hashtbl.replace t.link_latency (b, a) latency
+
+(* Cap a node's egress bandwidth; messages it sends serialize through
+   the NIC and queue behind each other. *)
+let set_egress_rate t node ~bytes_per_s =
+  Hashtbl.replace t.egress_rate node (bytes_per_s /. 1_000_000.0 (* per µs *))
+
+(* Cumulative time messages spent queued behind [node]'s NIC. *)
+let egress_queue_delay t node =
+  match Hashtbl.find_opt t.egress_queue_delay node with Some r -> !r | None -> 0.0
+
+(* NIC serialization + queueing delay for sending [size] bytes now. *)
+let egress_delay t ~src ~size =
+  match Hashtbl.find_opt t.egress_rate src with
+  | None -> 0.0
+  | Some rate ->
+    let now = Engine.now t.engine in
+    let start = max now (Option.value (Hashtbl.find_opt t.egress_free_at src) ~default:now) in
+    let serialization = float_of_int size /. rate in
+    Hashtbl.replace t.egress_free_at src (start +. serialization);
+    let queued = start -. now in
+    (match Hashtbl.find_opt t.egress_queue_delay src with
+    | Some r -> r := !r +. queued
+    | None -> Hashtbl.replace t.egress_queue_delay src (ref queued));
+    queued +. serialization
+
+let topology t = t.topology
+
+let register t node handler = Hashtbl.replace t.handlers node handler
+
+let unregister t node = Hashtbl.remove t.handlers node
+
+let set_down t node = Hashtbl.replace t.down node ()
+
+let set_up t node = Hashtbl.remove t.down node
+
+let is_up t node = not (Hashtbl.mem t.down node)
+
+let ordered_pair a b = if a <= b then (a, b) else (b, a)
+
+let cut_regions t r1 r2 = Hashtbl.replace t.cut_region_pairs (ordered_pair r1 r2) ()
+
+let heal_regions t r1 r2 = Hashtbl.remove t.cut_region_pairs (ordered_pair r1 r2)
+
+let isolate_node t node = Hashtbl.replace t.isolated node ()
+
+let heal_node t node = Hashtbl.remove t.isolated node
+
+let heal_all t =
+  Hashtbl.reset t.cut_region_pairs;
+  Hashtbl.reset t.isolated
+
+let partitioned t src dst =
+  Hashtbl.mem t.isolated src || Hashtbl.mem t.isolated dst
+  ||
+  let rs = Topology.region_of t.topology src
+  and rd = Topology.region_of t.topology dst in
+  Hashtbl.mem t.cut_region_pairs (ordered_pair rs rd)
+
+let bump table key ~bytes =
+  let st =
+    match Hashtbl.find_opt table key with
+    | Some st -> st
+    | None ->
+      let st = { messages = 0; bytes = 0 } in
+      Hashtbl.replace table key st;
+      st
+  in
+  st.messages <- st.messages + 1;
+  st.bytes <- st.bytes + bytes
+
+(* Send a message.  [size] is the wire size in bytes and is accounted even
+   for messages that are later dropped at delivery (the sender spent the
+   bandwidth either way). *)
+let send t ~src ~dst ~size msg =
+  let src_region = Topology.region_of t.topology src in
+  let dst_region = Topology.region_of t.topology dst in
+  bump t.link_stats (src, dst) ~bytes:size;
+  bump t.region_stats (src_region, dst_region) ~bytes:size;
+  if Hashtbl.mem t.down src || partitioned t src dst then t.dropped <- t.dropped + 1
+  else begin
+    let delay =
+      egress_delay t ~src ~size
+      +.
+      match Hashtbl.find_opt t.link_latency (src, dst) with
+      | Some fixed -> fixed
+      | None -> Latency.one_way t.latency ~src_region ~dst_region t.rng
+    in
+    ignore
+      (Engine.schedule t.engine ~delay (fun () ->
+           if Hashtbl.mem t.down dst || partitioned t src dst then
+             t.dropped <- t.dropped + 1
+           else
+             match Hashtbl.find_opt t.handlers dst with
+             | Some handler -> handler ~src msg
+             | None -> t.dropped <- t.dropped + 1))
+  end
+
+let dropped t = t.dropped
+
+let link_bytes t ~src ~dst =
+  match Hashtbl.find_opt t.link_stats (src, dst) with Some st -> st.bytes | None -> 0
+
+let link_messages t ~src ~dst =
+  match Hashtbl.find_opt t.link_stats (src, dst) with Some st -> st.messages | None -> 0
+
+let region_pair_bytes t ~src ~dst =
+  match Hashtbl.find_opt t.region_stats (src, dst) with Some st -> st.bytes | None -> 0
+
+(* Total bytes that crossed a region boundary, in either direction. *)
+let cross_region_bytes t =
+  Hashtbl.fold
+    (fun (rs, rd) st acc -> if rs <> rd then acc + st.bytes else acc)
+    t.region_stats 0
+
+let total_bytes t = Hashtbl.fold (fun _ st acc -> acc + st.bytes) t.region_stats 0
+
+let total_messages t = Hashtbl.fold (fun _ st acc -> acc + st.messages) t.region_stats 0
+
+let reset_stats t =
+  Hashtbl.reset t.link_stats;
+  Hashtbl.reset t.region_stats;
+  t.dropped <- 0

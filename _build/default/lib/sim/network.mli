@@ -1,0 +1,68 @@
+(** Simulated message network, typed over the protocol's message type.
+
+    Delivery incurs a one-way latency from the latency model; messages
+    to crashed nodes or across partitions are silently dropped (Raft
+    tolerates loss).  Per-link and per-region-pair byte counters support
+    the proxying bandwidth evaluation (§4.2.2). *)
+
+type 'msg t
+
+val create : Engine.t -> Topology.t -> ?latency:Latency.t -> unit -> 'msg t
+
+val topology : 'msg t -> Topology.t
+
+(** Install the receive handler for a node. *)
+val register : 'msg t -> Topology.node_id -> (src:Topology.node_id -> 'msg -> unit) -> unit
+
+val unregister : 'msg t -> Topology.node_id -> unit
+
+(** Crashed nodes neither send nor receive. *)
+val set_down : 'msg t -> Topology.node_id -> unit
+
+val set_up : 'msg t -> Topology.node_id -> unit
+
+val is_up : 'msg t -> Topology.node_id -> bool
+
+(** Region-pair partitions and single-node isolation. *)
+val cut_regions : 'msg t -> Topology.region -> Topology.region -> unit
+
+val heal_regions : 'msg t -> Topology.region -> Topology.region -> unit
+
+val isolate_node : 'msg t -> Topology.node_id -> unit
+
+val heal_node : 'msg t -> Topology.node_id -> unit
+
+val heal_all : 'msg t -> unit
+
+(** Fix the one-way latency between two nodes (both directions),
+    overriding the region model. *)
+val set_link_latency : 'msg t -> a:Topology.node_id -> b:Topology.node_id -> latency:float -> unit
+
+(** Cap a node's egress bandwidth: its sends serialize through the NIC
+    and queue behind each other (the leader-hotspot effect, §4.2). *)
+val set_egress_rate : 'msg t -> Topology.node_id -> bytes_per_s:float -> unit
+
+(** Cumulative time spent queued behind a node's NIC, microseconds. *)
+val egress_queue_delay : 'msg t -> Topology.node_id -> float
+
+(** [send t ~src ~dst ~size msg] accounts [size] bytes and schedules
+    delivery; dropped silently when partitioned or either end is down. *)
+val send : 'msg t -> src:Topology.node_id -> dst:Topology.node_id -> size:int -> 'msg -> unit
+
+(** Messages dropped so far. *)
+val dropped : 'msg t -> int
+
+val link_bytes : 'msg t -> src:Topology.node_id -> dst:Topology.node_id -> int
+
+val link_messages : 'msg t -> src:Topology.node_id -> dst:Topology.node_id -> int
+
+val region_pair_bytes : 'msg t -> src:Topology.region -> dst:Topology.region -> int
+
+(** Total bytes that crossed any region boundary. *)
+val cross_region_bytes : 'msg t -> int
+
+val total_bytes : 'msg t -> int
+
+val total_messages : 'msg t -> int
+
+val reset_stats : 'msg t -> unit

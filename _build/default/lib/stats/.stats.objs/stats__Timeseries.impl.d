@@ -1,0 +1,1 @@
+lib/stats/timeseries.ml: Array Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/storage/engine.ml: Binlog Hashtbl List Marshal Option

@@ -1,0 +1,144 @@
+(* Simulated transactional storage engine (the InnoDB/MyRocks stand-in).
+
+   Models exactly the surface MyRaft's commit path touches:
+   - [prepare] writes prepare markers (2PC with the binlog): the
+     transaction's effects are staged but not visible;
+   - [commit_prepared] durably applies a prepared transaction and records
+     its GTID and OpId (the engine is the recovery source of truth for
+     "last transaction committed in engine", §3.3 demotion step 5);
+   - [rollback_prepared] discards a prepared transaction online (demotion
+     step 1, and crash recovery cases 1-3 of §A.2);
+   - [crash_recover] is what restart does: every prepared-but-uncommitted
+     transaction is rolled back, committed data survives.
+
+   Row-level locks are modelled as per-key ownership so that conflicting
+   writes queue behind the prepared transaction holding the lock, which
+   is what makes group-commit stalls visible in latency. *)
+
+type row = { value : string; mutable last_writer : Binlog.Gtid.t option }
+
+type prepared = {
+  gtid : Binlog.Gtid.t;
+  writes : (string * Binlog.Event.row_op) list; (* (table, op) *)
+  locked_keys : (string * string) list; (* (table, key) *)
+}
+
+exception Lock_conflict of { table : string; key : string; holder : Binlog.Gtid.t }
+
+type t = {
+  tables : (string, (string, row) Hashtbl.t) Hashtbl.t;
+  prepared : (Binlog.Gtid.t, prepared) Hashtbl.t;
+  locks : (string * string, Binlog.Gtid.t) Hashtbl.t;
+  mutable gtid_executed : Binlog.Gtid_set.t; (* engine-durable *)
+  mutable last_committed_opid : Binlog.Opid.t;
+  mutable committed_count : int;
+  mutable rolled_back_count : int;
+}
+
+let create () =
+  {
+    tables = Hashtbl.create 8;
+    prepared = Hashtbl.create 64;
+    locks = Hashtbl.create 64;
+    gtid_executed = Binlog.Gtid_set.empty;
+    last_committed_opid = Binlog.Opid.zero;
+    committed_count = 0;
+    rolled_back_count = 0;
+  }
+
+let table t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 64 in
+    Hashtbl.replace t.tables name tbl;
+    tbl
+
+let key_of_op = function
+  | Binlog.Event.Insert { key; _ } | Update { key; _ } | Delete { key; _ } -> key
+
+(* Stage a transaction.  Raises [Lock_conflict] if another prepared
+   transaction holds a lock on any touched key. *)
+let prepare t ~gtid ~writes =
+  if Hashtbl.mem t.prepared gtid then invalid_arg "Engine.prepare: duplicate gtid";
+  let locked_keys = List.map (fun (tbl, op) -> (tbl, key_of_op op)) writes in
+  List.iter
+    (fun (tbl, key) ->
+      match Hashtbl.find_opt t.locks (tbl, key) with
+      | Some holder when not (Binlog.Gtid.equal holder gtid) ->
+        raise (Lock_conflict { table = tbl; key; holder })
+      | _ -> ())
+    locked_keys;
+  List.iter (fun k -> Hashtbl.replace t.locks k gtid) locked_keys;
+  Hashtbl.replace t.prepared gtid { gtid; writes; locked_keys }
+
+let is_prepared t gtid = Hashtbl.mem t.prepared gtid
+
+let prepared_gtids t = Hashtbl.fold (fun g _ acc -> g :: acc) t.prepared []
+
+let release_locks t p = List.iter (fun k -> Hashtbl.remove t.locks k) p.locked_keys
+
+let apply_op t gtid (tbl_name, op) =
+  let tbl = table t tbl_name in
+  match op with
+  | Binlog.Event.Insert { key; value } | Update { key; after = value; _ } ->
+    Hashtbl.replace tbl key { value; last_writer = Some gtid }
+  | Delete { key; _ } -> Hashtbl.remove tbl key
+
+(* Durably commit a prepared transaction, stamping the Raft OpId. *)
+let commit_prepared t ~gtid ~opid =
+  match Hashtbl.find_opt t.prepared gtid with
+  | None -> invalid_arg ("Engine.commit_prepared: not prepared: " ^ Binlog.Gtid.to_string gtid)
+  | Some p ->
+    List.iter (apply_op t gtid) p.writes;
+    release_locks t p;
+    Hashtbl.remove t.prepared gtid;
+    t.gtid_executed <- Binlog.Gtid_set.add t.gtid_executed gtid;
+    if Binlog.Opid.compare opid t.last_committed_opid > 0 then
+      t.last_committed_opid <- opid;
+    t.committed_count <- t.committed_count + 1
+
+let rollback_prepared t ~gtid =
+  match Hashtbl.find_opt t.prepared gtid with
+  | None -> ()
+  | Some p ->
+    release_locks t p;
+    Hashtbl.remove t.prepared gtid;
+    t.rolled_back_count <- t.rolled_back_count + 1
+
+(* Restart semantics: prepared transactions are rolled back; committed
+   state, gtid_executed, and last_committed_opid survive (they live in
+   the engine's WAL). *)
+let crash_recover t =
+  let pending = prepared_gtids t in
+  List.iter (fun gtid -> rollback_prepared t ~gtid) pending;
+  List.length pending
+
+let get t ~table:tbl_name ~key =
+  match Hashtbl.find_opt t.tables tbl_name with
+  | None -> None
+  | Some tbl -> Option.map (fun r -> r.value) (Hashtbl.find_opt tbl key)
+
+let gtid_executed t = t.gtid_executed
+
+let has_committed t gtid = Binlog.Gtid_set.contains t.gtid_executed gtid
+
+let last_committed_opid t = t.last_committed_opid
+
+let committed_count t = t.committed_count
+
+let rolled_back_count t = t.rolled_back_count
+
+let row_count t ~table:tbl_name =
+  match Hashtbl.find_opt t.tables tbl_name with None -> 0 | Some tbl -> Hashtbl.length tbl
+
+(* Content digest used by the shadow-testing checksum comparisons between
+   leader and followers (§5.1). *)
+let checksum t =
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun tbl_name tbl ->
+      Hashtbl.iter (fun key r -> rows := (tbl_name, key, r.value) :: !rows) tbl)
+    t.tables;
+  let sorted = List.sort compare !rows in
+  Binlog.Checksum.string (Marshal.to_string sorted [])

@@ -1,0 +1,51 @@
+(** Simulated transactional storage engine (the InnoDB/MyRocks stand-in),
+    modelling exactly the surface MyRaft's commit path touches: 2PC
+    prepare markers, durable commit with GTID + OpId bookkeeping, online
+    rollback, row locks, and crash recovery (§3.4, §3.3, §A.2). *)
+
+type t
+
+exception Lock_conflict of { table : string; key : string; holder : Binlog.Gtid.t }
+
+val create : unit -> t
+
+(** Stage a transaction, acquiring row locks.  Raises {!Lock_conflict}
+    if another prepared transaction holds a touched key, and
+    [Invalid_argument] on duplicate gtids. *)
+val prepare : t -> gtid:Binlog.Gtid.t -> writes:(string * Binlog.Event.row_op) list -> unit
+
+val is_prepared : t -> Binlog.Gtid.t -> bool
+
+val prepared_gtids : t -> Binlog.Gtid.t list
+
+(** Durably apply a prepared transaction, stamping the Raft OpId and
+    releasing its locks. *)
+val commit_prepared : t -> gtid:Binlog.Gtid.t -> opid:Binlog.Opid.t -> unit
+
+(** Discard a prepared transaction (no-op if not prepared). *)
+val rollback_prepared : t -> gtid:Binlog.Gtid.t -> unit
+
+(** Restart semantics: roll back every prepared transaction; committed
+    state survives.  Returns how many were rolled back. *)
+val crash_recover : t -> int
+
+val get : t -> table:string -> key:string -> string option
+
+(** Engine-durable executed-GTID set. *)
+val gtid_executed : t -> Binlog.Gtid_set.t
+
+val has_committed : t -> Binlog.Gtid.t -> bool
+
+(** "Last transaction committed in engine": the recovery cursor for the
+    applier (§3.3 step 5). *)
+val last_committed_opid : t -> Binlog.Opid.t
+
+val committed_count : t -> int
+
+val rolled_back_count : t -> int
+
+val row_count : t -> table:string -> int
+
+(** Content digest for the shadow-testing checksum comparisons between
+    leader and followers (§5.1). *)
+val checksum : t -> int32

@@ -1,0 +1,1 @@
+lib/workload/backend.ml: Binlog List Myraft Semisync Sim

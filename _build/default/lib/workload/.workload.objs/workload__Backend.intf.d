@@ -1,0 +1,1 @@
+lib/workload/backend.mli: Binlog Myraft Semisync Sim

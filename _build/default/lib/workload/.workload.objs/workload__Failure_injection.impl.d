@@ -1,0 +1,1 @@
+lib/workload/failure_injection.ml: Array Int32 List Myraft Printf Raft Sim Storage

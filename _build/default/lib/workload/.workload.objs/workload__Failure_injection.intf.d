@@ -1,0 +1,1 @@
+lib/workload/failure_injection.mli: Myraft

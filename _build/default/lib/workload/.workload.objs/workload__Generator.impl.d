@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Backend Binlog Hashtbl Printf Sim Stats String

@@ -1,0 +1,1 @@
+lib/workload/shadow.ml: Backend Generator List Printf Sim

@@ -1,0 +1,1 @@
+lib/workload/shadow.mli: Backend Generator

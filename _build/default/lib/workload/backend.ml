@@ -1,0 +1,78 @@
+(* A workload backend abstracts "a replicaset a client can write to" so
+   the same generators drive both MyRaft and the semi-sync prior setup —
+   the A/B methodology of §6.1. *)
+
+type t = {
+  engine : Sim.Engine.t;
+  label : string;
+  (* Register a client node; [on_reply] is invoked for each write reply. *)
+  register_client :
+    id:string -> region:string -> on_reply:(write_id:int -> ok:bool -> unit) -> unit;
+  (* Send one write; returns false when no primary is known. *)
+  send_write :
+    client:string -> write_id:int -> table:string -> ops:Binlog.Event.row_op list -> bool;
+  (* Pin the one-way latency between a client and every ring member. *)
+  set_client_latency : client:string -> latency:float -> unit;
+  member_ids : unit -> string list;
+}
+
+let myraft (cluster : Myraft.Cluster.t) =
+  {
+    engine = Myraft.Cluster.engine cluster;
+    label = "MyRaft";
+    register_client =
+      (fun ~id ~region ~on_reply ->
+        Myraft.Cluster.register_client cluster ~id ~region ~handler:(fun ~src:_ msg ->
+            match msg with
+            | Myraft.Wire.Write_reply { write_id; outcome } ->
+              on_reply ~write_id ~ok:(outcome = Myraft.Wire.Committed)
+            | _ -> ()));
+    send_write =
+      (fun ~client ~write_id ~table ~ops ->
+        match
+          Myraft.Service_discovery.primary_of (Myraft.Cluster.discovery cluster)
+            ~replicaset:(Myraft.Cluster.replicaset_name cluster)
+        with
+        | None -> false
+        | Some dst ->
+          Myraft.Cluster.send_from_client cluster ~client ~dst
+            (Myraft.Wire.Write_request { write_id; table; ops; client });
+          true);
+    set_client_latency =
+      (fun ~client ~latency ->
+        List.iter
+          (fun member ->
+            Myraft.Cluster.set_link_latency cluster ~a:client ~b:member ~latency)
+          (Myraft.Cluster.member_ids cluster));
+    member_ids = (fun () -> Myraft.Cluster.member_ids cluster);
+  }
+
+let semisync (cluster : Semisync.Cluster.t) =
+  {
+    engine = Semisync.Cluster.engine cluster;
+    label = "Semi-Sync";
+    register_client =
+      (fun ~id ~region ~on_reply ->
+        Semisync.Cluster.register_client cluster ~id ~region ~handler:(fun ~src:_ msg ->
+            match msg with
+            | Semisync.Wire.Write_reply { write_id; ok } -> on_reply ~write_id ~ok
+            | _ -> ()));
+    send_write =
+      (fun ~client ~write_id ~table ~ops ->
+        match
+          Myraft.Service_discovery.primary_of (Semisync.Cluster.discovery cluster)
+            ~replicaset:(Semisync.Cluster.replicaset_name cluster)
+        with
+        | None -> false
+        | Some dst ->
+          Semisync.Cluster.send_from_client cluster ~client ~dst
+            (Semisync.Wire.Write_request { write_id; table; ops; client });
+          true);
+    set_client_latency =
+      (fun ~client ~latency ->
+        List.iter
+          (fun member ->
+            Semisync.Cluster.set_link_latency cluster ~a:client ~b:member ~latency)
+          (Semisync.Cluster.member_ids cluster));
+    member_ids = (fun () -> Semisync.Cluster.member_ids cluster);
+  }

@@ -1,0 +1,18 @@
+(** A workload backend abstracts "a replicaset a client can write to" so
+    the same generators drive MyRaft and the semi-sync prior setup — the
+    A/B methodology of §6.1. *)
+
+type t = {
+  engine : Sim.Engine.t;
+  label : string;
+  register_client :
+    id:string -> region:string -> on_reply:(write_id:int -> ok:bool -> unit) -> unit;
+  send_write :
+    client:string -> write_id:int -> table:string -> ops:Binlog.Event.row_op list -> bool;
+  set_client_latency : client:string -> latency:float -> unit;
+  member_ids : unit -> string list;
+}
+
+val myraft : Myraft.Cluster.t -> t
+
+val semisync : Semisync.Cluster.t -> t

@@ -1,0 +1,109 @@
+(* MyShadow-style failure injection (§5.1): repeatedly crash the current
+   leader (failover testing) or repeatedly ask it to transfer leadership
+   (functional testing), while correctness checks compare engine
+   checksums across the ring. *)
+
+type kind = Crash_leader | Graceful_transfer
+
+type t = {
+  cluster : Myraft.Cluster.t;
+  rng : Sim.Rng.t;
+  mutable running : bool;
+  mutable injections : int;
+  mutable restart_after : float;
+}
+
+let injections t = t.injections
+
+let stop t = t.running <- false
+
+let live_mysql_voters cluster =
+  List.filter
+    (fun srv ->
+      (not (Myraft.Server.is_crashed srv))
+      &&
+      match Myraft.Cluster.raft_of cluster (Myraft.Server.id srv) with
+      | Some r -> Raft.Node.is_voter r
+      | None -> false)
+    (Myraft.Cluster.servers cluster)
+
+let inject t kind =
+  match Myraft.Cluster.primary t.cluster with
+  | None -> ()
+  | Some primary -> (
+    t.injections <- t.injections + 1;
+    let primary_id = Myraft.Server.id primary in
+    match kind with
+    | Crash_leader ->
+      Myraft.Cluster.crash t.cluster primary_id;
+      ignore
+        (Sim.Engine.schedule
+           (Myraft.Cluster.engine t.cluster)
+           ~delay:t.restart_after
+           (fun () -> Myraft.Cluster.restart t.cluster primary_id))
+    | Graceful_transfer -> (
+      let candidates =
+        List.filter (fun s -> Myraft.Server.id s <> primary_id) (live_mysql_voters t.cluster)
+      in
+      match candidates with
+      | [] -> ()
+      | _ ->
+        let target = Myraft.Server.id (Sim.Rng.pick t.rng (Array.of_list candidates)) in
+        ignore (Myraft.Cluster.transfer_leadership t.cluster ~target)))
+
+let start ?(interval = 20.0 *. Sim.Engine.s) ?(restart_after = 5.0 *. Sim.Engine.s)
+    cluster ~kind =
+  let t =
+    {
+      cluster;
+      rng = Sim.Rng.split (Sim.Engine.rng (Myraft.Cluster.engine cluster));
+      running = true;
+      injections = 0;
+      restart_after;
+    }
+  in
+  let engine = Myraft.Cluster.engine cluster in
+  let rec tick () =
+    if t.running then begin
+      inject t kind;
+      ignore (Sim.Engine.schedule engine ~delay:interval tick)
+    end
+  in
+  ignore (Sim.Engine.schedule engine ~delay:interval tick);
+  t
+
+(* The shadow-testing correctness check: every live MySQL engine that has
+   the same committed count must have identical content (§5.1's checksum
+   comparison).  Returns an error describing the first divergence. *)
+let consistency_check cluster =
+  let live =
+    List.filter (fun s -> not (Myraft.Server.is_crashed s)) (Myraft.Cluster.servers cluster)
+  in
+  let by_count =
+    List.sort
+      (fun a b ->
+        compare
+          (Storage.Engine.committed_count (Myraft.Server.storage b))
+          (Storage.Engine.committed_count (Myraft.Server.storage a)))
+      live
+  in
+  match by_count with
+  | [] -> Ok 0
+  | reference :: _ ->
+    let ref_count = Storage.Engine.committed_count (Myraft.Server.storage reference) in
+    let divergent =
+      List.find_opt
+        (fun s ->
+          Storage.Engine.committed_count (Myraft.Server.storage s) = ref_count
+          && not
+               (Int32.equal
+                  (Storage.Engine.checksum (Myraft.Server.storage s))
+                  (Storage.Engine.checksum (Myraft.Server.storage reference))))
+        live
+    in
+    (match divergent with
+    | Some s ->
+      Error
+        (Printf.sprintf "%s diverges from %s at %d committed txns" (Myraft.Server.id s)
+           (Myraft.Server.id reference) ref_count)
+    | None -> Ok ref_count)

@@ -1,0 +1,18 @@
+(** MyShadow-style failure injection (§5.1): repeatedly crash the
+    current leader or repeatedly request graceful transfers, with
+    checksum-based correctness checks across the ring. *)
+
+type kind = Crash_leader | Graceful_transfer
+
+type t
+
+val start : ?interval:float -> ?restart_after:float -> Myraft.Cluster.t -> kind:kind -> t
+
+val stop : t -> unit
+
+val injections : t -> int
+
+(** §5.1 checksum comparison: every live engine at the reference
+    committed count must have identical content.  [Ok n] returns the
+    compared transaction count. *)
+val consistency_check : Myraft.Cluster.t -> (int, string) result

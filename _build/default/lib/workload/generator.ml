@@ -1,0 +1,155 @@
+(* Workload generators.
+
+   [Production]: MyShadow-style open-loop traffic — Poisson arrivals from
+   a client ~10 ms away from the primary, transaction sizes drawn from a
+   lognormal around the fleet's ~500-byte average (§4.2.2, §6.1).
+
+   [Sysbench]: the sysbench OLTP write benchmark — a closed loop of N
+   worker threads colocated with the primary (§6.1 runs the clients on
+   the primary's machine to remove client-side latency). *)
+
+type stats = {
+  latencies : Stats.Histogram.t; (* commit latency as seen by the client *)
+  throughput : Stats.Timeseries.t; (* commits per bucket *)
+  mutable issued : int;
+  mutable committed : int;
+  mutable rejected : int;
+  mutable timed_out : int;
+}
+
+let make_stats ~bucket_width =
+  {
+    latencies = Stats.Histogram.create ();
+    throughput = Stats.Timeseries.create ~bucket_width;
+    issued = 0;
+    committed = 0;
+    rejected = 0;
+    timed_out = 0;
+  }
+
+type t = {
+  backend : Backend.t;
+  client_id : string;
+  rng : Sim.Rng.t;
+  stats : stats;
+  write_timeout : float;
+  outstanding : (int, float * (bool -> unit) option) Hashtbl.t;
+    (* write id -> (send time, continuation) *)
+  mutable next_id : int;
+  mutable running : bool;
+  key_space : int;
+  value_mu : float; (* lognormal of row payload size *)
+  value_sigma : float;
+}
+
+let stats t = t.stats
+
+let stop t = t.running <- false
+
+let create ~backend ~client_id ~region ?client_latency ?(write_timeout = 5.0 *. Sim.Engine.s)
+    ?(key_space = 100_000) ?(value_mu = log 420.0) ?(value_sigma = 0.4)
+    ?(bucket_width = Sim.Engine.s) () =
+  let t =
+    {
+      backend;
+      client_id;
+      rng = Sim.Rng.split (Sim.Engine.rng backend.Backend.engine);
+      stats = make_stats ~bucket_width;
+      write_timeout;
+      outstanding = Hashtbl.create 256;
+      next_id = 1;
+      running = true;
+      key_space;
+      value_mu;
+      value_sigma;
+    }
+  in
+  backend.Backend.register_client ~id:client_id ~region ~on_reply:(fun ~write_id ~ok ->
+      match Hashtbl.find_opt t.outstanding write_id with
+      | None -> ()
+      | Some (sent_at, k) ->
+        Hashtbl.remove t.outstanding write_id;
+        let now = Sim.Engine.now backend.Backend.engine in
+        if ok then begin
+          t.stats.committed <- t.stats.committed + 1;
+          Stats.Histogram.record t.stats.latencies (now -. sent_at);
+          Stats.Timeseries.record t.stats.throughput now
+        end
+        else t.stats.rejected <- t.stats.rejected + 1;
+        match k with Some k -> k ok | None -> ());
+  (* With no explicit override the client's latency to the ring comes
+     from the region-pair model. *)
+  (match client_latency with
+  | Some latency -> backend.Backend.set_client_latency ~client:client_id ~latency
+  | None -> ());
+  t
+
+(* Issue one specific write; [k] runs when it settles (commit, reject or
+   timeout).  Used directly by trace replay (Shadow). *)
+let issue_op ?k t ~table ~key ~value_size =
+  let engine = t.backend.Backend.engine in
+  let write_id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  t.stats.issued <- t.stats.issued + 1;
+  let ops = [ Binlog.Event.Insert { key; value = String.make value_size 'd' } ] in
+  Hashtbl.replace t.outstanding write_id (Sim.Engine.now engine, k);
+  let sent = t.backend.Backend.send_write ~client:t.client_id ~write_id ~table ~ops in
+  if not sent then begin
+    Hashtbl.remove t.outstanding write_id;
+    t.stats.rejected <- t.stats.rejected + 1;
+    match k with Some k -> k false | None -> ()
+  end
+  else
+    ignore
+      (Sim.Engine.schedule engine ~delay:t.write_timeout (fun () ->
+           match Hashtbl.find_opt t.outstanding write_id with
+           | None -> () (* already settled *)
+           | Some (_, k) ->
+             Hashtbl.remove t.outstanding write_id;
+             t.stats.timed_out <- t.stats.timed_out + 1;
+             (match k with Some k -> k false | None -> ())))
+
+(* Issue one write with generator-drawn key and payload size. *)
+let issue ?k t =
+  let value_size =
+    max 16 (int_of_float (Sim.Rng.lognormal t.rng ~mu:t.value_mu ~sigma:t.value_sigma))
+  in
+  let key = Printf.sprintf "row-%d" (Sim.Rng.int t.rng t.key_space) in
+  issue_op ?k t ~table:"sbtest" ~key ~value_size
+
+(* Open-loop Poisson arrivals at [rate_per_s]. *)
+let start_open_loop t ~rate_per_s =
+  let engine = t.backend.Backend.engine in
+  let mean_gap = Sim.Engine.s /. rate_per_s in
+  let rec tick () =
+    if t.running then begin
+      issue t;
+      ignore
+        (Sim.Engine.schedule engine ~delay:(Sim.Rng.exponential t.rng ~mean:mean_gap) tick)
+    end
+  in
+  ignore (Sim.Engine.schedule engine ~delay:(Sim.Rng.exponential t.rng ~mean:mean_gap) tick)
+
+(* Closed loop with [threads] workers (sysbench-style). *)
+let start_closed_loop t ~threads =
+  let engine = t.backend.Backend.engine in
+  let rec worker () =
+    if t.running then
+      issue t ~k:(fun _ ->
+          (* tiny think time to model the client library overhead *)
+          ignore (Sim.Engine.schedule engine ~delay:(10.0 *. Sim.Engine.us) worker))
+  in
+  for _ = 1 to threads do
+    ignore
+      (Sim.Engine.schedule engine ~delay:(Sim.Rng.uniform t.rng ~lo:0.0 ~hi:Sim.Engine.ms)
+         worker)
+  done
+
+let summary t =
+  let st = t.stats in
+  Printf.sprintf "%s/%s: issued=%d committed=%d rejected=%d timeout=%d%s"
+    t.backend.Backend.label t.client_id st.issued st.committed st.rejected st.timed_out
+    (if Stats.Histogram.is_empty st.latencies then ""
+     else
+       Printf.sprintf " | %s"
+         (Stats.Histogram.summary_line ~label:"latency(us)" st.latencies))

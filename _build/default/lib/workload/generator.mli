@@ -1,0 +1,49 @@
+(** Workload generators for the §6.1 experiments: MyShadow-style
+    open-loop production traffic (Poisson arrivals, lognormal payload
+    sizes) and the sysbench OLTP-write closed loop. *)
+
+type stats = {
+  latencies : Stats.Histogram.t;
+  throughput : Stats.Timeseries.t;
+  mutable issued : int;
+  mutable committed : int;
+  mutable rejected : int;
+  mutable timed_out : int;
+}
+
+type t
+
+(** Register a client against a backend.  [client_latency] pins a fixed
+    one-way latency to every ring member; omit it to use the region
+    latency model. *)
+val create :
+  backend:Backend.t ->
+  client_id:string ->
+  region:string ->
+  ?client_latency:float ->
+  ?write_timeout:float ->
+  ?key_space:int ->
+  ?value_mu:float ->
+  ?value_sigma:float ->
+  ?bucket_width:float ->
+  unit ->
+  t
+
+val stats : t -> stats
+
+val stop : t -> unit
+
+(** Issue one specific write (trace replay); [k] runs when it settles
+    (commit/reject/timeout). *)
+val issue_op : ?k:(bool -> unit) -> t -> table:string -> key:string -> value_size:int -> unit
+
+(** Issue one write with generator-drawn key and payload size. *)
+val issue : ?k:(bool -> unit) -> t -> unit
+
+(** Poisson arrivals at [rate_per_s]. *)
+val start_open_loop : t -> rate_per_s:float -> unit
+
+(** [threads] sysbench-style workers, each re-issuing on completion. *)
+val start_closed_loop : t -> threads:int -> unit
+
+val summary : t -> string

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Binlog Myraft Printf Sim String

@@ -1,0 +1,1 @@
+test/test_binlog.ml: Alcotest Binlog Gen List Option QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_commands.ml: Alcotest Binlog Control Helpers List Myraft Option Printf Storage String

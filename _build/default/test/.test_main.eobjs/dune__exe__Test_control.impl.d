@@ -1,0 +1,1 @@
+test/test_control.ml: Alcotest Binlog Control Helpers Myraft Option Printf Raft Result Semisync Sim Storage

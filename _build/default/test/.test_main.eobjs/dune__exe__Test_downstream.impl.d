@@ -1,0 +1,1 @@
+test/test_downstream.ml: Alcotest Binlog Control Downstream Helpers List Myraft Option Printf Result Storage

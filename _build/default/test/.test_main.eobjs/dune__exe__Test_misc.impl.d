@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Binlog Downstream Helpers List Myraft Raft Sim String

@@ -1,0 +1,1 @@
+test/test_myraft.ml: Alcotest Binlog Helpers Int32 List Myraft Option Raft Sim Storage

@@ -1,0 +1,1 @@
+test/test_myraft_edge.ml: Alcotest Binlog Helpers List Myraft Option Printf Raft Sim Storage Workload

@@ -1,0 +1,1 @@
+test/test_properties.ml: Binlog List Option Printf QCheck QCheck_alcotest Raft String

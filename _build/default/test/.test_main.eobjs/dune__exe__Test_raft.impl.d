@@ -1,0 +1,1 @@
+test/test_raft.ml: Alcotest Binlog Hashtbl List Option Printf Raft Result Sim String

@@ -1,0 +1,1 @@
+test/test_raft_safety.ml: Alcotest Array Binlog Hashtbl Int32 List Printf Raft Sim Test_raft

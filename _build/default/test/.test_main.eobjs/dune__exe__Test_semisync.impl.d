@@ -1,0 +1,1 @@
+test/test_semisync.ml: Alcotest Binlog Helpers List Myraft Option Printf Semisync Sim Storage

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Binlog Int32 List Storage

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Helpers List Myraft Option Printf Semisync Sim Stats Storage Workload

@@ -1,0 +1,276 @@
+(* Binlog substrate tests: OpIds, GTID sets (with qcheck properties),
+   entries/checksums, and the log store (append/rotate/truncate/purge/
+   rewire). *)
+
+let gtid source gno = Binlog.Gtid.make ~source ~gno
+
+let sample_txn_payload ?(source = "srv1") ?(gno = 1) () =
+  let g = gtid source gno in
+  Binlog.Entry.Transaction
+    {
+      gtid = g;
+      events =
+        [
+          Binlog.Event.make (Binlog.Event.Gtid_event g);
+          Binlog.Event.make
+            (Binlog.Event.Write_rows
+               { table = "t"; ops = [ Binlog.Event.Insert { key = "k"; value = "v" } ] });
+          Binlog.Event.make (Binlog.Event.Xid { xid = 1L });
+        ];
+    }
+
+let entry ~term ~index ?source ?gno () =
+  Binlog.Entry.make
+    ~opid:(Binlog.Opid.make ~term ~index)
+    (sample_txn_payload ?source ~gno:(Option.value gno ~default:index) ())
+
+(* ----- Opid ----- *)
+
+let test_opid_ordering () =
+  let a = Binlog.Opid.make ~term:2 ~index:5 in
+  let b = Binlog.Opid.make ~term:3 ~index:1 in
+  let c = Binlog.Opid.make ~term:3 ~index:2 in
+  Alcotest.(check bool) "higher term wins" true (Binlog.Opid.compare b a > 0);
+  Alcotest.(check bool) "same term by index" true (Binlog.Opid.compare c b > 0);
+  Alcotest.(check bool) "up-to-date reflexive" true
+    (Binlog.Opid.at_least_as_up_to_date_as a a)
+
+(* ----- Gtid_set ----- *)
+
+let test_gtid_set_add_contains () =
+  let s = Binlog.Gtid_set.add Binlog.Gtid_set.empty (gtid "a" 5) in
+  Alcotest.(check bool) "contains added" true (Binlog.Gtid_set.contains s (gtid "a" 5));
+  Alcotest.(check bool) "not other gno" false (Binlog.Gtid_set.contains s (gtid "a" 4));
+  Alcotest.(check bool) "not other source" false (Binlog.Gtid_set.contains s (gtid "b" 5))
+
+let test_gtid_set_interval_merge () =
+  let s =
+    List.fold_left Binlog.Gtid_set.add Binlog.Gtid_set.empty
+      [ gtid "a" 1; gtid "a" 3; gtid "a" 2 ]
+  in
+  Alcotest.(check string) "merged to one interval" "a:1-3" (Binlog.Gtid_set.to_string s)
+
+let test_gtid_set_remove_splits () =
+  let s = Binlog.Gtid_set.add_interval Binlog.Gtid_set.empty ~source:"a" ~lo:1 ~hi:5 in
+  let s = Binlog.Gtid_set.remove s (gtid "a" 3) in
+  Alcotest.(check string) "split" "a:1-2:4-5" (Binlog.Gtid_set.to_string s);
+  Alcotest.(check int) "cardinal" 4 (Binlog.Gtid_set.cardinal s)
+
+let test_gtid_set_union_subset () =
+  let a = Binlog.Gtid_set.add_interval Binlog.Gtid_set.empty ~source:"x" ~lo:1 ~hi:3 in
+  let b = Binlog.Gtid_set.add_interval Binlog.Gtid_set.empty ~source:"x" ~lo:3 ~hi:6 in
+  let u = Binlog.Gtid_set.union a b in
+  Alcotest.(check string) "union merged" "x:1-6" (Binlog.Gtid_set.to_string u);
+  Alcotest.(check bool) "a subset u" true (Binlog.Gtid_set.subset a u);
+  Alcotest.(check bool) "u not subset a" false (Binlog.Gtid_set.subset u a)
+
+let test_gtid_set_max_gno () =
+  let s = Binlog.Gtid_set.add_interval Binlog.Gtid_set.empty ~source:"a" ~lo:2 ~hi:9 in
+  Alcotest.(check int) "max gno" 9 (Binlog.Gtid_set.max_gno s ~source:"a");
+  Alcotest.(check int) "missing source" 0 (Binlog.Gtid_set.max_gno s ~source:"b")
+
+let gtid_list_gen =
+  QCheck.(list_of_size Gen.(1 -- 60) (pair (oneofl [ "s1"; "s2"; "s3" ]) (1 -- 30)))
+
+let prop_gtid_set_contains_all_added =
+  QCheck.Test.make ~name:"set contains everything added" ~count:300 gtid_list_gen
+    (fun pairs ->
+      let set =
+        List.fold_left
+          (fun acc (src, gno) -> Binlog.Gtid_set.add acc (gtid src gno))
+          Binlog.Gtid_set.empty pairs
+      in
+      List.for_all (fun (src, gno) -> Binlog.Gtid_set.contains set (gtid src gno)) pairs)
+
+let prop_gtid_set_cardinal_matches =
+  QCheck.Test.make ~name:"cardinal = distinct count" ~count:300 gtid_list_gen
+    (fun pairs ->
+      let set =
+        List.fold_left
+          (fun acc (src, gno) -> Binlog.Gtid_set.add acc (gtid src gno))
+          Binlog.Gtid_set.empty pairs
+      in
+      Binlog.Gtid_set.cardinal set = List.length (List.sort_uniq compare pairs))
+
+let prop_gtid_set_remove_then_absent =
+  QCheck.Test.make ~name:"remove makes absent, keeps others" ~count:300 gtid_list_gen
+    (fun pairs ->
+      QCheck.assume (pairs <> []);
+      let set =
+        List.fold_left
+          (fun acc (src, gno) -> Binlog.Gtid_set.add acc (gtid src gno))
+          Binlog.Gtid_set.empty pairs
+      in
+      let src, gno = List.hd pairs in
+      let removed = Binlog.Gtid_set.remove set (gtid src gno) in
+      (not (Binlog.Gtid_set.contains removed (gtid src gno)))
+      && List.for_all
+           (fun (s, g) ->
+             (s, g) = (src, gno) || Binlog.Gtid_set.contains removed (gtid s g))
+           pairs)
+
+let prop_gtid_set_union_commutes =
+  QCheck.Test.make ~name:"union commutes" ~count:300 (QCheck.pair gtid_list_gen gtid_list_gen)
+    (fun (pa, pb) ->
+      let mk pairs =
+        List.fold_left
+          (fun acc (src, gno) -> Binlog.Gtid_set.add acc (gtid src gno))
+          Binlog.Gtid_set.empty pairs
+      in
+      let a = mk pa and b = mk pb in
+      Binlog.Gtid_set.equal (Binlog.Gtid_set.union a b) (Binlog.Gtid_set.union b a))
+
+(* ----- checksum / entry ----- *)
+
+let test_crc32_known_value () =
+  (* CRC-32 of "123456789" is 0xCBF43926 (IEEE). *)
+  Alcotest.(check int32) "crc32 vector" 0xCBF43926l (Binlog.Checksum.string "123456789")
+
+let test_entry_checksum_roundtrip () =
+  let e = entry ~term:1 ~index:1 () in
+  Alcotest.(check bool) "verifies" true (Binlog.Entry.verify e)
+
+let test_entry_size_positive () =
+  let e = entry ~term:1 ~index:1 () in
+  Alcotest.(check bool) "has size" true (Binlog.Entry.size e > 0)
+
+let test_event_sizes () =
+  let small = Binlog.Event.make (Binlog.Event.Xid { xid = 1L }) in
+  let big =
+    Binlog.Event.make
+      (Binlog.Event.Write_rows
+         {
+           table = "t";
+           ops = [ Binlog.Event.Insert { key = String.make 100 'k'; value = String.make 300 'v' } ];
+         })
+  in
+  Alcotest.(check bool) "rows event bigger than xid" true
+    (Binlog.Event.size big > Binlog.Event.size small)
+
+(* ----- log store ----- *)
+
+let test_log_append_and_read () =
+  let log = Binlog.Log_store.create () in
+  for i = 1 to 10 do
+    Binlog.Log_store.append log (entry ~term:1 ~index:i ())
+  done;
+  Alcotest.(check int) "last index" 10 (Binlog.Opid.index (Binlog.Log_store.last_opid log));
+  (match Binlog.Log_store.entry_at log 5 with
+  | Some e -> Alcotest.(check int) "entry index" 5 (Binlog.Entry.index e)
+  | None -> Alcotest.fail "missing entry");
+  Alcotest.(check int) "entries_from" 3
+    (List.length (Binlog.Log_store.entries_from log ~from_index:8 ~max_count:100))
+
+let test_log_append_gap_rejected () =
+  let log = Binlog.Log_store.create () in
+  Binlog.Log_store.append log (entry ~term:1 ~index:1 ());
+  Alcotest.check_raises "gap" (Invalid_argument "Log_store.append: index 3 but log ends at 1")
+    (fun () -> Binlog.Log_store.append log (entry ~term:1 ~index:3 ()))
+
+let test_log_truncate () =
+  let log = Binlog.Log_store.create () in
+  for i = 1 to 10 do
+    Binlog.Log_store.append log (entry ~term:1 ~index:i ())
+  done;
+  let removed = Binlog.Log_store.truncate_from log ~from_index:6 in
+  Alcotest.(check int) "removed" 5 (List.length removed);
+  Alcotest.(check int) "new last" 5 (Binlog.Opid.index (Binlog.Log_store.last_opid log));
+  (* GTIDs of truncated transactions are gone from the log's set (§3.3) *)
+  Alcotest.(check bool) "gtid removed" false
+    (Binlog.Gtid_set.contains (Binlog.Log_store.gtid_set log) (gtid "srv1" 7));
+  Alcotest.(check bool) "kept gtid present" true
+    (Binlog.Gtid_set.contains (Binlog.Log_store.gtid_set log) (gtid "srv1" 3));
+  (* can append again after truncation *)
+  Binlog.Log_store.append log (entry ~term:2 ~index:6 ~gno:100 ());
+  Alcotest.(check int) "append after truncate" 6
+    (Binlog.Opid.index (Binlog.Log_store.last_opid log))
+
+let test_log_rotation_and_file_list () =
+  let log = Binlog.Log_store.create () in
+  for i = 1 to 5 do
+    Binlog.Log_store.append log (entry ~term:1 ~index:i ())
+  done;
+  Binlog.Log_store.rotate log;
+  for i = 6 to 8 do
+    Binlog.Log_store.append log (entry ~term:1 ~index:i ())
+  done;
+  let files = Binlog.Log_store.file_list log in
+  Alcotest.(check int) "two files" 2 (List.length files);
+  (match files with
+  | [ (_, _, n1); (_, _, n2) ] ->
+    Alcotest.(check int) "first file entries" 5 n1;
+    Alcotest.(check int) "second file entries" 3 n2
+  | _ -> Alcotest.fail "unexpected files")
+
+let test_log_purge () =
+  let log = Binlog.Log_store.create () in
+  for i = 1 to 5 do
+    Binlog.Log_store.append log (entry ~term:1 ~index:i ())
+  done;
+  Binlog.Log_store.rotate log;
+  for i = 6 to 8 do
+    Binlog.Log_store.append log (entry ~term:1 ~index:i ())
+  done;
+  let second_file =
+    match Binlog.Log_store.file_names log with [ _; f2 ] -> f2 | _ -> Alcotest.fail "files"
+  in
+  Binlog.Log_store.purge_to log ~file:second_file;
+  Alcotest.(check int) "one file left" 1 (List.length (Binlog.Log_store.file_names log));
+  Alcotest.(check bool) "purged entry gone" true (Binlog.Log_store.entry_at log 3 = None);
+  Alcotest.(check bool) "kept entry present" true (Binlog.Log_store.entry_at log 7 <> None);
+  Alcotest.(check int) "last index unchanged" 8
+    (Binlog.Opid.index (Binlog.Log_store.last_opid log))
+
+let test_log_switch_mode_rewires_names () =
+  let log = Binlog.Log_store.create ~mode:Binlog.Log_store.Relay () in
+  Binlog.Log_store.append log (entry ~term:1 ~index:1 ());
+  Binlog.Log_store.switch_mode log Binlog.Log_store.Binlog;
+  Binlog.Log_store.append log (entry ~term:1 ~index:2 ());
+  let names = Binlog.Log_store.file_names log in
+  Alcotest.(check bool) "relay file kept" true
+    (List.exists (fun n -> String.length n >= 8 && String.sub n 0 8 = "relaylog") names);
+  Alcotest.(check bool) "new binlog file" true
+    (List.exists (fun n -> String.length n >= 6 && String.sub n 0 6 = "binlog") names);
+  (* entries survive the rewiring *)
+  Alcotest.(check bool) "entries intact" true (Binlog.Log_store.entry_at log 1 <> None)
+
+let test_log_term_regression_rejected () =
+  let log = Binlog.Log_store.create () in
+  Binlog.Log_store.append log (entry ~term:3 ~index:1 ());
+  Alcotest.check_raises "term regression"
+    (Invalid_argument "Log_store.append: term regression") (fun () ->
+      Binlog.Log_store.append log (entry ~term:2 ~index:2 ()))
+
+let suites =
+  [
+    ("binlog.opid", [ Alcotest.test_case "ordering" `Quick test_opid_ordering ]);
+    ( "binlog.gtid_set",
+      [
+        Alcotest.test_case "add/contains" `Quick test_gtid_set_add_contains;
+        Alcotest.test_case "interval merge" `Quick test_gtid_set_interval_merge;
+        Alcotest.test_case "remove splits" `Quick test_gtid_set_remove_splits;
+        Alcotest.test_case "union/subset" `Quick test_gtid_set_union_subset;
+        Alcotest.test_case "max gno" `Quick test_gtid_set_max_gno;
+        QCheck_alcotest.to_alcotest prop_gtid_set_contains_all_added;
+        QCheck_alcotest.to_alcotest prop_gtid_set_cardinal_matches;
+        QCheck_alcotest.to_alcotest prop_gtid_set_remove_then_absent;
+        QCheck_alcotest.to_alcotest prop_gtid_set_union_commutes;
+      ] );
+    ( "binlog.entry",
+      [
+        Alcotest.test_case "crc32 known vector" `Quick test_crc32_known_value;
+        Alcotest.test_case "checksum roundtrip" `Quick test_entry_checksum_roundtrip;
+        Alcotest.test_case "entry size" `Quick test_entry_size_positive;
+        Alcotest.test_case "event sizes" `Quick test_event_sizes;
+      ] );
+    ( "binlog.log_store",
+      [
+        Alcotest.test_case "append and read" `Quick test_log_append_and_read;
+        Alcotest.test_case "gap rejected" `Quick test_log_append_gap_rejected;
+        Alcotest.test_case "truncate" `Quick test_log_truncate;
+        Alcotest.test_case "rotation and SHOW BINARY LOGS" `Quick test_log_rotation_and_file_list;
+        Alcotest.test_case "purge" `Quick test_log_purge;
+        Alcotest.test_case "binlog/relay rewiring" `Quick test_log_switch_mode_rewires_names;
+        Alcotest.test_case "term regression rejected" `Quick test_log_term_regression_rejected;
+      ] );
+  ]

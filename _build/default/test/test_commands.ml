@@ -1,0 +1,107 @@
+(* The §3 command surface: SHOW/FLUSH/PURGE keep working under MyRaft;
+   CHANGE MASTER / RESET are disallowed.  Plus the §A.1 binlog janitor. *)
+
+let s = Helpers.s
+
+let cluster_with_writes () =
+  let cluster = Helpers.bootstrapped ~members:(Myraft.Cluster.small_members ()) () in
+  ignore (Helpers.write_n cluster 5);
+  cluster
+
+let test_show_binary_logs () =
+  let cluster = cluster_with_writes () in
+  let primary = Option.get (Myraft.Cluster.primary cluster) in
+  match Myraft.Commands.show_binary_logs primary with
+  | Myraft.Commands.Rows { header; rows } ->
+    Alcotest.(check (list string)) "header" [ "Log_name"; "File_size"; "Entry_count" ] header;
+    Alcotest.(check bool) "at least one file" true (rows <> []);
+    Alcotest.(check bool) "binlog naming" true
+      (List.for_all (fun row -> Helpers.contains (List.hd row) "log") rows)
+  | _ -> Alcotest.fail "expected rows"
+
+let test_show_master_status () =
+  let cluster = cluster_with_writes () in
+  let primary = Option.get (Myraft.Cluster.primary cluster) in
+  match Myraft.Commands.show_master_status primary with
+  | Myraft.Commands.Rows { rows = [ [ _file; position; gtids ] ]; _ } ->
+    Alcotest.(check bool) "position advanced" true (int_of_string position >= 6);
+    Alcotest.(check bool) "gtid set rendered" true (Helpers.contains gtids "mysql1:1-5")
+  | _ -> Alcotest.fail "expected one row"
+
+let test_show_replica_status () =
+  let cluster = cluster_with_writes () in
+  Myraft.Cluster.run_for cluster (2.0 *. s);
+  let replica = Option.get (Myraft.Cluster.server cluster "mysql2") in
+  match Myraft.Commands.show_replica_status replica with
+  | Myraft.Commands.Rows { rows = [ row ]; _ } ->
+    Alcotest.(check string) "role" "replica" (List.nth row 0);
+    Alcotest.(check string) "raft role" "follower" (List.nth row 1);
+    Alcotest.(check string) "knows leader" "mysql1" (List.nth row 3);
+    Alcotest.(check string) "caught up" "0" (List.nth row 6)
+  | _ -> Alcotest.fail "expected one row"
+
+let test_disallowed_commands () =
+  let cluster = cluster_with_writes () in
+  let primary = Option.get (Myraft.Cluster.primary cluster) in
+  let check name = function
+    | Myraft.Commands.Disallowed msg ->
+      Alcotest.(check bool) (name ^ " mentions raft") true
+        (Helpers.contains (String.lowercase_ascii msg) "raft")
+    | _ -> Alcotest.failf "%s must be disallowed" name
+  in
+  check "change master" (Myraft.Commands.change_master_to primary);
+  check "reset master" (Myraft.Commands.reset_master primary);
+  check "reset replication" (Myraft.Commands.reset_replication primary)
+
+let test_flush_command_on_replica_fails () =
+  let cluster = cluster_with_writes () in
+  let replica = Option.get (Myraft.Cluster.server cluster "mysql2") in
+  match Myraft.Commands.flush_binary_logs replica with
+  | Myraft.Commands.Disallowed _ -> ()
+  | _ -> Alcotest.fail "flush on replica must fail"
+
+let test_render () =
+  let cluster = cluster_with_writes () in
+  let primary = Option.get (Myraft.Cluster.primary cluster) in
+  let text = Myraft.Commands.render (Myraft.Commands.show_binary_logs primary) in
+  Alcotest.(check bool) "renders a table" true (Helpers.contains text "Log_name")
+
+let test_binlog_janitor_rotates_and_purges () =
+  let params = { Myraft.Params.default with Myraft.Params.max_binlog_bytes = 4_096 } in
+  let cluster =
+    Helpers.bootstrapped ~params ~members:(Myraft.Cluster.small_members ()) ()
+  in
+  let janitor = Control.Automation.start_binlog_janitor ~keep_files:3 cluster in
+  (* write in pulses so the janitor's monitoring loop sees the file grow
+     past its 4KB budget repeatedly *)
+  for batch = 0 to 7 do
+    ignore (Helpers.write_n ~prefix:(Printf.sprintf "k%d-" batch) cluster 40);
+    Myraft.Cluster.run_for cluster (3.0 *. s)
+  done;
+  Control.Automation.stop_janitor janitor;
+  Alcotest.(check bool) "rotated" true (Control.Automation.rotations janitor >= 2);
+  Alcotest.(check bool) "purged" true (Control.Automation.purges janitor >= 1);
+  let primary = Option.get (Myraft.Cluster.primary cluster) in
+  Alcotest.(check bool) "file count bounded" true
+    (List.length (Binlog.Log_store.file_names (Myraft.Server.log primary)) <= 5);
+  (* the data is still all there *)
+  Alcotest.(check (option string)) "data intact" (Some "v")
+    (Storage.Engine.get (Myraft.Server.storage primary) ~table:"t" ~key:"k3-17")
+
+let suites =
+  [
+    ( "myraft.commands",
+      [
+        Alcotest.test_case "SHOW BINARY LOGS" `Quick test_show_binary_logs;
+        Alcotest.test_case "SHOW MASTER STATUS" `Quick test_show_master_status;
+        Alcotest.test_case "SHOW REPLICA STATUS" `Quick test_show_replica_status;
+        Alcotest.test_case "CHANGE MASTER / RESET disallowed" `Quick test_disallowed_commands;
+        Alcotest.test_case "FLUSH on replica fails" `Quick test_flush_command_on_replica_fails;
+        Alcotest.test_case "render" `Quick test_render;
+      ] );
+    ( "control.binlog_janitor",
+      [
+        Alcotest.test_case "rotates by size and purges" `Quick
+          test_binlog_janitor_rotates_and_purges;
+      ] );
+  ]

@@ -1,0 +1,25 @@
+(* Test entry point: every suite registers here. *)
+
+let () =
+  let suites =
+    List.concat
+      [
+        Test_sim.suites;
+        Test_stats.suites;
+        Test_binlog.suites;
+        Test_storage.suites;
+        Test_raft.suites;
+        Test_raft_safety.suites;
+        Test_pipeline.suites;
+        Test_myraft.suites;
+        Test_commands.suites;
+        Test_myraft_edge.suites;
+        Test_properties.suites;
+        Test_downstream.suites;
+        Test_semisync.suites;
+        Test_control.suites;
+        Test_workload.suites;
+        Test_misc.suites;
+      ]
+  in
+  Alcotest.run "myraft-repro" suites

@@ -1,0 +1,233 @@
+(* Property-based suites over the core data structures:
+
+   - Log_store: random append/rotate/truncate/purge sequences preserve
+     the store invariants (contiguity, tail opid, GTID-set consistency,
+     file-range partitioning).
+   - Quorum: FlexiRaft intersection — any satisfied election quorum
+     shares a voter with any satisfiable data quorum of the last
+     leader's region. *)
+
+(* ----- log store ----- *)
+
+type op = Append | Rotate | Truncate of int | Purge
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (12, return Append);
+        (2, return Rotate);
+        (2, map (fun n -> Truncate n) (1 -- 10));
+        (1, return Purge);
+      ])
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Append -> "A"
+             | Rotate -> "R"
+             | Truncate n -> Printf.sprintf "T%d" n
+             | Purge -> "P")
+           ops))
+    QCheck.Gen.(list_size (5 -- 60) op_gen)
+
+let txn_entry ~term ~index =
+  Binlog.Entry.make
+    ~opid:(Binlog.Opid.make ~term ~index)
+    (Binlog.Entry.Transaction
+       {
+         gtid = Binlog.Gtid.make ~source:"src" ~gno:index;
+         events =
+           [
+             Binlog.Event.make
+               (Binlog.Event.Write_rows
+                  { table = "t"; ops = [ Binlog.Event.Insert { key = "k"; value = "v" } ] });
+           ];
+       })
+
+(* Replay ops against the store and a naive model (list of live
+   entries), then compare observable state. *)
+let run_ops ops =
+  let log = Binlog.Log_store.create () in
+  let term = ref 1 in
+  List.iter
+    (fun op ->
+      match op with
+      | Append ->
+        let index = Binlog.Log_store.last_index log + 1 in
+        Binlog.Log_store.append log (txn_entry ~term:!term ~index)
+      | Rotate ->
+        Binlog.Log_store.rotate log;
+        incr term (* new terms land in new files now and then *)
+      | Truncate back ->
+        let last = Binlog.Log_store.last_index log in
+        let from_index = max (Binlog.Log_store.purged_below log) (last - back + 1) in
+        if from_index >= 1 && from_index <= last then
+          ignore (Binlog.Log_store.truncate_from log ~from_index)
+      | Purge -> (
+        (* purge everything except the final file, like the janitor *)
+        match List.rev (Binlog.Log_store.file_names log) with
+        | keep :: _ :: _ -> Binlog.Log_store.purge_to log ~file:keep
+        | _ -> ()))
+    ops;
+  log
+
+let prop_log_store_invariants =
+  QCheck.Test.make ~name:"log store invariants under random ops" ~count:500 ops_arb
+    (fun ops ->
+      let log = run_ops ops in
+      let last = Binlog.Log_store.last_index log in
+      (* tail opid matches the tail entry when it exists *)
+      (match Binlog.Log_store.entry_at log last with
+      | Some e ->
+        Binlog.Opid.equal (Binlog.Entry.opid e) (Binlog.Log_store.last_opid log)
+      | None -> last = 0 || Binlog.Log_store.purged_below log > last)
+      && (* indexes are self-consistent and contiguous where present *)
+      List.for_all
+        (fun i ->
+          match Binlog.Log_store.entry_at log i with
+          | Some e -> Binlog.Entry.index e = i
+          | None -> i < Binlog.Log_store.purged_below log)
+        (List.init last (fun i -> i + 1))
+      && (* the GTID set matches exactly the live transaction entries *)
+      (let live_gnos =
+         List.filter_map
+           (fun e -> Option.map Binlog.Gtid.gno (Binlog.Entry.gtid e))
+           (Binlog.Log_store.all_entries log)
+       in
+       List.for_all
+         (fun gno ->
+           Binlog.Gtid_set.contains (Binlog.Log_store.gtid_set log)
+             (Binlog.Gtid.make ~source:"src" ~gno))
+         live_gnos)
+      && (* file ranges partition the live index space in order *)
+      (let ranges =
+         List.filter (fun (_, first, _, _) -> first > 0) (Binlog.Log_store.file_ranges log)
+       in
+       let rec contiguous = function
+         | (_, _, last_a, _) :: ((_, first_b, _, _) :: _ as rest) ->
+           first_b = last_a + 1 && contiguous rest
+         | _ -> true
+       in
+       contiguous ranges))
+
+let prop_log_store_append_after_anything =
+  QCheck.Test.make ~name:"append always works at tail+1" ~count:500 ops_arb (fun ops ->
+      let log = run_ops ops in
+      let index = Binlog.Log_store.last_index log + 1 in
+      Binlog.Log_store.append log (txn_entry ~term:1000 ~index);
+      Binlog.Opid.index (Binlog.Log_store.last_opid log) = index)
+
+let prop_log_store_term_at_boundary =
+  QCheck.Test.make ~name:"term_at answers at the purge boundary" ~count:500 ops_arb
+    (fun ops ->
+      let log = run_ops ops in
+      let boundary = Binlog.Log_store.purge_boundary_opid log in
+      Binlog.Opid.equal boundary Binlog.Opid.zero
+      || Binlog.Log_store.term_at log (Binlog.Opid.index boundary)
+         = Some (Binlog.Opid.term boundary))
+
+(* ----- quorum intersection ----- *)
+
+let config_gen =
+  QCheck.Gen.(
+    let* region_count = 2 -- 4 in
+    let* sizes = list_repeat region_count (1 -- 4) in
+    let members =
+      List.concat
+        (List.mapi
+           (fun r size ->
+             List.init size (fun i ->
+                 {
+                   Raft.Types.id = Printf.sprintf "n%d_%d" r i;
+                   region = Printf.sprintf "r%d" r;
+                   voter = true;
+                   kind = Raft.Types.Mysql_server;
+                 }))
+           sizes)
+    in
+    return { Raft.Types.members })
+
+let subset_gen cfg =
+  QCheck.Gen.(
+    let ids = Raft.Types.voter_ids cfg in
+    let* bits = list_repeat (List.length ids) bool in
+    return (List.filter_map (fun (id, b) -> if b then Some id else None)
+              (List.combine ids bits)))
+
+let intersection_case_gen =
+  QCheck.Gen.(
+    let* cfg = config_gen in
+    let regions = Raft.Types.regions_with_voters cfg in
+    let* leader_region = oneofl regions in
+    let* candidate_region = oneofl regions in
+    let* votes = subset_gen cfg in
+    let* acks = subset_gen cfg in
+    return (cfg, leader_region, candidate_region, votes, acks))
+
+let intersection_arb =
+  QCheck.make
+    ~print:(fun (cfg, lr, cr, votes, acks) ->
+      Printf.sprintf "cfg=[%s] leader_region=%s cand_region=%s votes=[%s] acks=[%s]"
+        (Raft.Types.describe_config cfg) lr cr (String.concat "," votes)
+        (String.concat "," acks))
+    intersection_case_gen
+
+(* The safety core of FlexiRaft: if a data quorum committed in the last
+   leader's region, any successful election quorum (with that leader as
+   the authoritative constraint) must share at least one voter with it. *)
+let prop_flexiraft_quorum_intersection =
+  QCheck.Test.make ~name:"flexiraft election/data quorums intersect" ~count:1000
+    intersection_arb (fun (cfg, leader_region, candidate_region, votes, acks) ->
+      let mode = Raft.Quorum.Single_region_dynamic in
+      let election_ok =
+        Raft.Quorum.election_quorum_satisfied mode cfg ~candidate_region
+          ~last_leader:(Some (5, leader_region)) ~vote_constraint:None ~votes
+      in
+      let data_ok = Raft.Quorum.data_quorum_satisfied mode cfg ~leader_region ~acks in
+      (not (election_ok && data_ok))
+      || List.exists (fun v -> List.mem v acks) votes)
+
+(* Majority mode: two satisfied quorums of any kind always intersect. *)
+let prop_majority_quorums_intersect =
+  QCheck.Test.make ~name:"majority quorums intersect" ~count:1000 intersection_arb
+    (fun (cfg, leader_region, candidate_region, votes, acks) ->
+      let mode = Raft.Quorum.Majority in
+      let election_ok =
+        Raft.Quorum.election_quorum_satisfied mode cfg ~candidate_region
+          ~last_leader:(Some (5, leader_region)) ~vote_constraint:None ~votes
+      in
+      let data_ok = Raft.Quorum.data_quorum_satisfied mode cfg ~leader_region ~acks in
+      (not (election_ok && data_ok)) || List.exists (fun v -> List.mem v acks) votes)
+
+(* Pessimistic bootstrap: with no known leader, a satisfied election
+   quorum intersects EVERY region's possible data quorum. *)
+let prop_pessimistic_election_intersects_all_regions =
+  QCheck.Test.make ~name:"pessimistic election intersects all regions" ~count:1000
+    intersection_arb (fun (cfg, leader_region, candidate_region, votes, acks) ->
+      let mode = Raft.Quorum.Single_region_dynamic in
+      let election_ok =
+        Raft.Quorum.election_quorum_satisfied mode cfg ~candidate_region
+          ~last_leader:None ~vote_constraint:None ~votes
+      in
+      let data_ok = Raft.Quorum.data_quorum_satisfied mode cfg ~leader_region ~acks in
+      (not (election_ok && data_ok)) || List.exists (fun v -> List.mem v acks) votes)
+
+let suites =
+  [
+    ( "properties.log_store",
+      [
+        QCheck_alcotest.to_alcotest prop_log_store_invariants;
+        QCheck_alcotest.to_alcotest prop_log_store_append_after_anything;
+        QCheck_alcotest.to_alcotest prop_log_store_term_at_boundary;
+      ] );
+    ( "properties.quorum",
+      [
+        QCheck_alcotest.to_alcotest prop_flexiraft_quorum_intersection;
+        QCheck_alcotest.to_alcotest prop_majority_quorums_intersect;
+        QCheck_alcotest.to_alcotest prop_pessimistic_election_intersects_all_regions;
+      ] );
+  ]

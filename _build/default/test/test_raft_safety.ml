@@ -1,0 +1,264 @@
+(* Randomized Raft safety checks: run a ring under a random schedule of
+   crashes, restarts, partitions and client appends, and continuously
+   verify the Raft safety properties the paper relies on (§4.1):
+
+   - election safety: at most one leader per term, ever;
+   - state-machine safety: if any node considers index i committed with
+     term t and checksum c, no node ever considers i committed with a
+     different (t, c);
+   - convergence: after healing, all live logs become identical.
+
+   Runs in both classic-majority and FlexiRaft single-region-dynamic
+   modes over several seeds. *)
+
+let ms = Sim.Engine.ms
+let s = Sim.Engine.s
+
+type world = {
+  h : Test_raft.harness;
+  rng : Sim.Rng.t;
+  committed : (int, int * int32) Hashtbl.t; (* index -> (term, checksum) *)
+  checked_up_to : (string, int ref) Hashtbl.t;
+  mutable gno : int;
+}
+
+let node_ids w = w.h.Test_raft.order
+
+let up w id = (Test_raft.get w.h id).Test_raft.up
+
+(* Validate every newly committed entry on every live node against the
+   global committed table. *)
+let check_commit_safety w =
+  List.iter
+    (fun id ->
+      let n = Test_raft.get w.h id in
+      if n.Test_raft.up then begin
+        let raft = Test_raft.raft n in
+        let upto =
+          match Hashtbl.find_opt w.checked_up_to id with
+          | Some r -> r
+          | None ->
+            let r = ref 0 in
+            Hashtbl.replace w.checked_up_to id r;
+            r
+        in
+        let commit = Raft.Node.commit_index raft in
+        for i = !upto + 1 to commit do
+          match Binlog.Log_store.entry_at n.Test_raft.store i with
+          | None -> () (* purged; nothing to compare *)
+          | Some e -> (
+            let sig_ = (Binlog.Entry.term e, Binlog.Entry.checksum e) in
+            match Hashtbl.find_opt w.committed i with
+            | None -> Hashtbl.replace w.committed i sig_
+            | Some existing ->
+              if existing <> sig_ then
+                Alcotest.failf
+                  "state-machine safety violated at index %d on %s: (%d) vs (%d)" i id
+                  (fst existing) (fst sig_))
+        done;
+        if commit > !upto then upto := commit
+      end)
+    (node_ids w)
+
+let check_election_safety w =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      let n = Test_raft.get w.h id in
+      List.iter
+        (fun term ->
+          match Hashtbl.find_opt seen term with
+          | Some other when other <> id ->
+            Alcotest.failf "election safety violated: term %d elected both %s and %s" term
+              other id
+          | _ -> Hashtbl.replace seen term id)
+        n.Test_raft.leader_terms)
+    (node_ids w)
+
+let try_append w =
+  match Test_raft.leaders w.h with
+  | [ leader ] ->
+    w.gno <- w.gno + 1;
+    ignore
+      (Raft.Node.client_append
+         (Test_raft.raft (Test_raft.get w.h leader))
+         (Binlog.Entry.Transaction
+            {
+              gtid = Binlog.Gtid.make ~source:"chaos" ~gno:w.gno;
+              events =
+                [
+                  Binlog.Event.make
+                    (Binlog.Event.Write_rows
+                       {
+                         table = "t";
+                         ops =
+                           [
+                             Binlog.Event.Insert
+                               { key = Printf.sprintf "k%d" w.gno; value = "v" };
+                           ];
+                       });
+                ];
+            }))
+  | _ -> ()
+
+let regions w =
+  List.sort_uniq compare
+    (List.map (fun id -> (Test_raft.get w.h id).Test_raft.node_region) (node_ids w))
+
+let chaos_step w =
+  let roll = Sim.Rng.float w.rng in
+  let ids = Array.of_list (node_ids w) in
+  let down_count = List.length (List.filter (fun id -> not (up w id)) (node_ids w)) in
+  if roll < 0.15 && down_count < 2 then begin
+    (* crash someone (keep at most 2 down so quorums stay possible) *)
+    let victim = Sim.Rng.pick w.rng ids in
+    if up w victim then Test_raft.crash w.h victim
+  end
+  else if roll < 0.35 then begin
+    (* restart someone *)
+    let victim = Sim.Rng.pick w.rng ids in
+    if not (up w victim) then Test_raft.restart w.h victim
+  end
+  else if roll < 0.42 then begin
+    (* cut two random regions apart for a while *)
+    match regions w with
+    | (_ :: _ :: _) as rs ->
+      let arr = Array.of_list rs in
+      let a = Sim.Rng.pick w.rng arr and b = Sim.Rng.pick w.rng arr in
+      if a <> b then begin
+        Sim.Network.cut_regions w.h.Test_raft.net a b;
+        ignore
+          (Sim.Engine.schedule w.h.Test_raft.engine
+             ~delay:(Sim.Rng.uniform w.rng ~lo:(1.0 *. s) ~hi:(6.0 *. s))
+             (fun () -> Sim.Network.heal_regions w.h.Test_raft.net a b))
+      end
+    | _ -> ()
+  end
+  else if roll < 0.5 then begin
+    (* isolate one node briefly (asymmetric failure) *)
+    let victim = Sim.Rng.pick w.rng ids in
+    Sim.Network.isolate_node w.h.Test_raft.net victim;
+    ignore
+      (Sim.Engine.schedule w.h.Test_raft.engine
+         ~delay:(Sim.Rng.uniform w.rng ~lo:(1.0 *. s) ~hi:(4.0 *. s))
+         (fun () -> Sim.Network.heal_node w.h.Test_raft.net victim))
+  end
+  else if roll < 0.9 then try_append w
+
+let run_chaos ~seed ~params ~members ~steps =
+  let h = Test_raft.make_harness ~seed ~params members in
+  let w =
+    {
+      h;
+      rng = Sim.Rng.of_int (seed * 7919);
+      committed = Hashtbl.create 1024;
+      checked_up_to = Hashtbl.create 8;
+      gno = 0;
+    }
+  in
+  (* give the ring time to elect before the abuse starts *)
+  Sim.Engine.run_for h.Test_raft.engine (5.0 *. s);
+  for _ = 1 to steps do
+    chaos_step w;
+    Sim.Engine.run_for h.Test_raft.engine (250.0 *. ms);
+    check_commit_safety w;
+    check_election_safety w
+  done;
+  (* heal everything and verify convergence *)
+  Sim.Network.heal_all w.h.Test_raft.net;
+  List.iter (fun id -> if not (up w id) then Test_raft.restart w.h id) (node_ids w);
+  let converged () =
+    match Test_raft.leaders w.h with
+    | [ leader ] ->
+      let target =
+        Binlog.Log_store.last_opid (Test_raft.get w.h leader).Test_raft.store
+      in
+      Binlog.Opid.index target > 0
+      && List.for_all
+           (fun id ->
+             Binlog.Opid.equal
+               (Binlog.Log_store.last_opid (Test_raft.get w.h id).Test_raft.store)
+               target)
+           (node_ids w)
+    | _ -> false
+  in
+  let ok = Test_raft.run_until w.h ~timeout:(60.0 *. s) converged in
+  Alcotest.(check bool) "logs converge after healing" true ok;
+  check_commit_safety w;
+  check_election_safety w;
+  (* final pairwise log equality by checksum *)
+  (match node_ids w with
+  | first :: rest ->
+    let reference = Binlog.Log_store.all_entries (Test_raft.get w.h first).Test_raft.store in
+    List.iter
+      (fun id ->
+        let entries = Binlog.Log_store.all_entries (Test_raft.get w.h id).Test_raft.store in
+        Alcotest.(check int) (id ^ " same length") (List.length reference)
+          (List.length entries);
+        List.iter2
+          (fun a b ->
+            if
+              not
+                (Binlog.Opid.equal (Binlog.Entry.opid a) (Binlog.Entry.opid b)
+                && Int32.equal (Binlog.Entry.checksum a) (Binlog.Entry.checksum b))
+            then Alcotest.failf "log divergence on %s at %s" id (Binlog.Entry.describe a))
+          reference entries)
+      rest
+  | [] -> ());
+  Hashtbl.length w.committed
+
+let majority_members () =
+  [
+    ("n1", "r1", true, Raft.Types.Mysql_server);
+    ("n2", "r1", true, Raft.Types.Mysql_server);
+    ("n3", "r1", true, Raft.Types.Mysql_server);
+    ("n4", "r1", true, Raft.Types.Mysql_server);
+    ("n5", "r1", true, Raft.Types.Mysql_server);
+  ]
+
+let flexi_members () =
+  [
+    ("a1", "r1", true, Raft.Types.Mysql_server);
+    ("a2", "r1", true, Raft.Types.Logtailer);
+    ("a3", "r1", true, Raft.Types.Logtailer);
+    ("b1", "r2", true, Raft.Types.Mysql_server);
+    ("b2", "r2", true, Raft.Types.Logtailer);
+    ("b3", "r2", true, Raft.Types.Logtailer);
+  ]
+
+let test_chaos_majority () =
+  List.iter
+    (fun seed ->
+      let committed =
+        run_chaos ~seed ~params:Test_raft.majority_params ~members:(majority_members ())
+          ~steps:120
+      in
+      if committed < 10 then Alcotest.failf "too little progress (seed %d)" seed)
+    [ 1; 2; 3 ]
+
+let test_chaos_flexiraft () =
+  List.iter
+    (fun seed ->
+      let committed =
+        run_chaos ~seed ~params:Test_raft.flexi_params ~members:(flexi_members ())
+          ~steps:120
+      in
+      if committed < 10 then Alcotest.failf "too little progress (seed %d)" seed)
+    [ 4; 5; 6 ]
+
+let test_chaos_with_proxying () =
+  let params = { Test_raft.flexi_params with Raft.Node.proxying = true } in
+  let committed =
+    run_chaos ~seed:9 ~params ~members:(flexi_members ()) ~steps:120
+  in
+  if committed < 10 then Alcotest.fail "too little progress with proxying"
+
+let suites =
+  [
+    ( "raft.safety",
+      [
+        Alcotest.test_case "chaos: classic majority" `Slow test_chaos_majority;
+        Alcotest.test_case "chaos: flexiraft SRD" `Slow test_chaos_flexiraft;
+        Alcotest.test_case "chaos: flexiraft + proxying" `Slow test_chaos_with_proxying;
+      ] );
+  ]

@@ -1,0 +1,168 @@
+(* Histogram / timeseries tests including qcheck properties. *)
+
+let test_histogram_percentiles () =
+  let h = Stats.Histogram.create () in
+  for i = 1 to 100 do
+    Stats.Histogram.record h (float_of_int i)
+  done;
+  Alcotest.(check (float 0.001)) "p50" 50.0 (Stats.Histogram.percentile h 50.0);
+  Alcotest.(check (float 0.001)) "p95" 95.0 (Stats.Histogram.percentile h 95.0);
+  Alcotest.(check (float 0.001)) "p99" 99.0 (Stats.Histogram.percentile h 99.0);
+  Alcotest.(check (float 0.001)) "p100" 100.0 (Stats.Histogram.percentile h 100.0);
+  Alcotest.(check (float 0.001)) "mean" 50.5 (Stats.Histogram.mean h);
+  Alcotest.(check (float 0.001)) "min" 1.0 (Stats.Histogram.min_value h);
+  Alcotest.(check (float 0.001)) "max" 100.0 (Stats.Histogram.max_value h)
+
+let test_histogram_record_after_sort () =
+  let h = Stats.Histogram.create () in
+  Stats.Histogram.record h 5.0;
+  ignore (Stats.Histogram.percentile h 50.0);
+  Stats.Histogram.record h 1.0;
+  Alcotest.(check (float 0.001)) "min after resort" 1.0 (Stats.Histogram.min_value h)
+
+let test_histogram_merge () =
+  let a = Stats.Histogram.create () and b = Stats.Histogram.create () in
+  Stats.Histogram.record a 1.0;
+  Stats.Histogram.record b 3.0;
+  let m = Stats.Histogram.merge a b in
+  Alcotest.(check int) "merged count" 2 (Stats.Histogram.count m);
+  Alcotest.(check (float 0.001)) "merged mean" 2.0 (Stats.Histogram.mean m)
+
+let test_histogram_buckets_cover_all () =
+  let h = Stats.Histogram.create () in
+  for i = 1 to 1000 do
+    Stats.Histogram.record h (float_of_int (i * i))
+  done;
+  let rows = Stats.Histogram.buckets h ~n:20 in
+  let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 rows in
+  Alcotest.(check int) "bucket counts sum to n" 1000 total
+
+let test_histogram_stddev () =
+  let h = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.record h) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  (* classic example: population stddev 2; sample stddev ~2.138 *)
+  let sd = Stats.Histogram.stddev h in
+  if abs_float (sd -. 2.138) > 0.01 then Alcotest.failf "stddev: %f" sd
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~name:"percentile within min/max" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 200) (float_bound_exclusive 1e6)) (float_bound_inclusive 100.0))
+    (fun (values, p) ->
+      QCheck.assume (values <> []);
+      let h = Stats.Histogram.create () in
+      List.iter (fun v -> Stats.Histogram.record h (abs_float v)) values;
+      let x = Stats.Histogram.percentile h p in
+      x >= Stats.Histogram.min_value h && x <= Stats.Histogram.max_value h)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile monotone in p" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 100) (float_bound_exclusive 1e6))
+    (fun values ->
+      QCheck.assume (values <> []);
+      let h = Stats.Histogram.create () in
+      List.iter (fun v -> Stats.Histogram.record h (abs_float v)) values;
+      let ps = [ 1.0; 25.0; 50.0; 75.0; 99.0 ] in
+      let xs = List.map (Stats.Histogram.percentile h) ps in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      mono xs)
+
+let prop_mean_between_min_max =
+  QCheck.Test.make ~name:"mean within min/max" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 100) (float_bound_exclusive 1e6))
+    (fun values ->
+      QCheck.assume (values <> []);
+      let h = Stats.Histogram.create () in
+      List.iter (fun v -> Stats.Histogram.record h (abs_float v)) values;
+      let m = Stats.Histogram.mean h in
+      m >= Stats.Histogram.min_value h -. 1e-9 && m <= Stats.Histogram.max_value h +. 1e-9)
+
+let test_timeseries_buckets () =
+  let ts = Stats.Timeseries.create ~bucket_width:100.0 in
+  Stats.Timeseries.record ts 10.0;
+  Stats.Timeseries.record ts 50.0;
+  Stats.Timeseries.record ts 150.0;
+  Stats.Timeseries.record ts 450.0;
+  let rows = Stats.Timeseries.series ts in
+  Alcotest.(check int) "row count with gaps filled" 5 (List.length rows);
+  Alcotest.(check (list int)) "counts" [ 2; 1; 0; 0; 1 ] (List.map snd rows);
+  Alcotest.(check int) "total" 4 (Stats.Timeseries.total ts)
+
+let test_timeseries_mean_rate () =
+  let ts = Stats.Timeseries.create ~bucket_width:10.0 in
+  List.iter (Stats.Timeseries.record ts) [ 1.0; 2.0; 11.0; 12.0; 21.0; 22.0 ];
+  Alcotest.(check (float 0.001)) "mean rate" 2.0 (Stats.Timeseries.mean_rate_per_bucket ts)
+
+(* ----- bootstrap summaries ----- *)
+
+let test_summary_point_estimates () =
+  let values = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 0.001)) "mean" 50.5 (Stats.Summary.mean values);
+  Alcotest.(check (float 0.001)) "p95" 95.0 (Stats.Summary.percentile values 95.0)
+
+let test_summary_ci_brackets_point () =
+  let rng = Sim.Rng.of_int 5 in
+  let values = Array.init 50 (fun i -> float_of_int ((i * 13 mod 50) + 1)) in
+  let ci = Stats.Summary.mean_ci ~rng values in
+  Alcotest.(check bool) "lo <= point <= hi" true
+    (ci.Stats.Summary.lo <= ci.Stats.Summary.point
+    && ci.Stats.Summary.point <= ci.Stats.Summary.hi);
+  Alcotest.(check bool) "interval nondegenerate" true
+    (ci.Stats.Summary.hi > ci.Stats.Summary.lo)
+
+let test_summary_ci_narrows_with_n () =
+  let rng = Sim.Rng.of_int 6 in
+  let sample n = Array.init n (fun i -> float_of_int (i mod 10)) in
+  let width n =
+    let ci = Stats.Summary.mean_ci ~rng (sample n) in
+    ci.Stats.Summary.hi -. ci.Stats.Summary.lo
+  in
+  Alcotest.(check bool) "larger n, tighter CI" true (width 400 < width 20)
+
+let test_summary_single_sample () =
+  let rng = Sim.Rng.of_int 7 in
+  let ci = Stats.Summary.mean_ci ~rng [| 42.0 |] in
+  Alcotest.(check (float 0.001)) "degenerate CI" 42.0 ci.Stats.Summary.lo;
+  Alcotest.(check (float 0.001)) "degenerate CI hi" 42.0 ci.Stats.Summary.hi
+
+let prop_summary_percentile_matches_histogram =
+  QCheck.Test.make ~name:"summary percentile = histogram percentile" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 100) (float_bound_exclusive 1e6))
+    (fun values ->
+      QCheck.assume (values <> []);
+      let h = Stats.Histogram.create () in
+      List.iter (fun v -> Stats.Histogram.record h (abs_float v)) values;
+      let arr = Stats.Summary.of_histogram h in
+      List.for_all
+        (fun p -> Stats.Summary.percentile arr p = Stats.Histogram.percentile h p)
+        [ 1.0; 50.0; 95.0; 99.0 ])
+
+let suites =
+  [
+    ( "stats.histogram",
+      [
+        Alcotest.test_case "percentiles" `Quick test_histogram_percentiles;
+        Alcotest.test_case "record after sort" `Quick test_histogram_record_after_sort;
+        Alcotest.test_case "merge" `Quick test_histogram_merge;
+        Alcotest.test_case "buckets cover all samples" `Quick test_histogram_buckets_cover_all;
+        Alcotest.test_case "stddev" `Quick test_histogram_stddev;
+        QCheck_alcotest.to_alcotest prop_percentile_bounds;
+        QCheck_alcotest.to_alcotest prop_percentile_monotone;
+        QCheck_alcotest.to_alcotest prop_mean_between_min_max;
+      ] );
+    ( "stats.summary",
+      [
+        Alcotest.test_case "point estimates" `Quick test_summary_point_estimates;
+        Alcotest.test_case "CI brackets the point" `Quick test_summary_ci_brackets_point;
+        Alcotest.test_case "CI narrows with n" `Quick test_summary_ci_narrows_with_n;
+        Alcotest.test_case "single sample degenerate" `Quick test_summary_single_sample;
+        QCheck_alcotest.to_alcotest prop_summary_percentile_matches_histogram;
+      ] );
+    ( "stats.timeseries",
+      [
+        Alcotest.test_case "bucketing with gaps" `Quick test_timeseries_buckets;
+        Alcotest.test_case "mean rate" `Quick test_timeseries_mean_rate;
+      ] );
+  ]
