@@ -1,0 +1,29 @@
+(* Chaos smoke: a short nemesis seed sweep over both quorum modes, for
+   CI to gate on zero invariant violations.
+
+     dune exec bench/main.exe -- chaos-smoke *)
+
+let seeds = [ 101; 102; 103; 104; 105 ]
+
+let steps = 60
+
+let run () =
+  Common.header "Chaos smoke — nemesis seed sweep with invariant checking";
+  let total_violations = ref 0 in
+  List.iter
+    (fun quorum ->
+      Printf.printf "\n%s quorum:\n" (Chaos.Nemesis.quorum_name quorum);
+      let reports = Chaos.Nemesis.sweep ~quorum ~seeds ~steps () in
+      List.iter
+        (fun r ->
+          total_violations := !total_violations + List.length r.Chaos.Nemesis.r_violations;
+          Printf.printf "  %s\n%!" (Chaos.Nemesis.report_summary r))
+        reports)
+    [ Raft.Quorum.Single_region_dynamic; Raft.Quorum.Majority ];
+  if !total_violations = 0 then
+    Printf.printf "\nchaos smoke: %d runs, zero invariant violations\n%!"
+      (2 * List.length seeds)
+  else begin
+    Printf.printf "\nchaos smoke: %d INVARIANT VIOLATIONS\n%!" !total_violations;
+    exit 1
+  end

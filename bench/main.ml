@@ -32,6 +32,8 @@ let stepdown () = ignore (Ablations.stepdown ())
 
 let micro () = Micro.run ()
 
+let chaos_smoke () = Chaos_smoke.run ()
+
 let experiments =
   [
     ("table1", "Table 1: role mapping", table1);
@@ -45,6 +47,7 @@ let experiments =
     ("groupcommit", "A3: group-commit pipeline scaling", groupcommit);
     ("stepdown", "A4: automatic step-down extension", stepdown);
     ("micro", "M1: Bechamel micro-benchmarks", micro);
+    ("chaos-smoke", "C1: nemesis seed sweep, gate on zero invariant violations", chaos_smoke);
   ]
 
 let run_all () =

@@ -100,31 +100,72 @@ let status seed echo =
   Myraft.Cluster.run_for cluster (2.0 *. s);
   Printf.printf "%s\n\n%s" (Myraft.Cluster.describe cluster) (Myraft.Roles.render ())
 
-(* A shadow-testing burst: repeated leader crashes under load with
-   checksum consistency checks (§5.1), from the command line. *)
-let chaos seed echo =
-  let cluster = make_cluster ~seed ~echo in
-  let probe = Myraft.Availability.start cluster ~client_id:"probe" in
-  with_load cluster (fun () ->
-      let injector =
-        Workload.Failure_injection.start cluster
-          ~kind:Workload.Failure_injection.Crash_leader ~interval:(12.0 *. s)
-          ~restart_after:(4.0 *. s)
-      in
-      Myraft.Cluster.run_for cluster (60.0 *. s);
-      Workload.Failure_injection.stop injector;
-      ignore
-        (Myraft.Cluster.run_until cluster ~timeout:(60.0 *. s) (fun () ->
-             Myraft.Cluster.primary cluster <> None));
-      Myraft.Cluster.run_for cluster (10.0 *. s);
-      Printf.printf "\ninjections: %d, probe successes: %d, failures: %d\n"
-        (Workload.Failure_injection.injections injector)
-        (Myraft.Availability.successes probe)
-        (Myraft.Availability.failures probe);
-      match Workload.Failure_injection.consistency_check cluster with
-      | Ok n -> Printf.printf "consistency: all live engines identical at %d txns\n" n
-      | Error e -> Printf.printf "CONSISTENCY FAILURE: %s\n" e);
-  Printf.printf "\n%s\n" (Myraft.Cluster.describe cluster)
+(* Nemesis-driven chaos: a seeded, composable fault schedule with the
+   continuous Raft invariant checker; identical seed → identical run. *)
+let chaos seed echo steps faults quorum seeds =
+  let spec =
+    match faults with
+    | [] -> Chaos.Schedule.default
+    | names -> (
+      match Chaos.Schedule.with_faults Chaos.Schedule.default names with
+      | Ok spec -> spec
+      | Error e ->
+        Printf.eprintf "chaos: %s\n%!" e;
+        exit 2)
+  in
+  let quorum =
+    match quorum with
+    | "majority" -> Raft.Quorum.Majority
+    | "flexi" | "single-region-dynamic" -> Raft.Quorum.Single_region_dynamic
+    | "region-majorities" -> Raft.Quorum.Region_majorities
+    | other ->
+      Printf.eprintf "chaos: unknown quorum mode %S (majority|flexi|region-majorities)\n%!"
+        other;
+      exit 2
+  in
+  let seed_list = if seeds = [] then [ seed ] else seeds in
+  let reports =
+    List.map
+      (fun seed ->
+        let r = Chaos.Nemesis.run ~spec ~quorum ~echo ~seed ~steps () in
+        Printf.printf "%s\n%!" (Chaos.Nemesis.report_summary r);
+        r)
+      seed_list
+  in
+  let violations =
+    List.fold_left (fun acc r -> acc + List.length r.Chaos.Nemesis.r_violations) 0 reports
+  in
+  if violations = 0 then
+    Printf.printf "chaos: %d run(s), zero invariant violations\n"
+      (List.length reports)
+  else begin
+    Printf.printf "chaos: %d invariant violation(s) across %d run(s)\n" violations
+      (List.length reports);
+    exit 1
+  end
+
+let steps_arg =
+  Arg.(value & opt int 200 & info [ "steps" ] ~docv:"N" ~doc:"Chaos steps (250 ms each).")
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "faults" ] ~docv:"KINDS"
+        ~doc:
+          "Comma-separated fault kinds: crash, leader-crash, transfer, partition, \
+           isolate, drop, dup, reorder, spike, torn-tail, fsync-stall.  Default: all.")
+
+let quorum_arg =
+  Arg.(
+    value & opt string "flexi"
+    & info [ "quorum" ] ~docv:"MODE" ~doc:"Quorum mode: majority, flexi, region-majorities.")
+
+let seeds_arg =
+  Arg.(
+    value
+    & opt (list int) []
+    & info [ "seeds" ] ~docv:"SEEDS" ~doc:"Sweep these seeds instead of --seed.")
 
 let cmd name doc f =
   Cmd.v (Cmd.info name ~doc) Term.(const f $ seed_arg $ trace_arg)
@@ -139,7 +180,14 @@ let () =
         cmd "failover" "Crash the primary and measure downtime." failover;
         cmd "promote" "Graceful leadership transfer with downtime." promote;
         cmd "status" "Show ring status and Table-1 roles." status;
-        cmd "chaos" "60s of leader crashes under load with consistency checks." chaos;
+        Cmd.v
+          (Cmd.info "chaos"
+             ~doc:
+               "Seeded nemesis fault schedule under load with continuous Raft invariant \
+                checking; exits non-zero on any violation.")
+          Term.(
+            const chaos $ seed_arg $ trace_arg $ steps_arg $ faults_arg $ quorum_arg
+            $ seeds_arg);
       ]
   in
   exit (Cmd.eval root)

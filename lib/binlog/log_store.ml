@@ -36,6 +36,15 @@ type t = {
      has emptied the slots of a freshly-rotated (empty) current file. *)
   mutable last_cached : Opid.t;
   mutable purge_boundary : Opid.t; (* opid of the highest purged entry *)
+  (* Durability model for crash-recovery faults.  Normally every append
+     fsyncs (sync_binlog=1) and [synced_index] tracks the tail.  Under the
+     buffered fault (an fsync stall) appends stay in the page cache until
+     an explicit [sync]; a crash then tears off up to [torn_tail_k] of the
+     unsynced tail — the situation §3.3's demotion truncation must cope
+     with. *)
+  mutable synced_index : int; (* highest index known durable *)
+  mutable buffered : bool; (* true: appends don't fsync until [sync] *)
+  mutable torn_tail_k : int; (* max unsynced entries lost at crash *)
 }
 
 let mode_prefix = function Binlog -> "binlog" | Relay -> "relaylog"
@@ -57,6 +66,9 @@ let create ?(mode = Binlog) () =
       fsyncs = 0;
       last_cached = Opid.zero;
       purge_boundary = Opid.zero;
+      synced_index = 0;
+      buffered = false;
+      torn_tail_k = 0;
     }
   in
   Vec.push t.entries None (* sentinel slot 0 *);
@@ -103,7 +115,10 @@ let append t entry =
   let f = current_file t in
   if f.first = 0 then f.first <- index;
   f.last <- index;
-  t.fsyncs <- t.fsyncs + 1;
+  if not t.buffered then begin
+    t.fsyncs <- t.fsyncs + 1;
+    t.synced_index <- index
+  end;
   (match Entry.gtid entry with
   | Some g -> t.gtids <- Gtid_set.add t.gtids g
   | None -> ())
@@ -156,6 +171,7 @@ let truncate_from t ~from_index =
     in
     t.files <- (if keep = [] then [ fresh_file t ] else keep);
     (match List.rev t.files with f :: _ -> f.closed <- false | [] -> ());
+    t.synced_index <- min t.synced_index (from_index - 1);
     removed
   end
 
@@ -218,6 +234,47 @@ let purge_boundary_opid t = t.purge_boundary
 let gtid_set t = t.gtids
 
 let fsync_count t = t.fsyncs
+
+(* ----- durability / crash-recovery fault model ----- *)
+
+let synced_index t = t.synced_index
+
+let unsynced_count t = last_index t - t.synced_index
+
+(* Flush the buffered tail (one batched fsync, like a stalled disk
+   finally draining). *)
+let sync t =
+  if t.synced_index < last_index t then begin
+    t.synced_index <- last_index t;
+    t.fsyncs <- t.fsyncs + 1
+  end
+
+(* Enter/leave the fsync-stall fault: while buffered, appends stay
+   unsynced until [sync].  Leaving the mode flushes. *)
+let set_buffered t buffered =
+  t.buffered <- buffered;
+  if not buffered then sync t
+
+let buffered t = t.buffered
+
+(* Arm the torn-tail crash fault: the next [crash_recover_log] loses up
+   to [max_lost] of the unsynced tail. *)
+let set_torn_tail t ~max_lost = t.torn_tail_k <- max max_lost 0
+
+(* Simulated restart of the log subsystem: the unsynced tail (bounded by
+   the armed torn-tail budget) is gone, exactly as after a power loss
+   with sync_binlog=0.  Returns the lost entries (ascending) so the
+   embedder can clean up GTIDs; clears both fault modes. *)
+let crash_recover_log t =
+  let lose = min t.torn_tail_k (unsynced_count t) in
+  let removed =
+    if lose <= 0 then []
+    else truncate_from t ~from_index:(last_index t - lose + 1)
+  in
+  t.buffered <- false;
+  t.torn_tail_k <- 0;
+  t.synced_index <- last_index t;
+  removed
 
 (* Rewire the log between binlog and relay-log personas (§3.2).  The
    entries are untouched — only the naming of future files changes, which

@@ -67,6 +67,36 @@ val gtid_set : t -> Gtid_set.t
 
 val fsync_count : t -> int
 
+(** {2 Durability / crash-recovery fault model}
+
+    Normally every append fsyncs (sync_binlog=1) and {!synced_index}
+    tracks the tail.  Chaos runs flip the store into buffered mode (an
+    fsync stall) and arm a torn-tail budget; {!crash_recover_log} then
+    models the post-power-loss restart that loses the unsynced tail —
+    the situation §3.3's demotion truncation must cope with. *)
+
+(** Highest index known durable (= [last_index] unless buffered). *)
+val synced_index : t -> int
+
+val unsynced_count : t -> int
+
+(** Flush the buffered tail (one batched fsync). *)
+val sync : t -> unit
+
+(** Enter/leave the fsync-stall fault; leaving flushes. *)
+val set_buffered : t -> bool -> unit
+
+val buffered : t -> bool
+
+(** Arm the torn-tail crash fault: the next {!crash_recover_log} loses
+    up to [max_lost] of the unsynced tail. *)
+val set_torn_tail : t -> max_lost:int -> unit
+
+(** Simulated log-subsystem restart: drops the unsynced tail bounded by
+    the armed torn-tail budget, returns the lost entries (ascending) and
+    clears both fault modes.  A no-op [[]] on a healthy store. *)
+val crash_recover_log : t -> Entry.t list
+
 (** Rewire between binlog and relay-log personas (§3.2); entries are
     untouched, only future file naming changes. *)
 val switch_mode : t -> mode -> unit

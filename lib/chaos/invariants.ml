@@ -1,0 +1,260 @@
+(* Continuous Raft safety checker.
+
+   The checker walks a live cluster through [probe]s (one per member —
+   servers, logtailers, or bare test-harness nodes) and asserts, on every
+   call to [check]:
+
+   - election safety: at most one leader per term, ever;
+   - commit safety + log matching: once any node commits index i, every
+     node's committed prefix holds the identical entry at i (same term,
+     same checksum) — across crashes, restarts and torn tails;
+   - leader completeness: a newly observed leader's log contains every
+     globally committed entry;
+   - engine convergence: every replica's commit history is a prefix of
+     the most advanced replica's history (per-commit digest chain).
+
+   Violations are recorded (deduplicated) rather than raised, so a chaos
+   run can finish and report them all alongside the repro seed. *)
+
+type probe = {
+  probe_id : string;
+  probe_up : unit -> bool;
+  probe_raft : unit -> Raft.Node.t option;
+  probe_store : unit -> Binlog.Log_store.t option;
+  probe_engine : unit -> Storage.Engine.t option;
+}
+
+type violation = { v_time : float; v_invariant : string; v_detail : string }
+
+let violation_to_string v =
+  Printf.sprintf "[%.3fs] %s: %s" (v.v_time /. Sim.Engine.s) v.v_invariant v.v_detail
+
+(* What the checker remembers about a committed index: the entry's term
+   and stamped checksum, plus who first reported it (for messages). *)
+type committed_entry = { c_term : int; c_sum : int32; c_reporter : string }
+
+type t = {
+  now : unit -> float;
+  probes : probe list;
+  committed : (int, committed_entry) Hashtbl.t;
+  leaders_by_term : (int, string) Hashtbl.t;
+  checked_leaderships : (int * string, unit) Hashtbl.t;
+  checked_to : (string, int) Hashtbl.t; (* per-probe verified commit prefix *)
+  seen_violations : (string * string, unit) Hashtbl.t; (* dedup key *)
+  mutable max_committed : int;
+  mutable violations : violation list; (* newest first *)
+}
+
+let create ~now ~probes =
+  {
+    now;
+    probes;
+    committed = Hashtbl.create 4096;
+    leaders_by_term = Hashtbl.create 16;
+    checked_leaderships = Hashtbl.create 16;
+    checked_to = Hashtbl.create 16;
+    seen_violations = Hashtbl.create 16;
+    max_committed = 0;
+    violations = [];
+  }
+
+let violate t invariant fmt =
+  Printf.ksprintf
+    (fun detail ->
+      if not (Hashtbl.mem t.seen_violations (invariant, detail)) then begin
+        Hashtbl.replace t.seen_violations (invariant, detail) ();
+        t.violations <- { v_time = t.now (); v_invariant = invariant; v_detail = detail } :: t.violations
+      end)
+    fmt
+
+let entry_sig e = (Binlog.Entry.term e, Binlog.Entry.checksum e)
+
+(* ----- election safety: at most one leader per term, ever ----- *)
+
+let check_election_safety t =
+  List.iter
+    (fun p ->
+      if p.probe_up () then
+        match p.probe_raft () with
+        | Some raft when Raft.Node.is_leader raft -> (
+          let term = Raft.Node.current_term raft in
+          match Hashtbl.find_opt t.leaders_by_term term with
+          | Some other when other <> p.probe_id ->
+            violate t "election-safety" "term %d has two leaders: %s and %s" term other
+              p.probe_id
+          | Some _ -> ()
+          | None -> Hashtbl.replace t.leaders_by_term term p.probe_id)
+        | _ -> ())
+    t.probes
+
+(* ----- commit safety + log matching on committed prefixes ----- *)
+
+(* Walk each node's newly committed indexes and pin them in the global
+   table; any disagreement with an already pinned index is a violation.
+   The verified prefix per probe only ever grows, so the walk is
+   incremental — a restart (commit index back to 0) rescans nothing. *)
+let check_commit_safety t =
+  List.iter
+    (fun p ->
+      if p.probe_up () then
+        match (p.probe_raft (), p.probe_store ()) with
+        | Some raft, Some store ->
+          let ci = Raft.Node.commit_index raft in
+          let from = Option.value (Hashtbl.find_opt t.checked_to p.probe_id) ~default:0 in
+          for i = from + 1 to ci do
+            match Binlog.Log_store.entry_at store i with
+            | None -> () (* purged before we saw it; nothing to compare *)
+            | Some e -> (
+              let term, sum = entry_sig e in
+              match Hashtbl.find_opt t.committed i with
+              | None ->
+                Hashtbl.replace t.committed i { c_term = term; c_sum = sum; c_reporter = p.probe_id }
+              | Some c when c.c_term <> term || c.c_sum <> sum ->
+                violate t "commit-safety"
+                  "index %d committed as (term %d, sum %ld) by %s but %s committed (term %d, sum %ld)"
+                  i c.c_term c.c_sum c.c_reporter p.probe_id term sum
+              | Some _ -> ())
+          done;
+          if ci > from then Hashtbl.replace t.checked_to p.probe_id ci;
+          if ci > t.max_committed then t.max_committed <- ci
+        | _ -> ())
+    t.probes
+
+(* ----- leader completeness ----- *)
+
+(* A node elected leader must hold every entry the cluster has committed
+   (Raft's leader-completeness property).  Checked once per (term,
+   leader) when first observed. *)
+let check_leader_completeness t =
+  List.iter
+    (fun p ->
+      if p.probe_up () then
+        match (p.probe_raft (), p.probe_store ()) with
+        | Some raft, Some store when Raft.Node.is_leader raft ->
+          let key = (Raft.Node.current_term raft, p.probe_id) in
+          if not (Hashtbl.mem t.checked_leaderships key) then begin
+            Hashtbl.replace t.checked_leaderships key ();
+            let purged = Binlog.Log_store.purged_below store in
+            Hashtbl.iter
+              (fun i c ->
+                if i >= purged then
+                  match Binlog.Log_store.entry_at store i with
+                  | None ->
+                    violate t "leader-completeness"
+                      "leader %s (term %d) is missing committed index %d" p.probe_id
+                      (fst key) i
+                  | Some e ->
+                    let term, sum = entry_sig e in
+                    if term <> c.c_term || sum <> c.c_sum then
+                      violate t "leader-completeness"
+                        "leader %s (term %d) holds a different entry at committed index %d"
+                        p.probe_id (fst key) i)
+              t.committed
+          end
+        | _ -> ())
+    t.probes
+
+(* ----- engine convergence ----- *)
+
+(* Every replica's engine history must be a prefix of the most advanced
+   replica's history: same transactions, same order (per-commit digest
+   chain, §5.1's checksum comparison made lag-proof). *)
+let check_engine_convergence t =
+  let engines =
+    List.filter_map
+      (fun p ->
+        if p.probe_up () then
+          match p.probe_engine () with
+          | Some e -> Some (p.probe_id, e)
+          | None -> None
+        else None)
+      t.probes
+  in
+  match engines with
+  | [] | [ _ ] -> ()
+  | engines ->
+    let ref_id, ref_engine =
+      List.fold_left
+        (fun ((_, best) as acc) ((_, e) as cand) ->
+          if Storage.Engine.committed_count e > Storage.Engine.committed_count best then cand
+          else acc)
+        (List.hd engines) (List.tl engines)
+    in
+    List.iter
+      (fun (id, e) ->
+        if id <> ref_id then
+          let c = Storage.Engine.committed_count e in
+          if
+            c > 0
+            && Storage.Engine.checksum_at e ~count:c
+               <> Storage.Engine.checksum_at ref_engine ~count:c
+          then
+            violate t "engine-convergence"
+              "%s's %d-commit history diverges from the same prefix on %s" id c ref_id)
+      engines
+
+let check t =
+  check_election_safety t;
+  check_commit_safety t;
+  check_leader_completeness t;
+  check_engine_convergence t
+
+(* ----- end-of-run convergence (after healing + settling) ----- *)
+
+(* With every fault healed and the cluster settled, all up members must
+   agree exactly: same log tail, pairwise-identical entries, identical
+   engine content. *)
+let check_converged t =
+  let stores =
+    List.filter_map
+      (fun p ->
+        if p.probe_up () then
+          Option.map (fun s -> (p.probe_id, s)) (p.probe_store ())
+        else None)
+      t.probes
+  in
+  (match stores with
+  | [] | [ _ ] -> ()
+  | (ref_id, ref_store) :: rest ->
+    List.iter
+      (fun (id, store) ->
+        if Binlog.Log_store.last_index store <> Binlog.Log_store.last_index ref_store then
+          violate t "convergence" "%s log ends at %d but %s ends at %d" id
+            (Binlog.Log_store.last_index store) ref_id
+            (Binlog.Log_store.last_index ref_store)
+        else begin
+          let lo =
+            max (Binlog.Log_store.purged_below store) (Binlog.Log_store.purged_below ref_store)
+          in
+          for i = lo to Binlog.Log_store.last_index store do
+            match (Binlog.Log_store.entry_at store i, Binlog.Log_store.entry_at ref_store i) with
+            | Some a, Some b when entry_sig a <> entry_sig b ->
+              violate t "convergence" "%s and %s disagree at log index %d" id ref_id i
+            | _ -> ()
+          done
+        end)
+      rest);
+  let engines =
+    List.filter_map
+      (fun p ->
+        if p.probe_up () then
+          Option.map (fun e -> (p.probe_id, e)) (p.probe_engine ())
+        else None)
+      t.probes
+  in
+  match engines with
+  | [] | [ _ ] -> ()
+  | (ref_id, ref_engine) :: rest ->
+    List.iter
+      (fun (id, e) ->
+        if Storage.Engine.checksum e <> Storage.Engine.checksum ref_engine then
+          violate t "convergence" "%s engine content differs from %s" id ref_id)
+      rest
+
+let violations t = List.rev t.violations
+
+let violation_count t = List.length t.violations
+
+let max_committed t = t.max_committed
+
+let committed_entries t = Hashtbl.length t.committed

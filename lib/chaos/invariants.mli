@@ -1,0 +1,46 @@
+(** Continuous Raft safety checker.
+
+    Walks a live cluster through {!probe}s and asserts, on every
+    {!check}: election safety (at most one leader per term, ever),
+    commit safety + log matching on committed prefixes (across crashes,
+    restarts and torn tails), leader completeness, and engine-history
+    convergence.  Violations are recorded rather than raised so a chaos
+    run can finish and report them all alongside the repro seed. *)
+
+(** One cluster member, observed through closures so the same checker
+    serves full MyRaft clusters and bare Raft test harnesses.  All
+    closures must tolerate being called while the member is down. *)
+type probe = {
+  probe_id : string;
+  probe_up : unit -> bool;
+  probe_raft : unit -> Raft.Node.t option;
+  probe_store : unit -> Binlog.Log_store.t option;
+  probe_engine : unit -> Storage.Engine.t option;
+}
+
+type violation = { v_time : float; v_invariant : string; v_detail : string }
+
+val violation_to_string : violation -> string
+
+type t
+
+val create : now:(unit -> float) -> probes:probe list -> t
+
+(** Run every invariant once; new violations are recorded
+    (deduplicated). *)
+val check : t -> unit
+
+(** End-of-run check (call after healing + settling): all up members
+    must hold identical logs and identical engine content. *)
+val check_converged : t -> unit
+
+(** Violations recorded so far, oldest first. *)
+val violations : t -> violation list
+
+val violation_count : t -> int
+
+(** Highest Raft index the checker has seen committed anywhere. *)
+val max_committed : t -> int
+
+(** Distinct committed indexes pinned in the global table. *)
+val committed_entries : t -> int

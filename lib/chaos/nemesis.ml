@@ -1,0 +1,501 @@
+(* The nemesis: draws faults from a Schedule, applies them through an
+   [ops] record (so the same engine drives a full MyRaft cluster or the
+   bare Raft test harness), bounds how many are outstanding, and
+   auto-heals each one after a random delay.
+
+   Everything stochastic flows through one split RNG, so a chaos run is
+   fully determined by its seed — the repro command printed on a
+   violation replays the identical schedule. *)
+
+(* Control surface over the system under test.  [Sim.Network.t] is typed
+   over the protocol message, so the nemesis reaches it through closures
+   rather than holding it directly. *)
+type ops = {
+  node_ids : string list;
+  region_of : string -> string;
+  is_up : string -> bool;
+  leader : unit -> string option;
+  crash : string -> unit;
+  restart : string -> unit;
+  isolate : string -> unit;
+  heal_node : string -> unit;
+  cut_regions : string -> string -> unit;
+  heal_regions : string -> string -> unit;
+  set_node_faults : string -> Sim.Network.fault_spec -> unit;
+  clear_node_faults : string -> unit;
+  heal_all_network : unit -> unit;
+  store_of : string -> Binlog.Log_store.t option;
+  transfer : target:string -> (unit, string) result;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  trace : Sim.Trace.t;
+  rng : Sim.Rng.t;
+  spec : Schedule.t;
+  ops : ops;
+  regions : string list;
+  injected : (Schedule.fault_kind, int) Hashtbl.t;
+  msg_faulted : (string, unit) Hashtbl.t; (* nodes with an installed message fault *)
+  mutable active : int; (* outstanding (un-healed) faults *)
+  mutable total : int;
+}
+
+let create ~engine ~trace ~rng ~spec ~ops =
+  let regions =
+    List.fold_left
+      (fun acc id ->
+        let r = ops.region_of id in
+        if List.mem r acc then acc else acc @ [ r ])
+      [] ops.node_ids
+  in
+  {
+    engine;
+    trace;
+    rng;
+    spec;
+    ops;
+    regions;
+    injected = Hashtbl.create 16;
+    msg_faulted = Hashtbl.create 8;
+    active = 0;
+    total = 0;
+  }
+
+let notef t fmt =
+  Printf.ksprintf (fun msg -> Sim.Trace.record t.trace ~tag:"nemesis" "%s" msg) fmt
+
+let up_nodes t = List.filter t.ops.is_up t.ops.node_ids
+
+let pick_from t = function
+  | [] -> None
+  | l -> Some (List.nth l (Sim.Rng.int t.rng (List.length l)))
+
+(* Can we afford to take one more node down? *)
+let can_crash t = List.length (up_nodes t) - 1 >= t.spec.Schedule.min_up
+
+let record_injection t kind =
+  t.total <- t.total + 1;
+  Hashtbl.replace t.injected kind
+    (1 + Option.value (Hashtbl.find_opt t.injected kind) ~default:0)
+
+let schedule_heal t ~delay heal =
+  t.active <- t.active + 1;
+  ignore
+    (Sim.Engine.schedule t.engine ~delay (fun () ->
+         heal ();
+         t.active <- t.active - 1))
+
+(* ----- the individual faults ----- *)
+
+let inject_crash t node =
+  t.ops.crash node;
+  record_injection t Schedule.Crash_restart;
+  notef t "crash %s" node;
+  schedule_heal t ~delay:(Schedule.heal_delay t.spec t.rng) (fun () ->
+      if not (t.ops.is_up node) then begin
+        t.ops.restart node;
+        notef t "restart %s" node
+      end)
+
+let inject_leader_crash t leader =
+  t.ops.crash leader;
+  record_injection t Schedule.Leader_crash;
+  notef t "crash leader %s" leader;
+  schedule_heal t ~delay:(Schedule.heal_delay t.spec t.rng) (fun () ->
+      if not (t.ops.is_up leader) then begin
+        t.ops.restart leader;
+        notef t "restart %s" leader
+      end)
+
+let inject_transfer t ~leader ~target =
+  record_injection t Schedule.Graceful_transfer;
+  (match t.ops.transfer ~target with
+  | Ok () -> notef t "transfer %s -> %s requested" leader target
+  | Error e -> notef t "transfer %s -> %s rejected: %s" leader target e)
+
+let inject_partition t r1 r2 =
+  t.ops.cut_regions r1 r2;
+  record_injection t Schedule.Partition_regions;
+  notef t "partition %s | %s" r1 r2;
+  schedule_heal t ~delay:(Schedule.heal_delay t.spec t.rng) (fun () ->
+      t.ops.heal_regions r1 r2;
+      notef t "heal partition %s | %s" r1 r2)
+
+let inject_isolate t node =
+  t.ops.isolate node;
+  record_injection t Schedule.Isolate_node;
+  notef t "isolate %s" node;
+  schedule_heal t ~delay:(Schedule.heal_delay t.spec t.rng) (fun () ->
+      t.ops.heal_node node;
+      notef t "heal isolation of %s" node)
+
+let inject_msg_fault t kind node =
+  let s = t.spec in
+  let fault =
+    match kind with
+    | Schedule.Msg_drop -> { Sim.Network.no_faults with drop = s.Schedule.drop_p }
+    | Schedule.Msg_duplicate ->
+      { Sim.Network.no_faults with
+        duplicate = s.Schedule.dup_p;
+        reorder_delay = s.Schedule.reorder_delay
+      }
+    | Schedule.Msg_reorder ->
+      { Sim.Network.no_faults with
+        reorder = s.Schedule.reorder_p;
+        reorder_delay = s.Schedule.reorder_delay
+      }
+    | Schedule.Latency_spike ->
+      { Sim.Network.no_faults with extra_latency = s.Schedule.spike_latency }
+    | _ -> assert false
+  in
+  t.ops.set_node_faults node fault;
+  Hashtbl.replace t.msg_faulted node ();
+  record_injection t kind;
+  notef t "%s fault on %s" (Schedule.kind_to_string kind) node;
+  schedule_heal t ~delay:(Schedule.heal_delay t.spec t.rng) (fun () ->
+      t.ops.clear_node_faults node;
+      Hashtbl.remove t.msg_faulted node;
+      notef t "heal %s fault on %s" (Schedule.kind_to_string kind) node)
+
+(* Torn tail: buffer the node's fsyncs so a tail accumulates, crash it
+   mid-window (losing up to [torn_tail_k] unsynced entries when the
+   restart runs log recovery), restart at heal. *)
+let inject_torn_tail t node store =
+  Binlog.Log_store.set_buffered store true;
+  Binlog.Log_store.set_torn_tail store ~max_lost:t.spec.Schedule.torn_tail_k;
+  record_injection t Schedule.Torn_tail;
+  notef t "torn-tail armed on %s (k=%d)" node t.spec.Schedule.torn_tail_k;
+  let delay = Schedule.heal_delay t.spec t.rng in
+  ignore
+    (Sim.Engine.schedule t.engine ~delay:(0.5 *. delay) (fun () ->
+         if t.ops.is_up node && can_crash t then begin
+           t.ops.crash node;
+           notef t "torn-tail crash of %s (%d unsynced)" node
+             (Binlog.Log_store.unsynced_count store)
+         end));
+  schedule_heal t ~delay (fun () ->
+      if not (t.ops.is_up node) then begin
+        t.ops.restart node;
+        notef t "restart %s after torn-tail" node
+      end
+      else
+        (* the crash was skipped (min_up floor); just flush the buffer *)
+        Binlog.Log_store.set_buffered store false)
+
+let inject_fsync_stall t node store =
+  Binlog.Log_store.set_buffered store true;
+  record_injection t Schedule.Fsync_stall;
+  notef t "fsync stall on %s" node;
+  schedule_heal t ~delay:(Schedule.heal_delay t.spec t.rng) (fun () ->
+      Binlog.Log_store.set_buffered store false;
+      notef t "fsync stall on %s drained (%d entries)" node
+        (Binlog.Log_store.last_index store - Binlog.Log_store.synced_index store))
+
+(* ----- the step function ----- *)
+
+(* One scheduling tick: with probability [inject_p], draw a fault from
+   the mix and apply it if its preconditions hold.  Preconditions that
+   fail (no leader, too few live nodes, every node already faulted) turn
+   the draw into a no-op — the step never blocks. *)
+let step t =
+  if t.active < t.spec.Schedule.max_concurrent && Sim.Rng.float t.rng < t.spec.Schedule.inject_p
+  then begin
+    let kind = Schedule.draw t.spec t.rng in
+    match kind with
+    | Schedule.Crash_restart ->
+      if can_crash t then
+        Option.iter (inject_crash t) (pick_from t (up_nodes t))
+    | Schedule.Leader_crash -> (
+      if can_crash t then
+        match t.ops.leader () with
+        | Some l when t.ops.is_up l -> inject_leader_crash t l
+        | _ -> ())
+    | Schedule.Graceful_transfer -> (
+      match t.ops.leader () with
+      | Some leader ->
+        let candidates = List.filter (fun n -> n <> leader) (up_nodes t) in
+        Option.iter (fun target -> inject_transfer t ~leader ~target) (pick_from t candidates)
+      | None -> ())
+    | Schedule.Partition_regions ->
+      if List.length t.regions >= 2 then begin
+        let r1 = List.nth t.regions (Sim.Rng.int t.rng (List.length t.regions)) in
+        let rest = List.filter (fun r -> r <> r1) t.regions in
+        let r2 = List.nth rest (Sim.Rng.int t.rng (List.length rest)) in
+        inject_partition t r1 r2
+      end
+    | Schedule.Isolate_node -> Option.iter (inject_isolate t) (pick_from t (up_nodes t))
+    | (Schedule.Msg_drop | Schedule.Msg_duplicate | Schedule.Msg_reorder | Schedule.Latency_spike)
+      as kind ->
+      let candidates =
+        List.filter (fun n -> not (Hashtbl.mem t.msg_faulted n)) (up_nodes t)
+      in
+      Option.iter (inject_msg_fault t kind) (pick_from t candidates)
+    | Schedule.Torn_tail ->
+      let candidates =
+        List.filter
+          (fun n ->
+            match t.ops.store_of n with
+            | Some s -> not (Binlog.Log_store.buffered s)
+            | None -> false)
+          (up_nodes t)
+      in
+      Option.iter
+        (fun node ->
+          match t.ops.store_of node with
+          | Some store -> inject_torn_tail t node store
+          | None -> ())
+        (pick_from t candidates)
+    | Schedule.Fsync_stall ->
+      let candidates =
+        List.filter
+          (fun n ->
+            match t.ops.store_of n with
+            | Some s -> not (Binlog.Log_store.buffered s)
+            | None -> false)
+          (up_nodes t)
+      in
+      Option.iter
+        (fun node ->
+          match t.ops.store_of node with
+          | Some store -> inject_fsync_stall t node store
+          | None -> ())
+        (pick_from t candidates)
+  end
+
+(* Force-heal everything (end of run): reconnect the network, flush every
+   buffered store, restart every down node. *)
+let heal_now t =
+  t.ops.heal_all_network ();
+  Hashtbl.reset t.msg_faulted;
+  List.iter
+    (fun node ->
+      (match t.ops.store_of node with
+      | Some store ->
+        Binlog.Log_store.set_torn_tail store ~max_lost:0;
+        Binlog.Log_store.set_buffered store false
+      | None -> ());
+      if not (t.ops.is_up node) then t.ops.restart node)
+    t.ops.node_ids;
+  notef t "heal all"
+
+let active t = t.active
+
+let total_injections t = t.total
+
+let injections t =
+  List.filter_map
+    (fun k -> Option.map (fun n -> (k, n)) (Hashtbl.find_opt t.injected k))
+    Schedule.all_kinds
+
+(* ----- adapters ----- *)
+
+let ops_of_cluster c =
+  let net = Myraft.Cluster.network c in
+  let store_of id =
+    match Myraft.Cluster.node c id with
+    | Some (Myraft.Cluster.Mysql_node s) -> Some (Myraft.Server.log s)
+    | Some (Myraft.Cluster.Tailer_node l) -> Some (Myraft.Logtailer.log l)
+    | None -> None
+  in
+  {
+    node_ids = Myraft.Cluster.member_ids c;
+    region_of = (fun id -> Sim.Topology.region_of (Sim.Network.topology net) id);
+    is_up = (fun id -> not (Myraft.Cluster.is_crashed c id));
+    leader = (fun () -> Myraft.Cluster.raft_leader c);
+    crash = Myraft.Cluster.crash c;
+    restart = Myraft.Cluster.restart c;
+    isolate = Myraft.Cluster.isolate c;
+    heal_node = Myraft.Cluster.heal c;
+    cut_regions = (fun r1 r2 -> Sim.Network.cut_regions net r1 r2);
+    heal_regions = (fun r1 r2 -> Sim.Network.heal_regions net r1 r2);
+    set_node_faults = Sim.Network.set_node_faults net;
+    clear_node_faults = Sim.Network.clear_node_faults net;
+    heal_all_network = (fun () -> Sim.Network.heal_all net);
+    store_of;
+    transfer = (fun ~target -> Myraft.Cluster.transfer_leadership c ~target);
+  }
+
+let probes_of_cluster c =
+  List.map
+    (fun id ->
+      {
+        Invariants.probe_id = id;
+        probe_up = (fun () -> not (Myraft.Cluster.is_crashed c id));
+        probe_raft = (fun () -> Myraft.Cluster.raft_of c id);
+        probe_store =
+          (fun () ->
+            match Myraft.Cluster.node c id with
+            | Some (Myraft.Cluster.Mysql_node s) -> Some (Myraft.Server.log s)
+            | Some (Myraft.Cluster.Tailer_node l) -> Some (Myraft.Logtailer.log l)
+            | None -> None);
+        probe_engine =
+          (fun () ->
+            match Myraft.Cluster.node c id with
+            | Some (Myraft.Cluster.Mysql_node s) -> Some (Myraft.Server.storage s)
+            | _ -> None);
+      })
+    (Myraft.Cluster.member_ids c)
+
+(* ----- the full-cluster chaos runner ----- *)
+
+type report = {
+  r_seed : int;
+  r_steps : int;
+  r_quorum : Raft.Quorum.mode;
+  r_faults : string list;
+  r_injections : (Schedule.fault_kind * int) list;
+  r_total_injections : int;
+  r_committed : int; (* highest Raft index the checker saw committed *)
+  r_workload_committed : int; (* client writes acknowledged committed *)
+  r_violations : Invariants.violation list;
+  r_trace_digest : int32;
+  r_fault_dropped : int;
+  r_duplicated : int;
+  r_reordered : int;
+}
+
+(* The canonical chaos topology: three regions, each a MySQL server plus
+   two logtailers — big enough for region partitions, FlexiRaft dynamic
+   quorums and three-way engine convergence. *)
+let chaos_members () =
+  [
+    Myraft.Cluster.mysql "my1" "r1";
+    Myraft.Cluster.logtailer "lt1a" "r1";
+    Myraft.Cluster.logtailer "lt1b" "r1";
+    Myraft.Cluster.mysql "my2" "r2";
+    Myraft.Cluster.logtailer "lt2a" "r2";
+    Myraft.Cluster.logtailer "lt2b" "r2";
+    Myraft.Cluster.mysql "my3" "r3";
+    Myraft.Cluster.logtailer "lt3a" "r3";
+    Myraft.Cluster.logtailer "lt3b" "r3";
+  ]
+
+let digest_trace trace =
+  List.fold_left
+    (fun acc (e : Sim.Trace.entry) ->
+      Binlog.Checksum.string
+        (Printf.sprintf "%ld|%.1f|%s|%s" acc e.time e.tag e.message))
+    0l (Sim.Trace.entries trace)
+
+let quorum_name = function
+  | Raft.Quorum.Majority -> "majority"
+  | Raft.Quorum.Single_region_dynamic -> "flexi"
+  | Raft.Quorum.Region_majorities -> "region-majorities"
+
+let repro_command r =
+  Printf.sprintf "dune exec bin/myraft_cli.exe -- chaos --seed %d --steps %d --faults %s --quorum %s"
+    r.r_seed r.r_steps (String.concat "," r.r_faults) (quorum_name r.r_quorum)
+
+(* Run a seeded chaos schedule against a full MyRaft cluster under an
+   open-loop workload, checking invariants continuously; then heal
+   everything, let the ring settle, and require exact convergence. *)
+let run ?(spec = Schedule.default) ?(quorum = Raft.Quorum.Single_region_dynamic)
+    ?(step_duration = 0.25 *. Sim.Engine.s) ?(rate_per_s = 150.0) ?(echo = false) ~seed ~steps
+    () =
+  let params =
+    { Myraft.Params.default with
+      raft = { Myraft.Params.default.Myraft.Params.raft with Raft.Node.quorum_mode = quorum }
+    }
+  in
+  let cluster =
+    Myraft.Cluster.create ~seed ~params ~echo_trace:echo ~replicaset:"chaos"
+      ~members:(chaos_members ()) ()
+  in
+  Myraft.Cluster.bootstrap cluster ~leader_id:"my1";
+  let backend = Workload.Backend.myraft cluster in
+  let gen =
+    Workload.Generator.create ~backend ~client_id:"chaos-client" ~region:"r1" ()
+  in
+  Workload.Generator.start_open_loop gen ~rate_per_s;
+  let engine = Myraft.Cluster.engine cluster in
+  let trace = Myraft.Cluster.trace cluster in
+  let nemesis =
+    create ~engine ~trace ~rng:(Sim.Rng.of_int (seed lxor 0x6e656d65)) ~spec
+      ~ops:(ops_of_cluster cluster)
+  in
+  let inv =
+    Invariants.create
+      ~now:(fun () -> Sim.Engine.now engine)
+      ~probes:(probes_of_cluster cluster)
+  in
+  for _ = 1 to steps do
+    step nemesis;
+    Myraft.Cluster.run_for cluster step_duration;
+    Invariants.check inv
+  done;
+  (* Heal, stop traffic, let the ring settle, then require convergence. *)
+  Workload.Generator.stop gen;
+  heal_now nemesis;
+  let settled =
+    Myraft.Cluster.run_until cluster ~timeout:(60.0 *. Sim.Engine.s) (fun () ->
+        match Myraft.Cluster.raft_leader cluster with
+        | None -> false
+        | Some _ ->
+          let indexes =
+            List.filter_map
+              (fun id -> Option.map Raft.Node.commit_index (Myraft.Cluster.raft_of cluster id))
+              (Myraft.Cluster.member_ids cluster)
+          in
+          (match indexes with
+          | [] -> false
+          | i :: rest -> List.for_all (fun j -> j = i) rest))
+  in
+  Invariants.check inv;
+  if settled then Invariants.check_converged inv
+  else
+    Sim.Trace.record trace ~tag:"nemesis" "WARNING: ring did not reconverge within timeout";
+  let net = Myraft.Cluster.network cluster in
+  let report =
+    {
+      r_seed = seed;
+      r_steps = steps;
+      r_quorum = quorum;
+      r_faults = Schedule.fault_names spec;
+      r_injections = injections nemesis;
+      r_total_injections = total_injections nemesis;
+      r_committed = Invariants.max_committed inv;
+      r_workload_committed = (Workload.Generator.stats gen).Workload.Generator.committed;
+      r_violations = Invariants.violations inv;
+      r_trace_digest = digest_trace trace;
+      r_fault_dropped = Sim.Network.fault_dropped net;
+      r_duplicated = Sim.Network.duplicated net;
+      r_reordered = Sim.Network.reordered net;
+    }
+  in
+  if report.r_violations <> [] then begin
+    let entries = Sim.Trace.entries trace in
+    let tail =
+      let n = List.length entries in
+      List.filteri (fun i _ -> i >= n - 40) entries
+    in
+    Printf.eprintf "=== INVARIANT VIOLATIONS (seed %d) ===\n" seed;
+    List.iter
+      (fun v -> Printf.eprintf "  %s\n" (Invariants.violation_to_string v))
+      report.r_violations;
+    Printf.eprintf "--- trace tail ---\n";
+    List.iter
+      (fun (e : Sim.Trace.entry) ->
+        Printf.eprintf "  [%10.0fus] %-12s %s\n" e.time e.tag e.message)
+      tail;
+    Printf.eprintf "repro: %s\n%!" (repro_command report)
+  end;
+  report
+
+let report_summary r =
+  Printf.sprintf
+    "seed %d · %s · %d steps · %d injections (%s) · committed idx %d · %d client commits · drop/dup/reorder %d/%d/%d · %d violations · digest %ld"
+    r.r_seed (quorum_name r.r_quorum) r.r_steps r.r_total_injections
+    (String.concat ", "
+       (List.map
+          (fun (k, n) -> Printf.sprintf "%s:%d" (Schedule.kind_to_string k) n)
+          r.r_injections))
+    r.r_committed r.r_workload_committed r.r_fault_dropped r.r_duplicated r.r_reordered
+    (List.length r.r_violations) r.r_trace_digest
+
+(* Seed sweep for CI smoke: run [seeds] and return the reports; the exit
+   gate is simply "no report has violations". *)
+let sweep ?spec ?quorum ?step_duration ?rate_per_s ~seeds ~steps () =
+  List.map
+    (fun seed -> run ?spec ?quorum ?step_duration ?rate_per_s ~seed ~steps ())
+    seeds

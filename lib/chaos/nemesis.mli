@@ -1,0 +1,114 @@
+(** The nemesis: draws faults from a {!Schedule}, applies them through
+    an {!ops} record (so the same engine drives a full MyRaft cluster or
+    the bare Raft test harness), bounds how many are outstanding, and
+    auto-heals each after a random delay.  Everything stochastic flows
+    through one RNG, so a chaos run is fully determined by its seed and
+    the repro command printed on a violation replays the identical
+    schedule. *)
+
+(** Control surface over the system under test.  [Sim.Network.t] is
+    typed over the protocol message, so the nemesis reaches it through
+    closures rather than holding it directly. *)
+type ops = {
+  node_ids : string list;
+  region_of : string -> string;
+  is_up : string -> bool;
+  leader : unit -> string option;
+  crash : string -> unit;
+  restart : string -> unit;
+  isolate : string -> unit;
+  heal_node : string -> unit;
+  cut_regions : string -> string -> unit;
+  heal_regions : string -> string -> unit;
+  set_node_faults : string -> Sim.Network.fault_spec -> unit;
+  clear_node_faults : string -> unit;
+  heal_all_network : unit -> unit;
+  store_of : string -> Binlog.Log_store.t option;
+  transfer : target:string -> (unit, string) result;
+}
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  trace:Sim.Trace.t ->
+  rng:Sim.Rng.t ->
+  spec:Schedule.t ->
+  ops:ops ->
+  t
+
+(** One scheduling tick: with probability [inject_p], draw a fault from
+    the mix and apply it if its preconditions hold (never blocks). *)
+val step : t -> unit
+
+(** Force-heal everything: reconnect the network, flush every buffered
+    store, restart every down node. *)
+val heal_now : t -> unit
+
+(** Outstanding (un-healed) faults. *)
+val active : t -> int
+
+val total_injections : t -> int
+
+val injections : t -> (Schedule.fault_kind * int) list
+
+(** {2 Adapters for a full MyRaft cluster} *)
+
+val ops_of_cluster : Myraft.Cluster.t -> ops
+
+val probes_of_cluster : Myraft.Cluster.t -> Invariants.probe list
+
+(** {2 The full-cluster chaos runner} *)
+
+type report = {
+  r_seed : int;
+  r_steps : int;
+  r_quorum : Raft.Quorum.mode;
+  r_faults : string list;
+  r_injections : (Schedule.fault_kind * int) list;
+  r_total_injections : int;
+  r_committed : int;  (** highest Raft index the checker saw committed *)
+  r_workload_committed : int;  (** client writes acknowledged committed *)
+  r_violations : Invariants.violation list;
+  r_trace_digest : int32;  (** digest of the full trace — seed-replay equality *)
+  r_fault_dropped : int;
+  r_duplicated : int;
+  r_reordered : int;
+}
+
+(** The canonical chaos topology: three regions, each a MySQL server
+    plus two logtailers. *)
+val chaos_members : unit -> Myraft.Cluster.member_spec list
+
+val quorum_name : Raft.Quorum.mode -> string
+
+(** The one-line command that replays a report's run. *)
+val repro_command : report -> string
+
+(** Run a seeded chaos schedule against a full MyRaft cluster under an
+    open-loop workload, checking invariants continuously; then heal
+    everything, let the ring settle, and require exact convergence.  On
+    violations, dumps the trace tail and the repro command to stderr. *)
+val run :
+  ?spec:Schedule.t ->
+  ?quorum:Raft.Quorum.mode ->
+  ?step_duration:float ->
+  ?rate_per_s:float ->
+  ?echo:bool ->
+  seed:int ->
+  steps:int ->
+  unit ->
+  report
+
+val report_summary : report -> string
+
+(** Seed sweep for CI smoke: the gate is "no report has violations". *)
+val sweep :
+  ?spec:Schedule.t ->
+  ?quorum:Raft.Quorum.mode ->
+  ?step_duration:float ->
+  ?rate_per_s:float ->
+  seeds:int list ->
+  steps:int ->
+  unit ->
+  report list

@@ -1,0 +1,122 @@
+(* Fault schedule: the declarative half of the nemesis.
+
+   A schedule is a weighted mix of fault kinds plus the knobs each kind
+   reads (probabilities for the message faults, tail budget for the
+   torn-tail crash, heal-delay window).  The nemesis draws from the mix
+   each step, bounded by [max_concurrent] outstanding faults and a
+   [min_up] floor of live nodes, and auto-heals every fault after a
+   random delay in [heal_after_lo, heal_after_hi]. *)
+
+type fault_kind =
+  | Crash_restart (* crash a random node; restart at heal *)
+  | Leader_crash (* crash the current Raft leader; restart at heal *)
+  | Graceful_transfer (* ask the leader to transfer to a random peer *)
+  | Partition_regions (* cut a random region pair; reconnect at heal *)
+  | Isolate_node (* disconnect one node; reconnect at heal *)
+  | Msg_drop (* probabilistic loss on all of a node's traffic *)
+  | Msg_duplicate (* probabilistic duplication *)
+  | Msg_reorder (* probabilistic extra delivery delay *)
+  | Latency_spike (* deterministic added latency *)
+  | Torn_tail (* buffer fsyncs, crash, lose the unsynced tail *)
+  | Fsync_stall (* buffer fsyncs; flush at heal *)
+
+let kind_to_string = function
+  | Crash_restart -> "crash"
+  | Leader_crash -> "leader-crash"
+  | Graceful_transfer -> "transfer"
+  | Partition_regions -> "partition"
+  | Isolate_node -> "isolate"
+  | Msg_drop -> "drop"
+  | Msg_duplicate -> "dup"
+  | Msg_reorder -> "reorder"
+  | Latency_spike -> "spike"
+  | Torn_tail -> "torn-tail"
+  | Fsync_stall -> "fsync-stall"
+
+let kind_of_string = function
+  | "crash" -> Some Crash_restart
+  | "leader-crash" -> Some Leader_crash
+  | "transfer" -> Some Graceful_transfer
+  | "partition" -> Some Partition_regions
+  | "isolate" -> Some Isolate_node
+  | "drop" -> Some Msg_drop
+  | "dup" | "duplicate" -> Some Msg_duplicate
+  | "reorder" -> Some Msg_reorder
+  | "spike" | "latency" -> Some Latency_spike
+  | "torn-tail" -> Some Torn_tail
+  | "fsync-stall" -> Some Fsync_stall
+  | _ -> None
+
+let all_kinds =
+  [
+    Crash_restart;
+    Leader_crash;
+    Graceful_transfer;
+    Partition_regions;
+    Isolate_node;
+    Msg_drop;
+    Msg_duplicate;
+    Msg_reorder;
+    Latency_spike;
+    Torn_tail;
+    Fsync_stall;
+  ]
+
+type t = {
+  mix : (fault_kind * float) list; (* weighted fault mix, drawn each step *)
+  inject_p : float; (* P(attempt an injection) per step *)
+  max_concurrent : int; (* outstanding (un-healed) faults at once *)
+  min_up : int; (* never crash below this many live nodes *)
+  heal_after_lo : float; (* auto-heal delay window, µs *)
+  heal_after_hi : float;
+  drop_p : float; (* per-message probabilities for the Msg_* faults *)
+  dup_p : float;
+  reorder_p : float;
+  reorder_delay : float; (* max extra delay for reordered/dup copies, µs *)
+  spike_latency : float; (* added one-way latency for Latency_spike, µs *)
+  torn_tail_k : int; (* max unsynced entries lost by Torn_tail *)
+}
+
+let default =
+  {
+    mix = List.map (fun k -> (k, 1.0)) all_kinds;
+    inject_p = 0.6;
+    max_concurrent = 2;
+    min_up = 3;
+    heal_after_lo = 1.0 *. Sim.Engine.s;
+    heal_after_hi = 6.0 *. Sim.Engine.s;
+    drop_p = 0.05;
+    dup_p = 0.05;
+    reorder_p = 0.10;
+    reorder_delay = 50.0 *. Sim.Engine.ms;
+    spike_latency = 80.0 *. Sim.Engine.ms;
+    torn_tail_k = 5;
+  }
+
+(* Restrict the mix to the named kinds (the CLI's --faults list). *)
+let with_faults t names =
+  let rec parse acc = function
+    | [] -> Ok (List.rev acc)
+    | name :: rest -> (
+      match kind_of_string name with
+      | Some k -> parse (k :: acc) rest
+      | None -> Error (Printf.sprintf "unknown fault kind %S" name))
+  in
+  match parse [] names with
+  | Error _ as e -> e
+  | Ok [] -> Error "empty fault list"
+  | Ok kinds -> Ok { t with mix = List.map (fun k -> (k, 1.0)) kinds }
+
+let fault_names t = List.map (fun (k, _) -> kind_to_string k) t.mix
+
+(* Weighted draw from the mix. *)
+let draw t rng =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 t.mix in
+  let x = Sim.Rng.float rng *. total in
+  let rec pick acc = function
+    | [] -> fst (List.hd t.mix)
+    | (k, w) :: rest -> if x < acc +. w then k else pick (acc +. w) rest
+  in
+  pick 0.0 t.mix
+
+let heal_delay t rng = Sim.Rng.uniform rng ~lo:t.heal_after_lo ~hi:t.heal_after_hi

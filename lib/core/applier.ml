@@ -20,8 +20,12 @@ type t = {
   mutable applied_index : int;
   mutable next_expected : int; (* next log index to enqueue *)
   mutable applied_txns : int;
-  process : Binlog.Entry.t -> on_done:(ok:bool -> unit) -> unit;
-    (* prepare + pipeline submission; [on_done] fires after engine commit *)
+  mutable generation : int; (* bumped on start/stop to fence stale callbacks *)
+  process :
+    Binlog.Entry.t -> on_submitted:(unit -> unit) -> on_done:(ok:bool -> unit) -> unit;
+    (* prepare + pipeline submission; [on_submitted] fires once the entry
+       is in the pipeline (its commit order is pinned), [on_done] after
+       engine commit *)
 }
 
 let create ~engine ~params ~process =
@@ -34,6 +38,7 @@ let create ~engine ~params ~process =
     applied_index = 0;
     next_expected = 1;
     applied_txns = 0;
+    generation = 0;
     process;
   }
 
@@ -43,11 +48,17 @@ let applied_txns t = t.applied_txns
 
 let is_running t = t.running
 
-(* Execute entries serially (the applier thread), but do NOT wait for
-   engine commit before picking up the next entry: the commit pipeline is
-   FIFO, so completions arrive in order and [applied_index] stays a
-   prefix watermark.  This is what lets a replica keep up with a
-   group-committing primary. *)
+(* Execute entries serially (the applier thread).  The next entry is not
+   picked up until the current one is *submitted* to the commit pipeline
+   ([on_submitted]) — but without waiting for engine commit: the pipeline
+   is FIFO, so submission order pins commit order (MySQL's
+   slave_preserve_commit_order) while completions still overlap, which is
+   what lets a replica keep up with a group-committing primary.  Waiting
+   for submission rather than returning immediately matters when a
+   prepare hits a row-lock conflict and must retry: later entries must
+   not slip into the pipeline ahead of it, or the replica would engine-
+   commit out of log order and the recovery cursor (§3.3 step 5) could
+   skip the stalled transaction after a crash. *)
 let rec work t =
   if t.running && not t.busy then
     match Queue.take_opt t.queue with
@@ -55,6 +66,7 @@ let rec work t =
     | Some entry ->
       t.busy <- true;
       let index = Binlog.Entry.index entry in
+      let gen = t.generation in
       let cost =
         match Binlog.Entry.payload entry with
         | Binlog.Entry.Transaction _ -> t.params.Params.apply_per_txn_us
@@ -62,15 +74,20 @@ let rec work t =
       in
       ignore
         (Sim.Engine.schedule t.engine ~delay:cost (fun () ->
-             let generation_running = t.running in
-             t.process entry ~on_done:(fun ~ok ->
-                 if ok && t.running && generation_running then begin
+             let submitted = ref false in
+             t.process entry
+               ~on_submitted:(fun () ->
+                 if (not !submitted) && t.generation = gen then begin
+                   submitted := true;
+                   t.busy <- false;
+                   work t
+                 end)
+               ~on_done:(fun ~ok ->
+                 if ok && t.running && t.generation = gen then begin
                    t.applied_index <- max t.applied_index index;
                    if Binlog.Entry.is_transaction entry then
                      t.applied_txns <- t.applied_txns + 1
-                 end);
-             t.busy <- false;
-             work t))
+                 end)))
 
 (* Raft signal: new entries are in the relay log. *)
 let signal t entries =
@@ -101,6 +118,7 @@ let handle_truncation t ~from_index =
    point. *)
 let start t ~from_index ~backlog =
   t.running <- true;
+  t.generation <- t.generation + 1;
   Queue.clear t.queue;
   t.busy <- false;
   t.applied_index <- from_index - 1;
@@ -109,6 +127,7 @@ let start t ~from_index ~backlog =
 
 let stop t =
   t.running <- false;
+  t.generation <- t.generation + 1;
   Queue.clear t.queue;
   t.busy <- false
 

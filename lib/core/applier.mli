@@ -9,12 +9,18 @@
 
 type t
 
-(** [process entry ~on_done] must execute the entry (prepare + pipeline
-    submission); [on_done] fires after engine commit. *)
+(** [process entry ~on_submitted ~on_done] must execute the entry
+    (prepare + pipeline submission).  [on_submitted] must fire exactly
+    once, when the entry's commit order is pinned (it entered the FIFO
+    pipeline, or its outcome is terminal) — the applier stalls later
+    entries until then, preserving engine commit order
+    (slave_preserve_commit_order).  [on_done] fires after engine
+    commit. *)
 val create :
   engine:Sim.Engine.t ->
   params:Params.t ->
-  process:(Binlog.Entry.t -> on_done:(ok:bool -> unit) -> unit) ->
+  process:
+    (Binlog.Entry.t -> on_submitted:(unit -> unit) -> on_done:(ok:bool -> unit) -> unit) ->
   t
 
 (** Start (or restart) with the cursor at [from_index]; [backlog] is the

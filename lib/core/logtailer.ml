@@ -126,6 +126,7 @@ let crash t =
 let restart t =
   if t.crashed then begin
     t.crashed <- false;
+    let torn = Binlog.Log_store.crash_recover_log t.log in
     t.raft <- Some (make_raft t);
-    tracef t "%s: restarted" t.id
+    tracef t "%s: restarted (lost %d torn log entries)" t.id (List.length torn)
   end

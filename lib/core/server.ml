@@ -98,10 +98,14 @@ let jittered t nominal = nominal *. Sim.Rng.lognormal t.rng ~mu:0.0 ~sigma:0.35
 (* Execute one relay-log entry: prepare the transaction in the engine and
    push it into the commit pipeline, where it awaits the consensus-commit
    marker before engine commit. *)
-let applier_process t entry ~on_done =
+let applier_process t entry ~on_submitted ~on_done =
   match Binlog.Entry.payload entry with
   | Binlog.Entry.Transaction { gtid; events } ->
-    if Storage.Engine.has_committed t.storage gtid then on_done ~ok:true (* idempotent replay *)
+    if Storage.Engine.has_committed t.storage gtid then begin
+      (* idempotent replay *)
+      on_done ~ok:true;
+      on_submitted ()
+    end
     else begin
       let writes =
         List.filter_map
@@ -116,13 +120,19 @@ let applier_process t entry ~on_done =
       let rec try_prepare (retry : pending_retry) =
         let retry_later () =
           retry.attempts <- retry.attempts + 1;
-          if retry.attempts > 100_000 then on_done ~ok:false
+          if retry.attempts > 100_000 then begin
+            on_done ~ok:false;
+            on_submitted () (* give up; unwedge the applier *)
+          end
           else
             ignore
               (Sim.Engine.schedule t.engine ~delay:(50.0 *. Sim.Engine.us) (fun () ->
                    try_prepare retry))
         in
-        if Storage.Engine.has_committed t.storage gtid then on_done ~ok:true
+        if Storage.Engine.has_committed t.storage gtid then begin
+          on_done ~ok:true;
+          on_submitted ()
+        end
         else if Storage.Engine.is_prepared t.storage gtid then
           (* An in-flight copy of the same transaction (e.g. submitted by
              the client path before a role change) is already in the
@@ -150,10 +160,15 @@ let applier_process t entry ~on_done =
                       Storage.Engine.rollback_prepared t.storage ~gtid;
                       on_done ~ok:false
                     end);
-              }
+              };
+            on_submitted ()
           | exception Storage.Engine.Lock_conflict _ ->
             (* A row lock is held by an in-pipeline transaction; it will
-               be released at its engine commit.  Retry shortly. *)
+               be released at its engine commit.  Retry shortly — and do
+               NOT release the applier: letting later entries into the
+               pipeline first would engine-commit them ahead of this one,
+               breaking commit order (slave_preserve_commit_order) and
+               the recovery cursor's prefix assumption. *)
             retry_later ()
       in
       try_prepare { attempts = 0 }
@@ -169,7 +184,8 @@ let applier_process t entry ~on_done =
           (fun ~ok ->
             if ok then Binlog.Log_store.rotate t.log;
             on_done ~ok);
-      }
+      };
+    on_submitted ()
   | Binlog.Entry.Noop | Binlog.Entry.Config_change _ ->
     (* Nothing to execute, but order through the pipeline so
        applied_index remains a committed-prefix watermark. *)
@@ -178,7 +194,8 @@ let applier_process t entry ~on_done =
         Pipeline.label = "noop";
         flush = (fun () -> Ok (Binlog.Entry.index entry));
         finish = (fun ~ok -> on_done ~ok);
-      }
+      };
+    on_submitted ()
 
 (* ----- orchestration: replica -> primary (§3.3) ----- *)
 
@@ -482,12 +499,17 @@ let restart t =
     t.crashed <- false;
     t.orchestration_epoch <- t.orchestration_epoch + 1;
     let rolled_back = Storage.Engine.crash_recover t.storage in
+    (* Log recovery: an unsynced binlog tail may be gone after the crash
+       (torn-tail fault); Raft never acked those entries, so losing them
+       is safe — the leader re-replicates them. *)
+    let torn = Binlog.Log_store.crash_recover_log t.log in
     t.pipeline <- Pipeline.create ~engine:t.engine ~params:t.params ~is_primary_path:true;
     Binlog.Log_store.switch_mode t.log Binlog.Log_store.Relay;
     t.raft <- Some (make_raft t);
     Pipeline.notify_commit_index t.pipeline (Raft.Node.commit_index (raft t));
     start_applier_from_recovery_point t;
-    tracef t "%s: restarted (recovery rolled back %d prepared txns)" t.id rolled_back
+    tracef t "%s: restarted (recovery rolled back %d prepared txns, lost %d torn log entries)"
+      t.id rolled_back (List.length torn)
   end
 
 (* ----- message handling ----- *)
@@ -538,8 +560,8 @@ let create ~engine ~id ~region ~replicaset ~send ~discovery ~params ~initial_con
   in
   t.applier <-
     Some
-      (Applier.create ~engine ~params ~process:(fun entry ~on_done ->
-           applier_process t entry ~on_done));
+      (Applier.create ~engine ~params ~process:(fun entry ~on_submitted ~on_done ->
+           applier_process t entry ~on_submitted ~on_done));
   t.raft <- Some (make_raft t);
   start_applier_from_recovery_point t;
   t

@@ -25,6 +25,11 @@ type log_ops = {
   last_opid : unit -> Binlog.Opid.t;
   term_at : int -> int option;
   truncate_from : int -> Binlog.Entry.t list;
+  durable_index : unit -> int;
+      (* Highest index the log has fsynced.  Raft only acknowledges
+         replication (and only counts its own vote toward commit) up to
+         here, so a crash that tears off the unsynced tail can never lose
+         an acked entry. *)
 }
 
 let log_ops_of_store (store : Binlog.Log_store.t) =
@@ -34,6 +39,7 @@ let log_ops_of_store (store : Binlog.Log_store.t) =
     last_opid = (fun () -> Binlog.Log_store.last_opid store);
     term_at = (fun i -> Binlog.Log_store.term_at store i);
     truncate_from = (fun i -> Binlog.Log_store.truncate_from store ~from_index:i);
+    durable_index = (fun () -> Binlog.Log_store.synced_index store);
   }
 
 (* Orchestration callbacks from Raft into the state machine (§3.3). *)
@@ -346,14 +352,18 @@ and advance_commit t =
   if t.role = Types.Leader then begin
     let cfg = config t in
     let self_index = last_index t in
+    let self_durable = t.log.durable_index () in
     let rec scan n best =
       if n > self_index then best
       else begin
         let acks =
-          t.id
-          :: Hashtbl.fold
-               (fun pid p acc -> if p.match_index >= n then pid :: acc else acc)
-               t.peers []
+          (* The leader's own ack counts only once its log has fsynced
+             the entry — symmetrical with followers reporting their
+             durable index. *)
+          (if self_durable >= n then [ t.id ] else [])
+          @ Hashtbl.fold
+              (fun pid p acc -> if p.match_index >= n then pid :: acc else acc)
+              t.peers []
         in
         let quorum =
           Quorum.data_quorum_satisfied t.params.quorum_mode cfg ~leader_region:t.region
@@ -819,7 +829,9 @@ and handle_append_entries t ~src:_ (ae : Message.append_entries) =
           Message.term = t.durable.current_term;
           from = t.id;
           success = true;
-          last_log_index = last_index t;
+          (* Ack only the durable prefix: an fsync-stalled follower must
+             not let the leader commit on entries a crash could tear off. *)
+          last_log_index = t.log.durable_index ();
           request_seq = ae.seq;
         }
     end

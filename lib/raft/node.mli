@@ -21,6 +21,11 @@ type log_ops = {
   last_opid : unit -> Binlog.Opid.t;
   term_at : int -> int option;
   truncate_from : int -> Binlog.Entry.t list;
+  durable_index : unit -> int;
+      (** Highest index the log has fsynced.  Raft only acknowledges
+          replication (and counts its own vote toward commit) up to here,
+          so a crash that tears off the unsynced tail can never lose an
+          acked entry. *)
 }
 
 (** Specialize the abstraction to a {!Binlog.Log_store}. *)

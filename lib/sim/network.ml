@@ -14,6 +14,20 @@ type stats = {
   mutable bytes : int;
 }
 
+(* Per-node / per-link message fault model (the lossy-link conditions of
+   "From Consensus to Chaos"): each delivery rolls independently against
+   every spec that covers it — the link itself plus both endpoints. *)
+type fault_spec = {
+  drop : float; (* P(message silently lost) *)
+  duplicate : float; (* P(a second copy is delivered) *)
+  reorder : float; (* P(an extra random delay shuffles this message) *)
+  reorder_delay : float; (* max extra delay for reordered/duplicated copies, µs *)
+  extra_latency : float; (* deterministic added latency — a transient spike, µs *)
+}
+
+let no_faults =
+  { drop = 0.0; duplicate = 0.0; reorder = 0.0; reorder_delay = 0.0; extra_latency = 0.0 }
+
 type 'msg t = {
   engine : Engine.t;
   topology : Topology.t;
@@ -35,7 +49,16 @@ type 'msg t = {
   egress_rate : (Topology.node_id, float) Hashtbl.t;
   egress_free_at : (Topology.node_id, float) Hashtbl.t;
   egress_queue_delay : (Topology.node_id, float ref) Hashtbl.t;
+  node_faults : (Topology.node_id, fault_spec) Hashtbl.t;
+  link_faults : (Topology.node_id * Topology.node_id, fault_spec) Hashtbl.t;
+  (* Split lazily on first fault installation so fault-free runs keep the
+     exact RNG streams they had before the fault model existed, while
+     chaos runs stay fully determined by the engine seed. *)
+  mutable fault_rng : Rng.t option;
   mutable dropped : int;
+  mutable fault_dropped : int;
+  mutable duplicated : int;
+  mutable reordered : int;
 }
 
 let create engine topology ?(latency = Latency.default) () =
@@ -54,7 +77,13 @@ let create engine topology ?(latency = Latency.default) () =
     egress_rate = Hashtbl.create 4;
     egress_free_at = Hashtbl.create 4;
     egress_queue_delay = Hashtbl.create 4;
+    node_faults = Hashtbl.create 4;
+    link_faults = Hashtbl.create 4;
+    fault_rng = None;
     dropped = 0;
+    fault_dropped = 0;
+    duplicated = 0;
+    reordered = 0;
   }
 
 (* Fix the one-way latency between two nodes (both directions). *)
@@ -108,9 +137,40 @@ let isolate_node t node = Hashtbl.replace t.isolated node ()
 
 let heal_node t node = Hashtbl.remove t.isolated node
 
+(* ----- message fault model ----- *)
+
+let fault_rng t =
+  match t.fault_rng with
+  | Some rng -> rng
+  | None ->
+    let rng = Rng.split t.rng in
+    t.fault_rng <- Some rng;
+    rng
+
+let set_node_faults t node spec =
+  ignore (fault_rng t);
+  if spec = no_faults then Hashtbl.remove t.node_faults node
+  else Hashtbl.replace t.node_faults node spec
+
+let clear_node_faults t node = Hashtbl.remove t.node_faults node
+
+let node_faults t node =
+  Option.value (Hashtbl.find_opt t.node_faults node) ~default:no_faults
+
+let set_link_faults t ~src ~dst spec =
+  ignore (fault_rng t);
+  if spec = no_faults then Hashtbl.remove t.link_faults (src, dst)
+  else Hashtbl.replace t.link_faults (src, dst) spec
+
+let clear_link_faults t ~src ~dst = Hashtbl.remove t.link_faults (src, dst)
+
+let faulted_nodes t = Hashtbl.fold (fun n _ acc -> n :: acc) t.node_faults []
+
 let heal_all t =
   Hashtbl.reset t.cut_region_pairs;
-  Hashtbl.reset t.isolated
+  Hashtbl.reset t.isolated;
+  Hashtbl.reset t.node_faults;
+  Hashtbl.reset t.link_faults
 
 let partitioned t src dst =
   Hashtbl.mem t.isolated src || Hashtbl.mem t.isolated dst
@@ -131,6 +191,24 @@ let bump table key ~bytes =
   st.messages <- st.messages + 1;
   st.bytes <- st.bytes + bytes
 
+(* The fault specs covering a (src, dst) delivery: the directed link plus
+   both endpoints.  Usually empty — chaos runs install a handful. *)
+let specs_for t ~src ~dst =
+  let add acc = function Some s -> s :: acc | None -> acc in
+  add
+    (add (add [] (Hashtbl.find_opt t.link_faults (src, dst))) (Hashtbl.find_opt t.node_faults src))
+    (Hashtbl.find_opt t.node_faults dst)
+
+let schedule_delivery t ~src ~dst ~delay msg =
+  ignore
+    (Engine.schedule t.engine ~delay (fun () ->
+         if Hashtbl.mem t.down dst || partitioned t src dst then
+           t.dropped <- t.dropped + 1
+         else
+           match Hashtbl.find_opt t.handlers dst with
+           | Some handler -> handler ~src msg
+           | None -> t.dropped <- t.dropped + 1))
+
 (* Send a message.  [size] is the wire size in bytes and is accounted even
    for messages that are later dropped at delivery (the sender spent the
    bandwidth either way). *)
@@ -141,24 +219,55 @@ let send t ~src ~dst ~size msg =
   bump t.region_stats (src_region, dst_region) ~bytes:size;
   if Hashtbl.mem t.down src || partitioned t src dst then t.dropped <- t.dropped + 1
   else begin
-    let delay =
-      egress_delay t ~src ~size
-      +.
-      match Hashtbl.find_opt t.link_latency (src, dst) with
-      | Some fixed -> fixed
-      | None -> Latency.one_way t.latency ~src_region ~dst_region t.rng
+    let specs = specs_for t ~src ~dst in
+    let lost =
+      specs <> []
+      && List.exists (fun s -> s.drop > 0.0 && Rng.float (fault_rng t) < s.drop) specs
     in
-    ignore
-      (Engine.schedule t.engine ~delay (fun () ->
-           if Hashtbl.mem t.down dst || partitioned t src dst then
-             t.dropped <- t.dropped + 1
-           else
-             match Hashtbl.find_opt t.handlers dst with
-             | Some handler -> handler ~src msg
-             | None -> t.dropped <- t.dropped + 1))
+    if lost then begin
+      t.dropped <- t.dropped + 1;
+      t.fault_dropped <- t.fault_dropped + 1
+    end
+    else begin
+      let delay =
+        egress_delay t ~src ~size
+        +.
+        match Hashtbl.find_opt t.link_latency (src, dst) with
+        | Some fixed -> fixed
+        | None -> Latency.one_way t.latency ~src_region ~dst_region t.rng
+      in
+      let delay =
+        List.fold_left
+          (fun d s ->
+            let d = d +. s.extra_latency in
+            if s.reorder > 0.0 && Rng.float (fault_rng t) < s.reorder then begin
+              t.reordered <- t.reordered + 1;
+              d +. Rng.uniform (fault_rng t) ~lo:0.0 ~hi:s.reorder_delay
+            end
+            else d)
+          delay specs
+      in
+      schedule_delivery t ~src ~dst ~delay msg;
+      (* Duplication: a second copy arrives after an extra random delay,
+         so the two copies may also arrive out of order. *)
+      List.iter
+        (fun s ->
+          if s.duplicate > 0.0 && Rng.float (fault_rng t) < s.duplicate then begin
+            t.duplicated <- t.duplicated + 1;
+            let extra = Rng.uniform (fault_rng t) ~lo:0.0 ~hi:(max s.reorder_delay 1.0) in
+            schedule_delivery t ~src ~dst ~delay:(delay +. extra) msg
+          end)
+        specs
+    end
   end
 
 let dropped t = t.dropped
+
+let fault_dropped t = t.fault_dropped
+
+let duplicated t = t.duplicated
+
+let reordered t = t.reordered
 
 let link_bytes t ~src ~dst =
   match Hashtbl.find_opt t.link_stats (src, dst) with Some st -> st.bytes | None -> 0
@@ -182,4 +291,7 @@ let total_messages t = Hashtbl.fold (fun _ st acc -> acc + st.messages) t.region
 let reset_stats t =
   Hashtbl.reset t.link_stats;
   Hashtbl.reset t.region_stats;
-  t.dropped <- 0
+  t.dropped <- 0;
+  t.fault_dropped <- 0;
+  t.duplicated <- 0;
+  t.reordered <- 0

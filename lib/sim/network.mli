@@ -7,6 +7,22 @@
 
 type 'msg t
 
+(** Per-node / per-link message fault model.  Every delivery rolls
+    independently against each spec that covers it (the directed link
+    plus both endpoints); rolls come from an RNG split off the network's
+    stream, so fault runs are fully determined by the engine seed and
+    fault-free runs draw nothing. *)
+type fault_spec = {
+  drop : float;  (** P(message silently lost) *)
+  duplicate : float;  (** P(a second copy is delivered) *)
+  reorder : float;  (** P(an extra random delay shuffles this message) *)
+  reorder_delay : float;  (** max extra delay for reordered/duplicate copies, µs *)
+  extra_latency : float;  (** deterministic added latency — a transient spike, µs *)
+}
+
+(** All probabilities zero. *)
+val no_faults : fault_spec
+
 val create : Engine.t -> Topology.t -> ?latency:Latency.t -> unit -> 'msg t
 
 val topology : 'msg t -> Topology.t
@@ -32,6 +48,24 @@ val isolate_node : 'msg t -> Topology.node_id -> unit
 
 val heal_node : 'msg t -> Topology.node_id -> unit
 
+(** Install/clear the fault spec covering every message a node sends or
+    receives.  Setting {!no_faults} clears. *)
+val set_node_faults : 'msg t -> Topology.node_id -> fault_spec -> unit
+
+val clear_node_faults : 'msg t -> Topology.node_id -> unit
+
+(** The spec currently installed for a node ({!no_faults} when none). *)
+val node_faults : 'msg t -> Topology.node_id -> fault_spec
+
+(** Install/clear a fault spec on one directed link. *)
+val set_link_faults :
+  'msg t -> src:Topology.node_id -> dst:Topology.node_id -> fault_spec -> unit
+
+val clear_link_faults : 'msg t -> src:Topology.node_id -> dst:Topology.node_id -> unit
+
+val faulted_nodes : 'msg t -> Topology.node_id list
+
+(** Clears partitions, isolations AND all installed fault specs. *)
 val heal_all : 'msg t -> unit
 
 (** Fix the one-way latency between two nodes (both directions),
@@ -49,8 +83,18 @@ val egress_queue_delay : 'msg t -> Topology.node_id -> float
     delivery; dropped silently when partitioned or either end is down. *)
 val send : 'msg t -> src:Topology.node_id -> dst:Topology.node_id -> size:int -> 'msg -> unit
 
-(** Messages dropped so far. *)
+(** Messages dropped so far (down nodes, partitions and fault-model
+    losses all feed this counter). *)
 val dropped : 'msg t -> int
+
+(** The subset of {!dropped} lost by the probabilistic fault model. *)
+val fault_dropped : 'msg t -> int
+
+(** Extra copies delivered by the duplication fault. *)
+val duplicated : 'msg t -> int
+
+(** Messages that received an extra reordering delay. *)
+val reordered : 'msg t -> int
 
 val link_bytes : 'msg t -> src:Topology.node_id -> dst:Topology.node_id -> int
 

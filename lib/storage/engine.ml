@@ -33,6 +33,12 @@ type t = {
   mutable last_committed_opid : Binlog.Opid.t;
   mutable committed_count : int;
   mutable rolled_back_count : int;
+  (* Cumulative digest chain: slot i-1 holds the digest of the first i
+     commits, in commit order.  Lets consistency checks compare a lagging
+     replica's whole history against the same-length prefix of a
+     reference replica (§5.1 checksum comparisons). *)
+  commit_digests : int32 Vec.t;
+  commit_log : (Binlog.Gtid.t * Binlog.Opid.t) Vec.t; (* commit order *)
 }
 
 let create () =
@@ -44,6 +50,8 @@ let create () =
     last_committed_opid = Binlog.Opid.zero;
     committed_count = 0;
     rolled_back_count = 0;
+    commit_digests = Vec.create ~dummy:0l;
+    commit_log = Vec.create ~dummy:(Binlog.Gtid.make ~source:"none" ~gno:1, Binlog.Opid.zero);
   }
 
 let table t name =
@@ -96,7 +104,12 @@ let commit_prepared t ~gtid ~opid =
     t.gtid_executed <- Binlog.Gtid_set.add t.gtid_executed gtid;
     if Binlog.Opid.compare opid t.last_committed_opid > 0 then
       t.last_committed_opid <- opid;
-    t.committed_count <- t.committed_count + 1
+    t.committed_count <- t.committed_count + 1;
+    let prev = match Vec.last_opt t.commit_digests with Some d -> d | None -> 0l in
+    Vec.push t.commit_digests
+      (Binlog.Checksum.string
+         (Int32.to_string prev ^ Marshal.to_string (gtid, opid, p.writes) []));
+    Vec.push t.commit_log (gtid, opid)
 
 let rollback_prepared t ~gtid =
   match Hashtbl.find_opt t.prepared gtid with
@@ -142,3 +155,15 @@ let checksum t =
     t.tables;
   let sorted = List.sort compare !rows in
   Binlog.Checksum.string (Marshal.to_string sorted [])
+
+(* Digest of the first [count] commits (in commit order); [0l] for an
+   empty prefix.  Two replicas agree on every shared prefix iff they
+   committed the same transactions in the same order. *)
+let checksum_at t ~count =
+  if count < 0 || count > t.committed_count then
+    invalid_arg
+      (Printf.sprintf "Engine.checksum_at: count %d outside [0, %d]" count t.committed_count);
+  if count = 0 then 0l else Vec.get t.commit_digests (count - 1)
+
+(* The [n]th committed transaction (0-based, commit order). *)
+let nth_commit t n = Vec.get_opt t.commit_log n

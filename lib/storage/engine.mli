@@ -49,3 +49,12 @@ val row_count : t -> table:string -> int
 (** Content digest for the shadow-testing checksum comparisons between
     leader and followers (§5.1). *)
 val checksum : t -> int32
+
+(** Digest of the first [count] commits in commit order ([0l] when
+    [count = 0]) — lets a lagging replica's whole history be compared
+    against the same-length prefix of a reference replica.  Raises
+    [Invalid_argument] when [count] exceeds {!committed_count}. *)
+val checksum_at : t -> count:int -> int32
+
+(** The [n]th committed transaction (0-based, commit order). *)
+val nth_commit : t -> int -> (Binlog.Gtid.t * Binlog.Opid.t) option

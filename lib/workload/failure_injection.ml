@@ -72,9 +72,12 @@ let start ?(interval = 20.0 *. Sim.Engine.s) ?(restart_after = 5.0 *. Sim.Engine
   ignore (Sim.Engine.schedule engine ~delay:interval tick);
   t
 
-(* The shadow-testing correctness check: every live MySQL engine that has
-   the same committed count must have identical content (§5.1's checksum
-   comparison).  Returns an error describing the first divergence. *)
+(* The shadow-testing correctness check (§5.1's checksum comparison):
+   every live MySQL engine's commit history must be a prefix of the most
+   advanced live engine's history.  Lagging replicas are compared through
+   the per-commit digest chain at their own commit count, so a replica
+   that diverged *and* fell behind is still caught.  Returns the
+   reference commit count, or an error describing the first divergence. *)
 let consistency_check cluster =
   let live =
     List.filter (fun s -> not (Myraft.Server.is_crashed s)) (Myraft.Cluster.servers cluster)
@@ -89,21 +92,35 @@ let consistency_check cluster =
   in
   match by_count with
   | [] -> Ok 0
-  | reference :: _ ->
-    let ref_count = Storage.Engine.committed_count (Myraft.Server.storage reference) in
+  | reference :: rest ->
+    let ref_engine = Myraft.Server.storage reference in
+    let ref_count = Storage.Engine.committed_count ref_engine in
     let divergent =
-      List.find_opt
+      List.find_map
         (fun s ->
-          Storage.Engine.committed_count (Myraft.Server.storage s) = ref_count
-          && not
-               (Int32.equal
-                  (Storage.Engine.checksum (Myraft.Server.storage s))
-                  (Storage.Engine.checksum (Myraft.Server.storage reference))))
-        live
+          let engine = Myraft.Server.storage s in
+          let count = Storage.Engine.committed_count engine in
+          if
+            not
+              (Int32.equal
+                 (Storage.Engine.checksum_at engine ~count)
+                 (Storage.Engine.checksum_at ref_engine ~count))
+          then
+            Some
+              (Printf.sprintf "%s diverges from %s within its first %d committed txns"
+                 (Myraft.Server.id s) (Myraft.Server.id reference) count)
+          else if
+            count = ref_count
+            && not
+                 (Int32.equal
+                    (Storage.Engine.checksum engine)
+                    (Storage.Engine.checksum ref_engine))
+          then
+            (* same history but different content — an apply bug *)
+            Some
+              (Printf.sprintf "%s content diverges from %s at %d committed txns"
+                 (Myraft.Server.id s) (Myraft.Server.id reference) ref_count)
+          else None)
+        rest
     in
-    (match divergent with
-    | Some s ->
-      Error
-        (Printf.sprintf "%s diverges from %s at %d committed txns" (Myraft.Server.id s)
-           (Myraft.Server.id reference) ref_count)
-    | None -> Ok ref_count)
+    (match divergent with Some msg -> Error msg | None -> Ok ref_count)

@@ -12,7 +12,8 @@ val stop : t -> unit
 
 val injections : t -> int
 
-(** §5.1 checksum comparison: every live engine at the reference
-    committed count must have identical content.  [Ok n] returns the
-    compared transaction count. *)
+(** §5.1 checksum comparison: every live engine's commit history must be
+    a prefix of the most advanced live engine's history (lagging replicas
+    are compared at their own commit count through the per-commit digest
+    chain).  [Ok n] returns the reference commit count. *)
 val consistency_check : Myraft.Cluster.t -> (int, string) result

@@ -131,9 +131,10 @@ let test_applier_orders_and_dedupes () =
   let processed = ref [] in
   let a =
     Myraft.Applier.create ~engine ~params:Myraft.Params.default
-      ~process:(fun e ~on_done ->
+      ~process:(fun e ~on_submitted ~on_done ->
         processed := Binlog.Entry.index e :: !processed;
-        on_done ~ok:true)
+        on_done ~ok:true;
+        on_submitted ())
   in
   Myraft.Applier.start a ~from_index:1 ~backlog:[ entry 1; entry 2 ];
   Myraft.Applier.signal a [ entry 2 (* duplicate *); entry 3 ];
@@ -145,7 +146,9 @@ let test_applier_truncation_rewinds () =
   let engine = Sim.Engine.create () in
   let a =
     Myraft.Applier.create ~engine ~params:Myraft.Params.default
-      ~process:(fun _ ~on_done -> on_done ~ok:true)
+      ~process:(fun _ ~on_submitted ~on_done ->
+        on_done ~ok:true;
+        on_submitted ())
   in
   Myraft.Applier.start a ~from_index:1 ~backlog:[ entry 1 ];
   Sim.Engine.run_for engine (10.0 *. ms);
@@ -157,14 +160,43 @@ let test_applier_truncation_rewinds () =
   Sim.Engine.run_for engine (10.0 *. ms);
   Alcotest.(check int) "applied replacement" 2 (Myraft.Applier.applied_index a)
 
+(* slave_preserve_commit_order: an entry whose submission is stalled
+   (e.g. a row-lock conflict retry loop) must hold back later entries so
+   pipeline submission order — and hence engine commit order — matches
+   log order. *)
+let test_applier_stall_preserves_order () =
+  let engine = Sim.Engine.create () in
+  let submitted = ref [] in
+  let stalled = ref None in
+  let a =
+    Myraft.Applier.create ~engine ~params:Myraft.Params.default
+      ~process:(fun e ~on_submitted ~on_done ->
+        let index = Binlog.Entry.index e in
+        let submit () =
+          submitted := index :: !submitted;
+          on_done ~ok:true;
+          on_submitted ()
+        in
+        if index = 2 && !stalled = None then stalled := Some submit else submit ())
+  in
+  Myraft.Applier.start a ~from_index:1 ~backlog:[ entry 1; entry 2; entry 3 ];
+  Sim.Engine.run_for engine (10.0 *. ms);
+  Alcotest.(check (list int)) "entry 3 held behind stalled entry 2" [ 1 ] (List.rev !submitted);
+  (match !stalled with
+  | Some release -> release ()
+  | None -> Alcotest.fail "entry 2 never reached process");
+  Sim.Engine.run_for engine (10.0 *. ms);
+  Alcotest.(check (list int)) "log order after release" [ 1; 2; 3 ] (List.rev !submitted)
+
 let test_applier_stop_discards_queue () =
   let engine = Sim.Engine.create () in
   let count = ref 0 in
   let a =
     Myraft.Applier.create ~engine ~params:Myraft.Params.default
-      ~process:(fun _ ~on_done ->
+      ~process:(fun _ ~on_submitted ~on_done ->
         incr count;
-        on_done ~ok:true)
+        on_done ~ok:true;
+        on_submitted ())
   in
   Myraft.Applier.start a ~from_index:1 ~backlog:[ entry 1; entry 2; entry 3 ];
   Myraft.Applier.stop a;
@@ -190,6 +222,8 @@ let suites =
       [
         Alcotest.test_case "orders and dedupes" `Quick test_applier_orders_and_dedupes;
         Alcotest.test_case "truncation rewinds" `Quick test_applier_truncation_rewinds;
+        Alcotest.test_case "stall preserves commit order" `Quick
+          test_applier_stall_preserves_order;
         Alcotest.test_case "stop discards queue" `Quick test_applier_stop_discards_queue;
       ] );
   ]

@@ -102,6 +102,8 @@ let crash h id =
 let restart h id =
   let n = get h id in
   n.up <- true;
+  (* same restart semantics as a real server: unsynced tail may be torn *)
+  ignore (Binlog.Log_store.crash_recover_log n.store);
   n.raft <- Some (make_raft h n);
   Sim.Network.set_up h.net id
 

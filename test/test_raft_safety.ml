@@ -1,78 +1,58 @@
-(* Randomized Raft safety checks: run a ring under a random schedule of
-   crashes, restarts, partitions and client appends, and continuously
-   verify the Raft safety properties the paper relies on (§4.1):
-
-   - election safety: at most one leader per term, ever;
-   - state-machine safety: if any node considers index i committed with
-     term t and checksum c, no node ever considers i committed with a
-     different (t, c);
-   - convergence: after healing, all live logs become identical.
+(* Randomized Raft safety checks: run a ring of bare Raft nodes under a
+   Chaos.Nemesis fault schedule (crashes, partitions, isolation, message
+   drop/duplication/reordering, torn tails) while Chaos.Invariants
+   continuously asserts the safety properties the paper relies on
+   (§4.1): election safety, commit safety / log matching on committed
+   prefixes, leader completeness, and post-heal convergence.
 
    Runs in both classic-majority and FlexiRaft single-region-dynamic
-   modes over several seeds. *)
+   modes over several seeds.  The full-cluster (MySQL + engine) chaos
+   tests live in test_chaos.ml; this file exercises the same nemesis and
+   checker against the protocol layer alone. *)
 
 let ms = Sim.Engine.ms
 let s = Sim.Engine.s
 
-type world = {
-  h : Test_raft.harness;
-  rng : Sim.Rng.t;
-  committed : (int, int * int32) Hashtbl.t; (* index -> (term, checksum) *)
-  checked_up_to : (string, int ref) Hashtbl.t;
-  mutable gno : int;
-}
+type world = { h : Test_raft.harness; mutable gno : int }
 
 let node_ids w = w.h.Test_raft.order
 
 let up w id = (Test_raft.get w.h id).Test_raft.up
 
-(* Validate every newly committed entry on every live node against the
-   global committed table. *)
-let check_commit_safety w =
-  List.iter
-    (fun id ->
-      let n = Test_raft.get w.h id in
-      if n.Test_raft.up then begin
-        let raft = Test_raft.raft n in
-        let upto =
-          match Hashtbl.find_opt w.checked_up_to id with
-          | Some r -> r
-          | None ->
-            let r = ref 0 in
-            Hashtbl.replace w.checked_up_to id r;
-            r
-        in
-        let commit = Raft.Node.commit_index raft in
-        for i = !upto + 1 to commit do
-          match Binlog.Log_store.entry_at n.Test_raft.store i with
-          | None -> () (* purged; nothing to compare *)
-          | Some e -> (
-            let sig_ = (Binlog.Entry.term e, Binlog.Entry.checksum e) in
-            match Hashtbl.find_opt w.committed i with
-            | None -> Hashtbl.replace w.committed i sig_
-            | Some existing ->
-              if existing <> sig_ then
-                Alcotest.failf
-                  "state-machine safety violated at index %d on %s: (%d) vs (%d)" i id
-                  (fst existing) (fst sig_))
-        done;
-        if commit > !upto then upto := commit
-      end)
-    (node_ids w)
+(* Control surface: the same nemesis that drives a full MyRaft cluster,
+   wired to the bare harness. *)
+let ops_of_harness w =
+  {
+    Chaos.Nemesis.node_ids = node_ids w;
+    region_of = (fun id -> (Test_raft.get w.h id).Test_raft.node_region);
+    is_up = up w;
+    leader = (fun () -> match Test_raft.leaders w.h with [ l ] -> Some l | _ -> None);
+    crash = Test_raft.crash w.h;
+    restart = Test_raft.restart w.h;
+    isolate = Sim.Network.isolate_node w.h.Test_raft.net;
+    heal_node = Sim.Network.heal_node w.h.Test_raft.net;
+    cut_regions = Sim.Network.cut_regions w.h.Test_raft.net;
+    heal_regions = Sim.Network.heal_regions w.h.Test_raft.net;
+    set_node_faults = Sim.Network.set_node_faults w.h.Test_raft.net;
+    clear_node_faults = Sim.Network.clear_node_faults w.h.Test_raft.net;
+    heal_all_network = (fun () -> Sim.Network.heal_all w.h.Test_raft.net);
+    store_of = (fun id -> Some (Test_raft.get w.h id).Test_raft.store);
+    transfer = (fun ~target:_ -> Error "no orchestration in the bare harness");
+  }
 
-let check_election_safety w =
-  let seen = Hashtbl.create 16 in
-  List.iter
+(* No storage engine behind bare Raft nodes: engine invariants are
+   skipped, log/election/commit safety still apply. *)
+let probes_of_harness w =
+  List.map
     (fun id ->
       let n = Test_raft.get w.h id in
-      List.iter
-        (fun term ->
-          match Hashtbl.find_opt seen term with
-          | Some other when other <> id ->
-            Alcotest.failf "election safety violated: term %d elected both %s and %s" term
-              other id
-          | _ -> Hashtbl.replace seen term id)
-        n.Test_raft.leader_terms)
+      {
+        Chaos.Invariants.probe_id = id;
+        probe_up = (fun () -> n.Test_raft.up);
+        probe_raft = (fun () -> if n.Test_raft.up then Some (Test_raft.raft n) else None);
+        probe_store = (fun () -> Some n.Test_raft.store);
+        probe_engine = (fun () -> None);
+      })
     (node_ids w)
 
 let try_append w =
@@ -101,78 +81,33 @@ let try_append w =
             }))
   | _ -> ()
 
-let regions w =
-  List.sort_uniq compare
-    (List.map (fun id -> (Test_raft.get w.h id).Test_raft.node_region) (node_ids w))
-
-let chaos_step w =
-  let roll = Sim.Rng.float w.rng in
-  let ids = Array.of_list (node_ids w) in
-  let down_count = List.length (List.filter (fun id -> not (up w id)) (node_ids w)) in
-  if roll < 0.15 && down_count < 2 then begin
-    (* crash someone (keep at most 2 down so quorums stay possible) *)
-    let victim = Sim.Rng.pick w.rng ids in
-    if up w victim then Test_raft.crash w.h victim
-  end
-  else if roll < 0.35 then begin
-    (* restart someone *)
-    let victim = Sim.Rng.pick w.rng ids in
-    if not (up w victim) then Test_raft.restart w.h victim
-  end
-  else if roll < 0.42 then begin
-    (* cut two random regions apart for a while *)
-    match regions w with
-    | (_ :: _ :: _) as rs ->
-      let arr = Array.of_list rs in
-      let a = Sim.Rng.pick w.rng arr and b = Sim.Rng.pick w.rng arr in
-      if a <> b then begin
-        Sim.Network.cut_regions w.h.Test_raft.net a b;
-        ignore
-          (Sim.Engine.schedule w.h.Test_raft.engine
-             ~delay:(Sim.Rng.uniform w.rng ~lo:(1.0 *. s) ~hi:(6.0 *. s))
-             (fun () -> Sim.Network.heal_regions w.h.Test_raft.net a b))
-      end
-    | _ -> ()
-  end
-  else if roll < 0.5 then begin
-    (* isolate one node briefly (asymmetric failure) *)
-    let victim = Sim.Rng.pick w.rng ids in
-    Sim.Network.isolate_node w.h.Test_raft.net victim;
-    ignore
-      (Sim.Engine.schedule w.h.Test_raft.engine
-         ~delay:(Sim.Rng.uniform w.rng ~lo:(1.0 *. s) ~hi:(4.0 *. s))
-         (fun () -> Sim.Network.heal_node w.h.Test_raft.net victim))
-  end
-  else if roll < 0.9 then try_append w
-
 let run_chaos ~seed ~params ~members ~steps =
   let h = Test_raft.make_harness ~seed ~params members in
-  let w =
-    {
-      h;
-      rng = Sim.Rng.of_int (seed * 7919);
-      committed = Hashtbl.create 1024;
-      checked_up_to = Hashtbl.create 8;
-      gno = 0;
-    }
+  let w = { h; gno = 0 } in
+  let inv =
+    Chaos.Invariants.create
+      ~now:(fun () -> Sim.Engine.now h.Test_raft.engine)
+      ~probes:(probes_of_harness w)
+  in
+  let nemesis =
+    Chaos.Nemesis.create ~engine:h.Test_raft.engine ~trace:h.Test_raft.trace
+      ~rng:(Sim.Rng.of_int (seed * 7919))
+      ~spec:Chaos.Schedule.default ~ops:(ops_of_harness w)
   in
   (* give the ring time to elect before the abuse starts *)
   Sim.Engine.run_for h.Test_raft.engine (5.0 *. s);
   for _ = 1 to steps do
-    chaos_step w;
+    Chaos.Nemesis.step nemesis;
+    try_append w;
     Sim.Engine.run_for h.Test_raft.engine (250.0 *. ms);
-    check_commit_safety w;
-    check_election_safety w
+    Chaos.Invariants.check inv
   done;
   (* heal everything and verify convergence *)
-  Sim.Network.heal_all w.h.Test_raft.net;
-  List.iter (fun id -> if not (up w id) then Test_raft.restart w.h id) (node_ids w);
+  Chaos.Nemesis.heal_now nemesis;
   let converged () =
     match Test_raft.leaders w.h with
     | [ leader ] ->
-      let target =
-        Binlog.Log_store.last_opid (Test_raft.get w.h leader).Test_raft.store
-      in
+      let target = Binlog.Log_store.last_opid (Test_raft.get w.h leader).Test_raft.store in
       Binlog.Opid.index target > 0
       && List.for_all
            (fun id ->
@@ -184,28 +119,14 @@ let run_chaos ~seed ~params ~members ~steps =
   in
   let ok = Test_raft.run_until w.h ~timeout:(60.0 *. s) converged in
   Alcotest.(check bool) "logs converge after healing" true ok;
-  check_commit_safety w;
-  check_election_safety w;
-  (* final pairwise log equality by checksum *)
-  (match node_ids w with
-  | first :: rest ->
-    let reference = Binlog.Log_store.all_entries (Test_raft.get w.h first).Test_raft.store in
-    List.iter
-      (fun id ->
-        let entries = Binlog.Log_store.all_entries (Test_raft.get w.h id).Test_raft.store in
-        Alcotest.(check int) (id ^ " same length") (List.length reference)
-          (List.length entries);
-        List.iter2
-          (fun a b ->
-            if
-              not
-                (Binlog.Opid.equal (Binlog.Entry.opid a) (Binlog.Entry.opid b)
-                && Int32.equal (Binlog.Entry.checksum a) (Binlog.Entry.checksum b))
-            then Alcotest.failf "log divergence on %s at %s" id (Binlog.Entry.describe a))
-          reference entries)
-      rest
-  | [] -> ());
-  Hashtbl.length w.committed
+  Chaos.Invariants.check inv;
+  Chaos.Invariants.check_converged inv;
+  (match Chaos.Invariants.violations inv with
+  | [] -> ()
+  | vs ->
+    Alcotest.failf "seed %d: %d invariant violations, first: %s" seed (List.length vs)
+      (Chaos.Invariants.violation_to_string (List.hd vs)));
+  Chaos.Invariants.committed_entries inv
 
 let majority_members () =
   [
@@ -248,9 +169,7 @@ let test_chaos_flexiraft () =
 
 let test_chaos_with_proxying () =
   let params = { Test_raft.flexi_params with Raft.Node.proxying = true } in
-  let committed =
-    run_chaos ~seed:9 ~params ~members:(flexi_members ()) ~steps:120
-  in
+  let committed = run_chaos ~seed:9 ~params ~members:(flexi_members ()) ~steps:120 in
   if committed < 10 then Alcotest.fail "too little progress with proxying"
 
 let suites =

@@ -171,6 +171,77 @@ let test_network_isolate_node () =
   Sim.Engine.run_until e 1_000.0;
   Alcotest.(check int) "isolated sender drops" 0 !got
 
+let test_network_fault_drop_accounting () =
+  let e, net = make_net () in
+  let got = ref 0 in
+  Sim.Network.register net "b" (fun ~src:_ _ -> incr got);
+  Sim.Network.set_node_faults net "a" { Sim.Network.no_faults with drop = 1.0 };
+  for _ = 1 to 20 do
+    Sim.Network.send net ~src:"a" ~dst:"b" ~size:10 "x"
+  done;
+  Sim.Engine.run_until e 100_000.0;
+  Alcotest.(check int) "all lost" 0 !got;
+  Alcotest.(check int) "fault_dropped counts them" 20 (Sim.Network.fault_dropped net);
+  Alcotest.(check int) "dropped counter fed too" 20 (Sim.Network.dropped net)
+
+let test_network_fault_duplicate_delivers_twice () =
+  let e, net = make_net () in
+  let got = ref 0 in
+  Sim.Network.register net "b" (fun ~src:_ _ -> incr got);
+  Sim.Network.set_link_faults net ~src:"a" ~dst:"b"
+    { Sim.Network.no_faults with duplicate = 1.0; reorder_delay = 50.0 };
+  Sim.Network.send net ~src:"a" ~dst:"b" ~size:10 "x";
+  Sim.Engine.run_until e 100_000.0;
+  Alcotest.(check int) "two copies" 2 !got;
+  Alcotest.(check int) "duplicated counter" 1 (Sim.Network.duplicated net)
+
+(* Fault rolls come from a split RNG keyed by the engine seed: the same
+   seed must produce the same losses, duplicates and delivery times. *)
+let test_network_fault_determinism () =
+  let observe () =
+    let e = Sim.Engine.create ~seed:77 () in
+    let topo = Sim.Topology.create () in
+    Sim.Topology.add_node topo ~id:"a" ~region:"r1";
+    Sim.Topology.add_node topo ~id:"b" ~region:"r1";
+    let net = Sim.Network.create e topo ~latency:(Sim.Latency.fixed ~same:100.0 ~cross:100.0) () in
+    let log = ref [] in
+    Sim.Network.register net "b" (fun ~src:_ msg -> log := (msg, Sim.Engine.now e) :: !log);
+    Sim.Network.set_node_faults net "a"
+      { Sim.Network.drop = 0.2; duplicate = 0.3; reorder = 0.4; reorder_delay = 500.0;
+        extra_latency = 0.0 };
+    for i = 1 to 50 do
+      Sim.Network.send net ~src:"a" ~dst:"b" ~size:10 (string_of_int i)
+    done;
+    Sim.Engine.run_until e 100_000.0;
+    (List.rev !log, Sim.Network.fault_dropped net, Sim.Network.duplicated net,
+     Sim.Network.reordered net)
+  in
+  let (log1, d1, dup1, r1) = observe () and (log2, d2, dup2, r2) = observe () in
+  Alcotest.(check (list (pair string (float 0.0)))) "same deliveries, same times" log1 log2;
+  Alcotest.(check int) "same drops" d1 d2;
+  Alcotest.(check int) "same duplicates" dup1 dup2;
+  Alcotest.(check int) "same reorders" r1 r2;
+  if d1 = 0 && dup1 = 0 && r1 = 0 then Alcotest.fail "faults never fired; test proves nothing"
+
+let test_network_heal_all_clears_faults () =
+  let e, net = make_net () in
+  let got = ref 0 in
+  Sim.Network.register net "c" (fun ~src:_ _ -> incr got);
+  Sim.Network.set_node_faults net "a" { Sim.Network.no_faults with drop = 1.0 };
+  Sim.Network.set_link_faults net ~src:"b" ~dst:"c" { Sim.Network.no_faults with drop = 1.0 };
+  Sim.Network.cut_regions net "r1" "r2";
+  Sim.Network.isolate_node net "b";
+  Alcotest.(check (list string)) "faulted nodes listed" [ "a" ] (Sim.Network.faulted_nodes net);
+  Sim.Network.heal_all net;
+  Alcotest.(check (list string)) "fault table cleared" [] (Sim.Network.faulted_nodes net);
+  Alcotest.(check (float 0.0)) "node spec back to zero" 0.0
+    (Sim.Network.node_faults net "a").Sim.Network.drop;
+  Sim.Network.send net ~src:"a" ~dst:"c" ~size:10 "x";
+  Sim.Network.send net ~src:"b" ~dst:"c" ~size:10 "y";
+  Sim.Engine.run_until e 100_000.0;
+  Alcotest.(check int) "partition, isolation and faults all healed" 2 !got;
+  Alcotest.(check int) "nothing fault-dropped after heal" 0 (Sim.Network.fault_dropped net)
+
 let test_network_byte_accounting () =
   let e, net = make_net () in
   Sim.Network.register net "b" (fun ~src:_ _ -> ());
@@ -277,6 +348,11 @@ let suites =
         Alcotest.test_case "down node drops" `Quick test_network_down_node_drops;
         Alcotest.test_case "region partition" `Quick test_network_partition;
         Alcotest.test_case "isolate node" `Quick test_network_isolate_node;
+        Alcotest.test_case "fault drop accounting" `Quick test_network_fault_drop_accounting;
+        Alcotest.test_case "fault duplicate delivers twice" `Quick
+          test_network_fault_duplicate_delivers_twice;
+        Alcotest.test_case "fault determinism under seed" `Quick test_network_fault_determinism;
+        Alcotest.test_case "heal_all clears faults" `Quick test_network_heal_all_clears_faults;
         Alcotest.test_case "byte accounting" `Quick test_network_byte_accounting;
         Alcotest.test_case "link latency override" `Quick test_link_latency_override;
       ] );
