@@ -10,6 +10,7 @@ let steps = 60
 let run () =
   Common.header "Chaos smoke — nemesis seed sweep with invariant checking";
   let total_violations = ref 0 in
+  let snapshots = ref [] in
   List.iter
     (fun quorum ->
       Printf.printf "\n%s quorum:\n" (Chaos.Nemesis.quorum_name quorum);
@@ -17,9 +18,11 @@ let run () =
       List.iter
         (fun r ->
           total_violations := !total_violations + List.length r.Chaos.Nemesis.r_violations;
+          snapshots := r.Chaos.Nemesis.r_metrics :: !snapshots;
           Printf.printf "  %s\n%!" (Chaos.Nemesis.report_summary r))
         reports)
     [ Raft.Quorum.Single_region_dynamic; Raft.Quorum.Majority ];
+  Common.write_metrics_json (Obs.Metrics.merge_all ~node:"chaos-smoke" !snapshots);
   if !total_violations = 0 then
     Printf.printf "\nchaos smoke: %d runs, zero invariant violations\n%!"
       (2 * List.length seeds)

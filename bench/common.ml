@@ -6,6 +6,20 @@ let s = Sim.Engine.s
 let ms = Sim.Engine.ms
 let us = Sim.Engine.us
 
+(* Set by main's [--metrics-json FILE]: experiments that gather metrics
+   snapshots dump the merged JSON there via {!write_metrics_json}. *)
+let metrics_json : string option ref = ref None
+
+let write_metrics_json snap =
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      output_string oc (Obs.Metrics.to_json snap);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "metrics snapshot written to %s\n%!" path)
+    !metrics_json
+
 let header title =
   Printf.printf "\n=======================================================================\n";
   Printf.printf "%s\n" title;

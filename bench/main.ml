@@ -55,12 +55,25 @@ let run_all () =
   List.iter (fun (_, _, f) -> f ()) experiments;
   Printf.printf "\nAll experiments complete.\n%!"
 
+(* Peel [--metrics-json FILE] off the argument list (it applies to any
+   experiment that gathers metrics snapshots); the rest are experiment
+   ids. *)
+let rec extract_flags acc = function
+  | "--metrics-json" :: path :: rest ->
+    Common.metrics_json := Some path;
+    extract_flags acc rest
+  | "--metrics-json" :: [] ->
+    Printf.eprintf "--metrics-json needs a FILE argument\n";
+    exit 1
+  | x :: rest -> extract_flags (x :: acc) rest
+  | [] -> List.rev acc
+
 let () =
-  match Array.to_list Sys.argv with
-  | [] | [ _ ] -> run_all ()
-  | [ _; "--list" ] ->
+  match extract_flags [] (List.tl (Array.to_list Sys.argv)) with
+  | [] -> run_all ()
+  | [ "--list" ] ->
     List.iter (fun (id, descr, _) -> Printf.printf "%-8s %s\n" id descr) experiments
-  | _ :: ids ->
+  | ids ->
     List.iter
       (fun id ->
         match List.find_opt (fun (eid, _, _) -> eid = id) experiments with

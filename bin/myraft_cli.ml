@@ -100,9 +100,31 @@ let status seed echo =
   Myraft.Cluster.run_for cluster (2.0 *. s);
   Printf.printf "%s\n\n%s" (Myraft.Cluster.describe cluster) (Myraft.Roles.render ())
 
+let write_metrics_json path snap =
+  let oc = open_out path in
+  output_string oc (Obs.Metrics.to_json snap);
+  output_char oc '\n';
+  close_out oc
+
+(* Run traffic for a few seconds, then dump the cluster-wide metrics
+   snapshot (every node's registry merged, plus net.* from the network)
+   and the tail of the OpId-correlated trace ring. *)
+let metrics seed echo secs json =
+  let cluster = make_cluster ~seed ~echo in
+  with_load cluster (fun () -> Myraft.Cluster.run_for cluster (secs *. s));
+  let snap = Myraft.Cluster.metrics_snapshot cluster in
+  Printf.printf "\n%s\n" (Obs.Metrics.render snap);
+  Printf.printf "recent trace events (opid = term.index):\n%s\n"
+    (Obs.Tracebuf.render ~last:12 (Myraft.Cluster.tracebuf cluster));
+  Option.iter
+    (fun path ->
+      write_metrics_json path snap;
+      Printf.printf "metrics snapshot written to %s\n" path)
+    json
+
 (* Nemesis-driven chaos: a seeded, composable fault schedule with the
    continuous Raft invariant checker; identical seed → identical run. *)
-let chaos seed echo steps faults quorum seeds =
+let chaos seed echo steps faults quorum seeds metrics_json =
   let spec =
     match faults with
     | [] -> Chaos.Schedule.default
@@ -132,6 +154,15 @@ let chaos seed echo steps faults quorum seeds =
         r)
       seed_list
   in
+  Option.iter
+    (fun path ->
+      let snap =
+        Obs.Metrics.merge_all ~node:"chaos"
+          (List.map (fun r -> r.Chaos.Nemesis.r_metrics) reports)
+      in
+      write_metrics_json path snap;
+      Printf.printf "metrics snapshot written to %s\n" path)
+    metrics_json;
   let violations =
     List.fold_left (fun acc r -> acc + List.length r.Chaos.Nemesis.r_violations) 0 reports
   in
@@ -167,6 +198,18 @@ let seeds_arg =
     & opt (list int) []
     & info [ "seeds" ] ~docv:"SEEDS" ~doc:"Sweep these seeds instead of --seed.")
 
+let metrics_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE"
+        ~doc:"Write the merged metrics snapshot to $(docv) as JSON.")
+
+let metrics_secs_arg =
+  Arg.(
+    value & opt float 5.0
+    & info [ "secs" ] ~docv:"SECONDS" ~doc:"How long to run traffic before snapshotting.")
+
 let cmd name doc f =
   Cmd.v (Cmd.info name ~doc) Term.(const f $ seed_arg $ trace_arg)
 
@@ -181,13 +224,20 @@ let () =
         cmd "promote" "Graceful leadership transfer with downtime." promote;
         cmd "status" "Show ring status and Table-1 roles." status;
         Cmd.v
+          (Cmd.info "metrics"
+             ~doc:
+               "Run traffic, then print the cluster-wide metrics snapshot (raft/pipeline/\
+                binlog counters, stage-latency histograms) and recent OpId-correlated \
+                trace events.")
+          Term.(const metrics $ seed_arg $ trace_arg $ metrics_secs_arg $ metrics_json_arg);
+        Cmd.v
           (Cmd.info "chaos"
              ~doc:
                "Seeded nemesis fault schedule under load with continuous Raft invariant \
                 checking; exits non-zero on any violation.")
           Term.(
             const chaos $ seed_arg $ trace_arg $ steps_arg $ faults_arg $ quorum_arg
-            $ seeds_arg);
+            $ seeds_arg $ metrics_json_arg);
       ]
   in
   exit (Cmd.eval root)

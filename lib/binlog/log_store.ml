@@ -45,6 +45,13 @@ type t = {
   mutable synced_index : int; (* highest index known durable *)
   mutable buffered : bool; (* true: appends don't fsync until [sync] *)
   mutable torn_tail_k : int; (* max unsynced entries lost at crash *)
+  m_appends : Obs.Metrics.counter;
+  m_bytes_appended : Obs.Metrics.counter;
+  m_fsyncs : Obs.Metrics.counter;
+  m_truncations : Obs.Metrics.counter;
+  m_entries_truncated : Obs.Metrics.counter;
+  m_rotations : Obs.Metrics.counter;
+  m_fsync_batch : Obs.Metrics.histogram; (* entries flushed per fsync *)
 }
 
 let mode_prefix = function Binlog -> "binlog" | Relay -> "relaylog"
@@ -54,7 +61,8 @@ let fresh_file t =
   t.next_file_seq <- t.next_file_seq + 1;
   { file_name = name; previous_gtids = t.gtids; first = 0; last = -1; closed = false }
 
-let create ?(mode = Binlog) () =
+let create ?metrics ?(mode = Binlog) () =
+  let m = match metrics with Some m -> m | None -> Obs.Metrics.create () in
   let t =
     {
       mode;
@@ -69,6 +77,13 @@ let create ?(mode = Binlog) () =
       synced_index = 0;
       buffered = false;
       torn_tail_k = 0;
+      m_appends = Obs.Metrics.counter m "binlog.appends";
+      m_bytes_appended = Obs.Metrics.counter m "binlog.bytes_appended";
+      m_fsyncs = Obs.Metrics.counter m "binlog.fsyncs";
+      m_truncations = Obs.Metrics.counter m "binlog.truncations";
+      m_entries_truncated = Obs.Metrics.counter m "binlog.entries_truncated";
+      m_rotations = Obs.Metrics.counter m "binlog.rotations";
+      m_fsync_batch = Obs.Metrics.histogram m "binlog.fsync_batch_entries";
     }
   in
   Vec.push t.entries None (* sentinel slot 0 *);
@@ -115,9 +130,13 @@ let append t entry =
   let f = current_file t in
   if f.first = 0 then f.first <- index;
   f.last <- index;
+  Obs.Metrics.incr t.m_appends;
+  Obs.Metrics.add t.m_bytes_appended (Entry.size entry);
   if not t.buffered then begin
     t.fsyncs <- t.fsyncs + 1;
-    t.synced_index <- index
+    t.synced_index <- index;
+    Obs.Metrics.incr t.m_fsyncs;
+    Obs.Metrics.record t.m_fsync_batch 1.0
   end;
   (match Entry.gtid entry with
   | Some g -> t.gtids <- Gtid_set.add t.gtids g
@@ -172,6 +191,8 @@ let truncate_from t ~from_index =
     t.files <- (if keep = [] then [ fresh_file t ] else keep);
     (match List.rev t.files with f :: _ -> f.closed <- false | [] -> ());
     t.synced_index <- min t.synced_index (from_index - 1);
+    Obs.Metrics.incr t.m_truncations;
+    Obs.Metrics.add t.m_entries_truncated (List.length removed);
     removed
   end
 
@@ -181,6 +202,7 @@ let truncate_from t ~from_index =
 let rotate t =
   let f = current_file t in
   f.closed <- true;
+  Obs.Metrics.incr t.m_rotations;
   t.files <- t.files @ [ fresh_file t ]
 
 (* SHOW BINARY LOGS view: (file name, size in bytes, entry count). *)
@@ -245,8 +267,11 @@ let unsynced_count t = last_index t - t.synced_index
    finally draining). *)
 let sync t =
   if t.synced_index < last_index t then begin
+    let batch = last_index t - t.synced_index in
     t.synced_index <- last_index t;
-    t.fsyncs <- t.fsyncs + 1
+    t.fsyncs <- t.fsyncs + 1;
+    Obs.Metrics.incr t.m_fsyncs;
+    Obs.Metrics.record t.m_fsync_batch (float_of_int batch)
   end
 
 (* Enter/leave the fsync-stall fault: while buffered, appends stay

@@ -12,7 +12,10 @@ type mode = Binlog | Relay
 
 type t
 
-val create : ?mode:mode -> unit -> t
+(** [metrics] receives the binlog.* counters (appends, bytes_appended,
+    fsyncs, truncations, entries_truncated, rotations) and the
+    [binlog.fsync_batch_entries] histogram. *)
+val create : ?metrics:Obs.Metrics.t -> ?mode:mode -> unit -> t
 
 val mode : t -> mode
 

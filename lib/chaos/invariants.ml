@@ -24,7 +24,12 @@ type probe = {
   probe_engine : unit -> Storage.Engine.t option;
 }
 
-type violation = { v_time : float; v_invariant : string; v_detail : string }
+type violation = {
+  v_time : float;
+  v_invariant : string;
+  v_detail : string;
+  v_metrics : Obs.Metrics.snapshot option;
+}
 
 let violation_to_string v =
   Printf.sprintf "[%.3fs] %s: %s" (v.v_time /. Sim.Engine.s) v.v_invariant v.v_detail
@@ -36,6 +41,7 @@ type committed_entry = { c_term : int; c_sum : int32; c_reporter : string }
 type t = {
   now : unit -> float;
   probes : probe list;
+  snapshot : (unit -> Obs.Metrics.snapshot) option;
   committed : (int, committed_entry) Hashtbl.t;
   leaders_by_term : (int, string) Hashtbl.t;
   checked_leaderships : (int * string, unit) Hashtbl.t;
@@ -45,10 +51,11 @@ type t = {
   mutable violations : violation list; (* newest first *)
 }
 
-let create ~now ~probes =
+let create ?snapshot ~now ~probes () =
   {
     now;
     probes;
+    snapshot;
     committed = Hashtbl.create 4096;
     leaders_by_term = Hashtbl.create 16;
     checked_leaderships = Hashtbl.create 16;
@@ -63,7 +70,12 @@ let violate t invariant fmt =
     (fun detail ->
       if not (Hashtbl.mem t.seen_violations (invariant, detail)) then begin
         Hashtbl.replace t.seen_violations (invariant, detail) ();
-        t.violations <- { v_time = t.now (); v_invariant = invariant; v_detail = detail } :: t.violations
+        (* Capture the metrics state at the instant of detection, so a
+           violation report carries the counters that led up to it. *)
+        let v_metrics = Option.map (fun f -> f ()) t.snapshot in
+        t.violations <-
+          { v_time = t.now (); v_invariant = invariant; v_detail = detail; v_metrics }
+          :: t.violations
       end)
     fmt
 

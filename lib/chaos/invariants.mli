@@ -18,13 +18,26 @@ type probe = {
   probe_engine : unit -> Storage.Engine.t option;
 }
 
-type violation = { v_time : float; v_invariant : string; v_detail : string }
+type violation = {
+  v_time : float;
+  v_invariant : string;
+  v_detail : string;
+  v_metrics : Obs.Metrics.snapshot option;
+      (** cluster metrics captured when the violation was first seen *)
+}
 
 val violation_to_string : violation -> string
 
 type t
 
-val create : now:(unit -> float) -> probes:probe list -> t
+(** [snapshot] is called at the instant each new violation is recorded
+    and the result attached as [v_metrics]. *)
+val create :
+  ?snapshot:(unit -> Obs.Metrics.snapshot) ->
+  now:(unit -> float) ->
+  probes:probe list ->
+  unit ->
+  t
 
 (** Run every invariant once; new violations are recorded
     (deduplicated). *)

@@ -353,6 +353,7 @@ type report = {
   r_fault_dropped : int;
   r_duplicated : int;
   r_reordered : int;
+  r_metrics : Obs.Metrics.snapshot; (* end-of-run cluster-wide metrics *)
 }
 
 (* The canonical chaos topology: three regions, each a MySQL server plus
@@ -416,8 +417,10 @@ let run ?(spec = Schedule.default) ?(quorum = Raft.Quorum.Single_region_dynamic)
   in
   let inv =
     Invariants.create
+      ~snapshot:(fun () -> Myraft.Cluster.metrics_snapshot cluster)
       ~now:(fun () -> Sim.Engine.now engine)
       ~probes:(probes_of_cluster cluster)
+      ()
   in
   for _ = 1 to steps do
     step nemesis;
@@ -461,6 +464,7 @@ let run ?(spec = Schedule.default) ?(quorum = Raft.Quorum.Single_region_dynamic)
       r_fault_dropped = Sim.Network.fault_dropped net;
       r_duplicated = Sim.Network.duplicated net;
       r_reordered = Sim.Network.reordered net;
+      r_metrics = Myraft.Cluster.metrics_snapshot cluster;
     }
   in
   if report.r_violations <> [] then begin

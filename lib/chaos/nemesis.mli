@@ -74,6 +74,7 @@ type report = {
   r_fault_dropped : int;
   r_duplicated : int;
   r_reordered : int;
+  r_metrics : Obs.Metrics.snapshot;  (** end-of-run cluster-wide metrics *)
 }
 
 (** The canonical chaos topology: three regions, each a MySQL server

@@ -26,9 +26,12 @@ type t = {
     (* prepare + pipeline submission; [on_submitted] fires once the entry
        is in the pipeline (its commit order is pinned), [on_done] after
        engine commit *)
+  m_applied : Obs.Metrics.counter;
+  m_queue_depth : Obs.Metrics.gauge;
 }
 
-let create ~engine ~params ~process =
+let create ?metrics ~engine ~params ~process () =
+  let m = match metrics with Some m -> m | None -> Obs.Metrics.create () in
   {
     engine;
     params;
@@ -40,6 +43,8 @@ let create ~engine ~params ~process =
     applied_txns = 0;
     generation = 0;
     process;
+    m_applied = Obs.Metrics.counter m "applier.txns_applied";
+    m_queue_depth = Obs.Metrics.gauge m "applier.queue_depth";
   }
 
 let applied_index t = t.applied_index
@@ -47,6 +52,9 @@ let applied_index t = t.applied_index
 let applied_txns t = t.applied_txns
 
 let is_running t = t.running
+
+let update_depth t =
+  Obs.Metrics.set_gauge t.m_queue_depth (float_of_int (Queue.length t.queue))
 
 (* Execute entries serially (the applier thread).  The next entry is not
    picked up until the current one is *submitted* to the commit pipeline
@@ -65,6 +73,7 @@ let rec work t =
     | None -> ()
     | Some entry ->
       t.busy <- true;
+      update_depth t;
       let index = Binlog.Entry.index entry in
       let gen = t.generation in
       let cost =
@@ -85,8 +94,10 @@ let rec work t =
                ~on_done:(fun ~ok ->
                  if ok && t.running && t.generation = gen then begin
                    t.applied_index <- max t.applied_index index;
-                   if Binlog.Entry.is_transaction entry then
-                     t.applied_txns <- t.applied_txns + 1
+                   if Binlog.Entry.is_transaction entry then begin
+                     t.applied_txns <- t.applied_txns + 1;
+                     Obs.Metrics.incr t.m_applied
+                   end
                  end)))
 
 (* Raft signal: new entries are in the relay log. *)
@@ -99,6 +110,7 @@ let signal t entries =
           t.next_expected <- Binlog.Entry.index e + 1
         end)
       entries;
+    update_depth t;
     ignore (Sim.Engine.schedule t.engine ~delay:t.params.Params.applier_wakeup_us (fun () -> work t))
   end
 
@@ -129,6 +141,7 @@ let stop t =
   t.running <- false;
   t.generation <- t.generation + 1;
   Queue.clear t.queue;
-  t.busy <- false
+  t.busy <- false;
+  update_depth t
 
 let queue_length t = Queue.length t.queue

@@ -17,10 +17,12 @@ type t
     (slave_preserve_commit_order).  [on_done] fires after engine
     commit. *)
 val create :
+  ?metrics:Obs.Metrics.t ->
   engine:Sim.Engine.t ->
   params:Params.t ->
   process:
     (Binlog.Entry.t -> on_submitted:(unit -> unit) -> on_done:(ok:bool -> unit) -> unit) ->
+  unit ->
   t
 
 (** Start (or restart) with the cursor at [from_index]; [backlog] is the

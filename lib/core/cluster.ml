@@ -29,6 +29,7 @@ type t = {
   nodes : (string, node) Hashtbl.t;
   mutable member_order : string list;
   initial_config : Raft.Types.config;
+  tracebuf : Obs.Tracebuf.t; (* one OpId-correlated ring shared by all nodes *)
 }
 
 let engine t = t.engine
@@ -36,6 +37,8 @@ let engine t = t.engine
 let network t = t.network
 
 let trace t = t.trace
+
+let tracebuf t = t.tracebuf
 
 let discovery t = t.discovery
 
@@ -72,6 +75,49 @@ let is_crashed t id =
   | Some (Mysql_node s) -> Server.is_crashed s
   | Some (Tailer_node l) -> Logtailer.is_crashed l
   | None -> true
+
+let metrics_of t id =
+  match node t id with
+  | Some (Mysql_node s) -> Some (Server.metrics s)
+  | Some (Tailer_node l) -> Some (Logtailer.metrics l)
+  | None -> None
+
+(* A registry-shaped view of the network's counters, built on demand:
+   sim cannot depend on obs (obs sits above sim), so the network exports
+   raw stat rows and the cluster dresses them as metrics. *)
+let network_metrics t =
+  let m = Obs.Metrics.create ~node:"network" () in
+  let net = t.network in
+  Obs.Metrics.bump ~by:(Sim.Network.total_messages net) m "net.messages";
+  Obs.Metrics.bump ~by:(Sim.Network.total_bytes net) m "net.bytes";
+  Obs.Metrics.bump ~by:(Sim.Network.cross_region_bytes net) m "net.cross_region_bytes";
+  Obs.Metrics.bump ~by:(Sim.Network.dropped net) m "net.dropped";
+  Obs.Metrics.bump ~by:(Sim.Network.fault_dropped net) m "net.fault_dropped";
+  Obs.Metrics.bump ~by:(Sim.Network.duplicated net) m "net.duplicated";
+  Obs.Metrics.bump ~by:(Sim.Network.reordered net) m "net.reordered";
+  List.iter
+    (fun (src, dst, msgs, bytes) ->
+      Obs.Metrics.bump ~by:msgs m (Printf.sprintf "net.link.%s->%s.messages" src dst);
+      Obs.Metrics.bump ~by:bytes m (Printf.sprintf "net.link.%s->%s.bytes" src dst))
+    (Sim.Network.link_stat_rows net);
+  List.iter
+    (fun (rs, rd, msgs, bytes) ->
+      Obs.Metrics.bump ~by:msgs m (Printf.sprintf "net.region.%s->%s.messages" rs rd);
+      Obs.Metrics.bump ~by:bytes m (Printf.sprintf "net.region.%s->%s.bytes" rs rd))
+    (Sim.Network.region_stat_rows net);
+  m
+
+(* Cluster-wide snapshot: every node's registry merged with the
+   network-derived one.  Counters sum and histograms pool, so e.g.
+   pipeline.txns_committed is the fleet total. *)
+let metrics_snapshot t =
+  let node_snaps =
+    List.filter_map
+      (fun id -> Option.map Obs.Metrics.snapshot (metrics_of t id))
+      t.member_order
+  in
+  Obs.Metrics.merge_all ~node:t.replicaset
+    (node_snaps @ [ Obs.Metrics.snapshot (network_metrics t) ])
 
 (* The node currently acting as Raft leader, if any. *)
 let raft_leader t =
@@ -113,6 +159,7 @@ let create ?(seed = 7) ?(params = Params.default) ?(latency = Sim.Latency.defaul
   let trace = Sim.Trace.create ~echo:echo_trace engine in
   let discovery = Service_discovery.create engine in
   let initial_config = config_of_specs members in
+  let tracebuf = Obs.Tracebuf.create () in
   let t =
     {
       engine;
@@ -125,6 +172,7 @@ let create ?(seed = 7) ?(params = Params.default) ?(latency = Sim.Latency.defaul
       nodes = Hashtbl.create 16;
       member_order = List.map (fun s -> s.spec_id) members;
       initial_config;
+      tracebuf;
     }
   in
   let send ~src ~dst msg =
@@ -138,12 +186,12 @@ let create ?(seed = 7) ?(params = Params.default) ?(latency = Sim.Latency.defaul
         match s.spec_kind with
         | Raft.Types.Mysql_server ->
           Mysql_node
-            (Server.create ~engine ~id ~region:s.spec_region ~replicaset
+            (Server.create ~tracebuf ~engine ~id ~region:s.spec_region ~replicaset
                ~send:send_from ~discovery ~params ~initial_config ~trace ())
         | Raft.Types.Logtailer ->
           Tailer_node
-            (Logtailer.create ~engine ~id ~region:s.spec_region ~send:send_from ~params
-               ~initial_config ~trace ())
+            (Logtailer.create ~tracebuf ~engine ~id ~region:s.spec_region ~send:send_from
+               ~params ~initial_config ~trace ())
       in
       Hashtbl.replace t.nodes id n;
       Sim.Network.register network id (fun ~src msg ->
@@ -175,13 +223,15 @@ let add_server t spec =
     match spec.spec_kind with
     | Raft.Types.Mysql_server ->
       Mysql_node
-        (Server.create ~engine:t.engine ~id:spec.spec_id ~region:spec.spec_region
-           ~replicaset:t.replicaset ~send:send_from ~discovery:t.discovery ~params:t.params
-           ~initial_config:base_config ~trace:t.trace ())
+        (Server.create ~tracebuf:t.tracebuf ~engine:t.engine ~id:spec.spec_id
+           ~region:spec.spec_region ~replicaset:t.replicaset ~send:send_from
+           ~discovery:t.discovery ~params:t.params ~initial_config:base_config
+           ~trace:t.trace ())
     | Raft.Types.Logtailer ->
       Tailer_node
-        (Logtailer.create ~engine:t.engine ~id:spec.spec_id ~region:spec.spec_region
-           ~send:send_from ~params:t.params ~initial_config:base_config ~trace:t.trace ())
+        (Logtailer.create ~tracebuf:t.tracebuf ~engine:t.engine ~id:spec.spec_id
+           ~region:spec.spec_region ~send:send_from ~params:t.params
+           ~initial_config:base_config ~trace:t.trace ())
   in
   Hashtbl.replace t.nodes spec.spec_id n;
   Sim.Network.register t.network spec.spec_id (fun ~src msg ->

@@ -37,6 +37,18 @@ val network : t -> Wire.t Sim.Network.t
 
 val trace : t -> Sim.Trace.t
 
+(** The OpId-correlated trace ring shared by every node in the cluster:
+    one transaction's flush / consensus-commit / engine-commit events
+    across primary and replicas. *)
+val tracebuf : t -> Obs.Tracebuf.t
+
+(** The live metrics registry of one node (MySQL server or logtailer). *)
+val metrics_of : t -> string -> Obs.Metrics.t option
+
+(** Cluster-wide view: every node's registry merged (counters sum,
+    histograms pool) plus network-derived net.* counters. *)
+val metrics_snapshot : t -> Obs.Metrics.snapshot
+
 val discovery : t -> Service_discovery.t
 
 val replicaset_name : t -> string

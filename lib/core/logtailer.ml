@@ -21,6 +21,8 @@ type t = {
   mutable raft : Raft.Node.t option;
   mutable crashed : bool;
   mutable interim_leaderships : int;
+  metrics : Obs.Metrics.t;
+  tracebuf : Obs.Tracebuf.t option;
 }
 
 let id t = t.id
@@ -30,6 +32,8 @@ let raft t = match t.raft with Some r -> r | None -> failwith (t.id ^ ": raft no
 let log t = t.log
 
 let is_crashed t = t.crashed
+
+let metrics t = t.metrics
 
 let interim_leaderships t = t.interim_leaderships
 
@@ -81,13 +85,16 @@ let make_callbacks t =
   cb
 
 let make_raft t =
-  Raft.Node.create ~engine:t.engine ~id:t.id ~region:t.region
+  Raft.Node.create ~metrics:t.metrics ?tracebuf:t.tracebuf ~engine:t.engine ~id:t.id
+    ~region:t.region
     ~send:(fun ~dst msg -> t.send ~dst (Wire.Raft_msg msg))
     ~log:(Raft.Node.log_ops_of_store t.log)
     ~callbacks:(make_callbacks t) ~params:t.params.Params.raft
     ~initial_config:t.initial_config ~durable:t.durable ~trace:t.trace ()
 
-let create ~engine ~id ~region ~send ~params ~initial_config ~trace () =
+let create ?metrics ?tracebuf ~engine ~id ~region ~send ~params ~initial_config
+    ~trace () =
+  let metrics = match metrics with Some m -> m | None -> Obs.Metrics.create ~node:id () in
   let t =
     {
       id;
@@ -96,12 +103,14 @@ let create ~engine ~id ~region ~send ~params ~initial_config ~trace () =
       trace;
       params;
       send;
-      log = Binlog.Log_store.create ~mode:Binlog.Log_store.Relay ();
+      log = Binlog.Log_store.create ~metrics ~mode:Binlog.Log_store.Relay ();
       durable = Raft.Node.fresh_durable ();
       initial_config;
       raft = None;
       crashed = false;
       interim_leaderships = 0;
+      metrics;
+      tracebuf;
     }
   in
   t.raft <- Some (make_raft t);

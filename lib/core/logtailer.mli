@@ -6,7 +6,11 @@
 
 type t
 
+(** [metrics] and [tracebuf] are threaded to the embedded Raft node and
+    log store. *)
 val create :
+  ?metrics:Obs.Metrics.t ->
+  ?tracebuf:Obs.Tracebuf.t ->
   engine:Sim.Engine.t ->
   id:string ->
   region:string ->
@@ -18,6 +22,8 @@ val create :
   t
 
 val id : t -> string
+
+val metrics : t -> Obs.Metrics.t
 
 val raft : t -> Raft.Node.t
 

@@ -17,7 +17,12 @@
    the client, releasing row locks).
 
    Groups move through stages strictly in order, one group at a time per
-   stage, mirroring the per-stage mutexes in MySQL. *)
+   stage, mirroring the per-stage mutexes in MySQL.
+
+   Each stage boundary is timestamped so the per-stage latency histograms
+   (pipeline.flush_us / consensus_wait_us / engine_commit_us and the
+   end-to-end pipeline.txn_total_us) decompose a transaction's commit
+   latency the way Figure 4 does. *)
 
 type item = {
   label : string;
@@ -25,12 +30,32 @@ type item = {
   finish : ok:bool -> unit;
 }
 
-type group = { items : (item * int) list; group_max_index : int }
+(* An item plus its submission time, for stage latency accounting. *)
+type pending = { it : item; submitted_at : float }
+
+type group = {
+  items : (pending * int) list;
+  group_max_index : int;
+  flushed_at : float;
+  mutable released_at : float; (* when consensus released it to stage 3 *)
+}
+
+type meters = {
+  m_txns_committed : Obs.Metrics.counter;
+  m_txns_aborted : Obs.Metrics.counter;
+  m_groups_formed : Obs.Metrics.counter;
+  m_queue_depth : Obs.Metrics.gauge;
+  m_flush : Obs.Metrics.histogram; (* us, submit -> group flushed *)
+  m_consensus_wait : Obs.Metrics.histogram; (* us, flushed -> released *)
+  m_engine_commit : Obs.Metrics.histogram; (* us, released -> finished *)
+  m_txn_total : Obs.Metrics.histogram; (* us, submit -> finished *)
+  m_group_size : Obs.Metrics.histogram;
+}
 
 type t = {
   engine : Sim.Engine.t;
   params : Params.t;
-  mutable flush_queue : item list; (* reversed: newest first *)
+  mutable flush_queue : pending list; (* reversed: newest first *)
   mutable flushing : bool;
   mutable wait_queue : group list; (* reversed *)
   mutable commit_queue : group list; (* reversed *)
@@ -41,9 +66,11 @@ type t = {
   mutable committed_txns : int;
   mutable groups_formed : int;
   is_primary_path : bool; (* primaries pay the Raft stamping cost *)
+  meters : meters;
 }
 
-let create ~engine ~params ~is_primary_path =
+let create ?metrics ~engine ~params ~is_primary_path () =
+  let m = match metrics with Some m -> m | None -> Obs.Metrics.create () in
   {
     engine;
     params;
@@ -58,6 +85,18 @@ let create ~engine ~params ~is_primary_path =
     committed_txns = 0;
     groups_formed = 0;
     is_primary_path;
+    meters =
+      {
+        m_txns_committed = Obs.Metrics.counter m "pipeline.txns_committed";
+        m_txns_aborted = Obs.Metrics.counter m "pipeline.txns_aborted";
+        m_groups_formed = Obs.Metrics.counter m "pipeline.groups_formed";
+        m_queue_depth = Obs.Metrics.gauge m "pipeline.queue_depth";
+        m_flush = Obs.Metrics.histogram m "pipeline.flush_us";
+        m_consensus_wait = Obs.Metrics.histogram m "pipeline.consensus_wait_us";
+        m_engine_commit = Obs.Metrics.histogram m "pipeline.engine_commit_us";
+        m_txn_total = Obs.Metrics.histogram m "pipeline.txn_total_us";
+        m_group_size = Obs.Metrics.histogram m "pipeline.group_size";
+      };
   }
 
 let committed_txns t = t.committed_txns
@@ -67,6 +106,15 @@ let groups_formed t = t.groups_formed
 let mean_group_size t =
   if t.groups_formed = 0 then 0.0
   else float_of_int t.flushed_txns /. float_of_int t.groups_formed
+
+let in_flight t =
+  List.length t.flush_queue
+  + List.fold_left (fun acc g -> acc + List.length g.items) 0 t.wait_queue
+  + List.fold_left (fun acc g -> acc + List.length g.items) 0 t.commit_queue
+  + (if t.flushing then 1 else 0)
+
+let update_depth t =
+  Obs.Metrics.set_gauge t.meters.m_queue_depth (float_of_int (in_flight t))
 
 let rec start_commit_cycle t =
   if (not t.committing) && t.commit_queue <> [] && not t.aborted then begin
@@ -82,9 +130,17 @@ let rec start_commit_cycle t =
     in
     ignore
       (Sim.Engine.schedule t.engine ~delay:cost (fun () ->
-           List.iter (fun (item, _) -> item.finish ~ok:true) group.items;
+           let now = Sim.Engine.now t.engine in
+           Obs.Metrics.record t.meters.m_engine_commit (now -. group.released_at);
+           List.iter
+             (fun (p, _) ->
+               p.it.finish ~ok:true;
+               Obs.Metrics.record t.meters.m_txn_total (now -. p.submitted_at))
+             group.items;
            t.committed_txns <- t.committed_txns + n;
+           Obs.Metrics.add t.meters.m_txns_committed n;
            t.committing <- false;
+           update_depth t;
            start_commit_cycle t))
   end
 
@@ -94,6 +150,9 @@ let rec drain_wait t =
   match List.rev t.wait_queue with
   | group :: rest when group.group_max_index <= t.commit_watermark ->
     t.wait_queue <- List.rev rest;
+    let now = Sim.Engine.now t.engine in
+    group.released_at <- now;
+    Obs.Metrics.record t.meters.m_consensus_wait (now -. group.flushed_at);
     t.commit_queue <- group :: t.commit_queue;
     drain_wait t
   | _ -> start_commit_cycle t
@@ -117,15 +176,15 @@ let rec start_flush_cycle t =
     in
     ignore
       (Sim.Engine.schedule t.engine ~delay:cost (fun () ->
-           if t.aborted then List.iter (fun item -> item.finish ~ok:false) batch
+           if t.aborted then List.iter (fun p -> p.it.finish ~ok:false) batch
            else begin
              let flushed =
                List.filter_map
-                 (fun item ->
-                   match item.flush () with
-                   | Ok index -> Some (item, index)
+                 (fun p ->
+                   match p.it.flush () with
+                   | Ok index -> Some (p, index)
                    | Error _ ->
-                     item.finish ~ok:false;
+                     p.it.finish ~ok:false;
                      None)
                  batch
              in
@@ -133,9 +192,19 @@ let rec start_flush_cycle t =
                let group_max_index =
                  List.fold_left (fun acc (_, i) -> max acc i) 0 flushed
                in
+               let now = Sim.Engine.now t.engine in
+               List.iter
+                 (fun (p, _) ->
+                   Obs.Metrics.record t.meters.m_flush (now -. p.submitted_at))
+                 flushed;
+               Obs.Metrics.record t.meters.m_group_size
+                 (float_of_int (List.length flushed));
                t.flushed_txns <- t.flushed_txns + List.length flushed;
                t.groups_formed <- t.groups_formed + 1;
-               t.wait_queue <- { items = flushed; group_max_index } :: t.wait_queue;
+               Obs.Metrics.incr t.meters.m_groups_formed;
+               t.wait_queue <-
+                 { items = flushed; group_max_index; flushed_at = now; released_at = now }
+                 :: t.wait_queue;
                drain_wait t
              end;
              t.flushing <- false;
@@ -146,7 +215,8 @@ let rec start_flush_cycle t =
 let submit t item =
   if t.aborted then item.finish ~ok:false
   else begin
-    t.flush_queue <- item :: t.flush_queue;
+    t.flush_queue <- { it = item; submitted_at = Sim.Engine.now t.engine } :: t.flush_queue;
+    update_depth t;
     start_flush_cycle t
   end
 
@@ -163,7 +233,9 @@ let abort_all t =
   t.flush_queue <- [];
   t.wait_queue <- [];
   t.commit_queue <- [];
-  List.iter (fun item -> item.finish ~ok:false) pending;
+  List.iter (fun p -> p.it.finish ~ok:false) pending;
+  Obs.Metrics.add t.meters.m_txns_aborted (List.length pending);
+  update_depth t;
   List.length pending
 
 (* Re-arm after a role change (the pipeline object survives demote +
@@ -173,9 +245,3 @@ let reset t =
   t.flushing <- false;
   t.committing <- false;
   t.commit_watermark <- 0
-
-let in_flight t =
-  List.length t.flush_queue
-  + List.fold_left (fun acc g -> acc + List.length g.items) 0 t.wait_queue
-  + List.fold_left (fun acc g -> acc + List.length g.items) 0 t.commit_queue
-  + (if t.flushing then 1 else 0)

@@ -14,8 +14,17 @@ type item = {
 type t
 
 (** [is_primary_path] selects whether groups pay the MyRaft stamping
-    cost (checksum + compression + OpId, §3.4). *)
-val create : engine:Sim.Engine.t -> params:Params.t -> is_primary_path:bool -> t
+    cost (checksum + compression + OpId, §3.4).  [metrics] receives the
+    pipeline.* counters, the queue-depth gauge and the per-stage latency
+    histograms (flush_us, consensus_wait_us, engine_commit_us,
+    txn_total_us, group_size). *)
+val create :
+  ?metrics:Obs.Metrics.t ->
+  engine:Sim.Engine.t ->
+  params:Params.t ->
+  is_primary_path:bool ->
+  unit ->
+  t
 
 val submit : t -> item -> unit
 

@@ -50,6 +50,9 @@ type t = {
   mutable writes_committed : int;
   mutable writes_rejected : int;
   mutable truncated_gtids : Binlog.Gtid.t list;
+  (* observability *)
+  metrics : Obs.Metrics.t;
+  tracebuf : Obs.Tracebuf.t option;
 }
 
 let id t = t.id
@@ -80,6 +83,16 @@ let writes_committed t = t.writes_committed
 let writes_rejected t = t.writes_rejected
 
 let truncated_gtids t = List.rev t.truncated_gtids
+
+let metrics t = t.metrics
+
+(* OpId-correlated trace event on the shared ring (when wired). *)
+let trace_event t ~stage ~term ~index =
+  match t.tracebuf with
+  | Some tb ->
+    Obs.Tracebuf.record tb ~time:(Sim.Engine.now t.engine) ~node:t.id ~stage ~term
+      ~index ()
+  | None -> ()
 
 let gtid_executed t =
   match t.role with
@@ -142,10 +155,14 @@ let applier_process t entry ~on_submitted ~on_done =
           match Storage.Engine.prepare t.storage ~gtid ~writes with
           | () ->
             let index = Binlog.Entry.index entry in
+            let term = Binlog.Entry.term entry in
             Pipeline.submit t.pipeline
               {
                 Pipeline.label = Binlog.Gtid.to_string gtid;
-                flush = (fun () -> Ok index);
+                flush =
+                  (fun () ->
+                    trace_event t ~stage:"flush" ~term ~index;
+                    Ok index);
                 finish =
                   (fun ~ok ->
                     (* The prepared copy may have been rolled back by a log
@@ -154,6 +171,7 @@ let applier_process t entry ~on_submitted ~on_done =
                     if ok && Storage.Engine.is_prepared t.storage gtid then begin
                       Storage.Engine.commit_prepared t.storage ~gtid
                         ~opid:(Binlog.Entry.opid entry);
+                      trace_event t ~stage:"engine-commit" ~term ~index;
                       on_done ~ok:true
                     end
                     else begin
@@ -236,6 +254,7 @@ and promotion_rewire t ~epoch =
                         ~source:t.id
                       + 1;
                     t.promotions <- t.promotions + 1;
+                    Obs.Metrics.bump t.metrics "server.promotions";
                     tracef t "%s: promoted to primary (term %d)" t.id
                       (Raft.Node.current_term (raft t));
                     (* Step 5: publish the new role to service discovery. *)
@@ -280,7 +299,10 @@ let begin_demotion t =
   List.iter (fun gtid -> Storage.Engine.rollback_prepared t.storage ~gtid) pending;
   (* Step 2: disable client writes. *)
   t.writes_enabled <- false;
-  if t.role = Primary then t.demotions <- t.demotions + 1;
+  if t.role = Primary then begin
+    t.demotions <- t.demotions + 1;
+    Obs.Metrics.bump t.metrics "server.demotions"
+  end;
   t.role <- Replica;
   tracef t "%s: demoted (aborted %d in-flight, rolled back %d prepared)" t.id
     aborted_items (List.length pending);
@@ -343,7 +365,8 @@ let make_callbacks t =
   cb
 
 let make_raft t =
-  Raft.Node.create ~engine:t.engine ~id:t.id ~region:t.region
+  Raft.Node.create ~metrics:t.metrics ?tracebuf:t.tracebuf ~engine:t.engine ~id:t.id
+    ~region:t.region
     ~send:(fun ~dst msg -> t.send ~dst (Wire.Raft_msg msg))
     ~log:(Raft.Node.log_ops_of_store t.log)
     ~callbacks:(make_callbacks t) ~params:t.params.Params.raft
@@ -353,6 +376,7 @@ let make_raft t =
 
 let reject t ~reason ~reply =
   t.writes_rejected <- t.writes_rejected + 1;
+  Obs.Metrics.bump t.metrics "server.writes_rejected";
   reply (Wire.Rejected reason)
 
 let submit_write t ~table ~ops ~reply =
@@ -395,6 +419,8 @@ let submit_write t ~table ~ops ~reply =
                        match Raft.Node.client_append (raft t) payload with
                        | Ok assigned ->
                          opid := assigned;
+                         trace_event t ~stage:"flush" ~term:(Binlog.Opid.term assigned)
+                           ~index:(Binlog.Opid.index assigned);
                          Ok (Binlog.Opid.index assigned)
                        | Error e -> Error e);
                    finish =
@@ -402,6 +428,9 @@ let submit_write t ~table ~ops ~reply =
                        if ok && Storage.Engine.is_prepared t.storage gtid then begin
                          Storage.Engine.commit_prepared t.storage ~gtid ~opid:!opid;
                          t.writes_committed <- t.writes_committed + 1;
+                         Obs.Metrics.bump t.metrics "server.writes_committed";
+                         trace_event t ~stage:"engine-commit"
+                           ~term:(Binlog.Opid.term !opid) ~index:(Binlog.Opid.index !opid);
                          reply Wire.Committed
                        end
                        else begin
@@ -503,7 +532,9 @@ let restart t =
        (torn-tail fault); Raft never acked those entries, so losing them
        is safe — the leader re-replicates them. *)
     let torn = Binlog.Log_store.crash_recover_log t.log in
-    t.pipeline <- Pipeline.create ~engine:t.engine ~params:t.params ~is_primary_path:true;
+    t.pipeline <-
+      Pipeline.create ~metrics:t.metrics ~engine:t.engine ~params:t.params
+        ~is_primary_path:true ();
     Binlog.Log_store.switch_mode t.log Binlog.Log_store.Relay;
     t.raft <- Some (make_raft t);
     Pipeline.notify_commit_index t.pipeline (Raft.Node.commit_index (raft t));
@@ -525,8 +556,9 @@ let handle_message t ~src msg =
 
 (* ----- construction ----- *)
 
-let create ~engine ~id ~region ~replicaset ~send ~discovery ~params ~initial_config
-    ~trace () =
+let create ?metrics ?tracebuf ~engine ~id ~region ~replicaset ~send ~discovery ~params
+    ~initial_config ~trace () =
+  let metrics = match metrics with Some m -> m | None -> Obs.Metrics.create ~node:id () in
   let t =
     {
       id;
@@ -539,10 +571,10 @@ let create ~engine ~id ~region ~replicaset ~send ~discovery ~params ~initial_con
       discovery;
       initial_config;
       storage = Storage.Engine.create ();
-      log = Binlog.Log_store.create ~mode:Binlog.Log_store.Relay ();
+      log = Binlog.Log_store.create ~metrics ~mode:Binlog.Log_store.Relay ();
       durable = Raft.Node.fresh_durable ();
       raft = None;
-      pipeline = Pipeline.create ~engine ~params ~is_primary_path:true;
+      pipeline = Pipeline.create ~metrics ~engine ~params ~is_primary_path:true ();
       applier = None;
       role = Replica;
       writes_enabled = false;
@@ -556,12 +588,16 @@ let create ~engine ~id ~region ~replicaset ~send ~discovery ~params ~initial_con
       writes_committed = 0;
       writes_rejected = 0;
       truncated_gtids = [];
+      metrics;
+      tracebuf;
     }
   in
   t.applier <-
     Some
-      (Applier.create ~engine ~params ~process:(fun entry ~on_submitted ~on_done ->
-           applier_process t entry ~on_submitted ~on_done));
+      (Applier.create ~metrics ~engine ~params
+         ~process:(fun entry ~on_submitted ~on_done ->
+           applier_process t entry ~on_submitted ~on_done)
+         ());
   t.raft <- Some (make_raft t);
   start_applier_from_recovery_point t;
   t

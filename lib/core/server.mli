@@ -13,7 +13,13 @@ val role_to_string : role -> string
 
 type t
 
+(** [metrics] receives all of this server's metric families — raft, pipeline,
+    binlog, applier and server prefixes; a per-node registry is created
+    when omitted.  [tracebuf] receives OpId-correlated
+    flush / consensus-commit / engine-commit trace events. *)
 val create :
+  ?metrics:Obs.Metrics.t ->
+  ?tracebuf:Obs.Tracebuf.t ->
   engine:Sim.Engine.t ->
   id:string ->
   region:string ->
@@ -96,6 +102,9 @@ val demotions : t -> int
 val writes_committed : t -> int
 
 val writes_rejected : t -> int
+
+(** The registry all of this server's components record into. *)
+val metrics : t -> Obs.Metrics.t
 
 (** GTIDs removed from metadata by log truncations (§3.3 step 4). *)
 val truncated_gtids : t -> Binlog.Gtid.t list

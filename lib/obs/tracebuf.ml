@@ -1,0 +1,76 @@
+(* Structured trace ring buffer, correlated by Raft OpId.
+
+   Every event carries the (term, index) pair Raft stamped on the
+   transaction it concerns, so one transaction can be followed through
+   its pipeline stages — flush, consensus-commit, engine-commit — across
+   the primary and every replica writing into the same ring.  The ring
+   is fixed-capacity: recording is O(1), old events are overwritten, and
+   [dropped] says how many were lost to wraparound.
+
+   Distinct from [Sim.Trace], the free-form printf debug trace: these
+   events are structured (queryable by OpId) and bounded. *)
+
+type event = {
+  ev_seq : int; (* monotonically increasing record number *)
+  ev_time : float;
+  ev_node : string;
+  ev_stage : string; (* "flush" | "consensus-commit" | "engine-commit" | ... *)
+  ev_term : int;
+  ev_index : int;
+  ev_detail : string;
+}
+
+type t = {
+  buf : event option array;
+  cap : int;
+  mutable total : int; (* events ever recorded *)
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Tracebuf.create: capacity must be positive";
+  { buf = Array.make capacity None; cap = capacity; total = 0 }
+
+let record t ~time ~node ~stage ~term ~index ?(detail = "") () =
+  let ev =
+    { ev_seq = t.total; ev_time = time; ev_node = node; ev_stage = stage;
+      ev_term = term; ev_index = index; ev_detail = detail }
+  in
+  t.buf.(t.total mod t.cap) <- Some ev;
+  t.total <- t.total + 1
+
+let capacity t = t.cap
+
+let total t = t.total
+
+let length t = min t.total t.cap
+
+let dropped t = max 0 (t.total - t.cap)
+
+(* Retained events, oldest first. *)
+let events t =
+  let n = length t in
+  let first = t.total - n in
+  List.init n (fun i ->
+      match t.buf.((first + i) mod t.cap) with
+      | Some ev -> ev
+      | None -> assert false)
+
+let filter t pred = List.filter pred (events t)
+
+(* All retained events for one OpId, oldest first — one transaction's
+   journey across stages and nodes. *)
+let for_opid t ~term ~index =
+  filter t (fun ev -> ev.ev_term = term && ev.ev_index = index)
+
+let for_stage t ~stage = filter t (fun ev -> ev.ev_stage = stage)
+
+let event_to_string ev =
+  Printf.sprintf "[%12.0fus] %-10s %-18s opid=%d.%d%s" ev.ev_time ev.ev_node ev.ev_stage
+    ev.ev_term ev.ev_index
+    (if ev.ev_detail = "" then "" else " " ^ ev.ev_detail)
+
+let render ?(last = max_int) t =
+  let evs = events t in
+  let n = List.length evs in
+  let evs = if n > last then List.filteri (fun i _ -> i >= n - last) evs else evs in
+  String.concat "\n" (List.map event_to_string evs)

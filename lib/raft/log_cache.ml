@@ -18,9 +18,15 @@ type t = {
   max_bytes : int;
   mutable disk_reads : int;
   mutable hits : int;
+  m_hits : Obs.Metrics.counter;
+  m_disk_reads : Obs.Metrics.counter;
+  m_bytes : Obs.Metrics.gauge;
 }
 
-let create ?(max_bytes = 4 * 1024 * 1024) () =
+let create ?metrics ?(max_bytes = 4 * 1024 * 1024) () =
+  (* Absent a registry, handles resolve against a throwaway one so the
+     hot path never branches on an option. *)
+  let m = match metrics with Some m -> m | None -> Obs.Metrics.create () in
   {
     entries = Hashtbl.create 1024;
     first_cached = 0;
@@ -29,6 +35,9 @@ let create ?(max_bytes = 4 * 1024 * 1024) () =
     max_bytes;
     disk_reads = 0;
     hits = 0;
+    m_hits = Obs.Metrics.counter m "raft.log_cache.hits";
+    m_disk_reads = Obs.Metrics.counter m "raft.log_cache.disk_reads";
+    m_bytes = Obs.Metrics.gauge m "raft.log_cache.bytes";
   }
 
 let evict_oldest t =
@@ -42,12 +51,18 @@ let evict_oldest t =
 let put t entry =
   let index = Binlog.Entry.index entry in
   if t.first_cached = 0 then t.first_cached <- index;
+  (* Re-inserting an index replaces the old entry; release its bytes so
+     the budget tracks what the table actually holds. *)
+  (match Hashtbl.find_opt t.entries index with
+  | Some old -> t.bytes <- t.bytes - Binlog.Entry.size old
+  | None -> ());
   Hashtbl.replace t.entries index entry;
   t.last_cached <- max t.last_cached index;
   t.bytes <- t.bytes + Binlog.Entry.size entry;
   while t.bytes > t.max_bytes && t.first_cached < t.last_cached do
     evict_oldest t
-  done
+  done;
+  Obs.Metrics.set_gauge t.m_bytes (float_of_int t.bytes)
 
 (* Drop cached entries at or above [index] (log truncation on the leader
    is impossible in Raft, but a demoted leader reuses the same cache). *)
@@ -64,7 +79,8 @@ let truncate_from t ~index =
     t.first_cached <- 0;
     t.last_cached <- 0;
     t.bytes <- 0
-  end
+  end;
+  Obs.Metrics.set_gauge t.m_bytes (float_of_int t.bytes)
 
 (* Read [from_index, from_index+max_count) preferring the cache, falling
    back to [read_log] for the cold prefix. *)
@@ -75,11 +91,13 @@ let read t ~from_index ~max_count ~read_log =
       match Hashtbl.find_opt t.entries idx with
       | Some e ->
         t.hits <- t.hits + 1;
+        Obs.Metrics.incr t.m_hits;
         collect (idx + 1) (n - 1) (e :: acc)
       | None -> (
         match read_log idx with
         | Some e ->
           t.disk_reads <- t.disk_reads + 1;
+          Obs.Metrics.incr t.m_disk_reads;
           collect (idx + 1) (n - 1) (e :: acc)
         | None -> List.rev acc)
   in

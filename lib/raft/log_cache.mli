@@ -7,7 +7,9 @@
 
 type t
 
-val create : ?max_bytes:int -> unit -> t
+(** [metrics] receives [raft.log_cache.hits] / [raft.log_cache.disk_reads]
+    counters and a [raft.log_cache.bytes] gauge. *)
+val create : ?metrics:Obs.Metrics.t -> ?max_bytes:int -> unit -> t
 
 val put : t -> Binlog.Entry.t -> unit
 

@@ -153,6 +153,39 @@ type transfer = {
   transfer_deadline : Sim.Engine.handle;
 }
 
+(* Metric handles resolved once at node creation; hot-path recording is a
+   single field update (see Obs.Metrics). *)
+type meters = {
+  m_elections_started : Obs.Metrics.counter;
+  m_elections_won : Obs.Metrics.counter;
+  m_votes_granted : Obs.Metrics.counter;
+  m_votes_rejected : Obs.Metrics.counter;
+  m_heartbeats_sent : Obs.Metrics.counter;
+  m_ae_sent : Obs.Metrics.counter;
+  m_ae_rejected : Obs.Metrics.counter;
+  m_proxy_forwards : Obs.Metrics.counter;
+  m_proxy_degraded : Obs.Metrics.counter;
+  m_commit_advances : Obs.Metrics.counter;
+  m_election_latency : Obs.Metrics.histogram; (* us, Real-phase start -> won *)
+  m_commit_latency : Obs.Metrics.histogram; (* us, local append -> commit *)
+}
+
+let make_meters m =
+  {
+    m_elections_started = Obs.Metrics.counter m "raft.elections_started";
+    m_elections_won = Obs.Metrics.counter m "raft.elections_won";
+    m_votes_granted = Obs.Metrics.counter m "raft.votes_granted";
+    m_votes_rejected = Obs.Metrics.counter m "raft.votes_rejected";
+    m_heartbeats_sent = Obs.Metrics.counter m "raft.heartbeats_sent";
+    m_ae_sent = Obs.Metrics.counter m "raft.ae_sent";
+    m_ae_rejected = Obs.Metrics.counter m "raft.ae_rejected";
+    m_proxy_forwards = Obs.Metrics.counter m "raft.proxy_forwards";
+    m_proxy_degraded = Obs.Metrics.counter m "raft.proxy_degraded";
+    m_commit_advances = Obs.Metrics.counter m "raft.commit_advances";
+    m_election_latency = Obs.Metrics.histogram m "raft.election_latency_us";
+    m_commit_latency = Obs.Metrics.histogram m "raft.commit_latency_us";
+  }
+
 type t = {
   engine : Sim.Engine.t;
   id : node_id;
@@ -180,6 +213,13 @@ type t = {
   mutable last_leader_contact : float;
   mutable elections_started : int;
   mutable times_elected : int;
+  metrics : Obs.Metrics.t;
+  meters : meters;
+  tracebuf : Obs.Tracebuf.t option;
+  (* local append time per index, consumed (and removed) when the index
+     commits — feeds raft.commit_latency_us *)
+  append_times : (int, float) Hashtbl.t;
+  mutable election_started_at : float; (* neg_infinity when no election *)
 }
 
 let id t = t.id
@@ -209,6 +249,33 @@ let elections_started t = t.elections_started
 let times_elected t = t.times_elected
 
 let cache t = t.cache
+
+let metrics t = t.metrics
+
+(* Stamp the local-append time of an entry; consumed when it commits. *)
+let note_append t entry =
+  Hashtbl.replace t.append_times (Binlog.Entry.index entry) (Sim.Engine.now t.engine)
+
+(* Commit-index advanced over (from_index-1, to_index]: count it, observe
+   append->commit latency for locally stamped indexes, and emit one
+   "consensus-commit" trace event per index so a transaction's consensus
+   step is visible on every node that learned of the commit. *)
+let note_commit t ~from_index ~to_index =
+  let now = Sim.Engine.now t.engine in
+  Obs.Metrics.incr t.meters.m_commit_advances;
+  for idx = from_index to to_index do
+    (match Hashtbl.find_opt t.append_times idx with
+    | Some appended_at ->
+      Hashtbl.remove t.append_times idx;
+      Obs.Metrics.record t.meters.m_commit_latency (now -. appended_at)
+    | None -> ());
+    match t.tracebuf with
+    | Some tb ->
+      let term = Option.value (t.log.term_at idx) ~default:0 in
+      Obs.Tracebuf.record tb ~time:now ~node:t.id ~stage:"consensus-commit" ~term
+        ~index:idx ()
+    | None -> ()
+  done
 
 let me t = Types.find_member (config t) t.id
 
@@ -321,10 +388,13 @@ and replicate_to t peer ~allow_empty =
           | Some p when p <> peer.peer_id -> Some p
           | _ -> None (* the designated proxy itself gets the full payload *)
         in
+        if entries = [] then Obs.Metrics.incr t.meters.m_heartbeats_sent
+        else Obs.Metrics.incr t.meters.m_ae_sent;
         (match proxy with
         | Some proxy_id ->
           (* PROXY_OP: ship metadata only; the proxy reconstitutes the
              payload from its own log (§4.2.1). *)
+          Obs.Metrics.incr t.meters.m_proxy_forwards;
           let first_index = Binlog.Entry.index (List.hd entries) in
           let last = List.nth entries (List.length entries - 1) in
           let refs =
@@ -381,10 +451,12 @@ and advance_commit t =
         | None -> false
       in
       if term_ok then begin
+        let prev_commit = t.commit_index in
         t.commit_index <- n;
         (match t.pending_config_index with
         | Some i when i <= n -> t.pending_config_index <- None
         | _ -> ());
+        note_commit t ~from_index:(prev_commit + 1) ~to_index:n;
         t.callbacks.on_commit_advance ~commit_index:n
       end
     | _ -> ()
@@ -472,6 +544,12 @@ and become_leader t =
   t.election <- None;
   t.durable.last_known_leader <- Some (t.durable.current_term, t.region);
   t.times_elected <- t.times_elected + 1;
+  Obs.Metrics.incr t.meters.m_elections_won;
+  if t.election_started_at > neg_infinity then begin
+    Obs.Metrics.record t.meters.m_election_latency
+      (Sim.Engine.now t.engine -. t.election_started_at);
+    t.election_started_at <- neg_infinity
+  end;
   cancel_timer t.election_timer;
   t.election_timer <- None;
   Hashtbl.reset t.peers;
@@ -486,6 +564,7 @@ and become_leader t =
   in
   t.log.append entry;
   Log_cache.put t.cache entry;
+  note_append t entry;
   tracef t "raft" "%s: elected leader at term %d (noop %d)" t.id t.durable.current_term
     noop_index;
   start_heartbeats t;
@@ -550,7 +629,12 @@ and begin_election t ~phase =
     (match phase with
     | Message.Real ->
       t.role <- Types.Candidate;
-      t.elections_started <- t.elections_started + 1
+      t.elections_started <- t.elections_started + 1;
+      Obs.Metrics.incr t.meters.m_elections_started;
+      (* Anchor election latency at the first Real attempt of this outage;
+         back-to-back retries extend the same measurement. *)
+      if t.election_started_at = neg_infinity then
+        t.election_started_at <- Sim.Engine.now t.engine
     | _ -> ());
     let election =
       {
@@ -715,6 +799,11 @@ and handle_request_vote t (rv : Message.request_vote) =
     if t.role = Types.Leader then step_down t ~term:rv.term ~new_leader:None;
     reset_election_timer t
   | _ -> ());
+  (match rv.phase with
+  | Message.Real ->
+    Obs.Metrics.incr
+      (if granted then t.meters.m_votes_granted else t.meters.m_votes_rejected)
+  | _ -> ());
   t.send ~dst:rv.candidate
     (Message.Request_vote_response
        {
@@ -747,7 +836,8 @@ and handle_append_entries t ~src:_ (ae : Message.append_entries) =
     send_routed t ~hops:ae.reply_route ~final:ae.leader_id
       (Message.Append_entries_response response)
   in
-  if ae.term < t.durable.current_term then
+  if ae.term < t.durable.current_term then begin
+    Obs.Metrics.incr t.meters.m_ae_rejected;
     reply
       {
         Message.term = t.durable.current_term;
@@ -756,6 +846,7 @@ and handle_append_entries t ~src:_ (ae : Message.append_entries) =
         last_log_index = last_index t;
         request_seq = ae.seq;
       }
+  end
   else begin
     if ae.term > t.durable.current_term || t.role <> Types.Follower then
       step_down t ~term:ae.term ~new_leader:(Some ae.leader_id);
@@ -772,6 +863,7 @@ and handle_append_entries t ~src:_ (ae : Message.append_entries) =
       && t.log.term_at prev_index = Some (Binlog.Opid.term prev)
     in
     if not ok_prev then begin
+      Obs.Metrics.incr t.meters.m_ae_rejected;
       let hint = if prev_index > last_index t then last_index t else prev_index - 1 in
       reply
         {
@@ -807,12 +899,14 @@ and handle_append_entries t ~src:_ (ae : Message.append_entries) =
             if removed <> [] then t.callbacks.on_truncated removed;
             t.log.append entry;
             Log_cache.put t.cache entry;
+            note_append t entry;
             appended := entry :: !appended;
             apply_config_entry t entry
           | None ->
             if idx = last_index t + 1 then begin
               t.log.append entry;
               Log_cache.put t.cache entry;
+              note_append t entry;
               appended := entry :: !appended;
               apply_config_entry t entry
             end)
@@ -821,7 +915,9 @@ and handle_append_entries t ~src:_ (ae : Message.append_entries) =
       if appended <> [] then t.callbacks.on_entries_appended appended;
       let new_commit = min ae.commit_index (last_index t) in
       if new_commit > t.commit_index then begin
+        let prev_commit = t.commit_index in
         t.commit_index <- new_commit;
+        note_commit t ~from_index:(prev_commit + 1) ~to_index:new_commit;
         t.callbacks.on_commit_advance ~commit_index:new_commit
       end;
       reply
@@ -945,6 +1041,7 @@ let client_append t payload =
     let entry = Binlog.Entry.make ~opid payload in
     t.log.append entry;
     Log_cache.put t.cache entry;
+    note_append t entry;
     replicate_all t ~allow_empty:false;
     advance_commit t;
     Ok opid
@@ -1049,7 +1146,9 @@ let deliver_reconstituted t ~dst (ae : Message.append_entries) ~first_index ~las
   let payload =
     match entries with
     | Some entries -> Message.Entries entries
-    | None -> Message.Entries [] (* degraded to heartbeat *)
+    | None ->
+      Obs.Metrics.incr t.meters.m_proxy_degraded;
+      Message.Entries [] (* degraded to heartbeat *)
   in
   t.send ~dst (Message.Append_entries { ae with payload })
 
@@ -1108,8 +1207,9 @@ let rec handle_message t ~src msg =
 
 (* ----- lifecycle ----- *)
 
-let create ~engine ~id ~region ~send ~log ~callbacks ~params ~initial_config ~durable
-    ~trace () =
+let create ?metrics ?tracebuf ~engine ~id ~region ~send ~log ~callbacks ~params
+    ~initial_config ~durable ~trace () =
+  let metrics = match metrics with Some m -> m | None -> Obs.Metrics.create ~node:id () in
   let t =
     {
       engine;
@@ -1122,7 +1222,7 @@ let create ~engine ~id ~region ~send ~log ~callbacks ~params ~initial_config ~du
       trace;
       rng = Sim.Rng.split (Sim.Engine.rng engine);
       callbacks;
-      cache = Log_cache.create ~max_bytes:params.cache_bytes ();
+      cache = Log_cache.create ~metrics ~max_bytes:params.cache_bytes ();
       role = Types.Follower;
       leader_id = None;
       commit_index = 0;
@@ -1138,6 +1238,11 @@ let create ~engine ~id ~region ~send ~log ~callbacks ~params ~initial_config ~du
       last_leader_contact = neg_infinity;
       elections_started = 0;
       times_elected = 0;
+      metrics;
+      meters = make_meters metrics;
+      tracebuf;
+      append_times = Hashtbl.create 256;
+      election_started_at = neg_infinity;
     }
   in
   (* Recover config history from the log (restart path). *)

@@ -81,7 +81,13 @@ val fresh_durable : unit -> durable
 
 type t
 
+(** [metrics] receives the node's raft.* counters and latency histograms
+    (a private registry is created when omitted); [tracebuf] receives
+    OpId-correlated "consensus-commit" events as the commit index
+    advances. *)
 val create :
+  ?metrics:Obs.Metrics.t ->
+  ?tracebuf:Obs.Tracebuf.t ->
   engine:Sim.Engine.t ->
   id:node_id ->
   region:string ->
@@ -160,6 +166,9 @@ val elections_started : t -> int
 val times_elected : t -> int
 
 val cache : t -> Log_cache.t
+
+(** The registry this node records into. *)
+val metrics : t -> Obs.Metrics.t
 
 (** Leader-side replication progress of one peer. *)
 val match_index_of : t -> peer:node_id -> int option

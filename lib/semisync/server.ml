@@ -253,7 +253,7 @@ let promote t ~peers:peer_list =
     peer_list;
   t.semisync_acked <- 0;
   t.pipeline <-
-    Myraft.Pipeline.create ~engine:t.engine ~params:t.costs ~is_primary_path:false;
+    Myraft.Pipeline.create ~engine:t.engine ~params:t.costs ~is_primary_path:false ();
   t.next_gno <- Binlog.Gtid_set.max_gno (Binlog.Log_store.gtid_set t.log) ~source:t.id + 1;
   t.writes_enabled <- true;
   tracef t "%s: promoted to primary (semisync)" t.id
@@ -299,7 +299,7 @@ let restart t ~upstream =
     t.crashed <- false;
     ignore (Storage.Engine.crash_recover t.storage);
     t.pipeline <-
-      Myraft.Pipeline.create ~engine:t.engine ~params:t.costs ~is_primary_path:false;
+      Myraft.Pipeline.create ~engine:t.engine ~params:t.costs ~is_primary_path:false ();
     t.role <- Replica;
     t.upstream <- upstream;
     Binlog.Log_store.switch_mode t.log Binlog.Log_store.Relay;
@@ -339,7 +339,7 @@ let create ~engine ~id ~region ~replicaset ~send ~discovery ~costs ~params ~trac
     discovery;
     storage = Storage.Engine.create ();
     log = Binlog.Log_store.create ~mode:Binlog.Log_store.Relay ();
-    pipeline = Myraft.Pipeline.create ~engine ~params:costs ~is_primary_path:false;
+    pipeline = Myraft.Pipeline.create ~engine ~params:costs ~is_primary_path:false ();
     role = Replica;
     writes_enabled = false;
     crashed = false;

@@ -288,6 +288,21 @@ let total_bytes t = Hashtbl.fold (fun _ st acc -> acc + st.bytes) t.region_stats
 
 let total_messages t = Hashtbl.fold (fun _ st acc -> acc + st.messages) t.region_stats 0
 
+(* Per-directed-link (src, dst, messages, bytes) rows, sorted, for
+   metric exports (Obs cannot be depended on from sim — the caller
+   builds its registry from these). *)
+let link_stat_rows t =
+  Hashtbl.fold
+    (fun (src, dst) st acc -> (src, dst, st.messages, st.bytes) :: acc)
+    t.link_stats []
+  |> List.sort compare
+
+let region_stat_rows t =
+  Hashtbl.fold
+    (fun (rs, rd) st acc -> (rs, rd, st.messages, st.bytes) :: acc)
+    t.region_stats []
+  |> List.sort compare
+
 let reset_stats t =
   Hashtbl.reset t.link_stats;
   Hashtbl.reset t.region_stats;

@@ -109,4 +109,11 @@ val total_bytes : 'msg t -> int
 
 val total_messages : 'msg t -> int
 
+(** Sorted (src, dst, messages, bytes) rows per directed link — the raw
+    material for metric exports. *)
+val link_stat_rows : 'msg t -> (Topology.node_id * Topology.node_id * int * int) list
+
+(** Sorted (src_region, dst_region, messages, bytes) rows. *)
+val region_stat_rows : 'msg t -> (Topology.region * Topology.region * int * int) list
+
 val reset_stats : 'msg t -> unit

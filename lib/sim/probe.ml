@@ -25,7 +25,9 @@ let success_times t = List.rev t.success_times
 let attempt t =
   let settled = ref false in
   t.issue ~on_outcome:(fun ok ->
-      if not !settled then begin
+      (* [t.running] gate: a probe stopped mid-flight must not record
+         outcomes delivered (or timed out) after [stop]. *)
+      if (not !settled) && t.running then begin
         settled := true;
         let now = Engine.now t.engine in
         if ok then t.success_times <- now :: t.success_times
@@ -33,7 +35,7 @@ let attempt t =
       end);
   ignore
     (Engine.schedule t.engine ~delay:t.timeout (fun () ->
-         if not !settled then begin
+         if (not !settled) && t.running then begin
            settled := true;
            t.failure_times <- Engine.now t.engine :: t.failure_times
          end))

@@ -69,7 +69,12 @@ let render_pair ~label_a a ~label_b b ~width =
           for j = start to stop - 1 do
             sum := !sum + arr.(j)
           done;
-          !sum / (stop - start))
+          (* Round to nearest rather than floor: floor renders low-rate
+             groups (avg < 1 event/bucket) as blank even though activity
+             happened there.  Any nonzero group stays >= 1. *)
+          let n = stop - start in
+          let avg = ((2 * !sum) + n) / (2 * n) in
+          if !sum > 0 then max 1 avg else 0)
     end
   in
   let va = take rows_a and vb = take rows_b in
@@ -79,6 +84,8 @@ let render_pair ~label_a a ~label_b b ~width =
   let line arr =
     String.init (Array.length arr) (fun i ->
         let level = arr.(i) * 8 / maxc in
+        (* nonzero counts always show at least the faintest glyph *)
+        let level = if arr.(i) > 0 then max 1 level else level in
         " .:-=+*#%".[min 8 level])
   in
   Printf.sprintf "  %-12s |%s|\n  %-12s |%s|\n  (peak bucket = %d commits)\n" label_a

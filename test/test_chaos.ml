@@ -116,15 +116,25 @@ let test_invariants_catch_two_leaders () =
   in
   let inv =
     Chaos.Invariants.create
+      ~snapshot:(fun () ->
+        let m = Obs.Metrics.create ~node:"harness" () in
+        Obs.Metrics.bump m "checker.polls";
+        Obs.Metrics.snapshot m)
       ~now:(fun () -> Sim.Engine.now ha.Test_raft.engine)
       ~probes:[ probe ha "xa"; probe hb "xb" ]
+      ()
   in
   Chaos.Invariants.check inv;
   match Chaos.Invariants.violations inv with
   | [] -> Alcotest.fail "checker missed two leaders sharing a term"
-  | v :: _ ->
+  | v :: _ -> (
     Alcotest.(check string)
-      "flagged as election safety" "election-safety" v.Chaos.Invariants.v_invariant
+      "flagged as election safety" "election-safety" v.Chaos.Invariants.v_invariant;
+    match v.Chaos.Invariants.v_metrics with
+    | None -> Alcotest.fail "violation carries no metrics snapshot"
+    | Some snap ->
+      Alcotest.(check int) "snapshot captured at detection" 1
+        (Obs.Metrics.counter_of snap "checker.polls"))
 
 let suites =
   [

@@ -6,6 +6,7 @@ let () =
       [
         Test_sim.suites;
         Test_stats.suites;
+        Test_obs.suites;
         Test_binlog.suites;
         Test_storage.suites;
         Test_raft.suites;

@@ -56,6 +56,26 @@ let test_probe_timeout_counts_failure () =
   Alcotest.(check int) "no successes" 0 (Sim.Probe.successes probe);
   Alcotest.(check bool) "timeouts recorded" true (Sim.Probe.failures probe > 10)
 
+(* Regression: stopping with a probe still in flight must not let the
+   late answer or the pending timeout record an outcome — a stopped
+   probe's counters are final. *)
+let test_probe_stop_mid_probe () =
+  let e = Sim.Engine.create () in
+  let pending = ref [] in
+  let issue ~on_outcome = pending := on_outcome :: !pending in
+  let probe = Sim.Probe.start ~interval:(10.0 *. ms) ~timeout:(20.0 *. ms) e ~issue in
+  Sim.Engine.run_for e (12.0 *. ms);
+  Alcotest.(check bool) "a probe is in flight" true (!pending <> []);
+  Alcotest.(check int) "nothing settled yet" 0
+    (Sim.Probe.successes probe + Sim.Probe.failures probe);
+  Sim.Probe.stop probe;
+  (* late answers arrive after stop... *)
+  List.iter (fun answer -> answer false) !pending;
+  (* ...and virtual time runs well past every pending timeout *)
+  Sim.Engine.run_for e (200.0 *. ms);
+  Alcotest.(check int) "no post-stop successes" 0 (Sim.Probe.successes probe);
+  Alcotest.(check int) "no post-stop failures" 0 (Sim.Probe.failures probe)
+
 (* ----- service discovery ----- *)
 
 let test_discovery_publish_delay () =
@@ -189,6 +209,7 @@ let suites =
       [
         Alcotest.test_case "counts and downtime window" `Quick test_probe_counts_and_downtime;
         Alcotest.test_case "timeout counts failure" `Quick test_probe_timeout_counts_failure;
+        Alcotest.test_case "stop mid-probe records nothing" `Quick test_probe_stop_mid_probe;
       ] );
     ( "myraft.discovery",
       [ Alcotest.test_case "publish delay + supersede" `Quick test_discovery_publish_delay ] );

@@ -6,7 +6,7 @@ let ms = Sim.Engine.ms
 
 let make_pipeline ?(engine = Sim.Engine.create ()) () =
   ( engine,
-    Myraft.Pipeline.create ~engine ~params:Myraft.Params.default ~is_primary_path:true )
+    Myraft.Pipeline.create ~engine ~params:Myraft.Params.default ~is_primary_path:true () )
 
 let item ~index ~on_finish =
   {
@@ -108,7 +108,7 @@ let test_flush_error_fails_item () =
 let test_primary_path_pays_raft_stamp () =
   let engine = Sim.Engine.create () in
   let run ~is_primary_path =
-    let p = Myraft.Pipeline.create ~engine ~params:Myraft.Params.default ~is_primary_path in
+    let p = Myraft.Pipeline.create ~engine ~params:Myraft.Params.default ~is_primary_path () in
     let t0 = Sim.Engine.now engine in
     let finished = ref 0.0 in
     Myraft.Pipeline.submit p (item ~index:1 ~on_finish:(fun ~ok:_ -> ()));
@@ -130,7 +130,7 @@ let test_applier_orders_and_dedupes () =
   let engine = Sim.Engine.create () in
   let processed = ref [] in
   let a =
-    Myraft.Applier.create ~engine ~params:Myraft.Params.default
+    Myraft.Applier.create ~engine ~params:Myraft.Params.default ()
       ~process:(fun e ~on_submitted ~on_done ->
         processed := Binlog.Entry.index e :: !processed;
         on_done ~ok:true;
@@ -145,7 +145,7 @@ let test_applier_orders_and_dedupes () =
 let test_applier_truncation_rewinds () =
   let engine = Sim.Engine.create () in
   let a =
-    Myraft.Applier.create ~engine ~params:Myraft.Params.default
+    Myraft.Applier.create ~engine ~params:Myraft.Params.default ()
       ~process:(fun _ ~on_submitted ~on_done ->
         on_done ~ok:true;
         on_submitted ())
@@ -169,7 +169,7 @@ let test_applier_stall_preserves_order () =
   let submitted = ref [] in
   let stalled = ref None in
   let a =
-    Myraft.Applier.create ~engine ~params:Myraft.Params.default
+    Myraft.Applier.create ~engine ~params:Myraft.Params.default ()
       ~process:(fun e ~on_submitted ~on_done ->
         let index = Binlog.Entry.index e in
         let submit () =
@@ -192,7 +192,7 @@ let test_applier_stop_discards_queue () =
   let engine = Sim.Engine.create () in
   let count = ref 0 in
   let a =
-    Myraft.Applier.create ~engine ~params:Myraft.Params.default
+    Myraft.Applier.create ~engine ~params:Myraft.Params.default ()
       ~process:(fun _ ~on_submitted ~on_done ->
         incr count;
         on_done ~ok:true;

@@ -831,6 +831,43 @@ let test_log_cache_truncate () =
   Alcotest.(check bool) "kept below" true (Raft.Log_cache.contains cache ~index:5);
   Alcotest.(check bool) "dropped at" false (Raft.Log_cache.contains cache ~index:6)
 
+(* Regression: [put] on an already-cached index must replace the old
+   entry's byte accounting, not add on top of it — re-appends during
+   leader changes used to inflate [cached_bytes] until spurious
+   evictions set in. *)
+let test_log_cache_duplicate_put_bytes () =
+  let mk index payload =
+    Binlog.Entry.make
+      ~opid:(Binlog.Opid.make ~term:1 ~index)
+      (Binlog.Entry.Transaction
+         {
+           gtid = Binlog.Gtid.make ~source:"s" ~gno:index;
+           events =
+             [
+               Binlog.Event.make
+                 (Binlog.Event.Write_rows
+                    { table = "t"; ops = [ Binlog.Event.Insert { key = "k"; value = payload } ] });
+             ];
+         })
+  in
+  let cache = Raft.Log_cache.create () in
+  let e1 = mk 1 (String.make 100 'a') in
+  Raft.Log_cache.put cache e1;
+  Alcotest.(check int) "one entry accounted exactly" (Binlog.Entry.size e1)
+    (Raft.Log_cache.cached_bytes cache);
+  Raft.Log_cache.put cache e1;
+  Alcotest.(check int) "re-insert does not double-count" (Binlog.Entry.size e1)
+    (Raft.Log_cache.cached_bytes cache);
+  let e1' = mk 1 (String.make 300 'b') in
+  Raft.Log_cache.put cache e1';
+  Alcotest.(check int) "replacement swaps the accounting" (Binlog.Entry.size e1')
+    (Raft.Log_cache.cached_bytes cache);
+  let e2 = mk 2 (String.make 50 'c') in
+  Raft.Log_cache.put cache e2;
+  Alcotest.(check int) "distinct index adds its size"
+    (Binlog.Entry.size e1' + Binlog.Entry.size e2)
+    (Raft.Log_cache.cached_bytes cache)
+
 let suites =
   [
     ( "raft.election",
@@ -900,5 +937,7 @@ let suites =
         Alcotest.test_case "eviction and disk fallback" `Quick
           test_log_cache_eviction_and_fallback;
         Alcotest.test_case "truncate" `Quick test_log_cache_truncate;
+        Alcotest.test_case "duplicate put keeps exact bytes" `Quick
+          test_log_cache_duplicate_put_bytes;
       ] );
   ]

@@ -88,6 +88,7 @@ let run_chaos ~seed ~params ~members ~steps =
     Chaos.Invariants.create
       ~now:(fun () -> Sim.Engine.now h.Test_raft.engine)
       ~probes:(probes_of_harness w)
+      ()
   in
   let nemesis =
     Chaos.Nemesis.create ~engine:h.Test_raft.engine ~trace:h.Test_raft.trace

@@ -95,6 +95,28 @@ let test_timeseries_mean_rate () =
   List.iter (Stats.Timeseries.record ts) [ 1.0; 2.0; 11.0; 12.0; 21.0; 22.0 ];
   Alcotest.(check (float 0.001)) "mean rate" 2.0 (Stats.Timeseries.mean_rate_per_bucket ts)
 
+(* Regression: downsampling used floor division, so a low-rate series
+   (below one event per bucket on average) rendered as an entirely
+   blank bar even though activity happened in every group. *)
+let test_timeseries_render_low_rate_visible () =
+  let a = Stats.Timeseries.create ~bucket_width:1.0 in
+  (* one event every third bucket across ~200 buckets: every
+     downsampled group is nonzero but averages below 1 *)
+  for i = 0 to 66 do
+    Stats.Timeseries.record a ((3.0 *. float_of_int i) +. 0.5)
+  done;
+  let b = Stats.Timeseries.create ~bucket_width:1.0 in
+  for _ = 1 to 100 do
+    Stats.Timeseries.record b 0.5
+  done;
+  Stats.Timeseries.record b 199.5;
+  let out = Stats.Timeseries.render_pair ~label_a:"sparse" a ~label_b:"spiky" b ~width:10 in
+  match String.split_on_char '|' out with
+  | _ :: bar :: _ ->
+    Alcotest.(check bool) "low-rate activity never renders blank" false
+      (String.contains bar ' ')
+  | _ -> Alcotest.fail "unexpected render_pair format"
+
 (* ----- bootstrap summaries ----- *)
 
 let test_summary_point_estimates () =
@@ -164,5 +186,7 @@ let suites =
       [
         Alcotest.test_case "bucketing with gaps" `Quick test_timeseries_buckets;
         Alcotest.test_case "mean rate" `Quick test_timeseries_mean_rate;
+        Alcotest.test_case "low-rate render stays visible" `Quick
+          test_timeseries_render_low_rate_visible;
       ] );
   ]
