@@ -10,6 +10,10 @@ let us = Sim.Engine.us
    snapshots dump the merged JSON there via {!write_metrics_json}. *)
 let metrics_json : string option ref = ref None
 
+(* Set by main's [--quick]: experiments that support it run a reduced
+   sweep suitable for a CI gate. *)
+let quick = ref false
+
 let write_metrics_json snap =
   Option.iter
     (fun path ->

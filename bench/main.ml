@@ -34,6 +34,8 @@ let micro () = Micro.run ()
 
 let chaos_smoke () = Chaos_smoke.run ()
 
+let pipeline () = Pipeline_bench.run ()
+
 let experiments =
   [
     ("table1", "Table 1: role mapping", table1);
@@ -48,6 +50,7 @@ let experiments =
     ("stepdown", "A4: automatic step-down extension", stepdown);
     ("micro", "M1: Bechamel micro-benchmarks", micro);
     ("chaos-smoke", "C1: nemesis seed sweep, gate on zero invariant violations", chaos_smoke);
+    ("pipeline", "P3: windowed replication window x RTT sweep, gate on w8 >= 2x w1", pipeline);
   ]
 
 let run_all () =
@@ -55,12 +58,15 @@ let run_all () =
   List.iter (fun (_, _, f) -> f ()) experiments;
   Printf.printf "\nAll experiments complete.\n%!"
 
-(* Peel [--metrics-json FILE] off the argument list (it applies to any
-   experiment that gathers metrics snapshots); the rest are experiment
+(* Peel [--metrics-json FILE] and [--quick] off the argument list (they
+   apply to any experiment that honours them); the rest are experiment
    ids. *)
 let rec extract_flags acc = function
   | "--metrics-json" :: path :: rest ->
     Common.metrics_json := Some path;
+    extract_flags acc rest
+  | "--quick" :: rest ->
+    Common.quick := true;
     extract_flags acc rest
   | "--metrics-json" :: [] ->
     Printf.eprintf "--metrics-json needs a FILE argument\n";

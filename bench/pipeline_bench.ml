@@ -1,0 +1,150 @@
+(* Windowed-replication bench: committed-transaction throughput as a
+   function of the per-peer send window and the quorum round-trip time,
+   on the §6.1 topology.
+
+     dune exec bench/main.exe -- pipeline            # full sweep
+     dune exec bench/main.exe -- pipeline --quick    # CI cells only
+
+   The leader is mysql1 in r1; under the Single_region_dynamic quorum a
+   data commit needs one of the two r1 logtailers, so the mysql1<->lt1a
+   and mysql1<->lt1b links set the replication RTT.  Stop-and-wait
+   (window 1) caps committed throughput near one AppendEntries batch per
+   round trip; the sliding window keeps the pipe full.
+
+   Writes BENCH_PIPELINE.json and, for CI, gates on the 10 ms cells:
+   window 8 must commit at least [gate_ratio] times what window 1 does
+   and clear an absolute throughput floor. *)
+
+open Common
+
+let threads = 768
+
+let warmup = 1.0 *. s
+
+let measure = 4.0 *. s
+
+let gate_rtt_ms = 10.0
+
+let gate_ratio = 2.0
+
+let gate_floor_tps = 3000.0
+
+type cell = {
+  c_window : int;
+  c_rtt_ms : float;
+  c_committed : int;
+  c_tps : float;
+  c_p50_us : float;
+  c_p99_us : float;
+  c_retransmits : int;
+  c_nacks : int;
+}
+
+let run_cell ~window ~rtt_ms ~seed =
+  let params =
+    {
+      Myraft.Params.default with
+      Myraft.Params.raft =
+        { Myraft.Params.default.Myraft.Params.raft with
+          Raft.Node.max_inflight_aes = window
+        };
+    }
+  in
+  let cluster =
+    Myraft.Cluster.create ~seed ~params ~replicaset:"rs-pipeline"
+      ~members:(ab_members ()) ()
+  in
+  (* One-way latency = RTT/2 on both quorum links. *)
+  let one_way = rtt_ms /. 2.0 *. ms in
+  Myraft.Cluster.set_link_latency cluster ~a:"mysql1" ~b:"lt1a" ~latency:one_way;
+  Myraft.Cluster.set_link_latency cluster ~a:"mysql1" ~b:"lt1b" ~latency:one_way;
+  Myraft.Cluster.bootstrap cluster ~leader_id:"mysql1";
+  let backend = Workload.Backend.myraft cluster in
+  let gen =
+    Workload.Generator.create ~backend ~client_id:"pipe-load" ~region:"r1"
+      ~client_latency:(100.0 *. us) ~value_mu:(log 300.0) ~value_sigma:0.2 ()
+  in
+  Workload.Generator.start_closed_loop gen ~threads;
+  Myraft.Cluster.run_for cluster warmup;
+  let stats = Workload.Generator.stats gen in
+  let committed0 = stats.Workload.Generator.committed in
+  Myraft.Cluster.run_for cluster measure;
+  let committed = stats.Workload.Generator.committed - committed0 in
+  Workload.Generator.stop gen;
+  let snap = Myraft.Cluster.metrics_snapshot cluster in
+  let lat = stats.Workload.Generator.latencies in
+  {
+    c_window = window;
+    c_rtt_ms = rtt_ms;
+    c_committed = committed;
+    c_tps = float_of_int committed /. (measure /. s);
+    c_p50_us = pct lat 50.0;
+    c_p99_us = pct lat 99.0;
+    c_retransmits = Obs.Metrics.counter_of snap "raft.retransmits";
+    c_nacks = Obs.Metrics.counter_of snap "raft.nacks";
+  }
+
+let json_of_cell c =
+  Printf.sprintf
+    "    {\"window\": %d, \"rtt_ms\": %g, \"committed\": %d, \"tps\": %.1f, \
+     \"p50_us\": %.1f, \"p99_us\": %.1f, \"retransmits\": %d, \"nacks\": %d}"
+    c.c_window c.c_rtt_ms c.c_committed c.c_tps c.c_p50_us c.c_p99_us c.c_retransmits
+    c.c_nacks
+
+let write_json ~path ~quick ~cells ~gate_pass ~w1 ~w8 =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"experiment\": \"pipeline\",\n";
+  Printf.fprintf oc "  \"quick\": %b,\n" quick;
+  Printf.fprintf oc "  \"cells\": [\n%s\n  ],\n"
+    (String.concat ",\n" (List.map json_of_cell cells));
+  Printf.fprintf oc
+    "  \"gate\": {\"rtt_ms\": %g, \"w1_tps\": %.1f, \"w8_tps\": %.1f, \"ratio\": %.2f, \
+     \"min_ratio\": %g, \"floor_tps\": %g, \"pass\": %b}\n"
+    gate_rtt_ms w1.c_tps w8.c_tps
+    (w8.c_tps /. Float.max w1.c_tps 1e-9)
+    gate_ratio gate_floor_tps gate_pass;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "results written to %s\n%!" path
+
+let run () =
+  let quick = !Common.quick in
+  header
+    (if quick then "Pipeline — windowed replication, CI cells (10 ms RTT)"
+     else "Pipeline — windowed replication: window x quorum-RTT sweep");
+  let windows = if quick then [ 1; 8 ] else [ 1; 2; 8; 32 ] in
+  let rtts = if quick then [ 10.0 ] else [ 2.0; 10.0; 30.0 ] in
+  Printf.printf "  closed loop, %d client threads, %.0f s measured per cell\n\n%!"
+    threads (measure /. s);
+  Printf.printf "  %-8s %-8s %10s %10s %12s %12s %6s %6s\n" "window" "rtt_ms"
+    "committed" "tps" "p50_ms" "p99_ms" "rtx" "nack";
+  let cells =
+    List.concat_map
+      (fun rtt_ms ->
+        List.map
+          (fun window ->
+            let c = run_cell ~window ~rtt_ms ~seed:71 in
+            Printf.printf "  %-8d %-8g %10d %10.0f %12.2f %12.2f %6d %6d\n%!" window
+              rtt_ms c.c_committed c.c_tps (c.c_p50_us /. ms) (c.c_p99_us /. ms)
+              c.c_retransmits c.c_nacks;
+            c)
+          windows)
+      rtts
+  in
+  let find w rtt =
+    List.find (fun c -> c.c_window = w && c.c_rtt_ms = rtt) cells
+  in
+  let w1 = find 1 gate_rtt_ms and w8 = find 8 gate_rtt_ms in
+  let ratio = w8.c_tps /. Float.max w1.c_tps 1e-9 in
+  let gate_pass = ratio >= gate_ratio && w8.c_tps >= gate_floor_tps in
+  write_json ~path:"BENCH_PIPELINE.json" ~quick ~cells ~gate_pass ~w1 ~w8;
+  Printf.printf
+    "\n  gate @ %.0f ms RTT: window 8 = %.0f tps, window 1 = %.0f tps (%.2fx, need \
+     >= %.1fx and >= %.0f tps)\n%!"
+    gate_rtt_ms w8.c_tps w1.c_tps ratio gate_ratio gate_floor_tps;
+  if gate_pass then Printf.printf "  pipeline gate: PASS\n%!"
+  else begin
+    Printf.printf "  pipeline gate: FAIL\n%!";
+    exit 1
+  end

@@ -282,6 +282,28 @@ let set_buffered t buffered =
 
 let buffered t = t.buffered
 
+(* Group-commit: run [f] with appends buffered, then flush the whole
+   tail with a single fsync — the sync_binlog group-commit optimisation
+   applied to batches admitted in the same tick.  Nested inside an
+   already-buffered scope (e.g. the chaos fsync-stall fault) it is a
+   passthrough: the outer owner decides when to sync. *)
+let with_batched_fsync t f =
+  if t.buffered then f ()
+  else begin
+    t.buffered <- true;
+    let finish () =
+      t.buffered <- false;
+      sync t
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
 (* Arm the torn-tail crash fault: the next [crash_recover_log] loses up
    to [max_lost] of the unsynced tail. *)
 let set_torn_tail t ~max_lost = t.torn_tail_k <- max max_lost 0

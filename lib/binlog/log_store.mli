@@ -91,6 +91,11 @@ val set_buffered : t -> bool -> unit
 
 val buffered : t -> bool
 
+(** Group-commit: run [f] with appends buffered, then flush the whole
+    tail with a single fsync.  Passthrough when the store is already
+    buffered (the outer owner syncs). *)
+val with_batched_fsync : t -> (unit -> 'a) -> 'a
+
 (** Arm the torn-tail crash fault: the next {!crash_recover_log} loses
     up to [max_lost] of the unsynced tail. *)
 val set_torn_tail : t -> max_lost:int -> unit

@@ -62,6 +62,10 @@ type t = {
   mutable committing : bool;
   mutable commit_watermark : int; (* raft commit index *)
   mutable aborted : bool;
+  (* Runs the whole flush group's appends as one unit; the embedder
+     points it at the log's group-commit scope (one fsync per group
+     instead of one per transaction) and at Raft's post-sync notifier. *)
+  mutable coalesce : (unit -> unit) -> unit;
   mutable flushed_txns : int;
   mutable committed_txns : int;
   mutable groups_formed : int;
@@ -81,6 +85,7 @@ let create ?metrics ~engine ~params ~is_primary_path () =
     committing = false;
     commit_watermark = 0;
     aborted = false;
+    coalesce = (fun f -> f ());
     flushed_txns = 0;
     committed_txns = 0;
     groups_formed = 0;
@@ -98,6 +103,8 @@ let create ?metrics ~engine ~params ~is_primary_path () =
         m_group_size = Obs.Metrics.histogram m "pipeline.group_size";
       };
   }
+
+let set_coalesce t f = t.coalesce <- f
 
 let committed_txns t = t.committed_txns
 
@@ -178,16 +185,18 @@ let rec start_flush_cycle t =
       (Sim.Engine.schedule t.engine ~delay:cost (fun () ->
            if t.aborted then List.iter (fun p -> p.it.finish ~ok:false) batch
            else begin
-             let flushed =
-               List.filter_map
-                 (fun p ->
-                   match p.it.flush () with
-                   | Ok index -> Some (p, index)
-                   | Error _ ->
-                     p.it.finish ~ok:false;
-                     None)
-                 batch
-             in
+             let flushed = ref [] in
+             t.coalesce (fun () ->
+                 flushed :=
+                   List.filter_map
+                     (fun p ->
+                       match p.it.flush () with
+                       | Ok index -> Some (p, index)
+                       | Error _ ->
+                         p.it.finish ~ok:false;
+                         None)
+                     batch);
+             let flushed = !flushed in
              if flushed <> [] then begin
                let group_max_index =
                  List.fold_left (fun acc (_, i) -> max acc i) 0 flushed

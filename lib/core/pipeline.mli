@@ -28,6 +28,12 @@ val create :
 
 val submit : t -> item -> unit
 
+(** Install the group-commit scope: the flush stage runs each group's
+    appends inside [f], so the embedder can coalesce their fsyncs into
+    one (and tell Raft the log advanced afterwards).  Default: run
+    directly. *)
+val set_coalesce : t -> ((unit -> unit) -> unit) -> unit
+
 (** Raft's commit marker advanced: release covered groups, in order. *)
 val notify_commit_index : t -> int -> unit
 

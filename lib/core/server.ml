@@ -372,6 +372,14 @@ let make_raft t =
     ~callbacks:(make_callbacks t) ~params:t.params.Params.raft
     ~initial_config:t.initial_config ~durable:t.durable ~trace:t.trace ()
 
+(* Group commit across the Raft boundary: a flush group's appends share
+   one binlog fsync, and Raft re-checks commit afterwards because its
+   own vote only counts up to the durable index. *)
+let install_coalesce t =
+  Pipeline.set_coalesce t.pipeline (fun f ->
+      Binlog.Log_store.with_batched_fsync t.log f;
+      Raft.Node.notify_log_synced (raft t))
+
 (* ----- client write path (§3.4) ----- *)
 
 let reject t ~reason ~reply =
@@ -537,6 +545,7 @@ let restart t =
         ~is_primary_path:true ();
     Binlog.Log_store.switch_mode t.log Binlog.Log_store.Relay;
     t.raft <- Some (make_raft t);
+    install_coalesce t;
     Pipeline.notify_commit_index t.pipeline (Raft.Node.commit_index (raft t));
     start_applier_from_recovery_point t;
     tracef t "%s: restarted (recovery rolled back %d prepared txns, lost %d torn log entries)"
@@ -599,6 +608,7 @@ let create ?metrics ?tracebuf ~engine ~id ~region ~replicaset ~send ~discovery ~
            applier_process t entry ~on_submitted ~on_done)
          ());
   t.raft <- Some (make_raft t);
+  install_coalesce t;
   start_applier_from_recovery_point t;
   t
 

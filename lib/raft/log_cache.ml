@@ -83,25 +83,37 @@ let truncate_from t ~index =
   Obs.Metrics.set_gauge t.m_bytes (float_of_int t.bytes)
 
 (* Read [from_index, from_index+max_count) preferring the cache, falling
-   back to [read_log] for the cold prefix. *)
-let read t ~from_index ~max_count ~read_log =
-  let rec collect idx n acc =
+   back to [read_log] for the cold prefix.  [max_bytes] additionally
+   bounds the batch: collection stops before the entry that would exceed
+   the budget, except that the first entry always ships so an oversized
+   transaction still makes progress one-per-AE. *)
+let read t ?(max_bytes = max_int) ~from_index ~max_count ~read_log () =
+  let rec collect idx n bytes acc =
     if n = 0 then List.rev acc
     else
+      let keep ~from_cache e =
+        let sz = Binlog.Entry.size e in
+        if acc <> [] && bytes + sz > max_bytes then List.rev acc
+        else begin
+          if from_cache then begin
+            t.hits <- t.hits + 1;
+            Obs.Metrics.incr t.m_hits
+          end
+          else begin
+            t.disk_reads <- t.disk_reads + 1;
+            Obs.Metrics.incr t.m_disk_reads
+          end;
+          collect (idx + 1) (n - 1) (bytes + sz) (e :: acc)
+        end
+      in
       match Hashtbl.find_opt t.entries idx with
-      | Some e ->
-        t.hits <- t.hits + 1;
-        Obs.Metrics.incr t.m_hits;
-        collect (idx + 1) (n - 1) (e :: acc)
+      | Some e -> keep ~from_cache:true e
       | None -> (
         match read_log idx with
-        | Some e ->
-          t.disk_reads <- t.disk_reads + 1;
-          Obs.Metrics.incr t.m_disk_reads;
-          collect (idx + 1) (n - 1) (e :: acc)
+        | Some e -> keep ~from_cache:false e
         | None -> List.rev acc)
   in
-  collect from_index max_count []
+  collect from_index max_count 0 []
 
 let contains t ~index = Hashtbl.mem t.entries index
 

@@ -18,9 +18,12 @@ val put : t -> Binlog.Entry.t -> unit
 val truncate_from : t -> index:int -> unit
 
 (** Read a range preferring the cache, calling [read_log] for cold
-    indexes; stops at the first missing entry. *)
+    indexes; stops at the first missing entry.  [max_bytes] bounds the
+    total payload: collection stops before exceeding the budget, but the
+    first entry always ships so oversized transactions still progress. *)
 val read :
-  t -> from_index:int -> max_count:int -> read_log:(int -> Binlog.Entry.t option) ->
+  t -> ?max_bytes:int -> from_index:int -> max_count:int ->
+  read_log:(int -> Binlog.Entry.t option) -> unit ->
   Binlog.Entry.t list
 
 val contains : t -> index:int -> bool

@@ -30,7 +30,14 @@ type append_response = {
   term : int;
   from : node_id;
   success : bool;
-  last_log_index : int; (* follower's last index after processing *)
+  last_log_index : int;
+    (* the durable (fsynced) prefix on success — the ack the leader may
+       count toward commit; the probe hint on failure *)
+  last_appended_index : int;
+    (* follower's log tail after processing, regardless of fsync.  Lets
+       the leader distinguish "appended but not yet durable" (fsync
+       stall) from "never arrived" (degraded PROXY_OP / loss), which is
+       what decides whether a windowed send must be replayed. *)
   request_seq : int; (* the [seq] of the AppendEntries being answered *)
 }
 
@@ -84,7 +91,7 @@ let rec size = function
       | Refs _ -> 12
     in
     40 + (4 * List.length ae.reply_route) + payload_size
-  | Append_entries_response _ -> 32
+  | Append_entries_response _ -> 36
   | Request_vote _ -> 48
   | Request_vote_response _ -> 44
   | Timeout_now _ -> 16

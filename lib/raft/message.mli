@@ -28,6 +28,12 @@ type append_response = {
   from : node_id;
   success : bool;
   last_log_index : int;
+      (** durable (fsynced) prefix on success — the commit-countable ack;
+          probe hint on failure *)
+  last_appended_index : int;
+      (** log tail after processing regardless of fsync: distinguishes
+          "appended, sync pending" from "never arrived" for the leader's
+          send-window bookkeeping *)
   request_seq : int;  (** the [seq] of the AppendEntries being answered *)
 }
 

@@ -30,6 +30,10 @@ type log_ops = {
          replication (and only counts its own vote toward commit) up to
          here, so a crash that tears off the unsynced tail can never lose
          an acked entry. *)
+  run_batched : (unit -> unit) -> unit;
+      (* Run a batch of appends under one coalesced fsync (group commit):
+         [durable_index] covers the whole batch after return.  Logs
+         without group commit may use [fun f -> f ()]. *)
 }
 
 let log_ops_of_store (store : Binlog.Log_store.t) =
@@ -40,6 +44,7 @@ let log_ops_of_store (store : Binlog.Log_store.t) =
     term_at = (fun i -> Binlog.Log_store.term_at store i);
     truncate_from = (fun i -> Binlog.Log_store.truncate_from store ~from_index:i);
     durable_index = (fun () -> Binlog.Log_store.synced_index store);
+    run_batched = (fun f -> Binlog.Log_store.with_batched_fsync store f);
   }
 
 (* Orchestration callbacks from Raft into the state machine (§3.3). *)
@@ -73,6 +78,20 @@ type params = {
   quorum_mode : Quorum.mode;
   proxying : bool;
   max_entries_per_ae : int;
+  max_inflight_aes : int;
+  (* Sliding replication window: how many entry-carrying AppendEntries
+     may be outstanding per peer before the leader must wait for an ack.
+     1 degenerates to stop-and-wait (one batch per RTT). *)
+  max_bytes_per_ae : int;
+  (* Ceiling of the adaptive per-peer byte budget for one AppendEntries
+     batch; the AIMD controller shrinks it under loss or ack-latency
+     inflation and grows it back on clean acks.  At least one entry
+     always ships, so a single oversized transaction still progresses. *)
+  retransmit_timeout : float;
+  (* Floor before the oldest unacknowledged windowed send is resent; the
+     effective timeout is max(this, 4 x smoothed ack RTT).  This is what
+     lets replication survive a lost AppendEntries *response* without
+     waiting for a leadership change. *)
   proxy_wait : float; (* wait before degrading a PROXY_OP to heartbeat *)
   proxy_retry_interval : float;
   mock_election_timeout : float;
@@ -101,6 +120,9 @@ let default_params =
     quorum_mode = Quorum.Single_region_dynamic;
     proxying = true;
     max_entries_per_ae = 64;
+    max_inflight_aes = 8;
+    max_bytes_per_ae = 128 * 1024;
+    retransmit_timeout = 250.0 *. Sim.Engine.ms;
     proxy_wait = 200.0 *. Sim.Engine.ms;
     proxy_retry_interval = 20.0 *. Sim.Engine.ms;
     mock_election_timeout = 300.0 *. Sim.Engine.ms;
@@ -127,12 +149,35 @@ type durable = {
 let fresh_durable () =
   { current_term = 0; voted_for = None; last_known_leader = None; vote_constraint = None }
 
+(* One entry-carrying AppendEntries outstanding in a peer's window.
+   Windows hold contiguous index ranges, oldest first; empty AEs
+   (heartbeats/probes) are never windowed — there is nothing to resend. *)
+type inflight = {
+  if_seq : int; (* the AE's [seq], echoed in its response *)
+  if_first : int; (* first entry index carried *)
+  if_last : int; (* last entry index carried *)
+  if_bytes : int;
+  if_sent_at : float;
+}
+
 type peer_state = {
   peer_id : node_id;
-  mutable next_index : int;
-  mutable match_index : int;
-  mutable in_flight : bool;
+  mutable next_index : int; (* send frontier: next index to ship *)
+  mutable match_index : int; (* durable AND confirmed-matching prefix *)
+  mutable inflight : inflight list; (* sliding window, oldest first *)
   mutable send_seq : int; (* seq of the most recent AE to this peer *)
+  mutable rewind_seq : int;
+  (* Nack fence: failure responses with request_seq <= this answer sends
+     from before the last window rewind; acting on each would rewind
+     once per in-flight AE of the drained window. *)
+  mutable delivered : int;
+  (* Highest index any response confirmed the follower's log matches
+     ours through (cumulative over out-of-order responses).  The leader
+     trusts only its own bookkeeping here — never the follower's raw log
+     tail, which may be an uncommitted stale-term suffix. *)
+  mutable srtt : float; (* EWMA of ack RTT; 0 until first sample *)
+  mutable ae_budget : int; (* AIMD byte budget for one batch *)
+  mutable retransmit_timer : Sim.Engine.handle option;
   mutable last_ack : float;
   mutable responded : bool; (* has acked this leader at least once *)
 }
@@ -166,6 +211,10 @@ type meters = {
   m_proxy_forwards : Obs.Metrics.counter;
   m_proxy_degraded : Obs.Metrics.counter;
   m_commit_advances : Obs.Metrics.counter;
+  m_retransmits : Obs.Metrics.counter;
+  m_nacks : Obs.Metrics.counter;
+  m_window : Obs.Metrics.gauge; (* in-flight entry AEs across all peers *)
+  m_batch_bytes : Obs.Metrics.histogram; (* payload bytes per entry AE *)
   m_election_latency : Obs.Metrics.histogram; (* us, Real-phase start -> won *)
   m_commit_latency : Obs.Metrics.histogram; (* us, local append -> commit *)
 }
@@ -182,6 +231,10 @@ let make_meters m =
     m_proxy_forwards = Obs.Metrics.counter m "raft.proxy_forwards";
     m_proxy_degraded = Obs.Metrics.counter m "raft.proxy_degraded";
     m_commit_advances = Obs.Metrics.counter m "raft.commit_advances";
+    m_retransmits = Obs.Metrics.counter m "raft.retransmits";
+    m_nacks = Obs.Metrics.counter m "raft.nacks";
+    m_window = Obs.Metrics.gauge m "raft.window_inflight";
+    m_batch_bytes = Obs.Metrics.histogram m "raft.ae_batch_bytes";
     m_election_latency = Obs.Metrics.histogram m "raft.election_latency_us";
     m_commit_latency = Obs.Metrics.histogram m "raft.commit_latency_us";
   }
@@ -346,71 +399,206 @@ and designated_proxy t ~region =
   | (_, pid) :: _ -> Some pid
   | [] -> None
 
-(* ----- replication (leader side) ----- *)
+(* ----- replication (leader side): windowed pipeline ----- *)
+
+and update_window_gauge t =
+  let total = Hashtbl.fold (fun _ p acc -> acc + List.length p.inflight) t.peers 0 in
+  Obs.Metrics.set_gauge t.meters.m_window (float_of_int total)
+
+(* AIMD byte budget: halve on loss/latency signals, grow additively on
+   clean acks.  The floor keeps rewind probes small but useful. *)
+and shrink_budget peer = peer.ae_budget <- max 4096 (peer.ae_budget / 2)
+
+and grow_budget t peer =
+  peer.ae_budget <-
+    min t.params.max_bytes_per_ae (peer.ae_budget + max 1024 (peer.ae_budget / 4))
+
+and cancel_retransmit peer =
+  (match peer.retransmit_timer with Some h -> Sim.Engine.cancel h | None -> ());
+  peer.retransmit_timer <- None
+
+and drain_window t peer =
+  peer.inflight <- [];
+  cancel_retransmit peer;
+  update_window_gauge t
+
+and reset_peers t =
+  Hashtbl.iter (fun _ p -> cancel_retransmit p) t.peers;
+  Hashtbl.reset t.peers
+
+(* Effective retransmission timeout: the configured floor or a smoothed-
+   RTT multiple, so cross-region peers are not spuriously resent. *)
+and retransmit_after t peer = max t.params.retransmit_timeout (4.0 *. peer.srtt)
+
+and arm_retransmit t peer ~delay =
+  (* Floor of 1 us: a sub-ulp delay at a large virtual time rounds to
+     "now" and the timer would fire in place forever. *)
+  let delay = max delay 1.0 in
+  if not t.stopped then
+    peer.retransmit_timer <-
+      Some
+        (Sim.Engine.schedule t.engine ~delay (fun () ->
+             peer.retransmit_timer <- None;
+             on_retransmit_timeout t peer))
+
+and on_retransmit_timeout t peer =
+  (* The peer record may be stale: leadership or membership changes reset
+     the table, so only act when this exact record is still installed. *)
+  let live =
+    (not t.stopped)
+    && t.role = Types.Leader
+    && (match Hashtbl.find_opt t.peers peer.peer_id with
+       | Some p -> p == peer
+       | None -> false)
+  in
+  if live then
+    match peer.inflight with
+    | [] -> ()
+    | oldest :: _ ->
+      let age = Sim.Engine.now t.engine -. oldest.if_sent_at in
+      let timeout = retransmit_after t peer in
+      if age +. 1e-3 >= timeout then begin
+        (* The oldest windowed send (or its response) is presumed lost:
+           rewind to its start and resend.  Without this, one lost
+           AppendEntries *response* stalled the peer until a leadership
+           change. *)
+        Obs.Metrics.incr t.meters.m_retransmits;
+        tracef t "raft" "%s: retransmit to %s from index %d (window %d)" t.id
+          peer.peer_id oldest.if_first
+          (List.length peer.inflight);
+        drain_window t peer;
+        peer.rewind_seq <- peer.send_seq;
+        peer.next_index <- max (peer.match_index + 1) oldest.if_first;
+        shrink_budget peer;
+        replicate_to t peer ~allow_empty:true
+      end
+      else arm_retransmit t peer ~delay:(timeout -. age)
+
+(* Ship one byte-budgeted batch from the send frontier; returns false
+   when there is nothing sendable (hole at the frontier or purged prev). *)
+and send_entry_batch t peer =
+  let from_index = peer.next_index in
+  let entries =
+    Log_cache.read t.cache ~max_bytes:peer.ae_budget ~from_index
+      ~max_count:t.params.max_entries_per_ae ~read_log:t.log.entry_at ()
+  in
+  if entries = [] then false
+  else begin
+    let prev_index = from_index - 1 in
+    match t.log.term_at prev_index with
+    | None ->
+      tracef t "raft" "%s: cannot replicate to %s: index %d purged" t.id peer.peer_id
+        prev_index;
+      false
+    | Some prev_term ->
+      let prev_opid = Binlog.Opid.make ~term:prev_term ~index:prev_index in
+      peer.send_seq <- peer.send_seq + 1;
+      let last = List.nth entries (List.length entries - 1) in
+      let last_idx = Binlog.Entry.index last in
+      let bytes = List.fold_left (fun acc e -> acc + Binlog.Entry.size e) 0 entries in
+      let ae reply_route payload =
+        {
+          Message.term = t.durable.current_term;
+          leader_id = t.id;
+          leader_region = t.region;
+          prev_opid;
+          payload;
+          commit_index = t.commit_index;
+          seq = peer.send_seq;
+          reply_route;
+        }
+      in
+      peer.inflight <-
+        peer.inflight
+        @ [
+            {
+              if_seq = peer.send_seq;
+              if_first = from_index;
+              if_last = last_idx;
+              if_bytes = bytes;
+              if_sent_at = Sim.Engine.now t.engine;
+            };
+          ];
+      peer.next_index <- last_idx + 1;
+      if peer.retransmit_timer = None then
+        arm_retransmit t peer ~delay:(retransmit_after t peer);
+      update_window_gauge t;
+      Obs.Metrics.incr t.meters.m_ae_sent;
+      Obs.Metrics.record t.meters.m_batch_bytes (float_of_int bytes);
+      let peer_region =
+        match Types.find_member (config t) peer.peer_id with
+        | Some m -> m.Types.region
+        | None -> t.region
+      in
+      let proxy =
+        match
+          if t.params.proxying && peer_region <> t.region then
+            designated_proxy t ~region:peer_region
+          else None
+        with
+        | Some p when p <> peer.peer_id -> Some p
+        | _ -> None (* the designated proxy itself gets the full payload *)
+      in
+      (match proxy with
+      | Some proxy_id ->
+        (* PROXY_OP: ship metadata only; the proxy reconstitutes the
+           payload from its own log (§4.2.1). *)
+        Obs.Metrics.incr t.meters.m_proxy_forwards;
+        let refs =
+          Message.Refs
+            {
+              first_index = from_index;
+              last_index = last_idx;
+              last_term = Binlog.Entry.term last;
+            }
+        in
+        send_routed t ~hops:[ proxy_id ] ~final:peer.peer_id
+          (Message.Append_entries (ae [ proxy_id ] refs))
+      | None ->
+        t.send ~dst:peer.peer_id (Message.Append_entries (ae [] (Message.Entries entries))));
+      true
+  end
+
+(* Empty AEs are never windowed (nothing to resend).  With the window
+   open they anchor at [match_index] — known to match, so they cannot
+   race the in-flight entries into a spurious nack; with it empty they
+   anchor at the frontier and double as a probe. *)
+and send_heartbeat t peer =
+  let prev_index =
+    if peer.inflight = [] then peer.next_index - 1 else peer.match_index
+  in
+  match t.log.term_at prev_index with
+  | None ->
+    tracef t "raft" "%s: cannot heartbeat %s: index %d purged" t.id peer.peer_id
+      prev_index
+  | Some prev_term ->
+    peer.send_seq <- peer.send_seq + 1;
+    Obs.Metrics.incr t.meters.m_heartbeats_sent;
+    t.send ~dst:peer.peer_id
+      (Message.Append_entries
+         {
+           Message.term = t.durable.current_term;
+           leader_id = t.id;
+           leader_region = t.region;
+           prev_opid = Binlog.Opid.make ~term:prev_term ~index:prev_index;
+           payload = Message.Entries [];
+           commit_index = t.commit_index;
+           seq = peer.send_seq;
+           reply_route = [];
+         })
 
 and replicate_to t peer ~allow_empty =
-  if t.role = Types.Leader && not peer.in_flight then begin
-    let from_index = peer.next_index in
-    let entries =
-      Log_cache.read t.cache ~from_index ~max_count:t.params.max_entries_per_ae
-        ~read_log:t.log.entry_at
-    in
-    if entries <> [] || allow_empty then begin
-      let prev_index = from_index - 1 in
-      match t.log.term_at prev_index with
-      | None -> tracef t "raft" "%s: cannot replicate to %s: index %d purged" t.id peer.peer_id prev_index
-      | Some prev_term ->
-        let prev_opid = Binlog.Opid.make ~term:prev_term ~index:prev_index in
-        peer.send_seq <- peer.send_seq + 1;
-        let direct_ae reply_route payload =
-          {
-            Message.term = t.durable.current_term;
-            leader_id = t.id;
-            leader_region = t.region;
-            prev_opid;
-            payload;
-            commit_index = t.commit_index;
-            seq = peer.send_seq;
-            reply_route;
-          }
-        in
-        peer.in_flight <- true;
-        let peer_region =
-          match Types.find_member (config t) peer.peer_id with
-          | Some m -> m.Types.region
-          | None -> t.region
-        in
-        let use_proxy =
-          t.params.proxying && peer_region <> t.region && entries <> []
-        in
-        let proxy =
-          match if use_proxy then designated_proxy t ~region:peer_region else None with
-          | Some p when p <> peer.peer_id -> Some p
-          | _ -> None (* the designated proxy itself gets the full payload *)
-        in
-        if entries = [] then Obs.Metrics.incr t.meters.m_heartbeats_sent
-        else Obs.Metrics.incr t.meters.m_ae_sent;
-        (match proxy with
-        | Some proxy_id ->
-          (* PROXY_OP: ship metadata only; the proxy reconstitutes the
-             payload from its own log (§4.2.1). *)
-          Obs.Metrics.incr t.meters.m_proxy_forwards;
-          let first_index = Binlog.Entry.index (List.hd entries) in
-          let last = List.nth entries (List.length entries - 1) in
-          let refs =
-            Message.Refs
-              {
-                first_index;
-                last_index = Binlog.Entry.index last;
-                last_term = Binlog.Entry.term last;
-              }
-          in
-          let ae = direct_ae [ proxy_id ] refs in
-          send_routed t ~hops:[ proxy_id ] ~final:peer.peer_id (Message.Append_entries ae)
-        | None ->
-          let ae = direct_ae [] (Message.Entries entries) in
-          t.send ~dst:peer.peer_id (Message.Append_entries ae))
-    end
+  if t.role = Types.Leader then begin
+    let sent_entries = ref false in
+    let blocked = ref false in
+    while
+      (not !blocked)
+      && List.length peer.inflight < t.params.max_inflight_aes
+      && peer.next_index <= last_index t
+    do
+      if send_entry_batch t peer then sent_entries := true else blocked := true
+    done;
+    if (not !sent_entries) && allow_empty then send_heartbeat t peer
   end
 
 and replicate_all t ~allow_empty =
@@ -499,8 +687,13 @@ and sync_peers t =
               peer_id = m.Types.id;
               next_index = last_index t + 1;
               match_index = 0;
-              in_flight = false;
+              inflight = [];
               send_seq = 0;
+              rewind_seq = 0;
+              delivered = 0;
+              srtt = 0.0;
+              ae_budget = t.params.max_bytes_per_ae;
+              retransmit_timer = None;
               last_ack = Sim.Engine.now t.engine;
               responded = false;
             })
@@ -533,7 +726,7 @@ and step_down t ~term ~new_leader =
   t.heartbeat_timer <- None;
   if was_leader then begin
     tracef t "raft" "%s: stepping down at term %d" t.id t.durable.current_term;
-    Hashtbl.reset t.peers;
+    reset_peers t;
     t.callbacks.on_step_down ()
   end;
   reset_election_timer t
@@ -552,7 +745,7 @@ and become_leader t =
   end;
   cancel_timer t.election_timer;
   t.election_timer <- None;
-  Hashtbl.reset t.peers;
+  reset_peers t;
   sync_peers t;
   (* Assert leadership with a no-op entry; committing it consensus-commits
      the whole tail of the log (§3.3 promotion step 1). *)
@@ -601,9 +794,9 @@ and start_heartbeats t =
         step_down t ~term:t.durable.current_term ~new_leader:None
       end
       else begin
-        (* Heartbeats also serve as retransmissions: clear in-flight flags
-           so lost messages do not wedge a peer forever. *)
-        Hashtbl.iter (fun _ p -> p.in_flight <- false) t.peers;
+        (* Loss recovery is the per-peer retransmit timer's job now; the
+           tick only tops up windows and keeps followers' failover clocks
+           reset. *)
         replicate_all t ~allow_empty:true;
         t.heartbeat_timer <-
           Some (Sim.Engine.schedule t.engine ~delay:t.params.heartbeat_interval tick)
@@ -844,6 +1037,7 @@ and handle_append_entries t ~src:_ (ae : Message.append_entries) =
         from = t.id;
         success = false;
         last_log_index = last_index t;
+        last_appended_index = last_index t;
         request_seq = ae.seq;
       }
   end
@@ -871,6 +1065,7 @@ and handle_append_entries t ~src:_ (ae : Message.append_entries) =
           from = t.id;
           success = false;
           last_log_index = max 0 hint;
+          last_appended_index = last_index t;
           request_seq = ae.seq;
         }
     end
@@ -884,33 +1079,38 @@ and handle_append_entries t ~src:_ (ae : Message.append_entries) =
           []
       in
       let appended = ref [] in
-      List.iter
-        (fun entry ->
-          let idx = Binlog.Entry.index entry in
-          let have = t.log.term_at idx in
-          match have with
-          | Some term when term = Binlog.Entry.term entry -> () (* already have it *)
-          | Some _ ->
-            (* Conflicting suffix: truncate, clean up GTIDs, revert configs
-               (§3.3 demotion step 4), then append. *)
-            let removed = t.log.truncate_from idx in
-            Log_cache.truncate_from t.cache ~index:idx;
-            revert_configs_from t ~index:idx;
-            if removed <> [] then t.callbacks.on_truncated removed;
-            t.log.append entry;
-            Log_cache.put t.cache entry;
-            note_append t entry;
-            appended := entry :: !appended;
-            apply_config_entry t entry
-          | None ->
-            if idx = last_index t + 1 then begin
+      let apply_entries () =
+        List.iter
+          (fun entry ->
+            let idx = Binlog.Entry.index entry in
+            let have = t.log.term_at idx in
+            match have with
+            | Some term when term = Binlog.Entry.term entry -> () (* already have it *)
+            | Some _ ->
+              (* Conflicting suffix: truncate, clean up GTIDs, revert configs
+                 (§3.3 demotion step 4), then append. *)
+              let removed = t.log.truncate_from idx in
+              Log_cache.truncate_from t.cache ~index:idx;
+              revert_configs_from t ~index:idx;
+              if removed <> [] then t.callbacks.on_truncated removed;
               t.log.append entry;
               Log_cache.put t.cache entry;
               note_append t entry;
               appended := entry :: !appended;
               apply_config_entry t entry
-            end)
-        entries;
+            | None ->
+              if idx = last_index t + 1 then begin
+                t.log.append entry;
+                Log_cache.put t.cache entry;
+                note_append t entry;
+                appended := entry :: !appended;
+                apply_config_entry t entry
+              end)
+          entries
+      in
+      (* Coalesce the batch's appends into one fsync (group commit); the
+         durable index read for the reply below covers the whole batch. *)
+      if entries = [] then apply_entries () else t.log.run_batched apply_entries;
       let appended = List.rev !appended in
       if appended <> [] then t.callbacks.on_entries_appended appended;
       let new_commit = min ae.commit_index (last_index t) in
@@ -928,6 +1128,11 @@ and handle_append_entries t ~src:_ (ae : Message.append_entries) =
           (* Ack only the durable prefix: an fsync-stalled follower must
              not let the leader commit on entries a crash could tear off. *)
           last_log_index = t.log.durable_index ();
+          (* How far THIS request verified our log matches the leader's:
+             the prev check plus the entries it carried.  Deliberately NOT
+             the raw log tail — a leftover stale-term suffix beyond what
+             the request covered must not look like an ack. *)
+          last_appended_index = prev_index + List.length entries;
           request_seq = ae.seq;
         }
     end
@@ -939,27 +1144,64 @@ and handle_append_response t (r : Message.append_response) =
     match Hashtbl.find_opt t.peers r.from with
     | None -> ()
     | Some peer ->
-      peer.last_ack <- Sim.Engine.now t.engine;
+      let now = Sim.Engine.now t.engine in
+      peer.last_ack <- now;
       peer.responded <- true;
-      let latest = r.request_seq = peer.send_seq in
       if r.success then begin
-        if r.last_log_index > peer.match_index then peer.match_index <- r.last_log_index;
-        peer.next_index <- max peer.next_index (r.last_log_index + 1);
+        (* RTT sample when the answered send is still in the window. *)
+        (match List.find_opt (fun f -> f.if_seq = r.request_seq) peer.inflight with
+        | Some f ->
+          let rtt = now -. f.if_sent_at in
+          if peer.srtt <= 0.0 then peer.srtt <- rtt
+          else peer.srtt <- (0.8 *. peer.srtt) +. (0.2 *. rtt);
+          (* Ack latency inflating well past the smoothed RTT means the
+             peer (or path) is congested: back the batch size off. *)
+          if rtt > 4.0 *. peer.srtt then shrink_budget peer
+        | None -> ());
+        (* [last_appended_index] says how far this response confirmed the
+           follower matches our log; cumulative across responses it
+           retires every fully-covered send, tolerating response loss,
+           duplication and reordering. *)
+        if r.last_appended_index > peer.delivered then
+          peer.delivered <- r.last_appended_index;
+        let retired, still =
+          List.partition (fun f -> f.if_last <= peer.delivered) peer.inflight
+        in
+        peer.inflight <- still;
+        if still = [] then cancel_retransmit peer;
+        update_window_gauge t;
+        if List.exists (fun f -> f.if_seq = r.request_seq) still then begin
+          (* Success that leaves its own send outstanding: the payload
+             never arrived (PROXY_OP degraded to a heartbeat en route).
+             Replay the window from its start now rather than waiting out
+             the retransmit timer. *)
+          let first = List.fold_left (fun acc f -> min acc f.if_first) max_int still in
+          drain_window t peer;
+          peer.rewind_seq <- peer.send_seq;
+          peer.next_index <- max (peer.match_index + 1) first;
+          shrink_budget peer
+        end
+        else if retired <> [] then grow_budget t peer;
+        (* Commit-countable ack = durable AND confirmed matching. *)
+        let ack = min r.last_log_index peer.delivered in
+        if ack > peer.match_index then peer.match_index <- ack;
         advance_commit t;
         check_transfer_progress t;
-        (* Only the response to the LATEST send re-opens the window:
-           stale duplicate responses (heartbeat retransmissions) still
-           carry progress information but must not spawn extra sends —
-           that would grow the outstanding window without bound. *)
-        if latest then begin
-          peer.in_flight <- false;
-          if peer.next_index <= last_index t then replicate_to t peer ~allow_empty:false
-        end
-      end
-      else if latest then begin
-        peer.in_flight <- false;
-        peer.next_index <- max 1 (min (peer.next_index - 1) (r.last_log_index + 1));
         replicate_to t peer ~allow_empty:false
+      end
+      else if r.request_seq > peer.rewind_seq then begin
+        (* Nack: the follower diverges before the window.  Drain it and
+           fence the outstanding seqs — the cascade of failures the same
+           divergence produces for every in-flight AE must rewind only
+           once — then step back and re-probe. *)
+        Obs.Metrics.incr t.meters.m_nacks;
+        drain_window t peer;
+        peer.rewind_seq <- peer.send_seq;
+        peer.next_index <-
+          max (peer.match_index + 1)
+            (max 1 (min (peer.next_index - 1) (r.last_log_index + 1)));
+        shrink_budget peer;
+        replicate_to t peer ~allow_empty:true
       end
 
 (* ----- leadership transfer (§2.2 promotion + §4.3 mock elections) ----- *)
@@ -979,9 +1221,7 @@ and start_transfer_catchup t tr =
   tr.quiesced <- true;
   t.callbacks.on_quiesce ();
   (match Hashtbl.find_opt t.peers tr.transfer_target with
-  | Some peer ->
-    peer.in_flight <- false;
-    replicate_to t peer ~allow_empty:true
+  | Some peer -> replicate_to t peer ~allow_empty:true
   | None -> ());
   check_transfer_progress t
 
@@ -1127,6 +1367,18 @@ let safe_purge_index t =
 let match_index_of t ~peer =
   match Hashtbl.find_opt t.peers peer with Some p -> Some p.match_index | None -> None
 
+let window_of t ~peer =
+  match Hashtbl.find_opt t.peers peer with
+  | Some p -> Some (List.length p.inflight)
+  | None -> None
+
+(* The embedder coalesced a group of its own appends into one fsync
+   (group commit on the leader's write path): the local durable index
+   just advanced, so entries may now commit — quorums the leader's own
+   vote completes (e.g. single-voter rings) would otherwise stall until
+   the next response arrives. *)
+let notify_log_synced t = advance_commit t
+
 (* ----- proxy forwarding (§4.2) ----- *)
 
 let deliver_reconstituted t ~dst (ae : Message.append_entries) ~first_index ~last_index:last ~expected_last_term =
@@ -1267,7 +1519,8 @@ let stop t =
   cancel_timer t.election_timer;
   cancel_timer t.heartbeat_timer;
   t.election_timer <- None;
-  t.heartbeat_timer <- None
+  t.heartbeat_timer <- None;
+  Hashtbl.iter (fun _ p -> cancel_retransmit p) t.peers
 
 let is_stopped t = t.stopped
 

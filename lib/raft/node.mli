@@ -26,6 +26,10 @@ type log_ops = {
           replication (and counts its own vote toward commit) up to here,
           so a crash that tears off the unsynced tail can never lose an
           acked entry. *)
+  run_batched : (unit -> unit) -> unit;
+      (** Run a batch of appends under one coalesced fsync (group
+          commit): [durable_index] covers the whole batch after return.
+          Logs without group commit may use [fun f -> f ()]. *)
 }
 
 (** Specialize the abstraction to a {!Binlog.Log_store}. *)
@@ -54,6 +58,16 @@ type params = {
   quorum_mode : Quorum.mode;
   proxying : bool;
   max_entries_per_ae : int;
+  max_inflight_aes : int;
+      (** sliding replication window: entry-carrying AppendEntries
+          outstanding per peer before the leader waits for an ack; 1 is
+          stop-and-wait *)
+  max_bytes_per_ae : int;
+      (** ceiling of the adaptive (AIMD) per-peer byte budget for one
+          AppendEntries batch; at least one entry always ships *)
+  retransmit_timeout : float;
+      (** floor before the oldest unacknowledged windowed send is
+          resent; effective timeout is max(this, 4 x smoothed ack RTT) *)
   proxy_wait : float;  (** wait before degrading a PROXY_OP to heartbeat *)
   proxy_retry_interval : float;
   mock_election_timeout : float;
@@ -172,6 +186,13 @@ val metrics : t -> Obs.Metrics.t
 
 (** Leader-side replication progress of one peer. *)
 val match_index_of : t -> peer:node_id -> int option
+
+(** Entry-carrying AppendEntries currently in a peer's sliding window. *)
+val window_of : t -> peer:node_id -> int option
+
+(** Tell Raft the embedder coalesced a group of leader-side appends into
+    one fsync: the local durable index advanced, so commit may too. *)
+val notify_log_synced : t -> unit
 
 (** Highest index known to have reached at least one member of a region
     (purge heuristics, §A.1). *)

@@ -43,6 +43,11 @@ type 'msg t = {
   (* Per-node-pair one-way latency overrides (e.g. a client colocated
      with the primary, or a client pinned at 10 ms from it). *)
   link_latency : (Topology.node_id * Topology.node_id, float) Hashtbl.t;
+  (* Links carry ordered streams (TCP): a message never overtakes an
+     earlier one on the same directed link, however the jittered latency
+     samples land.  Tracks the latest scheduled delivery per link; only
+     explicit reorder/duplicate faults may escape the stream. *)
+  link_fifo_at : (Topology.node_id * Topology.node_id, float) Hashtbl.t;
   (* Optional per-node egress capacity (bytes/µs): when set, sends from
      that node serialize through its NIC — the leader-hotspot effect
      proxying exists to relieve (§4.2). *)
@@ -74,6 +79,7 @@ let create engine topology ?(latency = Latency.default) () =
     link_stats = Hashtbl.create 64;
     region_stats = Hashtbl.create 16;
     link_latency = Hashtbl.create 8;
+    link_fifo_at = Hashtbl.create 64;
     egress_rate = Hashtbl.create 4;
     egress_free_at = Hashtbl.create 4;
     egress_queue_delay = Hashtbl.create 4;
@@ -229,33 +235,49 @@ let send t ~src ~dst ~size msg =
       t.fault_dropped <- t.fault_dropped + 1
     end
     else begin
-      let delay =
+      let base_delay =
         egress_delay t ~src ~size
-        +.
-        match Hashtbl.find_opt t.link_latency (src, dst) with
-        | Some fixed -> fixed
-        | None -> Latency.one_way t.latency ~src_region ~dst_region t.rng
+        +. (match Hashtbl.find_opt t.link_latency (src, dst) with
+           | Some fixed -> fixed
+           | None -> Latency.one_way t.latency ~src_region ~dst_region t.rng)
+        +. List.fold_left (fun acc s -> acc +. s.extra_latency) 0.0 specs
       in
-      let delay =
+      (* FIFO stream semantics: clamp the delivery behind the link's
+         latest in-order delivery, so jittered latency samples cannot
+         reorder a healthy link (pipelined AppendEntries depend on it,
+         just as real implementations depend on TCP ordering). *)
+      let now = Engine.now t.engine in
+      let fifo_at =
+        max (now +. base_delay)
+          (Option.value (Hashtbl.find_opt t.link_fifo_at (src, dst)) ~default:0.0)
+      in
+      let reorder_extra =
         List.fold_left
           (fun d s ->
-            let d = d +. s.extra_latency in
             if s.reorder > 0.0 && Rng.float (fault_rng t) < s.reorder then begin
               t.reordered <- t.reordered + 1;
               d +. Rng.uniform (fault_rng t) ~lo:0.0 ~hi:s.reorder_delay
             end
             else d)
-          delay specs
+          0.0 specs
       in
-      schedule_delivery t ~src ~dst ~delay msg;
+      if reorder_extra > 0.0 then
+        (* The reorder fault ejects this message from the stream: it is
+           delayed past its slot and deliberately does NOT hold the fifo
+           clock back, so later messages overtake it. *)
+        schedule_delivery t ~src ~dst ~delay:(fifo_at -. now +. reorder_extra) msg
+      else begin
+        Hashtbl.replace t.link_fifo_at (src, dst) fifo_at;
+        schedule_delivery t ~src ~dst ~delay:(fifo_at -. now) msg
+      end;
       (* Duplication: a second copy arrives after an extra random delay,
-         so the two copies may also arrive out of order. *)
+         outside the stream, so the two copies may arrive out of order. *)
       List.iter
         (fun s ->
           if s.duplicate > 0.0 && Rng.float (fault_rng t) < s.duplicate then begin
             t.duplicated <- t.duplicated + 1;
             let extra = Rng.uniform (fault_rng t) ~lo:0.0 ~hi:(max s.reorder_delay 1.0) in
-            schedule_delivery t ~src ~dst ~delay:(delay +. extra) msg
+            schedule_delivery t ~src ~dst ~delay:(fifo_at -. now +. extra) msg
           end)
         specs
     end

@@ -216,6 +216,103 @@ let prop_pessimistic_election_intersects_all_regions =
       let data_ok = Raft.Quorum.data_quorum_satisfied mode cfg ~leader_region ~acks in
       (not (election_ok && data_ok)) || List.exists (fun v -> List.mem v acks) votes)
 
+(* ----- windowed replication equivalence ----- *)
+
+(* Pipelining is a transport optimisation: under drop/duplicate/reorder
+   link faults, a window of 8 must deliver exactly the same committed
+   transaction sequence as stop-and-wait (window 1), and every replica's
+   log must match the leader's once the faults heal. *)
+
+let window_case_gen =
+  QCheck.Gen.(
+    let* seed = 1 -- 10_000 in
+    let* drop = 0 -- 20 in
+    let* dup = 0 -- 20 in
+    let* reorder = 0 -- 30 in
+    let* txns = 10 -- 30 in
+    return (seed, float_of_int drop /. 100.0, float_of_int dup /. 100.0,
+            float_of_int reorder /. 100.0, txns))
+
+let window_arb =
+  QCheck.make
+    ~print:(fun (seed, drop, dup, reorder, txns) ->
+      Printf.sprintf "seed=%d drop=%.2f dup=%.2f reorder=%.2f txns=%d" seed drop dup
+        reorder txns)
+    window_case_gen
+
+(* One run: returns (committed gtid gnos on the leader, per-node log opids). *)
+let run_windowed ~window ~seed ~drop ~dup ~reorder ~txns =
+  let params =
+    { Test_raft.majority_params with
+      Raft.Node.max_inflight_aes = window;
+      (* keep n1 leader for the whole run so both runs accept the same
+         writes: the property compares transports, not elections *)
+      missed_heartbeats = 1_000_000
+    }
+  in
+  let h = Test_raft.make_harness ~seed ~params (Test_raft.three_nodes ()) in
+  Test_raft.elect h "n1";
+  let spec =
+    { Sim.Network.no_faults with
+      drop;
+      duplicate = dup;
+      reorder;
+      reorder_delay = 5.0 *. Sim.Engine.ms
+    }
+  in
+  List.iter (fun id -> Sim.Network.set_node_faults h.Test_raft.net id spec)
+    [ "n1"; "n2"; "n3" ];
+  for i = 1 to txns do
+    ignore
+      (Raft.Node.client_append
+         (Test_raft.raft (Test_raft.get h "n1"))
+         (txn_entry ~term:1 ~index:i |> Binlog.Entry.payload));
+    Sim.Engine.run_for h.Test_raft.engine (2.0 *. Sim.Engine.ms)
+  done;
+  Sim.Engine.run_for h.Test_raft.engine Sim.Engine.s;
+  Sim.Network.heal_all h.Test_raft.net;
+  let n1 = Test_raft.get h "n1" in
+  let target = Binlog.Log_store.last_index n1.Test_raft.store in
+  let converged =
+    Test_raft.run_until h ~timeout:(60.0 *. Sim.Engine.s) (fun () ->
+        List.for_all
+          (fun id ->
+            let n = Test_raft.get h id in
+            Raft.Node.commit_index (Test_raft.raft n) = target
+            && Binlog.Log_store.last_index n.Test_raft.store = target)
+          [ "n1"; "n2"; "n3" ])
+  in
+  let committed =
+    List.filter_map
+      (fun e ->
+        if Binlog.Entry.index e <= Raft.Node.commit_index (Test_raft.raft n1) then
+          Option.map Binlog.Gtid.gno (Binlog.Entry.gtid e)
+        else None)
+      (Binlog.Log_store.all_entries n1.Test_raft.store)
+  in
+  let logs =
+    List.map
+      (fun id ->
+        List.map Binlog.Entry.opid
+          (Binlog.Log_store.all_entries (Test_raft.get h id).Test_raft.store))
+      [ "n1"; "n2"; "n3" ]
+  in
+  (converged, committed, logs)
+
+let prop_window_equivalence =
+  QCheck.Test.make ~name:"window=8 commits exactly what window=1 commits" ~count:15
+    window_arb (fun (seed, drop, dup, reorder, txns) ->
+      let c1, committed1, logs1 = run_windowed ~window:1 ~seed ~drop ~dup ~reorder ~txns in
+      let c8, committed8, logs8 = run_windowed ~window:8 ~seed ~drop ~dup ~reorder ~txns in
+      (* both transports converge once healed *)
+      c1 && c8
+      (* every replica's log matches its leader's (log matching) *)
+      && List.for_all (fun l -> l = List.hd logs1) logs1
+      && List.for_all (fun l -> l = List.hd logs8) logs8
+      (* and the committed transaction sequence is identical *)
+      && committed1 = List.init txns (fun i -> i + 1)
+      && committed8 = committed1)
+
 let suites =
   [
     ( "properties.log_store",
@@ -230,4 +327,6 @@ let suites =
         QCheck_alcotest.to_alcotest prop_majority_quorums_intersect;
         QCheck_alcotest.to_alcotest prop_pessimistic_election_intersects_all_regions;
       ] );
+    ( "properties.window",
+      [ QCheck_alcotest.to_alcotest prop_window_equivalence ] );
   ]

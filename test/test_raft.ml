@@ -737,6 +737,43 @@ let test_catchup_bandwidth_no_duplication () =
     Alcotest.failf "catch-up shipped %dB for a %dB backlog (duplication!)" shipped
       !payload_bytes
 
+(* Regression: with stop-and-wait bookkeeping, one lost AppendEntries
+   *response* left the peer marked busy forever — replication to it
+   stalled until a leadership change.  The per-peer retransmit timer
+   must recover without any election. *)
+let test_retransmit_recovers_dropped_response () =
+  let h = make_harness ~params:majority_params (three_nodes ()) in
+  elect h "n1";
+  Sim.Engine.run_for h.engine s;
+  (* Lose every n3 -> n1 message: entries still reach n3, their
+     acknowledgements do not. *)
+  Sim.Network.set_link_faults h.net ~src:"n3" ~dst:"n1"
+    { Sim.Network.no_faults with drop = 1.0 };
+  let target = Binlog.Opid.index (append h "n1") in
+  ignore
+    (run_until h ~timeout:(2.0 *. s) (fun () ->
+         Binlog.Opid.index (Binlog.Log_store.last_opid (get h "n3").store) = target));
+  Alcotest.(check int) "entry reached n3" target
+    (Binlog.Opid.index (Binlog.Log_store.last_opid (get h "n3").store));
+  (match Raft.Node.match_index_of (raft (get h "n1")) ~peer:"n3" with
+  | Some m when m >= target -> Alcotest.fail "ack arrived despite the drop fault"
+  | _ -> ());
+  Sim.Network.clear_link_faults h.net ~src:"n3" ~dst:"n1";
+  let ok =
+    run_until h ~timeout:(5.0 *. s) (fun () ->
+        match Raft.Node.match_index_of (raft (get h "n1")) ~peer:"n3" with
+        | Some m -> m >= target
+        | None -> false)
+  in
+  Alcotest.(check bool) "retransmit recovered the ack" true ok;
+  let snap = Obs.Metrics.snapshot (Raft.Node.metrics (raft (get h "n1"))) in
+  Alcotest.(check bool) "retransmits counted" true
+    (Obs.Metrics.counter_of snap "raft.retransmits" > 0);
+  Alcotest.(check bool) "n1 kept the lease the whole time" true
+    (Raft.Node.is_leader (raft (get h "n1")));
+  Alcotest.(check int) "no election happened" 1
+    (List.length (get h "n1").leader_terms)
+
 (* ----- auto step-down (optional extension) ----- *)
 
 let test_auto_step_down_disabled_by_default () =
@@ -814,7 +851,7 @@ let test_log_cache_eviction_and_fallback () =
      files" (§3.1) and still returns everything in order *)
   let entries =
     Raft.Log_cache.read cache ~from_index:1 ~max_count:50
-      ~read_log:(Binlog.Log_store.entry_at store)
+      ~read_log:(Binlog.Log_store.entry_at store) ()
   in
   Alcotest.(check int) "all entries read" 50 (List.length entries);
   Alcotest.(check bool) "disk reads happened" true (Raft.Log_cache.disk_reads cache > 0);
@@ -867,6 +904,45 @@ let test_log_cache_duplicate_put_bytes () =
   Alcotest.(check int) "distinct index adds its size"
     (Binlog.Entry.size e1' + Binlog.Entry.size e2)
     (Raft.Log_cache.cached_bytes cache)
+
+(* The adaptive batcher trims reads to its byte budget — but at least
+   one entry always ships, or a budget below the next entry's size
+   would wedge replication. *)
+let test_log_cache_byte_budget () =
+  let mk index =
+    Binlog.Entry.make
+      ~opid:(Binlog.Opid.make ~term:1 ~index)
+      (Binlog.Entry.Transaction
+         {
+           gtid = Binlog.Gtid.make ~source:"s" ~gno:index;
+           events =
+             [
+               Binlog.Event.make
+                 (Binlog.Event.Write_rows
+                    {
+                      table = "t";
+                      ops = [ Binlog.Event.Insert { key = "k"; value = String.make 200 'x' } ];
+                    });
+             ];
+         })
+  in
+  let cache = Raft.Log_cache.create () in
+  for i = 1 to 10 do
+    Raft.Log_cache.put cache (mk i)
+  done;
+  let no_log _ = None in
+  let per_entry = Binlog.Entry.size (mk 1) in
+  let read ~max_bytes =
+    Raft.Log_cache.read cache ~max_bytes ~from_index:1 ~max_count:10 ~read_log:no_log ()
+  in
+  Alcotest.(check int) "budget of 3 entries returns 3" 3
+    (List.length (read ~max_bytes:(3 * per_entry)));
+  Alcotest.(check int) "budget just under 3 entries returns 2" 2
+    (List.length (read ~max_bytes:((3 * per_entry) - 1)));
+  Alcotest.(check int) "tiny budget still ships the first entry" 1
+    (List.length (read ~max_bytes:1));
+  Alcotest.(check int) "unlimited budget honours max_count" 10
+    (List.length (read ~max_bytes:max_int))
 
 let suites =
   [
@@ -923,6 +999,8 @@ let suites =
       [
         Alcotest.test_case "catch-up without duplication" `Quick
           test_catchup_bandwidth_no_duplication;
+        Alcotest.test_case "retransmit recovers dropped response" `Quick
+          test_retransmit_recovers_dropped_response;
       ] );
     ( "raft.step_down",
       [
@@ -939,5 +1017,6 @@ let suites =
         Alcotest.test_case "truncate" `Quick test_log_cache_truncate;
         Alcotest.test_case "duplicate put keeps exact bytes" `Quick
           test_log_cache_duplicate_put_bytes;
+        Alcotest.test_case "byte budget" `Quick test_log_cache_byte_budget;
       ] );
   ]
