@@ -72,6 +72,8 @@ let proxy ?(seed = 41) () =
                  commit_index = 1;
                  seq = 1;
                  reply_route = [ "x" ];
+                 leader_time = 0.0;
+                 leader_last_index = 1;
                };
          })
   in
@@ -108,6 +110,8 @@ let proxy ?(seed = 41) () =
            commit_index = 1;
            seq = 1;
            reply_route = [];
+           leader_time = 0.0;
+           leader_last_index = 1;
          })
   in
   let burden batch =

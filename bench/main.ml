@@ -36,6 +36,8 @@ let chaos_smoke () = Chaos_smoke.run ()
 
 let pipeline () = Pipeline_bench.run ()
 
+let read_bench () = Read_bench.run ()
+
 let experiments =
   [
     ("table1", "Table 1: role mapping", table1);
@@ -51,6 +53,7 @@ let experiments =
     ("micro", "M1: Bechamel micro-benchmarks", micro);
     ("chaos-smoke", "C1: nemesis seed sweep, gate on zero invariant violations", chaos_smoke);
     ("pipeline", "P3: windowed replication window x RTT sweep, gate on w8 >= 2x w1", pipeline);
+    ("read", "R1: tiered read path sweep, gate on lease >= 5x readindex reads", read_bench);
   ]
 
 let run_all () =

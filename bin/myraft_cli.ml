@@ -3,7 +3,8 @@
      myraft_cli demo                # quickstart ring + writes
      myraft_cli failover --seed 3   # crash the primary, report downtime
      myraft_cli promote             # graceful transfer, report downtime
-     myraft_cli status              # print a ring and its Table-1 roles *)
+     myraft_cli status              # print a ring and its Table-1 roles
+     myraft_cli read                # tour the four read consistency levels *)
 
 open Cmdliner
 
@@ -100,6 +101,87 @@ let status seed echo =
   Myraft.Cluster.run_for cluster (2.0 *. s);
   Printf.printf "%s\n\n%s" (Myraft.Cluster.describe cluster) (Myraft.Roles.render ())
 
+(* Tour the consistency-tiered read path: seed one row, then read it
+   back at every level from the primary and from a remote follower;
+   finally isolate the follower so bounded-staleness reads start
+   rejecting while eventual reads keep serving. *)
+let read_demo seed echo =
+  let cluster = make_cluster ~seed ~echo in
+  let backend = Workload.Backend.myraft cluster in
+  let gen =
+    Workload.Generator.create ~backend ~client_id:"cli-read" ~region:"r2"
+      ~client_latency:(200.0 *. Sim.Engine.us) ()
+  in
+  Myraft.Cluster.run_for cluster (2.0 *. s);
+  let settled = ref None in
+  Workload.Generator.issue_op
+    ~k:(fun ok -> settled := Some ok)
+    gen ~table:"demo" ~key:"answer" ~value_size:42;
+  ignore
+    (Myraft.Cluster.run_until cluster ~timeout:(10.0 *. s) (fun () -> !settled <> None));
+  Printf.printf "seeded demo/answer (committed: %b)\n"
+    (match !settled with Some true -> true | _ -> false);
+  let levels =
+    [
+      Read.Level.Linearizable;
+      Read.Level.Read_your_writes None;
+      Read.Level.Bounded_staleness (50.0 *. ms);
+      Read.Level.Eventual;
+    ]
+  in
+  let probe target =
+    Printf.printf "\nreads served by %s:\n" target;
+    List.iter
+      (fun level ->
+        let t0 = Myraft.Cluster.now cluster in
+        let result = ref None in
+        Workload.Generator.issue_read
+          ~k:(fun o -> result := Some o)
+          ~level ~target gen ~table:"demo" ~key:"answer";
+        ignore
+          (Myraft.Cluster.run_until cluster ~timeout:(10.0 *. s) (fun () ->
+               !result <> None));
+        let dt = Myraft.Cluster.now cluster -. t0 in
+        let shown =
+          match !result with
+          | Some (Workload.Backend.Read_ok (Some v)) ->
+            Printf.sprintf "value (%d bytes)" (String.length v)
+          | Some (Workload.Backend.Read_ok None) -> "null (no row)"
+          | Some (Workload.Backend.Read_rejected { reason; retry_after }) ->
+            Printf.sprintf "rejected: %s%s" reason
+              (match retry_after with
+              | Some d -> Printf.sprintf " (retry in %.1f ms)" (d /. ms)
+              | None -> "")
+          | None -> "no reply"
+        in
+        Printf.printf "  %-12s %-48s %8.2f ms\n" (Read.Level.to_string level) shown
+          (dt /. ms))
+      levels
+  in
+  let mysqls = Myraft.Cluster.mysql_ids cluster in
+  List.iter probe mysqls;
+  (match List.filter (fun id -> Some id <> Myraft.Cluster.raft_leader cluster) mysqls with
+  | follower :: _ ->
+    Printf.printf
+      "\n>>> cutting r1 <-> r2: %s can no longer prove freshness or reach the leader\n"
+      follower;
+    Sim.Network.cut_regions (Myraft.Cluster.network cluster) "r1" "r2";
+    Myraft.Cluster.run_for cluster (1.0 *. s);
+    probe follower
+  | [] -> ());
+  let contains line sub =
+    let n = String.length line and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
+    go 0
+  in
+  let snap = Myraft.Cluster.metrics_snapshot cluster in
+  Printf.printf "\nread-path metrics:\n";
+  List.iter
+    (fun line ->
+      if contains line "read." || contains line "readindex" || contains line "lease" then
+        Printf.printf "%s\n" line)
+    (String.split_on_char '\n' (Obs.Metrics.render snap))
+
 let write_metrics_json path snap =
   let oc = open_out path in
   output_string oc (Obs.Metrics.to_json snap);
@@ -124,7 +206,7 @@ let metrics seed echo secs json =
 
 (* Nemesis-driven chaos: a seeded, composable fault schedule with the
    continuous Raft invariant checker; identical seed → identical run. *)
-let chaos seed echo steps faults quorum seeds metrics_json =
+let chaos seed echo steps faults quorum seeds metrics_json no_lease =
   let spec =
     match faults with
     | [] -> Chaos.Schedule.default
@@ -149,7 +231,9 @@ let chaos seed echo steps faults quorum seeds metrics_json =
   let reports =
     List.map
       (fun seed ->
-        let r = Chaos.Nemesis.run ~spec ~quorum ~echo ~seed ~steps () in
+        let r =
+          Chaos.Nemesis.run ~spec ~quorum ~lease:(not no_lease) ~echo ~seed ~steps ()
+        in
         Printf.printf "%s\n%!" (Chaos.Nemesis.report_summary r);
         r)
       seed_list
@@ -205,6 +289,13 @@ let metrics_json_arg =
     & info [ "metrics-json" ] ~docv:"FILE"
         ~doc:"Write the merged metrics snapshot to $(docv) as JSON.")
 
+let no_lease_arg =
+  Arg.(
+    value & flag
+    & info [ "no-lease" ]
+        ~doc:"Disable the leader-lease read fast path (every linearizable read pays a \
+              ReadIndex confirmation round).")
+
 let metrics_secs_arg =
   Arg.(
     value & opt float 5.0
@@ -223,6 +314,10 @@ let () =
         cmd "failover" "Crash the primary and measure downtime." failover;
         cmd "promote" "Graceful leadership transfer with downtime." promote;
         cmd "status" "Show ring status and Table-1 roles." status;
+        cmd "read"
+          "Tour the four read consistency levels against the primary and a remote \
+           follower, then show bounded-staleness rejection under a region cut."
+          read_demo;
         Cmd.v
           (Cmd.info "metrics"
              ~doc:
@@ -237,7 +332,7 @@ let () =
                 checking; exits non-zero on any violation.")
           Term.(
             const chaos $ seed_arg $ trace_arg $ steps_arg $ faults_arg $ quorum_arg
-            $ seeds_arg $ metrics_json_arg);
+            $ seeds_arg $ metrics_json_arg $ no_lease_arg);
       ]
   in
   exit (Cmd.eval root)

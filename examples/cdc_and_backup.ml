@@ -18,7 +18,7 @@ let write cluster key value =
       ~reply:(fun o -> r := Some o);
     ignore
       (Myraft.Cluster.run_until cluster ~step:ms ~timeout:(5.0 *. s) (fun () -> !r <> None));
-    !r = Some Myraft.Wire.Committed
+    match !r with Some (Myraft.Wire.Committed _) -> true | _ -> false
 
 let () =
   print_endline "== CDC and backup over the preserved binlog ==";

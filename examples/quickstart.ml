@@ -26,7 +26,7 @@ let () =
       ~reply:(fun outcome ->
         incr done_count;
         match outcome with
-        | Myraft.Wire.Committed -> Printf.printf "write %d: committed\n" i
+        | Myraft.Wire.Committed _ -> Printf.printf "write %d: committed\n" i
         | Myraft.Wire.Rejected reason -> Printf.printf "write %d: rejected (%s)\n" i reason)
   done;
   ignore

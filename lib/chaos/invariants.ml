@@ -79,6 +79,10 @@ let violate t invariant fmt =
       end)
     fmt
 
+(* External checkers (e.g. the linearizable-read register check) record
+   their violations through the same deduplicated pipeline. *)
+let report t ~invariant ~detail = violate t invariant "%s" detail
+
 let entry_sig e = (Binlog.Entry.term e, Binlog.Entry.checksum e)
 
 (* ----- election safety: at most one leader per term, ever ----- *)

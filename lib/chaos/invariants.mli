@@ -43,6 +43,11 @@ val create :
     (deduplicated). *)
 val check : t -> unit
 
+(** Record a violation found by an external checker (e.g. the
+    linearizable-read register check) through the same deduplicated
+    pipeline. *)
+val report : t -> invariant:string -> detail:string -> unit
+
 (** End-of-run check (call after healing + settling): all up members
     must hold identical logs and identical engine content. *)
 val check_converged : t -> unit

@@ -343,11 +343,15 @@ type report = {
   r_seed : int;
   r_steps : int;
   r_quorum : Raft.Quorum.mode;
+  r_lease : bool; (* leader-lease fast path enabled? *)
   r_faults : string list;
   r_injections : (Schedule.fault_kind * int) list;
   r_total_injections : int;
   r_committed : int; (* highest Raft index the checker saw committed *)
   r_workload_committed : int; (* client writes acknowledged committed *)
+  r_lin_reads_ok : int; (* linearizable register reads served *)
+  r_lin_violations : int; (* linearizable reads that saw stale values *)
+  r_stale_eventual : int; (* eventual reads that observed staleness *)
   r_violations : Invariants.violation list;
   r_trace_digest : int32;
   r_fault_dropped : int;
@@ -385,18 +389,26 @@ let quorum_name = function
   | Raft.Quorum.Region_majorities -> "region-majorities"
 
 let repro_command r =
-  Printf.sprintf "dune exec bin/myraft_cli.exe -- chaos --seed %d --steps %d --faults %s --quorum %s"
+  Printf.sprintf
+    "dune exec bin/myraft_cli.exe -- chaos --seed %d --steps %d --faults %s --quorum %s%s"
     r.r_seed r.r_steps (String.concat "," r.r_faults) (quorum_name r.r_quorum)
+    (if r.r_lease then "" else " --no-lease")
 
 (* Run a seeded chaos schedule against a full MyRaft cluster under an
-   open-loop workload, checking invariants continuously; then heal
-   everything, let the ring settle, and require exact convergence. *)
+   open-loop workload plus the linearizable-register read checker,
+   checking invariants continuously; then heal everything, let the ring
+   settle, and require exact convergence.  [lease] toggles the leader
+   lease fast path so CI exercises linearizability both ways. *)
 let run ?(spec = Schedule.default) ?(quorum = Raft.Quorum.Single_region_dynamic)
-    ?(step_duration = 0.25 *. Sim.Engine.s) ?(rate_per_s = 150.0) ?(echo = false) ~seed ~steps
-    () =
+    ?(lease = true) ?(step_duration = 0.25 *. Sim.Engine.s) ?(rate_per_s = 150.0)
+    ?(echo = false) ~seed ~steps () =
   let params =
     { Myraft.Params.default with
-      raft = { Myraft.Params.default.Myraft.Params.raft with Raft.Node.quorum_mode = quorum }
+      raft =
+        { Myraft.Params.default.Myraft.Params.raft with
+          Raft.Node.quorum_mode = quorum;
+          use_leader_lease = lease
+        }
     }
   in
   let cluster =
@@ -422,6 +434,7 @@ let run ?(spec = Schedule.default) ?(quorum = Raft.Quorum.Single_region_dynamic)
       ~probes:(probes_of_cluster cluster)
       ()
   in
+  let linreg = Linreg.start ~backend ~invariants:inv () in
   for _ = 1 to steps do
     step nemesis;
     Myraft.Cluster.run_for cluster step_duration;
@@ -429,6 +442,7 @@ let run ?(spec = Schedule.default) ?(quorum = Raft.Quorum.Single_region_dynamic)
   done;
   (* Heal, stop traffic, let the ring settle, then require convergence. *)
   Workload.Generator.stop gen;
+  Linreg.stop linreg;
   heal_now nemesis;
   let settled =
     Myraft.Cluster.run_until cluster ~timeout:(60.0 *. Sim.Engine.s) (fun () ->
@@ -442,7 +456,14 @@ let run ?(spec = Schedule.default) ?(quorum = Raft.Quorum.Single_region_dynamic)
           in
           (match indexes with
           | [] -> false
-          | i :: rest -> List.for_all (fun j -> j = i) rest))
+          | i :: rest ->
+            List.for_all (fun j -> j = i) rest
+            (* commit-index agreement is not engine agreement: the
+               appliers must also drain through it before checksums can
+               be compared *)
+            && List.for_all
+                 (fun srv -> Myraft.Server.applied_through srv >= i)
+                 (Myraft.Cluster.servers cluster)))
   in
   Invariants.check inv;
   if settled then Invariants.check_converged inv
@@ -454,11 +475,15 @@ let run ?(spec = Schedule.default) ?(quorum = Raft.Quorum.Single_region_dynamic)
       r_seed = seed;
       r_steps = steps;
       r_quorum = quorum;
+      r_lease = lease;
       r_faults = Schedule.fault_names spec;
       r_injections = injections nemesis;
       r_total_injections = total_injections nemesis;
       r_committed = Invariants.max_committed inv;
       r_workload_committed = (Workload.Generator.stats gen).Workload.Generator.committed;
+      r_lin_reads_ok = (Linreg.stats linreg).Linreg.lin_ok;
+      r_lin_violations = (Linreg.stats linreg).Linreg.lin_violations;
+      r_stale_eventual = (Linreg.stats linreg).Linreg.ev_stale;
       r_violations = Invariants.violations inv;
       r_trace_digest = digest_trace trace;
       r_fault_dropped = Sim.Network.fault_dropped net;
@@ -488,18 +513,21 @@ let run ?(spec = Schedule.default) ?(quorum = Raft.Quorum.Single_region_dynamic)
 
 let report_summary r =
   Printf.sprintf
-    "seed %d · %s · %d steps · %d injections (%s) · committed idx %d · %d client commits · drop/dup/reorder %d/%d/%d · %d violations · digest %ld"
-    r.r_seed (quorum_name r.r_quorum) r.r_steps r.r_total_injections
+    "seed %d · %s · lease %s · %d steps · %d injections (%s) · committed idx %d · %d client commits · lin reads %d (%d stale-lin, %d stale-eventual) · drop/dup/reorder %d/%d/%d · %d violations · digest %ld"
+    r.r_seed (quorum_name r.r_quorum)
+    (if r.r_lease then "on" else "off")
+    r.r_steps r.r_total_injections
     (String.concat ", "
        (List.map
           (fun (k, n) -> Printf.sprintf "%s:%d" (Schedule.kind_to_string k) n)
           r.r_injections))
-    r.r_committed r.r_workload_committed r.r_fault_dropped r.r_duplicated r.r_reordered
+    r.r_committed r.r_workload_committed r.r_lin_reads_ok r.r_lin_violations
+    r.r_stale_eventual r.r_fault_dropped r.r_duplicated r.r_reordered
     (List.length r.r_violations) r.r_trace_digest
 
 (* Seed sweep for CI smoke: run [seeds] and return the reports; the exit
    gate is simply "no report has violations". *)
-let sweep ?spec ?quorum ?step_duration ?rate_per_s ~seeds ~steps () =
+let sweep ?spec ?quorum ?lease ?step_duration ?rate_per_s ~seeds ~steps () =
   List.map
-    (fun seed -> run ?spec ?quorum ?step_duration ?rate_per_s ~seed ~steps ())
+    (fun seed -> run ?spec ?quorum ?lease ?step_duration ?rate_per_s ~seed ~steps ())
     seeds

@@ -64,11 +64,15 @@ type report = {
   r_seed : int;
   r_steps : int;
   r_quorum : Raft.Quorum.mode;
+  r_lease : bool;  (** leader-lease fast path enabled? *)
   r_faults : string list;
   r_injections : (Schedule.fault_kind * int) list;
   r_total_injections : int;
   r_committed : int;  (** highest Raft index the checker saw committed *)
   r_workload_committed : int;  (** client writes acknowledged committed *)
+  r_lin_reads_ok : int;  (** linearizable register reads served *)
+  r_lin_violations : int;  (** linearizable reads that saw stale values *)
+  r_stale_eventual : int;  (** eventual reads that observed staleness *)
   r_violations : Invariants.violation list;
   r_trace_digest : int32;  (** digest of the full trace — seed-replay equality *)
   r_fault_dropped : int;
@@ -87,12 +91,15 @@ val quorum_name : Raft.Quorum.mode -> string
 val repro_command : report -> string
 
 (** Run a seeded chaos schedule against a full MyRaft cluster under an
-    open-loop workload, checking invariants continuously; then heal
-    everything, let the ring settle, and require exact convergence.  On
-    violations, dumps the trace tail and the repro command to stderr. *)
+    open-loop workload plus the {!Linreg} linearizable-register read
+    checker, checking invariants continuously; then heal everything, let
+    the ring settle, and require exact convergence.  [lease] (default
+    true) toggles the leader-lease read fast path.  On violations, dumps
+    the trace tail and the repro command to stderr. *)
 val run :
   ?spec:Schedule.t ->
   ?quorum:Raft.Quorum.mode ->
+  ?lease:bool ->
   ?step_duration:float ->
   ?rate_per_s:float ->
   ?echo:bool ->
@@ -107,6 +114,7 @@ val report_summary : report -> string
 val sweep :
   ?spec:Schedule.t ->
   ?quorum:Raft.Quorum.mode ->
+  ?lease:bool ->
   ?step_duration:float ->
   ?rate_per_s:float ->
   seeds:int list ->

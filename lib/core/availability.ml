@@ -36,9 +36,10 @@ let start ?(region = "r1") ?(probe_interval = 5.0 *. Sim.Engine.ms)
         match Hashtbl.find_opt outstanding write_id with
         | Some settle ->
           Hashtbl.remove outstanding write_id;
-          settle (outcome = Wire.Committed)
+          settle (match outcome with Wire.Committed _ -> true | Wire.Rejected _ -> false)
         | None -> ())
-      | Wire.Raft_msg _ | Wire.Write_request _ -> ());
+      | Wire.Raft_msg _ | Wire.Write_request _ | Wire.Read_request _ | Wire.Read_reply _
+        -> ());
   (* Pin the probe close to every ring member so probe RTT does not
      dominate the measured downtime. *)
   List.iter

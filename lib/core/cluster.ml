@@ -61,6 +61,11 @@ let tailer t id =
 let servers t =
   List.filter_map (fun id -> server t id) t.member_order
 
+(* MySQL members only: the nodes with a storage engine, i.e. the valid
+   targets for client reads (logtailers hold logs, not tables). *)
+let mysql_ids t =
+  List.filter (fun id -> server t id <> None) t.member_order
+
 let tailers t =
   List.filter_map (fun id -> tailer t id) t.member_order
 

@@ -67,6 +67,10 @@ val tailer : t -> string -> Logtailer.t option
 
 val servers : t -> Server.t list
 
+(** MySQL members only — the nodes with a storage engine, i.e. valid
+    client read targets (logtailers have no tables). *)
+val mysql_ids : t -> string list
+
 val tailers : t -> Logtailer.t list
 
 val raft_of : t -> string -> Raft.Node.t option

@@ -123,7 +123,17 @@ let handle_message t ~src msg =
     | Wire.Write_request { write_id; client; _ } ->
       t.send ~dst:client
         (Wire.Write_reply { write_id; outcome = Wire.Rejected "logtailer has no database" })
-    | Wire.Write_reply _ -> ()
+    | Wire.Read_request { read_id; read_client; _ } ->
+      (* Logtailers hold logs, not tables: no engine to read from. *)
+      t.send ~dst:read_client
+        (Wire.Read_reply
+           {
+             read_id;
+             outcome =
+               Wire.Read_rejected
+                 { reason = "logtailer has no database"; retry_after = None };
+           })
+    | Wire.Write_reply _ | Wire.Read_reply _ -> ()
 
 let crash t =
   if not t.crashed then begin

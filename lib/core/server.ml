@@ -53,6 +53,23 @@ type t = {
   (* observability *)
   metrics : Obs.Metrics.t;
   tracebuf : Obs.Tracebuf.t option;
+  (* read path *)
+  mutable exec_index : int;
+  (* Highest log index i such that every transaction entry <= i is
+     committed in the local engine: the applied-through watermark a read
+     at index i waits on.  Non-transaction entries (noop/config/rotate)
+     don't change engine state and pass through freely.  Unlike
+     [Applier.applied_index] this cursor also works on the primary
+     (whose applier is stopped) and across role changes. *)
+  mutable apply_waiters : (int * (unit -> unit)) list;
+  gtid_waiters : (Binlog.Gtid.t, gtid_waiter list) Hashtbl.t;
+  mutable read_service : Read.Service.t option;
+}
+
+and gtid_waiter = {
+  gw_done : bool ref;
+  gw_timer : Sim.Engine.handle;
+  gw_k : bool -> unit;
 }
 
 let id t = t.id
@@ -100,6 +117,91 @@ let gtid_executed t =
   | Replica -> Storage.Engine.gtid_executed t.storage
 
 let tracef t fmt = Sim.Trace.record t.trace ~tag:"mysql" fmt
+
+(* ----- applied-through cursor + commit-event waiters (read path) ----- *)
+
+(* Advance [exec_index] over contiguous entries whose effects the engine
+   already holds, then release apply waiters the advance satisfied. *)
+let advance_exec_cursor t =
+  let rec scan i =
+    match Binlog.Log_store.entry_at t.log i with
+    | None -> i - 1
+    | Some e -> (
+      match Binlog.Entry.gtid e with
+      | Some gtid ->
+        if Storage.Engine.has_committed t.storage gtid then scan (i + 1) else i - 1
+      | None -> scan (i + 1))
+  in
+  let advanced = scan (t.exec_index + 1) in
+  if advanced > t.exec_index then begin
+    t.exec_index <- advanced;
+    let ready, waiting =
+      List.partition (fun (index, _) -> index <= advanced) t.apply_waiters
+    in
+    t.apply_waiters <- waiting;
+    List.iter (fun (_, k) -> k ()) ready
+  end
+
+(* The engine-applied watermark for reads (recomputed lazily: commits by
+   the client path, the applier, and noop passthrough all move it). *)
+let applied_through t =
+  advance_exec_cursor t;
+  t.exec_index
+
+let wait_applied t index k =
+  advance_exec_cursor t;
+  if t.exec_index >= index then k ()
+  else t.apply_waiters <- (index, k) :: t.apply_waiters
+
+(* WAIT_FOR_EXECUTED_GTID_SET: block until the transaction is in the
+   local engine — the MySQL primitive behind read-your-writes on a
+   replica.  Event-driven: the waiter parks on the engine's commit
+   notification and fires the instant the GTID commits (or at
+   [timeout]), not on the next poll tick.  [k] receives whether the GTID
+   arrived in time. *)
+let wait_for_executed_gtid t gtid ~timeout ~k =
+  if t.crashed then k false
+  else if Storage.Engine.has_committed t.storage gtid then k true
+  else begin
+    let done_ = ref false in
+    let timer =
+      Sim.Engine.schedule t.engine ~delay:timeout (fun () ->
+          if not !done_ then begin
+            done_ := true;
+            (match Hashtbl.find_opt t.gtid_waiters gtid with
+            | Some ws ->
+              let ws = List.filter (fun w -> not !(w.gw_done)) ws in
+              if ws = [] then Hashtbl.remove t.gtid_waiters gtid
+              else Hashtbl.replace t.gtid_waiters gtid ws
+            | None -> ());
+            k false
+          end)
+    in
+    let waiter = { gw_done = done_; gw_timer = timer; gw_k = k } in
+    let bucket =
+      match Hashtbl.find_opt t.gtid_waiters gtid with Some ws -> ws | None -> []
+    in
+    Hashtbl.replace t.gtid_waiters gtid (waiter :: bucket)
+  end
+
+(* One subscription per server lifetime (the engine outlives restarts):
+   every engine commit advances the cursor and wakes matching GTID
+   waiters. *)
+let install_commit_listener t =
+  Storage.Engine.subscribe_commit t.storage (fun gtid _opid ->
+      advance_exec_cursor t;
+      match Hashtbl.find_opt t.gtid_waiters gtid with
+      | Some ws ->
+        Hashtbl.remove t.gtid_waiters gtid;
+        List.iter
+          (fun w ->
+            if not !(w.gw_done) then begin
+              w.gw_done := true;
+              Sim.Engine.cancel w.gw_timer;
+              w.gw_k true
+            end)
+          ws
+      | None -> ())
 
 (* Orchestration steps run over a live fleet; their durations vary run to
    run (I/O, scheduling, service-discovery load).  Scale a nominal step
@@ -332,10 +434,14 @@ let make_callbacks t =
   cb.Raft.Node.on_leader_start <- (fun ~noop_index -> begin_promotion t ~noop_index);
   cb.Raft.Node.on_step_down <- (fun () -> begin_demotion t);
   cb.Raft.Node.on_commit_advance <-
-    (fun ~commit_index -> Pipeline.notify_commit_index t.pipeline commit_index);
+    (fun ~commit_index ->
+      Pipeline.notify_commit_index t.pipeline commit_index;
+      (* noop/config entries below the commit index count as applied *)
+      advance_exec_cursor t);
   cb.Raft.Node.on_entries_appended <-
     (fun entries ->
-      if t.role = Replica then Applier.signal (applier t) entries);
+      if t.role = Replica then Applier.signal (applier t) entries;
+      advance_exec_cursor t);
   cb.Raft.Node.on_truncated <-
     (fun removed ->
       (* §3.3 demotion step 4: GTIDs of truncated transactions are removed
@@ -352,6 +458,8 @@ let make_callbacks t =
           | None -> ())
         removed;
       if t.applier <> None then Applier.handle_truncation (applier t) ~from_index;
+      (* the applied-through cursor must not point past the new log end *)
+      t.exec_index <- min t.exec_index (from_index - 1);
       tracef t "%s: truncated %d entries from index %d" t.id (List.length removed)
         from_index);
   cb.Raft.Node.on_quiesce <-
@@ -439,7 +547,7 @@ let submit_write t ~table ~ops ~reply =
                          Obs.Metrics.bump t.metrics "server.writes_committed";
                          trace_event t ~stage:"engine-commit"
                            ~term:(Binlog.Opid.term !opid) ~index:(Binlog.Opid.index !opid);
-                         reply Wire.Committed
+                         reply (Wire.Committed { gtid })
                        end
                        else begin
                          Storage.Engine.rollback_prepared t.storage ~gtid;
@@ -449,7 +557,7 @@ let submit_write t ~table ~ops ~reply =
            end))
   end
 
-(* ----- read path ----- *)
+(* ----- read path (consistency tiers, Read.Service) ----- *)
 
 (* Reads are served from the local engine on any MySQL role (Table 1:
    leader, follower and learner all serve reads; replicas may lag). *)
@@ -457,18 +565,43 @@ let read t ~table ~key =
   if t.crashed then Error "server is down"
   else Ok (Storage.Engine.get t.storage ~table ~key)
 
-(* WAIT_FOR_EXECUTED_GTID_SET: block (poll) until the transaction is in
-   the local engine — the MySQL primitive for read-your-writes on a
-   replica.  [k] receives whether the GTID arrived before [timeout]. *)
-let wait_for_executed_gtid t gtid ~timeout ~k =
-  let deadline = Sim.Engine.now t.engine +. timeout in
-  let rec poll () =
-    if t.crashed then k false
-    else if Storage.Engine.has_committed t.storage gtid then k true
-    else if Sim.Engine.now t.engine >= deadline then k false
-    else ignore (Sim.Engine.schedule t.engine ~delay:(500.0 *. Sim.Engine.us) poll)
+(* The ops closures capture [t], not the current Raft node: [restart]
+   swaps in a fresh node and the service must follow it. *)
+let make_read_service t =
+  let ops =
+    {
+      Read.Service.now = (fun () -> Sim.Engine.now t.engine);
+      schedule = (fun ~delay f -> ignore (Sim.Engine.schedule t.engine ~delay f));
+      read_index = (fun k -> Raft.Node.remote_read_index (raft t) k);
+      lease_valid = (fun () -> Raft.Node.lease_valid (raft t));
+      staleness_anchor = (fun () -> Raft.Node.staleness_anchor (raft t));
+      applied_index = (fun () -> applied_through t);
+      wait_applied = (fun index k -> wait_applied t index k);
+      wait_gtid = (fun gtid ~timeout k -> wait_for_executed_gtid t gtid ~timeout ~k);
+      get = (fun ~table ~key -> Storage.Engine.get t.storage ~table ~key);
+    }
   in
-  poll ()
+  let params =
+    {
+      Read.Service.default_params with
+      retry_hint = t.params.Params.raft.Raft.Node.heartbeat_interval;
+    }
+  in
+  Read.Service.create ~params ~metrics:t.metrics ~ops ()
+
+let read_service t =
+  match t.read_service with
+  | Some s -> s
+  | None ->
+    let s = make_read_service t in
+    t.read_service <- Some s;
+    s
+
+(* Serve one read at the requested consistency level.  [k] fires exactly
+   once unless the server is down (then the client times out). *)
+let serve_read t ~level ~table ~key k =
+  if t.crashed then ()
+  else Read.Service.serve (read_service t) ~level ~table ~key k
 
 (* ----- log maintenance (§A.1) ----- *)
 
@@ -524,6 +657,20 @@ let crash t =
     Raft.Node.stop (raft t);
     Applier.stop (applier t);
     ignore (Pipeline.abort_all t.pipeline);
+    (* Fail parked readers: their sessions died with the server. *)
+    t.apply_waiters <- [];
+    Hashtbl.iter
+      (fun _ ws ->
+        List.iter
+          (fun w ->
+            if not !(w.gw_done) then begin
+              w.gw_done := true;
+              Sim.Engine.cancel w.gw_timer;
+              w.gw_k false
+            end)
+          ws)
+      t.gtid_waiters;
+    Hashtbl.reset t.gtid_waiters;
     (* In-memory state is gone; prepared transactions will be rolled back
        by recovery at restart (§A.2). *)
     t.writes_enabled <- false;
@@ -548,6 +695,10 @@ let restart t =
     install_coalesce t;
     Pipeline.notify_commit_index t.pipeline (Raft.Node.commit_index (raft t));
     start_applier_from_recovery_point t;
+    (* Rebuild the applied-through cursor from scratch: the crash may
+       have torn entries the old cursor had passed. *)
+    t.exec_index <- 0;
+    advance_exec_cursor t;
     tracef t "%s: restarted (recovery rolled back %d prepared txns, lost %d torn log entries)"
       t.id rolled_back (List.length torn)
   end
@@ -561,7 +712,17 @@ let handle_message t ~src msg =
     | Wire.Write_request { write_id; table; ops; client } ->
       submit_write t ~table ~ops ~reply:(fun outcome ->
           t.send ~dst:client (Wire.Write_reply { write_id; outcome }))
-    | Wire.Write_reply _ -> () (* servers don't issue writes *)
+    | Wire.Read_request { read_id; level; read_table; key; read_client } ->
+      serve_read t ~level ~table:read_table ~key (fun outcome ->
+          if not t.crashed then
+            let outcome =
+              match outcome with
+              | Read.Service.Value v -> Wire.Read_value v
+              | Read.Service.Rejected { reason; retry_after } ->
+                Wire.Read_rejected { reason; retry_after }
+            in
+            t.send ~dst:read_client (Wire.Read_reply { read_id; outcome }))
+    | Wire.Write_reply _ | Wire.Read_reply _ -> () (* servers don't issue requests *)
 
 (* ----- construction ----- *)
 
@@ -599,8 +760,13 @@ let create ?metrics ?tracebuf ~engine ~id ~region ~replicaset ~send ~discovery ~
       truncated_gtids = [];
       metrics;
       tracebuf;
+      exec_index = 0;
+      apply_waiters = [];
+      gtid_waiters = Hashtbl.create 32;
+      read_service = None;
     }
   in
+  install_commit_listener t;
   t.applier <-
     Some
       (Applier.create ~metrics ~engine ~params

@@ -67,10 +67,30 @@ val submit_write :
     be stale. *)
 val read : t -> table:string -> key:string -> (string option, string) result
 
-(** WAIT_FOR_EXECUTED_GTID_SET: poll until [gtid] is engine-committed
+(** Serve a read at the requested consistency level through the
+    {!Read.Service} tiering logic (ReadIndex / lease fast path for
+    [Linearizable], GTID wait for [Read_your_writes], local age check
+    for [Bounded_staleness], raw local read for [Eventual]).  The
+    continuation fires exactly once — unless the server is crashed, in
+    which case it never fires (the client times out). *)
+val serve_read :
+  t ->
+  level:Read.Level.t ->
+  table:string ->
+  key:string ->
+  (Read.Service.outcome -> unit) ->
+  unit
+
+(** WAIT_FOR_EXECUTED_GTID_SET: wait until [gtid] is engine-committed
     locally (read-your-writes on a replica); [k] receives whether it
-    arrived before [timeout]. *)
+    arrived before [timeout].  Event-driven: fires on the engine's
+    commit notification, not on a poll tick. *)
 val wait_for_executed_gtid : t -> Binlog.Gtid.t -> timeout:float -> k:(bool -> unit) -> unit
+
+(** Highest log index the local engine has applied through (transaction
+    entries engine-committed; noop/config entries pass freely).  Works
+    on any role, including the primary. *)
+val applied_through : t -> int
 
 (** {2 Log maintenance (§A.1)} *)
 

@@ -1,5 +1,7 @@
 (* Everything that travels on a MyRaft replicaset's network: Raft RPCs
-   between ring members plus client write traffic to the primary. *)
+   between ring members, client write traffic to the primary, and client
+   read traffic to any role (Table 1: leader, follower and learner all
+   serve reads). *)
 
 type write_request = {
   write_id : int;
@@ -9,13 +11,29 @@ type write_request = {
 }
 
 type write_outcome =
-  | Committed
+  | Committed of { gtid : Binlog.Gtid.t }
+    (* the acknowledged transaction's GTID: the session token a client
+       carries into Read_your_writes reads *)
   | Rejected of string (* not primary / read-only / lock conflict *)
+
+type read_request = {
+  read_id : int;
+  level : Read.Level.t;
+  read_table : string;
+  key : string;
+  read_client : Sim.Topology.node_id;
+}
+
+type read_outcome =
+  | Read_value of string option
+  | Read_rejected of { reason : string; retry_after : float option }
 
 type t =
   | Raft_msg of Raft.Message.t
   | Write_request of write_request
   | Write_reply of { write_id : int; outcome : write_outcome }
+  | Read_request of read_request
+  | Read_reply of { read_id : int; outcome : read_outcome }
 
 (* Wire size in bytes for bandwidth accounting. *)
 let size = function
@@ -23,4 +41,9 @@ let size = function
   | Write_request { ops; table; _ } ->
     48 + String.length table
     + List.fold_left (fun acc op -> acc + Binlog.Event.row_op_size op) 0 ops
-  | Write_reply _ -> 32
+  | Write_reply _ -> 44
+  | Read_request { read_table; key; level; _ } ->
+    40 + String.length read_table + String.length key + Read.Level.wire_size level
+  | Read_reply { outcome = Read_value v; _ } ->
+    24 + (match v with Some s -> String.length s | None -> 0)
+  | Read_reply { outcome = Read_rejected { reason; _ }; _ } -> 32 + String.length reason

@@ -24,6 +24,10 @@ type append_entries = {
   commit_index : int;
   seq : int; (* per-peer send sequence; echoed in the response *)
   reply_route : node_id list; (* hops the response retraces to the leader *)
+  leader_time : float;
+    (* leader clock at send; the follower's staleness anchor for
+       bounded-staleness reads once its log covers [leader_last_index] *)
+  leader_last_index : int; (* leader log tail at send *)
 }
 
 type append_response = {
@@ -77,6 +81,8 @@ type t =
   | Timeout_now of { term : int }
   | Run_mock_election of { term : int; snapshot : Binlog.Opid.t; requester : node_id }
   | Mock_election_result of { ok : bool; target : node_id; votes : int }
+  | Read_index_request of { rid : int; from : node_id }
+  | Read_index_reply of { rid : int; index : int; error : string option }
   | Proxied of { next_hops : node_id list; inner : t }
 
 (* Wire sizes in bytes, used for the §4.2.2 bandwidth accounting.  Header
@@ -90,13 +96,15 @@ let rec size = function
         List.fold_left (fun acc e -> acc + Binlog.Entry.size e) 0 entries
       | Refs _ -> 12
     in
-    40 + (4 * List.length ae.reply_route) + payload_size
+    52 + (4 * List.length ae.reply_route) + payload_size
   | Append_entries_response _ -> 36
   | Request_vote _ -> 48
   | Request_vote_response _ -> 44
   | Timeout_now _ -> 16
   | Run_mock_election _ -> 32
   | Mock_election_result _ -> 24
+  | Read_index_request _ -> 20
+  | Read_index_reply _ -> 24
   | Proxied { next_hops; inner } -> 16 + (4 * List.length next_hops) + size inner
 
 let phase_to_string = function
@@ -131,5 +139,9 @@ let rec describe = function
   | Run_mock_election { term; _ } -> Printf.sprintf "RunMockElection(t%d)" term
   | Mock_election_result { ok; _ } ->
     Printf.sprintf "MockResult(%s)" (if ok then "ok" else "failed")
+  | Read_index_request { rid; from } -> Printf.sprintf "ReadIndex-req(#%d from %s)" rid from
+  | Read_index_reply { rid; index; error } ->
+    Printf.sprintf "ReadIndex-reply(#%d, %s)" rid
+      (match error with Some e -> "error: " ^ e | None -> Printf.sprintf "index %d" index)
   | Proxied { next_hops; inner } ->
     Printf.sprintf "Proxied(via %s: %s)" (String.concat "," next_hops) (describe inner)

@@ -21,6 +21,10 @@ type append_entries = {
   commit_index : int;
   seq : int;  (** per-peer send sequence; echoed in the response *)
   reply_route : node_id list;  (** hops the response retraces to the leader *)
+  leader_time : float;
+      (** leader clock at send — the follower's staleness anchor for
+          bounded-staleness reads once its log covers [leader_last_index] *)
+  leader_last_index : int;  (** leader log tail at send *)
 }
 
 type append_response = {
@@ -67,6 +71,10 @@ type t =
   | Timeout_now of { term : int }
   | Run_mock_election of { term : int; snapshot : Binlog.Opid.t; requester : node_id }
   | Mock_election_result of { ok : bool; target : node_id; votes : int }
+  | Read_index_request of { rid : int; from : node_id }
+      (** follower → leader: run a ReadIndex round on my behalf *)
+  | Read_index_reply of { rid : int; index : int; error : string option }
+      (** leader → follower: the confirmed read index (or why not) *)
   | Proxied of { next_hops : node_id list; inner : t }
 
 (** Wire size in bytes for bandwidth accounting (§4.2.2). *)

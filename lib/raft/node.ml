@@ -110,6 +110,16 @@ type params = {
      (the paper's production behaviour). *)
   auto_step_down_after : float;
   cache_bytes : int;
+  use_leader_lease : bool;
+  (* Lease fast path for linearizable reads: the leader may serve a read
+     at its commit index without a confirmation round while its lease is
+     valid.  The lease is computed from quorum-acked AppendEntries send
+     times (below) and never outlives the window in which a follower
+     could start an election. *)
+  lease_drift_margin : float;
+  (* Safety margin subtracted from the lease duration to absorb clock
+     rate drift between leader and voters (LeaseGuard).  A margin at or
+     above the election timeout disables the lease entirely. *)
 }
 
 let default_params =
@@ -132,6 +142,8 @@ let default_params =
     use_mock_elections = true;
     auto_step_down_after = 0.0;
     cache_bytes = 4 * 1024 * 1024;
+    use_leader_lease = true;
+    lease_drift_margin = 50.0 *. Sim.Engine.ms;
   }
 
 (* Durable per-identity state (survives crashes): the Raft term and vote,
@@ -180,6 +192,15 @@ type peer_state = {
   mutable retransmit_timer : Sim.Engine.handle option;
   mutable last_ack : float;
   mutable responded : bool; (* has acked this leader at least once *)
+  mutable acked_send_time : float;
+  (* Latest local send time of an AppendEntries this peer has
+     acknowledged at the current term.  The follower reset its election
+     timer no earlier than this instant, which is what the leader-lease
+     computation quantifies over. *)
+  mutable hb_sent : (int * float) list;
+  (* (seq, send time) of recent empty AEs, newest first and bounded:
+     heartbeats are never windowed, so their send times live here for
+     the [acked_send_time] lookup. *)
 }
 
 type election = {
@@ -196,6 +217,21 @@ type transfer = {
   transfer_target : node_id;
   mutable quiesced : bool;
   transfer_deadline : Sim.Engine.handle;
+}
+
+(* One ReadIndex confirmation round (batched: every read that arrived
+   while the previous round was in flight shares the next one).  The
+   round completes when responses to AppendEntries sent *after* the
+   round started satisfy the data quorum — piggybacked on the pipelined
+   replication stream rather than a dedicated RPC. *)
+type read_round = {
+  rr_index : int; (* commit index captured at round start *)
+  rr_marks : (node_id * int) list;
+  (* per-peer send_seq at round start: only responses to later sends
+     prove leadership was held after the capture *)
+  mutable rr_acks : node_id list;
+  rr_waiters : ((int, string) result -> unit) list;
+  mutable rr_deadline : Sim.Engine.handle option;
 }
 
 (* Metric handles resolved once at node creation; hot-path recording is a
@@ -217,6 +253,11 @@ type meters = {
   m_batch_bytes : Obs.Metrics.histogram; (* payload bytes per entry AE *)
   m_election_latency : Obs.Metrics.histogram; (* us, Real-phase start -> won *)
   m_commit_latency : Obs.Metrics.histogram; (* us, local append -> commit *)
+  m_readindex_rounds : Obs.Metrics.counter;
+  m_readindex_forwarded : Obs.Metrics.counter;
+  m_lease_extensions : Obs.Metrics.counter;
+  m_lease_revocations : Obs.Metrics.counter;
+  m_readindex_batch : Obs.Metrics.histogram; (* waiters sharing one round *)
 }
 
 let make_meters m =
@@ -237,6 +278,11 @@ let make_meters m =
     m_batch_bytes = Obs.Metrics.histogram m "raft.ae_batch_bytes";
     m_election_latency = Obs.Metrics.histogram m "raft.election_latency_us";
     m_commit_latency = Obs.Metrics.histogram m "raft.commit_latency_us";
+    m_readindex_rounds = Obs.Metrics.counter m "raft.readindex_rounds";
+    m_readindex_forwarded = Obs.Metrics.counter m "raft.readindex_forwarded";
+    m_lease_extensions = Obs.Metrics.counter m "raft.lease_extensions";
+    m_lease_revocations = Obs.Metrics.counter m "raft.lease_revocations";
+    m_readindex_batch = Obs.Metrics.histogram m "raft.readindex_batch";
   }
 
 type t = {
@@ -273,6 +319,25 @@ type t = {
      commits — feeds raft.commit_latency_us *)
   append_times : (int, float) Hashtbl.t;
   mutable election_started_at : float; (* neg_infinity when no election *)
+  (* --- consistency-tiered read path --- *)
+  mutable lease_until : float; (* leader lease expiry; neg_infinity = none *)
+  mutable lease_blocked : bool;
+  (* Set for the span of a leadership transfer: TimeoutNow lets the
+     target win an election without waiting out a timeout, so lease
+     intervals computed from pre-transfer acks are void and no new ones
+     may be taken until the transfer resolves (LeaseGuard). *)
+  mutable read_round : read_round option; (* in-flight confirmation round *)
+  mutable read_queue : ((int, string) result -> unit) list;
+  (* reads awaiting the next round, newest first *)
+  mutable next_read_rid : int;
+  pending_remote_reads :
+    (int, ((int, string) result -> unit) * Sim.Engine.handle) Hashtbl.t;
+  (* follower side: rid -> (continuation, forward timeout) *)
+  mutable freshness : float * int;
+  (* Staleness anchor (leader_time, commit_index) from the freshest
+     AppendEntries whose [leader_last_index] our log covers: every write
+     acknowledged before leader_time has index <= that commit_index, so
+     an engine applied through it is fresh as of leader_time. *)
 }
 
 let id t = t.id
@@ -506,6 +571,8 @@ and send_entry_batch t peer =
           commit_index = t.commit_index;
           seq = peer.send_seq;
           reply_route;
+          leader_time = Sim.Engine.now t.engine;
+          leader_last_index = last_index t;
         }
       in
       peer.inflight <-
@@ -573,6 +640,10 @@ and send_heartbeat t peer =
       prev_index
   | Some prev_term ->
     peer.send_seq <- peer.send_seq + 1;
+    let now = Sim.Engine.now t.engine in
+    (* Remember the send time (bounded) so the ack can feed the lease. *)
+    let keep = (2 * t.params.max_inflight_aes) + 8 in
+    peer.hb_sent <- (peer.send_seq, now) :: List.filteri (fun i _ -> i < keep) peer.hb_sent;
     Obs.Metrics.incr t.meters.m_heartbeats_sent;
     t.send ~dst:peer.peer_id
       (Message.Append_entries
@@ -585,6 +656,8 @@ and send_heartbeat t peer =
            commit_index = t.commit_index;
            seq = peer.send_seq;
            reply_route = [];
+           leader_time = now;
+           leader_last_index = last_index t;
          })
 
 and replicate_to t peer ~allow_empty =
@@ -645,10 +718,177 @@ and advance_commit t =
         | Some i when i <= n -> t.pending_config_index <- None
         | _ -> ());
         note_commit t ~from_index:(prev_commit + 1) ~to_index:n;
-        t.callbacks.on_commit_advance ~commit_index:n
+        t.callbacks.on_commit_advance ~commit_index:n;
+        (* Reads queued behind "no current-term commit yet" can start
+           their confirmation round now. *)
+        maybe_start_read_round t
       end
     | _ -> ()
   end
+
+(* ----- linearizable read path: ReadIndex rounds + leader lease ----- *)
+
+(* A fresh leader's commit index is authoritative only once it has
+   committed an entry of its own term (the no-op appended on election);
+   before that, entries committed by a predecessor may sit above it. *)
+and committed_in_current_term t =
+  match t.log.term_at t.commit_index with
+  | Some term -> term = t.durable.current_term
+  | None -> false
+
+and lease_duration t =
+  (float_of_int t.params.missed_heartbeats *. t.params.heartbeat_interval)
+  -. t.params.lease_drift_margin
+
+(* Extend the lease from quorum-acked send times: find the latest T such
+   that {self} and every peer whose [acked_send_time] >= T satisfy the
+   data quorum.  Each such peer reset its election timer at or after T,
+   so no election it participates in can complete before
+   T + election timeout > T + lease duration + drift margin; and because
+   FlexiRaft election quorums intersect data quorums (§4.1), any new
+   leader's quorum contains such a voter. *)
+and extend_lease t =
+  if
+    t.role = Types.Leader && t.params.use_leader_lease && (not t.lease_blocked)
+    && lease_duration t > 0.0
+  then begin
+    let now = Sim.Engine.now t.engine in
+    let candidates =
+      now
+      :: Hashtbl.fold
+           (fun _ p acc ->
+             if p.acked_send_time > neg_infinity then p.acked_send_time :: acc else acc)
+           t.peers []
+    in
+    let cfg = config t in
+    let quorum_at threshold =
+      let acks =
+        t.id
+        :: Hashtbl.fold
+             (fun pid p acc -> if p.acked_send_time >= threshold then pid :: acc else acc)
+             t.peers []
+      in
+      Quorum.data_quorum_satisfied t.params.quorum_mode cfg ~leader_region:t.region ~acks
+    in
+    let sorted = List.sort_uniq (fun a b -> compare b a) candidates in
+    match List.find_opt quorum_at sorted with
+    | Some threshold ->
+      let until = threshold +. lease_duration t in
+      if until > t.lease_until then begin
+        t.lease_until <- until;
+        Obs.Metrics.incr t.meters.m_lease_extensions
+      end
+    | None -> ()
+  end
+
+and revoke_lease t ~reason =
+  if t.lease_until > neg_infinity then begin
+    tracef t "raft" "%s: lease revoked (%s)" t.id reason;
+    Obs.Metrics.incr t.meters.m_lease_revocations
+  end;
+  t.lease_until <- neg_infinity
+
+(* Fail every queued and in-flight read; on leadership loss the reads
+   must re-resolve against the new leader, not silently time out. *)
+and fail_reads t ~reason =
+  let queued = List.rev t.read_queue in
+  t.read_queue <- [];
+  let round_waiters =
+    match t.read_round with
+    | Some round ->
+      (match round.rr_deadline with Some h -> Sim.Engine.cancel h | None -> ());
+      t.read_round <- None;
+      round.rr_waiters
+    | None -> []
+  in
+  List.iter (fun k -> k (Error reason)) (round_waiters @ queued)
+
+and maybe_start_read_round t =
+  if
+    t.role = Types.Leader && (not t.stopped) && t.read_round = None
+    && t.read_queue <> []
+    && committed_in_current_term t
+  then begin
+    let waiters = List.rev t.read_queue in
+    t.read_queue <- [];
+    let marks = Hashtbl.fold (fun pid p acc -> (pid, p.send_seq) :: acc) t.peers [] in
+    let round =
+      {
+        rr_index = t.commit_index;
+        rr_marks = marks;
+        rr_acks = [];
+        rr_waiters = waiters;
+        rr_deadline = None;
+      }
+    in
+    t.read_round <- Some round;
+    Obs.Metrics.incr t.meters.m_readindex_rounds;
+    Obs.Metrics.record t.meters.m_readindex_batch (float_of_int (List.length waiters));
+    let deadline =
+      float_of_int t.params.missed_heartbeats *. t.params.heartbeat_interval
+    in
+    round.rr_deadline <-
+      Some
+        (Sim.Engine.schedule t.engine ~delay:deadline (fun () ->
+             match t.read_round with
+             | Some r when r == round ->
+               t.read_round <- None;
+               List.iter (fun k -> k (Error "read-index round timed out")) round.rr_waiters;
+               maybe_start_read_round t
+             | _ -> ()));
+    (* The confirmation piggybacks on the replication stream: top up
+       windows (or heartbeat) now rather than waiting for the tick. *)
+    replicate_all t ~allow_empty:true;
+    check_read_round t round (* single-voter rings confirm immediately *)
+  end
+
+and check_read_round t round =
+  match t.read_round with
+  | Some r when r == round ->
+    let acks = t.id :: round.rr_acks in
+    if
+      Quorum.data_quorum_satisfied t.params.quorum_mode (config t)
+        ~leader_region:t.region ~acks
+    then begin
+      (match round.rr_deadline with Some h -> Sim.Engine.cancel h | None -> ());
+      t.read_round <- None;
+      List.iter (fun k -> k (Ok round.rr_index)) round.rr_waiters;
+      maybe_start_read_round t
+    end
+  | _ -> ()
+
+(* A success response from [from] to a send issued after the round
+   started proves [from] still recognized this leader after the commit
+   index was captured. *)
+and note_read_ack t ~from ~request_seq =
+  match t.read_round with
+  | Some round ->
+    let mark =
+      match List.assoc_opt from round.rr_marks with Some m -> m | None -> max_int
+    in
+    if request_seq > mark && not (List.mem from round.rr_acks) then begin
+      round.rr_acks <- from :: round.rr_acks;
+      check_read_round t round
+    end
+  | None -> ()
+
+(* Resolve a linearizable read index on the leader: the caller receives
+   the commit index captured at round start once a data quorum has
+   confirmed leadership after the capture (or immediately off the lease
+   fast path, when valid). *)
+and read_index t k =
+  if t.stopped then k (Error "stopped")
+  else if t.role <> Types.Leader then k (Error "not the leader")
+  else if lease_valid t then k (Ok t.commit_index)
+  else begin
+    t.read_queue <- k :: t.read_queue;
+    maybe_start_read_round t
+  end
+
+and lease_valid t =
+  t.role = Types.Leader && t.params.use_leader_lease && (not t.lease_blocked)
+  && committed_in_current_term t
+  && Sim.Engine.now t.engine < t.lease_until
 
 (* ----- config handling ----- *)
 
@@ -696,6 +936,8 @@ and sync_peers t =
               retransmit_timer = None;
               last_ack = Sim.Engine.now t.engine;
               responded = false;
+              acked_send_time = neg_infinity;
+              hb_sent = [];
             })
       cfg.Types.members;
     let stale =
@@ -726,6 +968,12 @@ and step_down t ~term ~new_leader =
   t.heartbeat_timer <- None;
   if was_leader then begin
     tracef t "raft" "%s: stepping down at term %d" t.id t.durable.current_term;
+    (* §3.3 demotion: the lease dies with the role — a deposed leader
+       must never serve another lease read — and in-flight ReadIndex
+       rounds fail over to the new leader. *)
+    revoke_lease t ~reason:"step-down";
+    t.lease_blocked <- false;
+    fail_reads t ~reason:"stepped down";
     reset_peers t;
     t.callbacks.on_step_down ()
   end;
@@ -745,6 +993,11 @@ and become_leader t =
   end;
   cancel_timer t.election_timer;
   t.election_timer <- None;
+  (* A new term starts with no lease and no read state; extensions
+     resume from this term's own acks. *)
+  t.lease_until <- neg_infinity;
+  t.lease_blocked <- false;
+  fail_reads t ~reason:"new leadership term";
   reset_peers t;
   sync_peers t;
   (* Assert leadership with a no-op entry; committing it consensus-commits
@@ -1113,6 +1366,12 @@ and handle_append_entries t ~src:_ (ae : Message.append_entries) =
       if entries = [] then apply_entries () else t.log.run_batched apply_entries;
       let appended = List.rev !appended in
       if appended <> [] then t.callbacks.on_entries_appended appended;
+      (* Staleness anchor for bounded reads: once our log covers the
+         leader's tail as of [leader_time], every write acked before
+         that instant (index <= commit_index) is in our log; the engine
+         catches up to [commit_index] to actually serve it. *)
+      if last_index t >= ae.leader_last_index && ae.leader_time > fst t.freshness then
+        t.freshness <- (ae.leader_time, ae.commit_index);
       let new_commit = min ae.commit_index (last_index t) in
       if new_commit > t.commit_index then begin
         let prev_commit = t.commit_index in
@@ -1158,6 +1417,20 @@ and handle_append_response t (r : Message.append_response) =
              peer (or path) is congested: back the batch size off. *)
           if rtt > 4.0 *. peer.srtt then shrink_budget peer
         | None -> ());
+        (* Recover the acked send's local send time (windowed entry AE or
+           remembered heartbeat) for the lease computation. *)
+        (match
+           List.find_opt (fun f -> f.if_seq = r.request_seq) peer.inflight
+         with
+        | Some f -> peer.acked_send_time <- max peer.acked_send_time f.if_sent_at
+        | None -> (
+          match List.assoc_opt r.request_seq peer.hb_sent with
+          | Some sent_at ->
+            peer.acked_send_time <- max peer.acked_send_time sent_at;
+            peer.hb_sent <- List.filter (fun (seq, _) -> seq > r.request_seq) peer.hb_sent
+          | None -> ()));
+        extend_lease t;
+        note_read_ack t ~from:r.from ~request_seq:r.request_seq;
         (* [last_appended_index] says how far this response confirmed the
            follower matches our log; cumulative across responses it
            retires every fully-covered send, tolerating response loss,
@@ -1212,6 +1485,9 @@ and abort_transfer t ~reason =
   | Some tr ->
     Sim.Engine.cancel tr.transfer_deadline;
     t.transfer <- None;
+    (* The transfer died before TimeoutNow went out: no election was
+       enabled to bypass a timeout, so lease extensions may resume. *)
+    t.lease_blocked <- false;
     tracef t "raft" "%s: transfer to %s aborted: %s" t.id tr.transfer_target reason;
     if tr.quiesced then t.callbacks.on_transfer_aborted ~reason
 
@@ -1253,6 +1529,13 @@ let transfer_leadership t ~target =
         in
         let tr = { transfer_target = target; quiesced = false; transfer_deadline = deadline } in
         t.transfer <- Some tr;
+        (* LeaseGuard: the mock election / TimeoutNow path lets the
+           target win without waiting out an election timeout, voiding
+           the timing argument behind the lease.  Revoke it and block
+           re-extension for the span of the transfer; it stays blocked
+           after TimeoutNow fires until the new term is observed. *)
+        t.lease_blocked <- true;
+        revoke_lease t ~reason:"leadership transfer";
         if t.params.use_mock_elections then begin
           tracef t "raft" "%s: mock election on %s before transfer" t.id target;
           t.send ~dst:target
@@ -1379,6 +1662,45 @@ let window_of t ~peer =
    the next response arrives. *)
 let notify_log_synced t = advance_commit t
 
+(* ----- read-path API ----- *)
+
+(* Resolve a read index from any role: leaders run {!read_index}
+   locally, followers/learners forward to the last known leader and wait
+   (bounded) for its reply. *)
+let remote_read_index t k =
+  if t.stopped then k (Error "stopped")
+  else if t.role = Types.Leader then read_index t k
+  else
+    match t.leader_id with
+    | None -> k (Error "no known leader")
+    | Some leader ->
+      let rid = t.next_read_rid in
+      t.next_read_rid <- rid + 1;
+      let timeout =
+        float_of_int t.params.missed_heartbeats *. t.params.heartbeat_interval
+      in
+      let timer =
+        Sim.Engine.schedule t.engine ~delay:timeout (fun () ->
+            match Hashtbl.find_opt t.pending_remote_reads rid with
+            | Some (k, _) ->
+              Hashtbl.remove t.pending_remote_reads rid;
+              k (Error "read-index forward timed out")
+            | None -> ())
+      in
+      Hashtbl.replace t.pending_remote_reads rid (k, timer);
+      t.send ~dst:leader (Message.Read_index_request { rid; from = t.id })
+
+let lease_valid t = lease_valid t
+
+let lease_until t = t.lease_until
+
+let lease_blocked t = t.lease_blocked
+
+let staleness_anchor t =
+  if t.role = Types.Leader then (Sim.Engine.now t.engine, t.commit_index) else t.freshness
+
+let committed_in_current_term t = committed_in_current_term t
+
 (* ----- proxy forwarding (§4.2) ----- *)
 
 let deliver_reconstituted t ~dst (ae : Message.append_entries) ~first_index ~last_index:last ~expected_last_term =
@@ -1452,6 +1774,25 @@ let rec handle_message t ~src msg =
     | Message.Run_mock_election { snapshot; requester; _ } ->
       begin_mock_election t ~snapshot ~requester
     | Message.Mock_election_result { ok; target; _ } -> handle_mock_result t (ok, target)
+    | Message.Read_index_request { rid; from } ->
+      if t.role = Types.Leader then begin
+        Obs.Metrics.incr t.meters.m_readindex_forwarded;
+        read_index t (fun result ->
+            let index, error =
+              match result with Ok i -> (i, None) | Error e -> (0, Some e)
+            in
+            t.send ~dst:from (Message.Read_index_reply { rid; index; error }))
+      end
+      else
+        t.send ~dst:from
+          (Message.Read_index_reply { rid; index = 0; error = Some "not the leader" })
+    | Message.Read_index_reply { rid; index; error } -> (
+      match Hashtbl.find_opt t.pending_remote_reads rid with
+      | Some (k, timer) ->
+        Hashtbl.remove t.pending_remote_reads rid;
+        Sim.Engine.cancel timer;
+        (match error with Some e -> k (Error e) | None -> k (Ok index))
+      | None -> ())
     | Message.Proxied { next_hops; inner } -> (
       match handle_proxied t ~next_hops ~inner with
       | Some () -> ()
@@ -1495,6 +1836,13 @@ let create ?metrics ?tracebuf ~engine ~id ~region ~send ~log ~callbacks ~params
       tracebuf;
       append_times = Hashtbl.create 256;
       election_started_at = neg_infinity;
+      lease_until = neg_infinity;
+      lease_blocked = false;
+      read_round = None;
+      read_queue = [];
+      next_read_rid = 0;
+      pending_remote_reads = Hashtbl.create 16;
+      freshness = (neg_infinity, 0);
     }
   in
   (* Recover config history from the log (restart path). *)
@@ -1520,7 +1868,16 @@ let stop t =
   cancel_timer t.heartbeat_timer;
   t.election_timer <- None;
   t.heartbeat_timer <- None;
-  Hashtbl.iter (fun _ p -> cancel_retransmit p) t.peers
+  Hashtbl.iter (fun _ p -> cancel_retransmit p) t.peers;
+  t.lease_until <- neg_infinity;
+  fail_reads t ~reason:"node stopped";
+  let remote = Hashtbl.fold (fun rid v acc -> (rid, v) :: acc) t.pending_remote_reads [] in
+  Hashtbl.reset t.pending_remote_reads;
+  List.iter
+    (fun (_, (k, timer)) ->
+      Sim.Engine.cancel timer;
+      k (Error "node stopped"))
+    remote
 
 let is_stopped t = t.stopped
 

@@ -83,6 +83,14 @@ type params = {
           §4.1): an isolated leader with an uncommittable tail abdicates
           after this long without data-quorum contact *)
   cache_bytes : int;
+  use_leader_lease : bool;
+      (** lease fast path for linearizable reads: serve at the commit
+          index without a confirmation round while the lease (computed
+          from quorum-acked AppendEntries send times) is valid *)
+  lease_drift_margin : float;
+      (** safety margin subtracted from the lease duration to absorb
+          clock rate drift between leader and voters; a margin at or
+          above the election timeout disables the lease *)
 }
 
 val default_params : params
@@ -146,6 +154,55 @@ val transfer_leadership : t -> target:node_id -> (unit, string) result
 (** Start a real election immediately (bootstrap, TimeoutNow path,
     Quorum Fixer). *)
 val trigger_election : t -> unit
+
+(** {2 Linearizable read path (ReadIndex + leader lease)}
+
+    [read_index t k] resolves, on the leader, the index a linearizable
+    read must wait for the state machine to apply: the commit index,
+    captured and then confirmed by one round of AppendEntries responses
+    satisfying the FlexiRaft data quorum (concurrent requests batch into
+    a single round, piggybacked on the pipelined replication stream).
+    With a valid leader lease the round is skipped entirely.  [k]
+    receives [Error _] on leadership loss, round timeout, or when called
+    on a non-leader.
+
+    Lease safety: the lease expires [missed_heartbeats x
+    heartbeat_interval - lease_drift_margin] after the latest send time
+    T such that responses from a data quorum prove every quorum member
+    reset its election timer at or after T; because FlexiRaft election
+    quorums intersect data quorums, no election bypassing that timer can
+    complete while the lease holds.  The TimeoutNow / mock-election
+    transfer path *does* bypass it, so {!transfer_leadership} revokes
+    the lease and blocks re-extension; {!trigger_election} (bootstrap /
+    Quorum Fixer) is the one remaining bypass and must not be aimed at a
+    ring whose leader is serving lease reads. *)
+
+val read_index : t -> ((int, string) result -> unit) -> unit
+
+(** Like {!read_index} from any role: followers/learners forward the
+    request to the last known leader and relay its answer (bounded by
+    the election timeout). *)
+val remote_read_index : t -> ((int, string) result -> unit) -> unit
+
+(** The lease is valid: leader, lease not blocked by a transfer, a
+    current-term entry has committed, and the expiry is in the future. *)
+val lease_valid : t -> bool
+
+(** Current lease expiry ([neg_infinity] when none). *)
+val lease_until : t -> float
+
+(** Lease extension is blocked by an unresolved leadership transfer. *)
+val lease_blocked : t -> bool
+
+(** [(as_of, index)]: the engine is fresh as of [as_of] once it has
+    applied through [index] — the leader's own clock and commit index,
+    or on a follower the anchor propagated on AppendEntries.  Serves
+    bounded-staleness reads. *)
+val staleness_anchor : t -> float * int
+
+(** A current-term entry has committed (fresh leaders' commit indexes
+    are not authoritative before this). *)
+val committed_in_current_term : t -> bool
 
 (** {2 Introspection} *)
 

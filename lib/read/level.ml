@@ -1,0 +1,56 @@
+(* Consistency levels for the tiered read path (Table 1: leader,
+   follower and learner all serve reads; replicas may lag — the level
+   says how much lag, if any, a client tolerates). *)
+
+type t =
+  | Linearizable
+      (* reflects every write acknowledged before the read was issued;
+         ReadIndex confirmation round or leader-lease fast path *)
+  | Read_your_writes of Binlog.Gtid.t option
+      (* reflects the session's own last acknowledged write (the
+         carried GTID); None = session has no writes yet *)
+  | Bounded_staleness of float
+      (* served locally when the replica can prove its engine is fresh
+         within the bound (virtual microseconds); else rejected with a
+         retry hint *)
+  | Eventual (* whatever the local engine holds right now *)
+
+let to_string = function
+  | Linearizable -> "linearizable"
+  | Read_your_writes None -> "ryw"
+  | Read_your_writes (Some gtid) -> "ryw@" ^ Binlog.Gtid.to_string gtid
+  | Bounded_staleness bound -> Printf.sprintf "bounded:%.0fms" (bound /. 1000.0)
+  | Eventual -> "eventual"
+
+(* Level names as the CLI / generator config spells them; the RYW GTID
+   token is attached programmatically, not parsed. *)
+let parse s =
+  match String.lowercase_ascii (String.trim s) with
+  | "linearizable" | "lin" -> Ok Linearizable
+  | "ryw" | "read-your-writes" -> Ok (Read_your_writes None)
+  | "eventual" -> Ok Eventual
+  | other ->
+    let prefix = "bounded:" in
+    let plen = String.length prefix in
+    if String.length other > plen && String.sub other 0 plen = prefix then
+      match float_of_string_opt (String.sub other plen (String.length other - plen)) with
+      | Some ms when ms > 0.0 -> Ok (Bounded_staleness (ms *. 1000.0))
+      | _ -> Error (Printf.sprintf "bad staleness bound in %S" s)
+    else
+      Error
+        (Printf.sprintf "unknown read level %S (linearizable|ryw|bounded:<ms>|eventual)" s)
+
+(* Metric-name segment: one stable label per tier (RYW tokens and
+   staleness bounds don't explode the metric namespace). *)
+let label = function
+  | Linearizable -> "linearizable"
+  | Read_your_writes _ -> "ryw"
+  | Bounded_staleness _ -> "bounded"
+  | Eventual -> "eventual"
+
+(* Wire size of the level descriptor inside a read request. *)
+let wire_size = function
+  | Linearizable | Eventual -> 1
+  | Bounded_staleness _ -> 9
+  | Read_your_writes None -> 2
+  | Read_your_writes (Some _) -> 14

@@ -67,7 +67,9 @@ let handle_message t ~src msg =
         t.send ~dst:src (Wire.Ack { seq = last_seq t; from_acker = true })
       end
     | Wire.Ping { ping_id } -> t.send ~dst:src (Wire.Pong { ping_id })
-    | Wire.Ack _ | Wire.Write_request _ | Wire.Write_reply _ | Wire.Pong _ -> ()
+    | Wire.Ack _ | Wire.Write_request _ | Wire.Write_reply _ | Wire.Read_request _
+    | Wire.Read_reply _ | Wire.Pong _ ->
+      ()
 
 let crash t =
   t.crashed <- true;

@@ -42,6 +42,9 @@ let acker t id =
 
 let servers t = List.filter_map (fun id -> server t id) t.member_order
 
+(* MySQL members only: valid client read targets (ackers hold no tables). *)
+let mysql_ids t = List.filter (fun id -> server t id <> None) t.member_order
+
 let ackers t = List.filter_map (fun id -> acker t id) t.member_order
 
 let primary t =
@@ -217,7 +220,7 @@ let start_probe ?(region = "r1") ?(probe_interval = 5.0 *. Sim.Engine.ms)
   let outstanding = Hashtbl.create 64 in
   register_client t ~id:client_id ~region ~handler:(fun ~src:_ msg ->
       match msg with
-      | Wire.Write_reply { write_id; ok } -> (
+      | Wire.Write_reply { write_id; ok; _ } -> (
         match Hashtbl.find_opt outstanding write_id with
         | Some settle ->
           Hashtbl.remove outstanding write_id;

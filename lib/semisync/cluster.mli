@@ -38,6 +38,10 @@ val acker : t -> string -> Acker.t option
 
 val servers : t -> Server.t list
 
+(** MySQL members only — valid client read targets (ackers hold no
+    tables). *)
+val mysql_ids : t -> string list
+
 val ackers : t -> Acker.t list
 
 val primary : t -> Server.t option

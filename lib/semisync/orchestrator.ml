@@ -147,7 +147,7 @@ let handle_message t ~src:_ msg =
       t.misses <- 0
     | None -> ())
   | Wire.Replicate _ | Wire.Ack _ | Wire.Write_request _ | Wire.Write_reply _
-  | Wire.Ping _ ->
+  | Wire.Read_request _ | Wire.Read_reply _ | Wire.Ping _ ->
     ()
 
 let rec monitor_tick t =

@@ -110,9 +110,10 @@ let rec ship_tick t =
 
 (* ----- client write path ----- *)
 
+(* [reply] receives [Some gtid] on commit, [None] on rejection. *)
 let reject t ~reply =
   t.writes_rejected <- t.writes_rejected + 1;
-  reply false
+  reply None
 
 let submit_write t ~table ~ops ~reply =
   if t.crashed then ()
@@ -160,7 +161,7 @@ let submit_write t ~table ~ops ~reply =
                          Storage.Engine.commit_prepared t.storage ~gtid
                            ~opid:(Binlog.Opid.make ~term:1 ~index:!seq);
                          t.writes_committed <- t.writes_committed + 1;
-                         reply true
+                         reply (Some gtid)
                        end
                        else begin
                          Storage.Engine.rollback_prepared t.storage ~gtid;
@@ -168,6 +169,30 @@ let submit_write t ~table ~ops ~reply =
                        end);
                  }
            end))
+
+(* ----- read path (prior setup) -----
+
+   The semi-sync stack has no ReadIndex, no leases and no staleness
+   propagation, so the tiers degrade exactly as §1.1 describes:
+   [Linearizable] reads must go to the (believed) primary — and are
+   genuinely unsafe during the orchestrator's failover window, which is
+   the A/B point; [Bounded_staleness] cannot be verified on replicas and
+   is only honoured on the primary; [Read_your_writes] uses the engine's
+   GTID set; [Eventual] reads any replica. *)
+
+let serve_read t ~level ~table ~key k =
+  if t.crashed then ()
+  else begin
+    let value () = Ok (Storage.Engine.get t.storage ~table ~key) in
+    match level with
+    | Read.Level.Eventual | Read.Level.Read_your_writes None -> k (value ())
+    | Read.Level.Read_your_writes (Some gtid) ->
+      if Storage.Engine.has_committed t.storage gtid then k (value ())
+      else k (Error "read-your-writes: session write not yet applied here")
+    | Read.Level.Linearizable | Read.Level.Bounded_staleness _ ->
+      if t.role = Primary && t.writes_enabled then k (value ())
+      else k (Error "consistent reads require the primary (no staleness tracking)")
+  end
 
 (* ----- replica: receive + apply ----- *)
 
@@ -320,9 +345,13 @@ let handle_message t ~src msg =
     | Wire.Replicate { entries } -> handle_replicate t ~src entries
     | Wire.Ack { seq; from_acker } -> handle_ack t ~src ~seq ~from_acker
     | Wire.Write_request { write_id; table; ops; client } ->
-      submit_write t ~table ~ops ~reply:(fun ok ->
-          t.send ~dst:client (Wire.Write_reply { write_id; ok }))
-    | Wire.Write_reply _ -> ()
+      submit_write t ~table ~ops ~reply:(fun gtid ->
+          t.send ~dst:client
+            (Wire.Write_reply { write_id; ok = gtid <> None; gtid }))
+    | Wire.Read_request { read_id; level; table; key; client } ->
+      serve_read t ~level ~table ~key (fun value ->
+          t.send ~dst:client (Wire.Read_reply { read_id; value }))
+    | Wire.Write_reply _ | Wire.Read_reply _ -> ()
     | Wire.Ping { ping_id } -> t.send ~dst:src (Wire.Pong { ping_id })
     | Wire.Pong _ -> ()
 

@@ -49,8 +49,26 @@ val pipeline_in_flight : t -> int
     queries to pick a failover target. *)
 val position : t -> int * int
 
+(** [reply] receives [Some gtid] on commit, [None] on rejection. *)
 val submit_write :
-  t -> table:string -> ops:Binlog.Event.row_op list -> reply:(bool -> unit) -> unit
+  t ->
+  table:string ->
+  ops:Binlog.Event.row_op list ->
+  reply:(Binlog.Gtid.t option -> unit) ->
+  unit
+
+(** Serve a read at the given consistency level under the prior setup's
+    (weaker) guarantees: no ReadIndex, no leases, no staleness
+    propagation.  [Linearizable] and [Bounded_staleness] are honoured on
+    the (believed) primary only; the continuation receives the value or
+    a rejection reason. *)
+val serve_read :
+  t ->
+  level:Read.Level.t ->
+  table:string ->
+  key:string ->
+  ((string option, string) result -> unit) ->
+  unit
 
 (** {2 Role changes (driven by the Orchestrator)} *)
 

@@ -1,5 +1,6 @@
 (* Messages of the prior setup: primary->replica shipping, semi-sync
-   acks, client writes, and the orchestrator's out-of-band health pings. *)
+   acks, client writes and reads, and the orchestrator's out-of-band
+   health pings. *)
 
 type t =
   | Replicate of { entries : Binlog.Entry.t list }
@@ -10,7 +11,17 @@ type t =
       ops : Binlog.Event.row_op list;
       client : string;
     }
-  | Write_reply of { write_id : int; ok : bool }
+  | Write_reply of { write_id : int; ok : bool; gtid : Binlog.Gtid.t option }
+    (* [gtid] carries the committed transaction's GTID so clients can do
+       read-your-writes against replicas (WAIT_FOR_EXECUTED_GTID_SET) *)
+  | Read_request of {
+      read_id : int;
+      level : Read.Level.t;
+      table : string;
+      key : string;
+      client : string;
+    }
+  | Read_reply of { read_id : int; value : (string option, string) result }
   | Ping of { ping_id : int }
   | Pong of { ping_id : int }
 
@@ -21,5 +32,10 @@ let size = function
   | Write_request { ops; table; _ } ->
     48 + String.length table
     + List.fold_left (fun acc op -> acc + Binlog.Event.row_op_size op) 0 ops
-  | Write_reply _ -> 32
+  | Write_reply _ -> 44
+  | Read_request { table; key; level; _ } ->
+    40 + String.length table + String.length key + Read.Level.wire_size level
+  | Read_reply { value = Ok v; _ } ->
+    24 + (match v with Some s -> String.length s | None -> 0)
+  | Read_reply { value = Error reason; _ } -> 32 + String.length reason
   | Ping _ | Pong _ -> 24

@@ -1,5 +1,5 @@
 (** Messages of the prior setup: primary->replica shipping, semi-sync
-    acks, client writes, and the orchestrator's health pings. *)
+    acks, client writes and reads, and the orchestrator's health pings. *)
 
 type t =
   | Replicate of { entries : Binlog.Entry.t list }
@@ -10,7 +10,17 @@ type t =
       ops : Binlog.Event.row_op list;
       client : string;
     }
-  | Write_reply of { write_id : int; ok : bool }
+  | Write_reply of { write_id : int; ok : bool; gtid : Binlog.Gtid.t option }
+      (** [gtid] is the committed transaction's GTID — the session token
+          for read-your-writes on replicas *)
+  | Read_request of {
+      read_id : int;
+      level : Read.Level.t;
+      table : string;
+      key : string;
+      client : string;
+    }
+  | Read_reply of { read_id : int; value : (string option, string) result }
   | Ping of { ping_id : int }
   | Pong of { ping_id : int }
 

@@ -39,6 +39,10 @@ type t = {
      reference replica (§5.1 checksum comparisons). *)
   commit_digests : int32 Vec.t;
   commit_log : (Binlog.Gtid.t * Binlog.Opid.t) Vec.t; (* commit order *)
+  mutable commit_listeners : (Binlog.Gtid.t -> Binlog.Opid.t -> unit) list;
+  (* fired (in subscription order) after each commit_prepared has fully
+     applied: gtid_executed and last_committed_opid already reflect the
+     transaction when a listener runs *)
 }
 
 let create () =
@@ -52,7 +56,10 @@ let create () =
     rolled_back_count = 0;
     commit_digests = Vec.create ~dummy:0l;
     commit_log = Vec.create ~dummy:(Binlog.Gtid.make ~source:"none" ~gno:1, Binlog.Opid.zero);
+    commit_listeners = [];
   }
+
+let subscribe_commit t f = t.commit_listeners <- t.commit_listeners @ [ f ]
 
 let table t name =
   match Hashtbl.find_opt t.tables name with
@@ -109,7 +116,8 @@ let commit_prepared t ~gtid ~opid =
     Vec.push t.commit_digests
       (Binlog.Checksum.string
          (Int32.to_string prev ^ Marshal.to_string (gtid, opid, p.writes) []));
-    Vec.push t.commit_log (gtid, opid)
+    Vec.push t.commit_log (gtid, opid);
+    List.iter (fun f -> f gtid opid) t.commit_listeners
 
 let rollback_prepared t ~gtid =
   match Hashtbl.find_opt t.prepared gtid with

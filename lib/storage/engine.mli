@@ -22,6 +22,13 @@ val prepared_gtids : t -> Binlog.Gtid.t list
     releasing its locks. *)
 val commit_prepared : t -> gtid:Binlog.Gtid.t -> opid:Binlog.Opid.t -> unit
 
+(** Register a commit listener, fired after every {!commit_prepared}
+    once the transaction is fully applied ([gtid_executed] and
+    [last_committed_opid] already include it).  This is what replaces
+    polling for WAIT_FOR_EXECUTED_GTID_SET-style waits and drives the
+    read path's applied-index cursor. *)
+val subscribe_commit : t -> (Binlog.Gtid.t -> Binlog.Opid.t -> unit) -> unit
+
 (** Discard a prepared transaction (no-op if not prepared). *)
 val rollback_prepared : t -> gtid:Binlog.Gtid.t -> unit
 

@@ -4,9 +4,14 @@
    a client ~10 ms away from the primary, transaction sizes drawn from a
    lognormal around the fleet's ~500-byte average (§4.2.2, §6.1).
 
-   [Sysbench]: the sysbench OLTP write benchmark — a closed loop of N
-   worker threads colocated with the primary (§6.1 runs the clients on
-   the primary's machine to remove client-side latency). *)
+   [Sysbench]: the sysbench OLTP benchmark — a closed loop of N worker
+   threads colocated with the primary (§6.1 runs the clients on the
+   primary's machine to remove client-side latency).
+
+   Both loops mix reads into the write stream at [read_ratio], issued at
+   [read_level] against [read_target] (default: the primary).  A
+   [Read_your_writes] level automatically carries the session's last
+   acknowledged GTID. *)
 
 type stats = {
   latencies : Stats.Histogram.t; (* commit latency as seen by the client *)
@@ -15,6 +20,12 @@ type stats = {
   mutable committed : int;
   mutable rejected : int;
   mutable timed_out : int;
+  (* read-side counters *)
+  read_latencies : Stats.Histogram.t; (* served reads only *)
+  mutable reads_issued : int;
+  mutable reads_ok : int;
+  mutable reads_rejected : int;
+  mutable reads_timed_out : int;
 }
 
 let make_stats ~bucket_width =
@@ -25,6 +36,11 @@ let make_stats ~bucket_width =
     committed = 0;
     rejected = 0;
     timed_out = 0;
+    read_latencies = Stats.Histogram.create ();
+    reads_issued = 0;
+    reads_ok = 0;
+    reads_rejected = 0;
+    reads_timed_out = 0;
   }
 
 type t = {
@@ -33,22 +49,33 @@ type t = {
   rng : Sim.Rng.t;
   stats : stats;
   write_timeout : float;
+  read_timeout : float;
   outstanding : (int, float * (bool -> unit) option) Hashtbl.t;
     (* write id -> (send time, continuation) *)
+  outstanding_reads : (int, float * (Backend.read_outcome -> unit) option) Hashtbl.t;
   mutable next_id : int;
+  mutable next_read_id : int;
   mutable running : bool;
   key_space : int;
   value_mu : float; (* lognormal of row payload size *)
   value_sigma : float;
+  read_ratio : float; (* fraction of issued ops that are reads *)
+  read_level : Read.Level.t;
+  read_target : string option; (* None = primary *)
+  mutable last_gtid : Binlog.Gtid.t option; (* session token for RYW *)
 }
 
 let stats t = t.stats
+
+let last_gtid t = t.last_gtid
 
 let stop t = t.running <- false
 
 let create ~backend ~client_id ~region ?client_latency ?(write_timeout = 5.0 *. Sim.Engine.s)
     ?(key_space = 100_000) ?(value_mu = log 420.0) ?(value_sigma = 0.4)
-    ?(bucket_width = Sim.Engine.s) () =
+    ?(bucket_width = Sim.Engine.s) ?(read_ratio = 0.0)
+    ?(read_level = Read.Level.Eventual) ?read_target ?(read_timeout = 5.0 *. Sim.Engine.s)
+    () =
   let t =
     {
       backend;
@@ -56,15 +83,23 @@ let create ~backend ~client_id ~region ?client_latency ?(write_timeout = 5.0 *. 
       rng = Sim.Rng.split (Sim.Engine.rng backend.Backend.engine);
       stats = make_stats ~bucket_width;
       write_timeout;
+      read_timeout;
       outstanding = Hashtbl.create 256;
+      outstanding_reads = Hashtbl.create 256;
       next_id = 1;
+      next_read_id = 1;
       running = true;
       key_space;
       value_mu;
       value_sigma;
+      read_ratio;
+      read_level;
+      read_target;
+      last_gtid = None;
     }
   in
-  backend.Backend.register_client ~id:client_id ~region ~on_reply:(fun ~write_id ~ok ->
+  backend.Backend.register_client ~id:client_id ~region
+    ~on_reply:(fun ~write_id ~ok ~gtid ->
       match Hashtbl.find_opt t.outstanding write_id with
       | None -> ()
       | Some (sent_at, k) ->
@@ -72,11 +107,24 @@ let create ~backend ~client_id ~region ?client_latency ?(write_timeout = 5.0 *. 
         let now = Sim.Engine.now backend.Backend.engine in
         if ok then begin
           t.stats.committed <- t.stats.committed + 1;
+          (match gtid with Some g -> t.last_gtid <- Some g | None -> ());
           Stats.Histogram.record t.stats.latencies (now -. sent_at);
           Stats.Timeseries.record t.stats.throughput now
         end
         else t.stats.rejected <- t.stats.rejected + 1;
-        match k with Some k -> k ok | None -> ());
+        match k with Some k -> k ok | None -> ())
+    ~on_read_reply:(fun ~read_id ~outcome ->
+      match Hashtbl.find_opt t.outstanding_reads read_id with
+      | None -> ()
+      | Some (sent_at, k) ->
+        Hashtbl.remove t.outstanding_reads read_id;
+        let now = Sim.Engine.now backend.Backend.engine in
+        (match outcome with
+        | Backend.Read_ok _ ->
+          t.stats.reads_ok <- t.stats.reads_ok + 1;
+          Stats.Histogram.record t.stats.read_latencies (now -. sent_at)
+        | Backend.Read_rejected _ -> t.stats.reads_rejected <- t.stats.reads_rejected + 1);
+        match k with Some k -> k outcome | None -> ());
   (* With no explicit override the client's latency to the ring comes
      from the region-pair model. *)
   (match client_latency with
@@ -109,13 +157,61 @@ let issue_op ?k t ~table ~key ~value_size =
              t.stats.timed_out <- t.stats.timed_out + 1;
              (match k with Some k -> k false | None -> ())))
 
+(* Issue one read at [level] (defaults to the generator's configured
+   level, with the session's last GTID attached for RYW). *)
+let issue_read ?k ?level ?target t ~table ~key =
+  let engine = t.backend.Backend.engine in
+  let level =
+    match (match level with Some l -> l | None -> t.read_level) with
+    | Read.Level.Read_your_writes None -> Read.Level.Read_your_writes t.last_gtid
+    | l -> l
+  in
+  let target = match target with Some _ as x -> x | None -> t.read_target in
+  let read_id = t.next_read_id in
+  t.next_read_id <- t.next_read_id + 1;
+  t.stats.reads_issued <- t.stats.reads_issued + 1;
+  Hashtbl.replace t.outstanding_reads read_id (Sim.Engine.now engine, k);
+  let sent =
+    t.backend.Backend.send_read ~client:t.client_id ~read_id ~level ~table ~key ~target
+  in
+  if not sent then begin
+    Hashtbl.remove t.outstanding_reads read_id;
+    t.stats.reads_rejected <- t.stats.reads_rejected + 1;
+    match k with
+    | Some k ->
+      k (Backend.Read_rejected { reason = "no read target"; retry_after = None })
+    | None -> ()
+  end
+  else
+    ignore
+      (Sim.Engine.schedule engine ~delay:t.read_timeout (fun () ->
+           match Hashtbl.find_opt t.outstanding_reads read_id with
+           | None -> () (* already settled *)
+           | Some (_, k) ->
+             Hashtbl.remove t.outstanding_reads read_id;
+             t.stats.reads_timed_out <- t.stats.reads_timed_out + 1;
+             (match k with
+             | Some k ->
+               k (Backend.Read_rejected { reason = "read timed out"; retry_after = None })
+             | None -> ())))
+
+let draw_key t = Printf.sprintf "row-%d" (Sim.Rng.int t.rng t.key_space)
+
 (* Issue one write with generator-drawn key and payload size. *)
 let issue ?k t =
   let value_size =
     max 16 (int_of_float (Sim.Rng.lognormal t.rng ~mu:t.value_mu ~sigma:t.value_sigma))
   in
-  let key = Printf.sprintf "row-%d" (Sim.Rng.int t.rng t.key_space) in
-  issue_op ?k t ~table:"sbtest" ~key ~value_size
+  issue_op ?k t ~table:"sbtest" ~key:(draw_key t) ~value_size
+
+(* One generator-drawn op: a read with probability [read_ratio], else a
+   write.  [k] settles either way. *)
+let issue_mixed ?k t =
+  if t.read_ratio > 0.0 && Sim.Rng.uniform t.rng ~lo:0.0 ~hi:1.0 < t.read_ratio then
+    issue_read
+      ?k:(match k with Some k -> Some (fun (_ : Backend.read_outcome) -> k true) | None -> None)
+      t ~table:"sbtest" ~key:(draw_key t)
+  else issue ?k t
 
 (* Open-loop Poisson arrivals at [rate_per_s]. *)
 let start_open_loop t ~rate_per_s =
@@ -123,7 +219,7 @@ let start_open_loop t ~rate_per_s =
   let mean_gap = Sim.Engine.s /. rate_per_s in
   let rec tick () =
     if t.running then begin
-      issue t;
+      issue_mixed t;
       ignore
         (Sim.Engine.schedule engine ~delay:(Sim.Rng.exponential t.rng ~mean:mean_gap) tick)
     end
@@ -135,7 +231,7 @@ let start_closed_loop t ~threads =
   let engine = t.backend.Backend.engine in
   let rec worker () =
     if t.running then
-      issue t ~k:(fun _ ->
+      issue_mixed t ~k:(fun _ ->
           (* tiny think time to model the client library overhead *)
           ignore (Sim.Engine.schedule engine ~delay:(10.0 *. Sim.Engine.us) worker))
   in
@@ -147,8 +243,12 @@ let start_closed_loop t ~threads =
 
 let summary t =
   let st = t.stats in
-  Printf.sprintf "%s/%s: issued=%d committed=%d rejected=%d timeout=%d%s"
+  Printf.sprintf "%s/%s: issued=%d committed=%d rejected=%d timeout=%d%s%s"
     t.backend.Backend.label t.client_id st.issued st.committed st.rejected st.timed_out
+    (if st.reads_issued = 0 then ""
+     else
+       Printf.sprintf " | reads issued=%d ok=%d rejected=%d timeout=%d" st.reads_issued
+         st.reads_ok st.reads_rejected st.reads_timed_out)
     (if Stats.Histogram.is_empty st.latencies then ""
      else
        Printf.sprintf " | %s"

@@ -1,6 +1,7 @@
 (** Workload generators for the §6.1 experiments: MyShadow-style
     open-loop production traffic (Poisson arrivals, lognormal payload
-    sizes) and the sysbench OLTP-write closed loop. *)
+    sizes) and the sysbench OLTP closed loop, both optionally mixing
+    reads into the write stream. *)
 
 type stats = {
   latencies : Stats.Histogram.t;
@@ -9,13 +10,21 @@ type stats = {
   mutable committed : int;
   mutable rejected : int;
   mutable timed_out : int;
+  read_latencies : Stats.Histogram.t;  (** served reads only *)
+  mutable reads_issued : int;
+  mutable reads_ok : int;
+  mutable reads_rejected : int;
+  mutable reads_timed_out : int;
 }
 
 type t
 
 (** Register a client against a backend.  [client_latency] pins a fixed
     one-way latency to every ring member; omit it to use the region
-    latency model. *)
+    latency model.  [read_ratio] is the fraction of generated ops that
+    are reads, issued at [read_level] against [read_target] (default:
+    the primary).  A [Read_your_writes None] level automatically carries
+    the session's last acknowledged GTID. *)
 val create :
   backend:Backend.t ->
   client_id:string ->
@@ -26,10 +35,17 @@ val create :
   ?value_mu:float ->
   ?value_sigma:float ->
   ?bucket_width:float ->
+  ?read_ratio:float ->
+  ?read_level:Read.Level.t ->
+  ?read_target:string ->
+  ?read_timeout:float ->
   unit ->
   t
 
 val stats : t -> stats
+
+(** The session's last acknowledged write GTID (the RYW token). *)
+val last_gtid : t -> Binlog.Gtid.t option
 
 val stop : t -> unit
 
@@ -39,6 +55,21 @@ val issue_op : ?k:(bool -> unit) -> t -> table:string -> key:string -> value_siz
 
 (** Issue one write with generator-drawn key and payload size. *)
 val issue : ?k:(bool -> unit) -> t -> unit
+
+(** Issue one read; [level]/[target] override the generator defaults.
+    [k] also settles on timeout (as [Read_rejected]). *)
+val issue_read :
+  ?k:(Backend.read_outcome -> unit) ->
+  ?level:Read.Level.t ->
+  ?target:string ->
+  t ->
+  table:string ->
+  key:string ->
+  unit
+
+(** One generator-drawn op: read with probability [read_ratio], else
+    write. *)
+val issue_mixed : ?k:(bool -> unit) -> t -> unit
 
 (** Poisson arrivals at [rate_per_s]. *)
 val start_open_loop : t -> rate_per_s:float -> unit

@@ -25,7 +25,7 @@ let direct_write ?(table = "t") ?(timeout = 5.0 *. s) cluster ~key ~value =
     if not ok then Error "write timed out"
     else
       match !result with
-      | Some Myraft.Wire.Committed -> Ok ()
+      | Some (Myraft.Wire.Committed _) -> Ok ()
       | Some (Myraft.Wire.Rejected reason) -> Error reason
       | None -> Error "unreachable"
 

@@ -43,7 +43,7 @@ let test_enable_raft_migrates () =
   for i = 1 to 20 do
     Semisync.Server.submit_write primary ~table:"t"
       ~ops:[ Binlog.Event.Insert { key = Printf.sprintf "k%d" i; value = "v" } ]
-      ~reply:(fun ok -> if ok then incr written)
+      ~reply:(fun gtid -> if gtid <> None then incr written)
   done;
   ignore (Semisync.Cluster.run_until ss ~timeout:(10.0 *. s) (fun () -> !written = 20));
   let locks = Control.Lock_service.create (Semisync.Cluster.engine ss) in

@@ -143,6 +143,8 @@ let ae payload =
       commit_index = 7;
       seq = 9;
       reply_route = [];
+      leader_time = 0.0;
+      leader_last_index = 9;
     }
 
 let test_message_sizes_scale_with_payload () =

@@ -113,7 +113,9 @@ let test_conflicting_writes_same_key () =
     (Myraft.Cluster.run_until cluster ~timeout:(5.0 *. s) (fun () ->
          List.length !outcomes = 2));
   let committed =
-    List.length (List.filter (fun o -> o = Myraft.Wire.Committed) !outcomes)
+    List.length
+      (List.filter (fun o -> match o with Myraft.Wire.Committed _ -> true | _ -> false)
+         !outcomes)
   in
   Alcotest.(check int) "exactly one commits" 1 committed;
   (* after the first settles, the key is writable again *)
@@ -158,7 +160,7 @@ let test_demoted_primary_aborts_in_flight () =
     (Myraft.Cluster.run_until cluster ~timeout:(15.0 *. s) (fun () -> !outcome <> None));
   (match !outcome with
   | Some (Myraft.Wire.Rejected _) -> ()
-  | Some Myraft.Wire.Committed -> Alcotest.fail "doomed write committed"
+  | Some (Myraft.Wire.Committed _) -> Alcotest.fail "doomed write committed"
   | None -> Alcotest.fail "doomed write never settled");
   Alcotest.(check int) "nothing left prepared" 0
     (List.length (Storage.Engine.prepared_gtids (Myraft.Server.storage primary)))

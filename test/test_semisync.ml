@@ -26,7 +26,7 @@ let direct_write ?(timeout = 5.0 *. s) cluster ~key ~value =
     let result = ref None in
     Semisync.Server.submit_write server ~table:"t"
       ~ops:[ Binlog.Event.Insert { key; value } ]
-      ~reply:(fun ok -> result := Some ok);
+      ~reply:(fun gtid -> result := Some (gtid <> None));
     let settled =
       Semisync.Cluster.run_until cluster ~step:ms ~timeout (fun () -> !result <> None)
     in
