@@ -38,6 +38,8 @@ let pipeline () = Pipeline_bench.run ()
 
 let read_bench () = Read_bench.run ()
 
+let apply_bench () = Apply_bench.run ()
+
 let experiments =
   [
     ("table1", "Table 1: role mapping", table1);
@@ -54,6 +56,9 @@ let experiments =
     ("chaos-smoke", "C1: nemesis seed sweep, gate on zero invariant violations", chaos_smoke);
     ("pipeline", "P3: windowed replication window x RTT sweep, gate on w8 >= 2x w1", pipeline);
     ("read", "R1: tiered read path sweep, gate on lease >= 5x readindex reads", read_bench);
+    ( "apply",
+      "A5: parallel apply workers x skew x cost sweep, gate on 4 lanes >= 2.5x serial",
+      apply_bench );
   ]
 
 let run_all () =

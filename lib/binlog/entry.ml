@@ -12,7 +12,21 @@ type payload =
   | Config_change of { description : string; encoded : string }
   | Rotate_marker of { next_file : string }
 
-type t = { opid : Opid.t; payload : payload; checksum : int32; size : int }
+(* WRITESET dependency interval stamped into the Gtid_event header at
+   flush time (§ Parallel apply): a replica may execute this transaction
+   concurrently with anything whose index is > [last_committed].  Kept
+   outside the payload checksum — in the real binlog these live in the
+   42-byte Gtid_event whose size we already account for, and they are
+   header metadata stamped by the primary, not client payload. *)
+type deps = { last_committed : int; sequence_number : int }
+
+type t = {
+  opid : Opid.t;
+  payload : payload;
+  checksum : int32;
+  size : int;
+  mutable deps : deps option;
+}
 
 let payload_bytes payload = Marshal.to_string payload []
 
@@ -26,7 +40,13 @@ let payload_size payload =
 
 let make ~opid payload =
   let checksum = Checksum.string (payload_bytes payload) in
-  { opid; payload; checksum; size = payload_size payload + 16 (* opid + checksum framing *) }
+  {
+    opid;
+    payload;
+    checksum;
+    size = payload_size payload + 16 (* opid + checksum framing *);
+    deps = None;
+  }
 
 let opid t = t.opid
 
@@ -41,6 +61,11 @@ let size t = t.size
 let checksum t = t.checksum
 
 let verify t = Int32.equal (Checksum.string (payload_bytes t.payload)) t.checksum
+
+let deps t = t.deps
+
+let set_deps t ~last_committed ~sequence_number =
+  t.deps <- Some { last_committed; sequence_number }
 
 let gtid t = match t.payload with Transaction { gtid; _ } -> Some gtid | _ -> None
 

@@ -9,6 +9,14 @@ type payload =
   | Config_change of { description : string; encoded : string }
   | Rotate_marker of { next_file : string }
 
+(** WRITESET dependency interval stamped by the primary at flush time
+    (binlog_transaction_dependency_tracking = WRITESET): a replica may
+    execute this transaction concurrently with any entry whose index is
+    greater than [last_committed].  Header metadata, not payload: it is
+    outside the checksum, like the fields of the real 42-byte
+    Gtid_event. *)
+type deps = { last_committed : int; sequence_number : int }
+
 type t
 
 val make : opid:Opid.t -> payload -> t
@@ -28,6 +36,10 @@ val checksum : t -> int32
 
 (** Recompute and compare the checksum. *)
 val verify : t -> bool
+
+val deps : t -> deps option
+
+val set_deps : t -> last_committed:int -> sequence_number:int -> unit
 
 (** The transaction's GTID, if this entry is a transaction. *)
 val gtid : t -> Gtid.t option

@@ -27,6 +27,9 @@ let make body = { body }
 
 let body t = t.body
 
+let row_op_key = function
+  | Insert { key; _ } | Update { key; _ } | Delete { key; _ } -> key
+
 let row_op_size = function
   | Insert { key; value } -> 8 + String.length key + String.length value
   | Update { key; before; after } ->

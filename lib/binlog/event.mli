@@ -24,6 +24,9 @@ val make : body -> t
 
 val body : t -> body
 
+(** The row key a row op touches (the writeset member it contributes). *)
+val row_op_key : row_op -> string
+
 val row_op_size : row_op -> int
 
 (** Approximate on-disk size in bytes (19-byte common header + body),

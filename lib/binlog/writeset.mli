@@ -1,0 +1,32 @@
+(** WRITESET-based transaction dependency tracking
+    (binlog_transaction_dependency_tracking = WRITESET).  The primary
+    keeps a bounded history of (table, key) hashes → last writer index
+    and stamps each transaction at flush time with a MySQL-style
+    dependency interval; a replica may execute it in parallel with
+    anything later than [last_committed].  Hash collisions only create
+    false dependencies (a later last_committed), never missed ones.
+    When the history exceeds its capacity it is reset and the floor
+    raised, like MySQL's m_writeset_history_size. *)
+
+type t
+
+val create : capacity:int -> t
+
+(** Number of tracked key hashes currently in the history. *)
+val size : t -> int
+
+(** Lower bound every stamp is clamped to (raised on history reset). *)
+val floor : t -> int
+
+(** Forget everything (role change: a fresh primary starts a new
+    dependency epoch). *)
+val clear : t -> unit
+
+(** [stamp t ~index ~keys] records the transaction at log [index]
+    writing [keys] ((table, key) pairs) and returns its
+    [last_committed]; always < [index]. *)
+val stamp : t -> index:int -> keys:(string * string) list -> int
+
+(** Stamp a transaction whose write set cannot be derived: serialize it
+    against everything earlier; returns [index - 1]. *)
+val stamp_serial : t -> index:int -> int

@@ -1,27 +1,38 @@
-(** The replica's applier thread (§3.5): picks transactions from the
-    relay log in order, executes their RBR payloads, and pushes them
-    through the commit pipeline where they wait for the consensus-commit
-    marker.
+(** The replica's applier (§3.5) as a WRITESET-driven parallel
+    scheduler: a coordinator walks the relay log in order and dispatches
+    entries to [Params.applier_workers] simulated worker lanes once
+    their dependency interval allows ([last_committed] at or below the
+    engine-committed low-water-mark).  Only the execute phase overlaps;
+    submission into the FIFO commit pipeline stays in log order, so
+    engine commit order is preserved (slave_preserve_commit_order).
+    Unstamped entries (no-ops, config changes, rotates) are scheduling
+    barriers — the serial applier's schedule.
 
-    [applied_index] is the highest log index durably in the engine with
-    nothing earlier missing — what promotion step 2 waits on, and what
-    positions the cursor after a role change (§3.3). *)
+    [applied_index] is a true low-water-mark over out-of-order engine
+    commits: the highest log index durably in the engine with nothing
+    earlier missing — what promotion step 2 waits on, and what positions
+    the cursor after a role change (§3.3). *)
 
 type t
 
-(** [process entry ~on_submitted ~on_done] must execute the entry
-    (prepare + pipeline submission).  [on_submitted] must fire exactly
-    once, when the entry's commit order is pinned (it entered the FIFO
-    pipeline, or its outcome is terminal) — the applier stalls later
-    entries until then, preserving engine commit order
-    (slave_preserve_commit_order).  [on_done] fires after engine
-    commit. *)
+(** [process entry ~live ~on_submitted ~on_done] must execute the entry
+    (prepare + pipeline submission).  [live] is the applier's fencing
+    token: any retry loop must consult it and abandon the entry when it
+    turns false (truncation, applier restart).  [on_submitted] must fire
+    exactly once, when the entry's commit order is pinned (it entered
+    the FIFO pipeline, or its outcome is terminal) — the applier keeps
+    later entries out of the pipeline until then.  [on_done] fires after
+    engine commit. *)
 val create :
   ?metrics:Obs.Metrics.t ->
   engine:Sim.Engine.t ->
   params:Params.t ->
   process:
-    (Binlog.Entry.t -> on_submitted:(unit -> unit) -> on_done:(ok:bool -> unit) -> unit) ->
+    (Binlog.Entry.t ->
+    live:(unit -> bool) ->
+    on_submitted:(unit -> unit) ->
+    on_done:(ok:bool -> unit) ->
+    unit) ->
   unit ->
   t
 
@@ -37,11 +48,30 @@ val is_running : t -> bool
     are filtered). *)
 val signal : t -> Binlog.Entry.t list -> unit
 
-(** Log truncation: drop queued entries at/above the point and rewind. *)
+(** Log truncation: fence every lane at/above the point (in-flight
+    executes, pipeline callbacks and server-side retry loops all become
+    no-ops), salvage unsubmitted entries below it back onto the queue,
+    and rewind the cursors.  Entries below the point already submitted
+    to the pipeline stay live: their commits still advance the mark. *)
 val handle_truncation : t -> from_index:int -> unit
+
+(** Consensus commit index as last reported, for the replica-lag gauge. *)
+val note_commit_index : t -> int -> unit
 
 val applied_index : t -> int
 
 val applied_txns : t -> int
+
+(** Distinct head-of-line dependency stalls observed (a free lane idled
+    because the head's [last_committed] was above the mark). *)
+val dep_stalls : t -> int
+
+(** Worker lanes currently owning an entry (executing, parked ready, or
+    submitting — a lane is released when its entry enters the
+    pipeline). *)
+val busy_workers : t -> int
+
+(** Configured lane count (at least 1). *)
+val workers : t -> int
 
 val queue_length : t -> int

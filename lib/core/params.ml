@@ -15,6 +15,8 @@ type t = {
   commit_per_txn_us : float;
   apply_per_txn_us : float; (* applier executing an RBR payload *)
   applier_wakeup_us : float; (* applier thread scheduling delay *)
+  applier_workers : int; (* parallel apply worker lanes (1 = serial) *)
+  writeset_history_size : int; (* primary-side writeset history capacity *)
   (* Promotion orchestration step costs (§3.3) *)
   rewire_logs_us : float;
   enable_writes_us : float;
@@ -39,6 +41,8 @@ let default =
     commit_per_txn_us = 4.0;
     apply_per_txn_us = 60.0;
     applier_wakeup_us = 20.0;
+    applier_workers = 4;
+    writeset_history_size = 10_000;
     rewire_logs_us = 15_000.0;
     enable_writes_us = 5_000.0;
     publish_discovery_us = 30_000.0;

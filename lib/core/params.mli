@@ -12,6 +12,8 @@ type t = {
   commit_per_txn_us : float;
   apply_per_txn_us : float;  (** applier executing an RBR payload *)
   applier_wakeup_us : float;
+  applier_workers : int;  (** parallel apply worker lanes (1 = serial) *)
+  writeset_history_size : int;  (** primary-side writeset history capacity *)
   rewire_logs_us : float;  (** §3.3 promotion step costs... *)
   enable_writes_us : float;
   publish_discovery_us : float;

@@ -45,6 +45,7 @@ type t = {
   mutable orchestration_epoch : int; (* invalidates in-flight orchestrations *)
   rng : Sim.Rng.t;
   (* counters *)
+  writeset : Binlog.Writeset.t; (* primary-side dependency tracker *)
   mutable promotions : int;
   mutable demotions : int;
   mutable writes_committed : int;
@@ -212,8 +213,10 @@ let jittered t nominal = nominal *. Sim.Rng.lognormal t.rng ~mu:0.0 ~sigma:0.35
 
 (* Execute one relay-log entry: prepare the transaction in the engine and
    push it into the commit pipeline, where it awaits the consensus-commit
-   marker before engine commit. *)
-let applier_process t entry ~on_submitted ~on_done =
+   marker before engine commit.  [live] is the applier's fencing token:
+   retry loops consult it so a transaction truncated out of the log while
+   its prepare waited on a row lock cannot zombie-prepare later. *)
+let applier_process t entry ~live ~on_submitted ~on_done =
   match Binlog.Entry.payload entry with
   | Binlog.Entry.Transaction { gtid; events } ->
     if Storage.Engine.has_committed t.storage gtid then begin
@@ -244,7 +247,9 @@ let applier_process t entry ~on_submitted ~on_done =
               (Sim.Engine.schedule t.engine ~delay:(50.0 *. Sim.Engine.us) (fun () ->
                    try_prepare retry))
         in
-        if Storage.Engine.has_committed t.storage gtid then begin
+        if not (live ()) then
+          () (* entry truncated / applier restarted while waiting: abandon *)
+        else if Storage.Engine.has_committed t.storage gtid then begin
           on_done ~ok:true;
           on_submitted ()
         end
@@ -348,7 +353,11 @@ and promotion_rewire t ~epoch =
                     t.orchestration_epoch = epoch && not t.crashed
                     && Raft.Node.is_leader (raft t)
                   then begin
-                    (* Step 4: allow client writes. *)
+                    (* Step 4: allow client writes.  A fresh primary starts
+                       a new dependency-tracking epoch: the term-opening
+                       no-op is a scheduling barrier on every replica, so
+                       intervals never span leaderships. *)
+                    Binlog.Writeset.clear t.writeset;
                     t.role <- Primary;
                     t.writes_enabled <- true;
                     t.next_gno <-
@@ -389,6 +398,12 @@ let start_applier_from_recovery_point t =
   let from_index = Binlog.Opid.index (Storage.Engine.last_committed_opid t.storage) + 1 in
   let backlog = Binlog.Log_store.entries_from t.log ~from_index ~max_count:max_int in
   Applier.start (applier t) ~from_index ~backlog
+
+(* Re-point the applier at the engine's recovery cursor after engine and
+   log were seeded behind its back (backup restore into a fresh member):
+   the applier's low-water-mark must start at the seeded position, not
+   the empty-server one it was created with. *)
+let reposition_applier t = if t.role = Replica then start_applier_from_recovery_point t
 
 let begin_demotion t =
   t.orchestration_epoch <- t.orchestration_epoch + 1;
@@ -436,6 +451,9 @@ let make_callbacks t =
   cb.Raft.Node.on_commit_advance <-
     (fun ~commit_index ->
       Pipeline.notify_commit_index t.pipeline commit_index;
+      (match t.applier with
+      | Some a -> Applier.note_commit_index a commit_index
+      | None -> ());
       (* noop/config entries below the commit index count as applied *)
       advance_exec_cursor t);
   cb.Raft.Node.on_entries_appended <-
@@ -535,9 +553,28 @@ let submit_write t ~table ~ops ~reply =
                        match Raft.Node.client_append (raft t) payload with
                        | Ok assigned ->
                          opid := assigned;
+                         let index = Binlog.Opid.index assigned in
+                         (* Stamp the WRITESET dependency interval into the
+                            entry's Gtid_event metadata at flush time, like
+                            binlog_transaction_dependency_tracking=WRITESET.
+                            The entry was only just appended; Raft sends it
+                            by reference on future network events, so the
+                            stamp replicates with it. *)
+                         (match Binlog.Log_store.entry_at t.log index with
+                         | Some entry ->
+                           let keys =
+                             List.map
+                               (fun op -> (table, Binlog.Event.row_op_key op))
+                               ops
+                           in
+                           Binlog.Entry.set_deps entry
+                             ~last_committed:
+                               (Binlog.Writeset.stamp t.writeset ~index ~keys)
+                             ~sequence_number:index
+                         | None -> ());
                          trace_event t ~stage:"flush" ~term:(Binlog.Opid.term assigned)
-                           ~index:(Binlog.Opid.index assigned);
-                         Ok (Binlog.Opid.index assigned)
+                           ~index;
+                         Ok index
                        | Error e -> Error e);
                    finish =
                      (fun ~ok ->
@@ -687,6 +724,7 @@ let restart t =
        (torn-tail fault); Raft never acked those entries, so losing them
        is safe — the leader re-replicates them. *)
     let torn = Binlog.Log_store.crash_recover_log t.log in
+    Binlog.Writeset.clear t.writeset;
     t.pipeline <-
       Pipeline.create ~metrics:t.metrics ~engine:t.engine ~params:t.params
         ~is_primary_path:true ();
@@ -743,6 +781,7 @@ let create ?metrics ?tracebuf ~engine ~id ~region ~replicaset ~send ~discovery ~
       storage = Storage.Engine.create ();
       log = Binlog.Log_store.create ~metrics ~mode:Binlog.Log_store.Relay ();
       durable = Raft.Node.fresh_durable ();
+      writeset = Binlog.Writeset.create ~capacity:params.Params.writeset_history_size;
       raft = None;
       pipeline = Pipeline.create ~metrics ~engine ~params ~is_primary_path:true ();
       applier = None;
@@ -770,8 +809,8 @@ let create ?metrics ?tracebuf ~engine ~id ~region ~replicaset ~send ~discovery ~
   t.applier <-
     Some
       (Applier.create ~metrics ~engine ~params
-         ~process:(fun entry ~on_submitted ~on_done ->
-           applier_process t entry ~on_submitted ~on_done)
+         ~process:(fun entry ~live ~on_submitted ~on_done ->
+           applier_process t entry ~live ~on_submitted ~on_done)
          ());
   t.raft <- Some (make_raft t);
   install_coalesce t;

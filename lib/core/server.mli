@@ -110,6 +110,11 @@ val crash : t -> unit
 
 val restart : t -> unit
 
+(** Re-point the applier at the engine's recovery cursor after engine
+    and log were seeded behind its back (backup restore into a fresh
+    member).  No-op on a primary. *)
+val reposition_applier : t -> unit
+
 (** Network delivery entry point. *)
 val handle_message : t -> src:string -> Wire.t -> unit
 

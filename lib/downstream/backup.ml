@@ -113,6 +113,9 @@ let restore_into_server backup server =
           Storage.Engine.commit_prepared storage ~gtid ~opid:(Binlog.Entry.opid entry)
         | _ -> ())
       backup.entries;
+    (* The applier was started on an empty server; its cursor must move
+       to the seeded position before Raft starts feeding entries. *)
+    Myraft.Server.reposition_applier server;
     Ok ()
   end
 

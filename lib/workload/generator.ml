@@ -43,6 +43,16 @@ let make_stats ~bucket_width =
     reads_timed_out = 0;
   }
 
+(* Key-skew models for [draw_key].  [Zipf theta] uses the standard
+   Zipf(theta) pmf over ranks 1..key_space via a precomputed inverse CDF
+   (row-0 hottest); [Hot_spot] sends [hot_fraction] of ops to the first
+   [hot_keys] rows.  Skew concentrates the writeset, which is what makes
+   dependency-tracked parallel apply stall — the apply bench sweeps it. *)
+type key_dist =
+  | Uniform
+  | Zipf of float
+  | Hot_spot of { hot_fraction : float; hot_keys : int }
+
 type t = {
   backend : Backend.t;
   client_id : string;
@@ -57,6 +67,8 @@ type t = {
   mutable next_read_id : int;
   mutable running : bool;
   key_space : int;
+  key_dist : key_dist;
+  zipf_cdf : float array; (* cumulative pmf over ranks; empty unless Zipf *)
   value_mu : float; (* lognormal of row payload size *)
   value_sigma : float;
   read_ratio : float; (* fraction of issued ops that are reads *)
@@ -71,11 +83,27 @@ let last_gtid t = t.last_gtid
 
 let stop t = t.running <- false
 
+(* Cumulative Zipf(theta) weights over ranks 1..n, normalised to 1. *)
+let zipf_cdf_table ~n ~theta =
+  let w = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** theta)) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let acc = ref 0.0 in
+  Array.map
+    (fun x ->
+      acc := !acc +. (x /. total);
+      !acc)
+    w
+
 let create ~backend ~client_id ~region ?client_latency ?(write_timeout = 5.0 *. Sim.Engine.s)
-    ?(key_space = 100_000) ?(value_mu = log 420.0) ?(value_sigma = 0.4)
+    ?(key_space = 100_000) ?(key_dist = Uniform) ?(value_mu = log 420.0) ?(value_sigma = 0.4)
     ?(bucket_width = Sim.Engine.s) ?(read_ratio = 0.0)
     ?(read_level = Read.Level.Eventual) ?read_target ?(read_timeout = 5.0 *. Sim.Engine.s)
     () =
+  let zipf_cdf =
+    match key_dist with
+    | Zipf theta -> zipf_cdf_table ~n:key_space ~theta
+    | Uniform | Hot_spot _ -> [||]
+  in
   let t =
     {
       backend;
@@ -90,6 +118,8 @@ let create ~backend ~client_id ~region ?client_latency ?(write_timeout = 5.0 *. 
       next_read_id = 1;
       running = true;
       key_space;
+      key_dist;
+      zipf_cdf;
       value_mu;
       value_sigma;
       read_ratio;
@@ -195,7 +225,26 @@ let issue_read ?k ?level ?target t ~table ~key =
                k (Backend.Read_rejected { reason = "read timed out"; retry_after = None })
              | None -> ())))
 
-let draw_key t = Printf.sprintf "row-%d" (Sim.Rng.int t.rng t.key_space)
+(* Smallest rank whose cumulative weight covers [u] (inverse CDF). *)
+let zipf_rank cdf u =
+  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let draw_key_index t =
+  match t.key_dist with
+  | Uniform -> Sim.Rng.int t.rng t.key_space
+  | Zipf _ -> zipf_rank t.zipf_cdf (Sim.Rng.uniform t.rng ~lo:0.0 ~hi:1.0)
+  | Hot_spot { hot_fraction; hot_keys } ->
+    let hot_keys = max 1 (min hot_keys t.key_space) in
+    if Sim.Rng.uniform t.rng ~lo:0.0 ~hi:1.0 < hot_fraction then
+      Sim.Rng.int t.rng hot_keys
+    else Sim.Rng.int t.rng t.key_space
+
+let draw_key t = Printf.sprintf "row-%d" (draw_key_index t)
 
 (* Issue one write with generator-drawn key and payload size. *)
 let issue ?k t =

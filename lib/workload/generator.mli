@@ -17,6 +17,16 @@ type stats = {
   mutable reads_timed_out : int;
 }
 
+(** Key-skew model for generated keys: [Zipf theta] draws ranks from a
+    Zipf(theta) pmf over [0, key_space) (rank 0 hottest) via a
+    precomputed inverse CDF; [Hot_spot] sends [hot_fraction] of ops to
+    the first [hot_keys] rows.  Skew concentrates the writeset and so
+    stresses dependency-tracked parallel apply. *)
+type key_dist =
+  | Uniform
+  | Zipf of float
+  | Hot_spot of { hot_fraction : float; hot_keys : int }
+
 type t
 
 (** Register a client against a backend.  [client_latency] pins a fixed
@@ -32,6 +42,7 @@ val create :
   ?client_latency:float ->
   ?write_timeout:float ->
   ?key_space:int ->
+  ?key_dist:key_dist ->
   ?value_mu:float ->
   ?value_sigma:float ->
   ?bucket_width:float ->
@@ -55,6 +66,10 @@ val issue_op : ?k:(bool -> unit) -> t -> table:string -> key:string -> value_siz
 
 (** Issue one write with generator-drawn key and payload size. *)
 val issue : ?k:(bool -> unit) -> t -> unit
+
+(** Draw a key index from the configured [key_dist] (exposed for
+    distribution tests). *)
+val draw_key_index : t -> int
 
 (** Issue one read; [level]/[target] override the generator defaults.
     [k] also settles on timeout (as [Read_rejected]). *)

@@ -131,7 +131,7 @@ let test_applier_orders_and_dedupes () =
   let processed = ref [] in
   let a =
     Myraft.Applier.create ~engine ~params:Myraft.Params.default ()
-      ~process:(fun e ~on_submitted ~on_done ->
+      ~process:(fun e ~live:_ ~on_submitted ~on_done ->
         processed := Binlog.Entry.index e :: !processed;
         on_done ~ok:true;
         on_submitted ())
@@ -146,7 +146,7 @@ let test_applier_truncation_rewinds () =
   let engine = Sim.Engine.create () in
   let a =
     Myraft.Applier.create ~engine ~params:Myraft.Params.default ()
-      ~process:(fun _ ~on_submitted ~on_done ->
+      ~process:(fun _ ~live:_ ~on_submitted ~on_done ->
         on_done ~ok:true;
         on_submitted ())
   in
@@ -170,7 +170,7 @@ let test_applier_stall_preserves_order () =
   let stalled = ref None in
   let a =
     Myraft.Applier.create ~engine ~params:Myraft.Params.default ()
-      ~process:(fun e ~on_submitted ~on_done ->
+      ~process:(fun e ~live:_ ~on_submitted ~on_done ->
         let index = Binlog.Entry.index e in
         let submit () =
           submitted := index :: !submitted;
@@ -193,7 +193,7 @@ let test_applier_stop_discards_queue () =
   let count = ref 0 in
   let a =
     Myraft.Applier.create ~engine ~params:Myraft.Params.default ()
-      ~process:(fun _ ~on_submitted ~on_done ->
+      ~process:(fun _ ~live:_ ~on_submitted ~on_done ->
         incr count;
         on_done ~ok:true;
         on_submitted ())

@@ -162,6 +162,50 @@ let test_shadow_replay_identical_on_both_stacks () =
            <> None))
     (Workload.Shadow.ops trace)
 
+(* Key-skew knob: draw a large sample from each distribution and check
+   its shape.  Pure generator-side test — no cluster traffic needed. *)
+let test_key_dist_shapes () =
+  let cluster = Helpers.bootstrapped ~members:(Myraft.Cluster.small_members ()) () in
+  let backend = Workload.Backend.myraft cluster in
+  let sample name key_dist =
+    let gen =
+      Workload.Generator.create ~backend ~client_id:("dist-" ^ name) ~region:"r1"
+        ~key_space:100 ~key_dist ()
+    in
+    let counts = Array.make 100 0 in
+    for _ = 1 to 20_000 do
+      let i = Workload.Generator.draw_key_index gen in
+      Alcotest.(check bool) "index in range" true (i >= 0 && i < 100);
+      counts.(i) <- counts.(i) + 1
+    done;
+    counts
+  in
+  (* uniform: every key within 3x of the 200-expected mean *)
+  let u = sample "uniform" Workload.Generator.Uniform in
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "uniform key %d plausible (%d)" i c)
+        true
+        (c > 66 && c < 600))
+    u;
+  (* zipf(1.0): rank 0 hottest, heavily skewed, long tail still sampled *)
+  let z = sample "zipf" (Workload.Generator.Zipf 1.0) in
+  Alcotest.(check bool) "zipf head dominates" true (z.(0) > 3 * z.(9));
+  Alcotest.(check bool)
+    (Printf.sprintf "zipf head is hot (%d)" z.(0))
+    true
+    (z.(0) > 2_000);
+  Alcotest.(check bool) "zipf monotone-ish head" true (z.(0) > z.(1) && z.(1) > z.(4));
+  (* hot-spot: 90% of draws land on the first 5 keys *)
+  let h = sample "hotspot" (Workload.Generator.Hot_spot { hot_fraction = 0.9; hot_keys = 5 }) in
+  let hot = Array.fold_left ( + ) 0 (Array.sub h 0 5) in
+  Alcotest.(check bool)
+    (Printf.sprintf "hot spot concentrates (%d/20000)" hot)
+    true
+    (hot > 17_000 && hot < 19_500);
+  Alcotest.(check bool) "cold tail still sampled" true (Array.exists (fun c -> c > 0) (Array.sub h 5 95))
+
 let suites =
   [
     ( "workload.shadow",
@@ -180,5 +224,6 @@ let suites =
         Alcotest.test_case "semisync backend" `Quick test_generator_against_semisync_backend;
         Alcotest.test_case "failure injection keeps consistency" `Quick
           test_failure_injection_preserves_consistency;
+        Alcotest.test_case "key distribution shapes" `Quick test_key_dist_shapes;
       ] );
   ]
