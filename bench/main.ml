@@ -34,6 +34,8 @@ let micro () = Micro.run ()
 
 let chaos_smoke () = Chaos_smoke.run ()
 
+let chaos_campaign () = Chaos_campaign.run ()
+
 let pipeline () = Pipeline_bench.run ()
 
 let read_bench () = Read_bench.run ()
@@ -54,6 +56,9 @@ let experiments =
     ("stepdown", "A4: automatic step-down extension", stepdown);
     ("micro", "M1: Bechamel micro-benchmarks", micro);
     ("chaos-smoke", "C1: nemesis seed sweep, gate on zero invariant violations", chaos_smoke);
+    ( "chaos-campaign",
+      "A6: adversarial attack families (clock/corrupt/asym/storm), gate on zero violations",
+      chaos_campaign );
     ("pipeline", "P3: windowed replication window x RTT sweep, gate on w8 >= 2x w1", pipeline);
     ("read", "R1: tiered read path sweep, gate on lease >= 5x readindex reads", read_bench);
     ( "apply",

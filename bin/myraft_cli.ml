@@ -274,12 +274,14 @@ let metrics seed echo secs json =
 
 (* Nemesis-driven chaos: a seeded, composable fault schedule with the
    continuous Raft invariant checker; identical seed → identical run. *)
-let chaos seed echo steps faults quorum seeds metrics_json no_lease =
+let chaos seed echo steps faults quorum seeds metrics_json no_lease campaign
+    max_clock_drift =
+  let base = if campaign then Chaos.Schedule.campaign else Chaos.Schedule.default in
   let spec =
     match faults with
-    | [] -> Chaos.Schedule.default
+    | [] -> base
     | names -> (
-      match Chaos.Schedule.with_faults Chaos.Schedule.default names with
+      match Chaos.Schedule.with_faults base names with
       | Ok spec -> spec
       | Error e ->
         Printf.eprintf "chaos: %s\n%!" e;
@@ -300,7 +302,8 @@ let chaos seed echo steps faults quorum seeds metrics_json no_lease =
     List.map
       (fun seed ->
         let r =
-          Chaos.Nemesis.run ~spec ~quorum ~lease:(not no_lease) ~echo ~seed ~steps ()
+          Chaos.Nemesis.run ~spec ~quorum ~lease:(not no_lease) ~max_clock_drift ~echo
+            ~seed ~steps ()
         in
         Printf.printf "%s\n%!" (Chaos.Nemesis.report_summary r);
         r)
@@ -337,7 +340,26 @@ let faults_arg =
     & info [ "faults" ] ~docv:"KINDS"
         ~doc:
           "Comma-separated fault kinds: crash, leader-crash, transfer, partition, \
-           isolate, drop, dup, reorder, spike, torn-tail, fsync-stall.  Default: all.")
+           isolate, drop, dup, reorder, spike, torn-tail, fsync-stall, plus the \
+           adversarial families clock-drift, clock-step, corrupt, asym-partition, \
+           storm.  Default: the classic kinds (all 16 with $(b,--campaign)).")
+
+let campaign_arg =
+  Arg.(
+    value & flag
+    & info [ "campaign" ]
+        ~doc:
+          "Use the adversarial campaign mix (clock, corruption, asymmetric-partition \
+           and election-storm attacks on top of the classic kinds).")
+
+let max_clock_drift_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "max-clock-drift" ] ~docv:"RATE"
+        ~doc:
+          "Clock-drift margin the Raft layer absorbs in its lease arithmetic (e.g. \
+           0.05 = 5%).  Run clock attacks with this at or above the schedule's drift \
+           rate; at 0.0 leases trust the local clock blindly.")
 
 let quorum_arg =
   Arg.(
@@ -404,7 +426,8 @@ let () =
                 checking; exits non-zero on any violation.")
           Term.(
             const chaos $ seed_arg $ trace_arg $ steps_arg $ faults_arg $ quorum_arg
-            $ seeds_arg $ metrics_json_arg $ no_lease_arg);
+            $ seeds_arg $ metrics_json_arg $ no_lease_arg $ campaign_arg
+            $ max_clock_drift_arg);
       ]
   in
   exit (Cmd.eval root)

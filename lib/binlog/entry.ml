@@ -76,6 +76,35 @@ let is_transaction t = match t.payload with Transaction _ -> true | _ -> false
    assigned the slot. *)
 let with_opid t ~opid = { t with opid }
 
+(* ----- fault injection (chaos) ----- *)
+
+type corruption = Header | Body
+
+(* A bit-rotted copy of [t], as re-read from a disk whose platter flipped
+   bits under the entry.  [Header] flips a bit inside the stored checksum
+   field; [Body] mutates the payload while keeping the now-stale checksum.
+   Either way [verify] must fail on the result.  The mutated payload stays
+   structurally well-formed (no mangled Marshal bytes to trip over): the
+   point is silent content damage only the CRC can catch.  Entries whose
+   payload has no distinguishable body bytes fall back to the header
+   flavour. *)
+let corrupt t flavor =
+  let flip_header () = { t with checksum = Int32.logxor t.checksum 0x00010000l } in
+  match flavor with
+  | Header -> flip_header ()
+  | Body ->
+    let mangled =
+      match t.payload with
+      | Transaction { gtid; events = _ :: rest } ->
+        (* an event vanishes: acked row changes silently gone *)
+        Some (Transaction { gtid; events = rest })
+      | Transaction { events = []; _ } | Noop -> None
+      | Config_change c ->
+        Some (Config_change { c with description = c.description ^ "\x00" })
+      | Rotate_marker { next_file } -> Some (Rotate_marker { next_file = next_file ^ "\x00" })
+    in
+    (match mangled with Some payload -> { t with payload } | None -> flip_header ())
+
 let describe t =
   let body =
     match t.payload with

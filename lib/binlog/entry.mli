@@ -49,4 +49,14 @@ val is_transaction : t -> bool
 (** Re-stamp an existing payload with a new OpId. *)
 val with_opid : t -> opid:Opid.t -> t
 
+(** Disk-corruption flavours: [Header] flips a bit in the stored checksum
+    field; [Body] silently mutates the payload under a now-stale
+    checksum. *)
+type corruption = Header | Body
+
+(** A bit-rotted copy of the entry, as re-read from a failing disk:
+    {!verify} fails on the result.  Payloads with no distinguishable body
+    bytes degrade to the [Header] flavour. *)
+val corrupt : t -> corruption -> t
+
 val describe : t -> string

@@ -52,6 +52,9 @@ type t = {
   m_entries_truncated : Obs.Metrics.counter;
   m_rotations : Obs.Metrics.counter;
   m_fsync_batch : Obs.Metrics.histogram; (* entries flushed per fsync *)
+  m_corruption_injected : Obs.Metrics.counter;
+  m_corruption_detected : Obs.Metrics.counter;
+  m_corruption_truncated : Obs.Metrics.counter;
 }
 
 let mode_prefix = function Binlog -> "binlog" | Relay -> "relaylog"
@@ -84,6 +87,9 @@ let create ?metrics ?(mode = Binlog) () =
       m_entries_truncated = Obs.Metrics.counter m "binlog.entries_truncated";
       m_rotations = Obs.Metrics.counter m "binlog.rotations";
       m_fsync_batch = Obs.Metrics.histogram m "binlog.fsync_batch_entries";
+      m_corruption_injected = Obs.Metrics.counter m "binlog.corruption_injected";
+      m_corruption_detected = Obs.Metrics.counter m "binlog.corruption_detected";
+      m_corruption_truncated = Obs.Metrics.counter m "binlog.corruption_truncated";
     }
   in
   Vec.push t.entries None (* sentinel slot 0 *);
@@ -322,6 +328,58 @@ let crash_recover_log t =
   t.torn_tail_k <- 0;
   t.synced_index <- last_index t;
   removed
+
+(* ----- disk-corruption fault + recovery scan ----- *)
+
+(* Bit-rot the stored copy of [index] in place (the durable bytes, not
+   any in-flight copy): a later [scan_for_corruption] must find it.
+   False when the slot is absent (purged / beyond the tail). *)
+let corrupt_entry t ~index ~flavor =
+  match entry_at t index with
+  | None -> false
+  | Some e ->
+    Vec.set t.entries index (Some (Entry.corrupt e flavor));
+    Obs.Metrics.incr t.m_corruption_injected;
+    true
+
+type corruption_report = {
+  cr_first_corrupt : int; (* index the scan truncated from *)
+  cr_dropped : Entry.t list; (* everything truncated, ascending *)
+  cr_detected : int; (* how many dropped entries failed their CRC *)
+  cr_pre_truncation_tail : Opid.t; (* log tail before the truncate *)
+}
+
+(* Restart-time CRC sweep (mysqlbinlog-style verification of every event
+   against its stored checksum): on the first mismatching entry, truncate
+   it and everything after — the suffix beyond a corrupt entry cannot be
+   trusted either — and report what was dropped.  The caller must treat
+   the report as a possible loss of *acked* data: re-fetch through normal
+   replication and fence votes below [cr_pre_truncation_tail] until the
+   log is restored (a quorum that ignores entries this node helped commit
+   must not form).  [None] means every stored entry verified. *)
+let scan_for_corruption t =
+  let rec find i =
+    if i > last_index t then None
+    else
+      match Vec.get t.entries i with
+      | Some e when not (Entry.verify e) -> Some i
+      | _ -> find (i + 1)
+  in
+  match find 1 with
+  | None -> None
+  | Some first ->
+    let tail = last_opid t in
+    let dropped = truncate_from t ~from_index:first in
+    let detected = List.length (List.filter (fun e -> not (Entry.verify e)) dropped) in
+    Obs.Metrics.add t.m_corruption_detected detected;
+    Obs.Metrics.add t.m_corruption_truncated (List.length dropped);
+    Some
+      {
+        cr_first_corrupt = first;
+        cr_dropped = dropped;
+        cr_detected = detected;
+        cr_pre_truncation_tail = tail;
+      }
 
 (* Rewire the log between binlog and relay-log personas (§3.2).  The
    entries are untouched — only the naming of future files changes, which

@@ -105,6 +105,34 @@ val set_torn_tail : t -> max_lost:int -> unit
     clears both fault modes.  A no-op [[]] on a healthy store. *)
 val crash_recover_log : t -> Entry.t list
 
+(** {2 Disk-corruption fault + recovery scan}
+
+    Unlike the torn tail (which only ever loses {e unacked} data), bit
+    rot can hit entries Raft already counted toward commit — recovery
+    must detect it by CRC and report the loss so the embedder can
+    re-fetch through replication and fence elections meanwhile. *)
+
+(** Bit-rot the stored copy of [index] in place ({!Entry.corrupt});
+    false when the slot is absent (purged / beyond the tail).  Counted
+    in [binlog.corruption_injected]. *)
+val corrupt_entry : t -> index:int -> flavor:Entry.corruption -> bool
+
+type corruption_report = {
+  cr_first_corrupt : int;  (** index the scan truncated from *)
+  cr_dropped : Entry.t list;  (** everything truncated, ascending *)
+  cr_detected : int;  (** dropped entries that failed their CRC *)
+  cr_pre_truncation_tail : Opid.t;  (** log tail before the truncate *)
+}
+
+(** Restart-time CRC sweep over every stored entry: on the first
+    mismatch, truncate from it (the suffix beyond a corrupt entry is
+    untrustworthy) and report.  The caller must treat the report as
+    possible loss of acked data: re-fetch via replication and hold votes
+    below [cr_pre_truncation_tail] until restored (the Raft node's vote
+    floor).  [None] = clean.  Counted in
+    [binlog.corruption_detected] / [binlog.corruption_truncated]. *)
+val scan_for_corruption : t -> corruption_report option
+
 (** Rewire between binlog and relay-log personas (§3.2); entries are
     untouched, only future file naming changes. *)
 val switch_mode : t -> mode -> unit

@@ -46,6 +46,8 @@ type t = {
   leaders_by_term : (int, string) Hashtbl.t;
   checked_leaderships : (int * string, unit) Hashtbl.t;
   checked_to : (string, int) Hashtbl.t; (* per-probe verified commit prefix *)
+  stale_serves_seen : (string, int) Hashtbl.t; (* per-probe lease_stale_serves high-water *)
+  crc_cursor : (string, int) Hashtbl.t; (* per-probe rotating CRC re-verify cursor *)
   seen_violations : (string * string, unit) Hashtbl.t; (* dedup key *)
   mutable max_committed : int;
   mutable violations : violation list; (* newest first *)
@@ -60,6 +62,8 @@ let create ?snapshot ~now ~probes () =
     leaders_by_term = Hashtbl.create 16;
     checked_leaderships = Hashtbl.create 16;
     checked_to = Hashtbl.create 16;
+    stale_serves_seen = Hashtbl.create 16;
+    crc_cursor = Hashtbl.create 16;
     seen_violations = Hashtbl.create 16;
     max_committed = 0;
     violations = [];
@@ -204,16 +208,104 @@ let check_engine_convergence t =
             c > 0
             && Storage.Engine.checksum_at e ~count:c
                <> Storage.Engine.checksum_at ref_engine ~count:c
-          then
+          then begin
+            (* Binary-search the first diverging commit position — the
+               digest chain is cumulative, so prefixes agree up to it. *)
+            let lo = ref 1 and hi = ref c in
+            while !lo < !hi do
+              let mid = (!lo + !hi) / 2 in
+              if
+                Storage.Engine.checksum_at e ~count:mid
+                <> Storage.Engine.checksum_at ref_engine ~count:mid
+              then hi := mid
+              else lo := mid + 1
+            done;
+            let describe engine =
+              match Storage.Engine.nth_commit engine (!lo - 1) with
+              | Some (gtid, opid) ->
+                Printf.sprintf "%s@%s" (Binlog.Gtid.to_string gtid)
+                  (Binlog.Opid.to_string opid)
+              | None -> "?"
+            in
             violate t "engine-convergence"
-              "%s's %d-commit history diverges from the same prefix on %s" id c ref_id)
+              "%s's %d-commit history diverges from the same prefix on %s at commit %d \
+               (%s committed %s, %s committed %s)"
+              id c ref_id !lo id (describe e) ref_id (describe ref_engine)
+          end)
       engines
+
+(* ----- lease validity against global time ----- *)
+
+(* A leader must never serve a lease-path read after the lease has
+   expired in *global* (true) time, no matter what its skewed local
+   clock claims.  The Raft node counts such serves against its
+   engine-time oracle ([lease_stale_serves]); any increase is a
+   violation.  A restart resets the counter (fresh node object), so the
+   high-water mark re-pins whenever the observed value goes backwards. *)
+let check_stale_lease_reads t =
+  List.iter
+    (fun p ->
+      if p.probe_up () then
+        match p.probe_raft () with
+        | Some raft ->
+          let n = Raft.Node.lease_stale_serves raft in
+          let seen =
+            Option.value (Hashtbl.find_opt t.stale_serves_seen p.probe_id) ~default:0
+          in
+          if n > seen then
+            violate t "stale-lease-read"
+              "%s served %d lease read(s) past the lease's global-time expiry" p.probe_id
+              (n - seen);
+          if n <> seen then Hashtbl.replace t.stale_serves_seen p.probe_id n
+        | None -> ())
+    t.probes
+
+(* ----- no committed entry may fail its checksum ----- *)
+
+(* Disk corruption must never survive into a served committed prefix:
+   recovery is required to detect a CRC mismatch and truncate-and-refetch
+   (or refuse to serve) rather than silently keep the bytes.  Re-verifies
+   committed entries with a budgeted rotating cursor per probe, so a
+   persistent corrupt entry is always caught within a few checks without
+   making each check O(log size). *)
+let crc_budget = 128
+
+let check_committed_crc t =
+  List.iter
+    (fun p ->
+      if p.probe_up () then
+        match (p.probe_raft (), p.probe_store ()) with
+        | Some raft, Some store ->
+          let ci = Raft.Node.commit_index raft in
+          let lo = max 1 (Binlog.Log_store.purged_below store) in
+          if ci >= lo then begin
+            let start =
+              match Hashtbl.find_opt t.crc_cursor p.probe_id with
+              | Some c when c >= lo && c <= ci -> c
+              | _ -> lo
+            in
+            let cursor = ref start in
+            for _ = 1 to min crc_budget (ci - lo + 1) do
+              (match Binlog.Log_store.entry_at store !cursor with
+              | Some e when not (Binlog.Entry.verify e) ->
+                violate t "corrupt-entry-served"
+                  "%s holds a committed entry at index %d that fails its checksum"
+                  p.probe_id !cursor
+              | _ -> ());
+              cursor := if !cursor >= ci then lo else !cursor + 1
+            done;
+            Hashtbl.replace t.crc_cursor p.probe_id !cursor
+          end
+        | _ -> ())
+    t.probes
 
 let check t =
   check_election_safety t;
   check_commit_safety t;
   check_leader_completeness t;
-  check_engine_convergence t
+  check_engine_convergence t;
+  check_stale_lease_reads t;
+  check_committed_crc t
 
 (* ----- end-of-run convergence (after healing + settling) ----- *)
 

@@ -3,9 +3,11 @@
     Walks a live cluster through {!probe}s and asserts, on every
     {!check}: election safety (at most one leader per term, ever),
     commit safety + log matching on committed prefixes (across crashes,
-    restarts and torn tails), leader completeness, and engine-history
-    convergence.  Violations are recorded rather than raised so a chaos
-    run can finish and report them all alongside the repro seed. *)
+    restarts and torn tails), leader completeness, engine-history
+    convergence, no lease-path read served past the lease's global-time
+    expiry, and no committed entry failing its checksum.  Violations are
+    recorded rather than raised so a chaos run can finish and report
+    them all alongside the repro seed. *)
 
 (** One cluster member, observed through closures so the same checker
     serves full MyRaft clusters and bare Raft test harnesses.  All

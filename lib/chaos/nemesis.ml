@@ -26,6 +26,10 @@ type ops = {
   heal_all_network : unit -> unit;
   store_of : string -> Binlog.Log_store.t option;
   transfer : target:string -> (unit, string) result;
+  clock_of : string -> Sim.Clock.t option;
+  set_link_faults : src:string -> dst:string -> Sim.Network.fault_spec -> unit;
+  clear_link_faults : src:string -> dst:string -> unit;
+  force_election : string -> unit;
 }
 
 type t = {
@@ -37,6 +41,10 @@ type t = {
   regions : string list;
   injected : (Schedule.fault_kind, int) Hashtbl.t;
   msg_faulted : (string, unit) Hashtbl.t; (* nodes with an installed message fault *)
+  clock_faulted : (string, unit) Hashtbl.t; (* nodes with a skewed clock *)
+  asym_faulted : (string, unit) Hashtbl.t; (* sources of a one-way link cut *)
+  metrics : Obs.Metrics.t; (* chaos.* counters, merged into the run report *)
+  mutable corrupting : bool; (* at most one disk corruption in flight *)
   mutable active : int; (* outstanding (un-healed) faults *)
   mutable total : int;
 }
@@ -58,6 +66,10 @@ let create ~engine ~trace ~rng ~spec ~ops =
     regions;
     injected = Hashtbl.create 16;
     msg_faulted = Hashtbl.create 8;
+    clock_faulted = Hashtbl.create 8;
+    asym_faulted = Hashtbl.create 8;
+    metrics = Obs.Metrics.create ~node:"nemesis" ();
+    corrupting = false;
     active = 0;
     total = 0;
   }
@@ -76,6 +88,7 @@ let can_crash t = List.length (up_nodes t) - 1 >= t.spec.Schedule.min_up
 
 let record_injection t kind =
   t.total <- t.total + 1;
+  Obs.Metrics.bump t.metrics ("chaos.injected." ^ Schedule.kind_to_string kind);
   Hashtbl.replace t.injected kind
     (1 + Option.value (Hashtbl.find_opt t.injected kind) ~default:0)
 
@@ -192,6 +205,92 @@ let inject_fsync_stall t node store =
       notef t "fsync stall on %s drained (%d entries)" node
         (Binlog.Log_store.last_index store - Binlog.Log_store.synced_index store))
 
+(* ----- the adversarial attack families ----- *)
+
+(* Clock-rate drift on a node (by preference the leader, whose lease
+   arithmetic is the target): run its oscillator fast or slow by
+   [drift_rate], resync at heal.  The drift magnitude is chosen to sit
+   beyond any [max_clock_drift] margin the Raft layer assumes, so an
+   under-margined lease would serve stale reads. *)
+let inject_clock_attack t kind node clock =
+  let sign = if Sim.Rng.float t.rng < 0.5 then 1.0 else -1.0 in
+  (match kind with
+  | Schedule.Clock_drift ->
+    let rate = 1.0 +. (sign *. t.spec.Schedule.drift_rate) in
+    Sim.Clock.set_rate clock rate;
+    notef t "clock drift on %s (rate %.3f)" node rate
+  | Schedule.Clock_step ->
+    let skew = sign *. t.spec.Schedule.step_skew in
+    Sim.Clock.step clock skew;
+    notef t "clock step on %s (%+.0f us)" node skew
+  | _ -> assert false);
+  Hashtbl.replace t.clock_faulted node ();
+  record_injection t kind;
+  schedule_heal t ~delay:(Schedule.heal_delay t.spec t.rng) (fun () ->
+      Sim.Clock.reset clock;
+      Hashtbl.remove t.clock_faulted node;
+      notef t "clock resync on %s" node)
+
+(* Byte-level rot in a stored entry, then a crash: at-rest corruption is
+   only discovered when the page cache is gone and recovery re-reads the
+   log, so the crash is what surfaces it.  At most one corruption is in
+   flight at a time — combined with the [min_up] floor this guarantees
+   intact copies of every committed entry survive somewhere. *)
+let inject_disk_corrupt t node store =
+  let last = Binlog.Log_store.last_index store in
+  let lo = max 1 (Binlog.Log_store.purged_below store) in
+  if last >= lo then begin
+    let index = lo + Sim.Rng.int t.rng (last - lo + 1) in
+    let flavor =
+      if Sim.Rng.float t.rng < 0.5 then Binlog.Entry.Header else Binlog.Entry.Body
+    in
+    if Binlog.Log_store.corrupt_entry store ~index ~flavor then begin
+      t.corrupting <- true;
+      record_injection t Schedule.Disk_corrupt;
+      notef t "corrupt %s entry at index %d on %s; crashing it"
+        (match flavor with Binlog.Entry.Header -> "header" | Binlog.Entry.Body -> "body")
+        index node;
+      t.ops.crash node;
+      schedule_heal t ~delay:(Schedule.heal_delay t.spec t.rng) (fun () ->
+          t.corrupting <- false;
+          if not (t.ops.is_up node) then begin
+            t.ops.restart node;
+            notef t "restart %s after corruption (recovery scan runs)" node
+          end)
+    end
+  end
+
+(* One-directional partition aimed at the leader's lease-refresh acks:
+   drop everything every follower sends to the leader while the leader's
+   own traffic (heartbeats, entries) still arrives.  The leader stops
+   hearing acks — its lease cannot be extended — yet clients still reach
+   it; meanwhile the followers, free to talk among themselves, elect a
+   new leader the old one never learns about.  The classic lease-safety
+   stress: only lease arithmetic stands between the deposed leader and a
+   stale read. *)
+let inject_asym_partition t ~leader ~followers =
+  List.iter
+    (fun src -> t.ops.set_link_faults ~src ~dst:leader { Sim.Network.no_faults with drop = 1.0 })
+    followers;
+  Hashtbl.replace t.asym_faulted leader ();
+  record_injection t Schedule.Asym_partition;
+  notef t "asym partition: inbound traffic to leader %s dropped (%d links)" leader
+    (List.length followers);
+  schedule_heal t ~delay:(Schedule.heal_delay t.spec t.rng) (fun () ->
+      List.iter (fun src -> t.ops.clear_link_faults ~src ~dst:leader) followers;
+      Hashtbl.remove t.asym_faulted leader;
+      notef t "heal asym partition around %s" leader)
+
+(* Election storm: force several followers to campaign simultaneously.
+   Forced elections skip the Pre-Vote phase, so they bypass leader
+   stickiness and drive real term churn — the revoke-on-higher-term path
+   of the lease must hold. *)
+let inject_election_storm t followers =
+  record_injection t Schedule.Election_storm;
+  notef t "election storm: forcing %s to campaign"
+    (String.concat ", " followers);
+  List.iter t.ops.force_election followers
+
 (* ----- the step function ----- *)
 
 (* One scheduling tick: with probability [inject_p], draw a fault from
@@ -201,37 +300,38 @@ let inject_fsync_stall t node store =
 let step t =
   if t.active < t.spec.Schedule.max_concurrent && Sim.Rng.float t.rng < t.spec.Schedule.inject_p
   then begin
-    let kind = Schedule.draw t.spec t.rng in
-    match kind with
-    | Schedule.Crash_restart ->
+    match Schedule.draw t.spec t.rng with
+    | None -> ()
+    | Some Schedule.Crash_restart ->
       if can_crash t then
         Option.iter (inject_crash t) (pick_from t (up_nodes t))
-    | Schedule.Leader_crash -> (
+    | Some Schedule.Leader_crash -> (
       if can_crash t then
         match t.ops.leader () with
         | Some l when t.ops.is_up l -> inject_leader_crash t l
         | _ -> ())
-    | Schedule.Graceful_transfer -> (
+    | Some Schedule.Graceful_transfer -> (
       match t.ops.leader () with
       | Some leader ->
         let candidates = List.filter (fun n -> n <> leader) (up_nodes t) in
         Option.iter (fun target -> inject_transfer t ~leader ~target) (pick_from t candidates)
       | None -> ())
-    | Schedule.Partition_regions ->
+    | Some Schedule.Partition_regions ->
       if List.length t.regions >= 2 then begin
         let r1 = List.nth t.regions (Sim.Rng.int t.rng (List.length t.regions)) in
         let rest = List.filter (fun r -> r <> r1) t.regions in
         let r2 = List.nth rest (Sim.Rng.int t.rng (List.length rest)) in
         inject_partition t r1 r2
       end
-    | Schedule.Isolate_node -> Option.iter (inject_isolate t) (pick_from t (up_nodes t))
-    | (Schedule.Msg_drop | Schedule.Msg_duplicate | Schedule.Msg_reorder | Schedule.Latency_spike)
-      as kind ->
+    | Some Schedule.Isolate_node -> Option.iter (inject_isolate t) (pick_from t (up_nodes t))
+    | Some
+        ((Schedule.Msg_drop | Schedule.Msg_duplicate | Schedule.Msg_reorder | Schedule.Latency_spike)
+         as kind) ->
       let candidates =
         List.filter (fun n -> not (Hashtbl.mem t.msg_faulted n)) (up_nodes t)
       in
       Option.iter (inject_msg_fault t kind) (pick_from t candidates)
-    | Schedule.Torn_tail ->
+    | Some Schedule.Torn_tail ->
       let candidates =
         List.filter
           (fun n ->
@@ -246,7 +346,7 @@ let step t =
           | Some store -> inject_torn_tail t node store
           | None -> ())
         (pick_from t candidates)
-    | Schedule.Fsync_stall ->
+    | Some Schedule.Fsync_stall ->
       let candidates =
         List.filter
           (fun n ->
@@ -261,6 +361,60 @@ let step t =
           | Some store -> inject_fsync_stall t node store
           | None -> ())
         (pick_from t candidates)
+    | Some ((Schedule.Clock_drift | Schedule.Clock_step) as kind) ->
+      (* Aim at the leader (its lease arithmetic is the target); fall
+         back to a random node so followers' election timers get skewed
+         too. *)
+      let target =
+        match t.ops.leader () with
+        | Some l when t.ops.is_up l && not (Hashtbl.mem t.clock_faulted l) -> Some l
+        | _ ->
+          pick_from t
+            (List.filter (fun n -> not (Hashtbl.mem t.clock_faulted n)) (up_nodes t))
+      in
+      Option.iter
+        (fun node ->
+          match t.ops.clock_of node with
+          | Some clock -> inject_clock_attack t kind node clock
+          | None -> ())
+        target
+    | Some Schedule.Disk_corrupt ->
+      if (not t.corrupting) && can_crash t then begin
+        let candidates =
+          List.filter
+            (fun n ->
+              match t.ops.store_of n with
+              | Some s -> not (Binlog.Log_store.buffered s)
+              | None -> false)
+            (up_nodes t)
+        in
+        Option.iter
+          (fun node ->
+            match t.ops.store_of node with
+            | Some store -> inject_disk_corrupt t node store
+            | None -> ())
+          (pick_from t candidates)
+      end
+    | Some Schedule.Asym_partition -> (
+      match t.ops.leader () with
+      | Some leader when t.ops.is_up leader && not (Hashtbl.mem t.asym_faulted leader) ->
+        let followers = List.filter (fun n -> n <> leader) (up_nodes t) in
+        if followers <> [] then inject_asym_partition t ~leader ~followers
+      | _ -> ())
+    | Some Schedule.Election_storm -> (
+      match t.ops.leader () with
+      | Some leader ->
+        let followers = List.filter (fun n -> n <> leader) (up_nodes t) in
+        let rec take acc n pool =
+          if n = 0 then List.rev acc
+          else
+            match pick_from t pool with
+            | None -> List.rev acc
+            | Some x -> take (x :: acc) (n - 1) (List.filter (fun y -> y <> x) pool)
+        in
+        let victims = take [] t.spec.Schedule.storm_nodes followers in
+        if victims <> [] then inject_election_storm t victims
+      | None -> ())
   end
 
 (* Force-heal everything (end of run): reconnect the network, flush every
@@ -268,6 +422,9 @@ let step t =
 let heal_now t =
   t.ops.heal_all_network ();
   Hashtbl.reset t.msg_faulted;
+  Hashtbl.reset t.asym_faulted;
+  Hashtbl.reset t.clock_faulted;
+  t.corrupting <- false;
   List.iter
     (fun node ->
       (match t.ops.store_of node with
@@ -275,9 +432,14 @@ let heal_now t =
         Binlog.Log_store.set_torn_tail store ~max_lost:0;
         Binlog.Log_store.set_buffered store false
       | None -> ());
+      (match t.ops.clock_of node with
+      | Some clock -> if not (Sim.Clock.pristine clock) then Sim.Clock.reset clock
+      | None -> ());
       if not (t.ops.is_up node) then t.ops.restart node)
     t.ops.node_ids;
   notef t "heal all"
+
+let metrics_snapshot t = Obs.Metrics.snapshot t.metrics
 
 let active t = t.active
 
@@ -314,6 +476,14 @@ let ops_of_cluster c =
     heal_all_network = (fun () -> Sim.Network.heal_all net);
     store_of;
     transfer = (fun ~target -> Myraft.Cluster.transfer_leadership c ~target);
+    clock_of = (fun id -> Myraft.Cluster.clock_of c id);
+    set_link_faults = (fun ~src ~dst spec -> Sim.Network.set_link_faults net ~src ~dst spec);
+    clear_link_faults = (fun ~src ~dst -> Sim.Network.clear_link_faults net ~src ~dst);
+    force_election =
+      (fun id ->
+        match Myraft.Cluster.raft_of c id with
+        | Some r -> Raft.Node.trigger_election r
+        | None -> ());
   }
 
 let probes_of_cluster c =
@@ -344,6 +514,7 @@ type report = {
   r_steps : int;
   r_quorum : Raft.Quorum.mode;
   r_lease : bool; (* leader-lease fast path enabled? *)
+  r_max_clock_drift : float; (* drift margin the Raft layer was told to absorb *)
   r_faults : string list;
   r_injections : (Schedule.fault_kind * int) list;
   r_total_injections : int;
@@ -390,9 +561,12 @@ let quorum_name = function
 
 let repro_command r =
   Printf.sprintf
-    "dune exec bin/myraft_cli.exe -- chaos --seed %d --steps %d --faults %s --quorum %s%s"
+    "dune exec bin/myraft_cli.exe -- chaos --seed %d --steps %d --faults %s --quorum %s%s%s"
     r.r_seed r.r_steps (String.concat "," r.r_faults) (quorum_name r.r_quorum)
     (if r.r_lease then "" else " --no-lease")
+    (if r.r_max_clock_drift > 0.0 then
+       Printf.sprintf " --max-clock-drift %g" r.r_max_clock_drift
+     else "")
 
 (* Run a seeded chaos schedule against a full MyRaft cluster under an
    open-loop workload plus the linearizable-register read checker,
@@ -400,14 +574,15 @@ let repro_command r =
    settle, and require exact convergence.  [lease] toggles the leader
    lease fast path so CI exercises linearizability both ways. *)
 let run ?(spec = Schedule.default) ?(quorum = Raft.Quorum.Single_region_dynamic)
-    ?(lease = true) ?(step_duration = 0.25 *. Sim.Engine.s) ?(rate_per_s = 150.0)
-    ?(echo = false) ~seed ~steps () =
+    ?(lease = true) ?(max_clock_drift = 0.0) ?(step_duration = 0.25 *. Sim.Engine.s)
+    ?(rate_per_s = 150.0) ?(echo = false) ~seed ~steps () =
   let params =
     { Myraft.Params.default with
       raft =
         { Myraft.Params.default.Myraft.Params.raft with
           Raft.Node.quorum_mode = quorum;
-          use_leader_lease = lease
+          use_leader_lease = lease;
+          max_clock_drift
         }
     }
   in
@@ -449,21 +624,26 @@ let run ?(spec = Schedule.default) ?(quorum = Raft.Quorum.Single_region_dynamic)
         match Myraft.Cluster.raft_leader cluster with
         | None -> false
         | Some _ ->
-          let indexes =
+          let raft_of id = Myraft.Cluster.raft_of cluster id in
+          let ids = Myraft.Cluster.member_ids cluster in
+          let indexes = List.filter_map (fun id -> Option.map Raft.Node.commit_index (raft_of id)) ids in
+          let tails =
             List.filter_map
-              (fun id -> Option.map Raft.Node.commit_index (Myraft.Cluster.raft_of cluster id))
-              (Myraft.Cluster.member_ids cluster)
+              (fun id -> Option.map (fun r -> Binlog.Opid.index (Raft.Node.last_opid r)) (raft_of id))
+              ids
           in
-          (match indexes with
-          | [] -> false
-          | i :: rest ->
+          (match (indexes, tails) with
+          | i :: rest, tl :: more ->
             List.for_all (fun j -> j = i) rest
-            (* commit-index agreement is not engine agreement: the
-               appliers must also drain through it before checksums can
-               be compared *)
+            (* commit agreement alone can precede full log propagation
+               (e.g. a long uncommitted suffix built up while the leader
+               was ack-starved): the tails must equalize too, and the
+               appliers must drain before checksums can be compared *)
+            && List.for_all (fun j -> j = tl) more
             && List.for_all
                  (fun srv -> Myraft.Server.applied_through srv >= i)
-                 (Myraft.Cluster.servers cluster)))
+                 (Myraft.Cluster.servers cluster)
+          | _ -> false))
   in
   Invariants.check inv;
   if settled then Invariants.check_converged inv
@@ -476,6 +656,7 @@ let run ?(spec = Schedule.default) ?(quorum = Raft.Quorum.Single_region_dynamic)
       r_steps = steps;
       r_quorum = quorum;
       r_lease = lease;
+      r_max_clock_drift = max_clock_drift;
       r_faults = Schedule.fault_names spec;
       r_injections = injections nemesis;
       r_total_injections = total_injections nemesis;
@@ -489,7 +670,10 @@ let run ?(spec = Schedule.default) ?(quorum = Raft.Quorum.Single_region_dynamic)
       r_fault_dropped = Sim.Network.fault_dropped net;
       r_duplicated = Sim.Network.duplicated net;
       r_reordered = Sim.Network.reordered net;
-      r_metrics = Myraft.Cluster.metrics_snapshot cluster;
+      r_metrics =
+        Obs.Metrics.merge
+          (Myraft.Cluster.metrics_snapshot cluster)
+          (metrics_snapshot nemesis);
     }
   in
   if report.r_violations <> [] then begin
@@ -527,7 +711,9 @@ let report_summary r =
 
 (* Seed sweep for CI smoke: run [seeds] and return the reports; the exit
    gate is simply "no report has violations". *)
-let sweep ?spec ?quorum ?lease ?step_duration ?rate_per_s ~seeds ~steps () =
+let sweep ?spec ?quorum ?lease ?max_clock_drift ?step_duration ?rate_per_s ~seeds ~steps
+    () =
   List.map
-    (fun seed -> run ?spec ?quorum ?lease ?step_duration ?rate_per_s ~seed ~steps ())
+    (fun seed ->
+      run ?spec ?quorum ?lease ?max_clock_drift ?step_duration ?rate_per_s ~seed ~steps ())
     seeds

@@ -25,6 +25,10 @@ type ops = {
   heal_all_network : unit -> unit;
   store_of : string -> Binlog.Log_store.t option;
   transfer : target:string -> (unit, string) result;
+  clock_of : string -> Sim.Clock.t option;
+  set_link_faults : src:string -> dst:string -> Sim.Network.fault_spec -> unit;
+  clear_link_faults : src:string -> dst:string -> unit;
+  force_election : string -> unit;
 }
 
 type t
@@ -42,8 +46,12 @@ val create :
 val step : t -> unit
 
 (** Force-heal everything: reconnect the network, flush every buffered
-    store, restart every down node. *)
+    store, resync every skewed clock, restart every down node. *)
 val heal_now : t -> unit
+
+(** The nemesis's own chaos.* injection counters (one
+    [chaos.injected.<kind>] counter per fault kind). *)
+val metrics_snapshot : t -> Obs.Metrics.snapshot
 
 (** Outstanding (un-healed) faults. *)
 val active : t -> int
@@ -65,6 +73,8 @@ type report = {
   r_steps : int;
   r_quorum : Raft.Quorum.mode;
   r_lease : bool;  (** leader-lease fast path enabled? *)
+  r_max_clock_drift : float;
+      (** drift margin the Raft layer was told to absorb *)
   r_faults : string list;
   r_injections : (Schedule.fault_kind * int) list;
   r_total_injections : int;
@@ -94,12 +104,16 @@ val repro_command : report -> string
     open-loop workload plus the {!Linreg} linearizable-register read
     checker, checking invariants continuously; then heal everything, let
     the ring settle, and require exact convergence.  [lease] (default
-    true) toggles the leader-lease read fast path.  On violations, dumps
-    the trace tail and the repro command to stderr. *)
+    true) toggles the leader-lease read fast path; [max_clock_drift]
+    (default 0.0) is handed to the Raft layer as the clock-drift margin
+    its leases must absorb — run the clock-attack families with it at or
+    above the schedule's [drift_rate].  On violations, dumps the trace
+    tail and the repro command to stderr. *)
 val run :
   ?spec:Schedule.t ->
   ?quorum:Raft.Quorum.mode ->
   ?lease:bool ->
+  ?max_clock_drift:float ->
   ?step_duration:float ->
   ?rate_per_s:float ->
   ?echo:bool ->
@@ -115,6 +129,7 @@ val sweep :
   ?spec:Schedule.t ->
   ?quorum:Raft.Quorum.mode ->
   ?lease:bool ->
+  ?max_clock_drift:float ->
   ?step_duration:float ->
   ?rate_per_s:float ->
   seeds:int list ->

@@ -19,6 +19,11 @@ type fault_kind =
   | Latency_spike (* deterministic added latency *)
   | Torn_tail (* buffer fsyncs, crash, lose the unsynced tail *)
   | Fsync_stall (* buffer fsyncs; flush at heal *)
+  | Clock_drift (* skew the leader's clock rate beyond the lease margin *)
+  | Clock_step (* step the leader's clock by a fixed skew *)
+  | Disk_corrupt (* flip bytes in a stored log entry, then crash *)
+  | Asym_partition (* drop follower->leader traffic only (ack starvation) *)
+  | Election_storm (* force simultaneous elections on several followers *)
 
 let kind_to_string = function
   | Crash_restart -> "crash"
@@ -32,6 +37,11 @@ let kind_to_string = function
   | Latency_spike -> "spike"
   | Torn_tail -> "torn-tail"
   | Fsync_stall -> "fsync-stall"
+  | Clock_drift -> "clock-drift"
+  | Clock_step -> "clock-step"
+  | Disk_corrupt -> "corrupt"
+  | Asym_partition -> "asym-partition"
+  | Election_storm -> "storm"
 
 let kind_of_string = function
   | "crash" -> Some Crash_restart
@@ -45,9 +55,15 @@ let kind_of_string = function
   | "spike" | "latency" -> Some Latency_spike
   | "torn-tail" -> Some Torn_tail
   | "fsync-stall" -> Some Fsync_stall
+  | "clock-drift" -> Some Clock_drift
+  | "clock-step" -> Some Clock_step
+  | "corrupt" | "disk-corrupt" -> Some Disk_corrupt
+  | "asym-partition" | "asym" -> Some Asym_partition
+  | "storm" | "election-storm" -> Some Election_storm
   | _ -> None
 
-let all_kinds =
+(* The original nemesis repertoire: crash/partition/message faults. *)
+let classic_kinds =
   [
     Crash_restart;
     Leader_crash;
@@ -62,6 +78,13 @@ let all_kinds =
     Fsync_stall;
   ]
 
+(* The adversarial attack families: clock, corruption, asymmetric
+   partition and election-storm attacks. *)
+let attack_kinds =
+  [ Clock_drift; Clock_step; Disk_corrupt; Asym_partition; Election_storm ]
+
+let all_kinds = classic_kinds @ attack_kinds
+
 type t = {
   mix : (fault_kind * float) list; (* weighted fault mix, drawn each step *)
   inject_p : float; (* P(attempt an injection) per step *)
@@ -75,11 +98,17 @@ type t = {
   reorder_delay : float; (* max extra delay for reordered/dup copies, µs *)
   spike_latency : float; (* added one-way latency for Latency_spike, µs *)
   torn_tail_k : int; (* max unsynced entries lost by Torn_tail *)
+  drift_rate : float; (* Clock_drift: fractional rate skew (0.05 = 5% fast/slow) *)
+  step_skew : float; (* Clock_step: magnitude of the one-shot jump, µs *)
+  storm_nodes : int; (* Election_storm: followers forced to campaign at once *)
 }
 
 let default =
   {
-    mix = List.map (fun k -> (k, 1.0)) all_kinds;
+    (* The default mix stays the classic repertoire, so the long-standing
+       chaos-smoke behavior (and its seeds) is unchanged; opt into the
+       adversarial families with [campaign] or --faults. *)
+    mix = List.map (fun k -> (k, 1.0)) classic_kinds;
     inject_p = 0.6;
     max_concurrent = 2;
     min_up = 3;
@@ -91,7 +120,15 @@ let default =
     reorder_delay = 50.0 *. Sim.Engine.ms;
     spike_latency = 80.0 *. Sim.Engine.ms;
     torn_tail_k = 5;
+    drift_rate = 0.05;
+    step_skew = 500.0 *. Sim.Engine.ms;
+    storm_nodes = 2;
   }
+
+(* The adversarial campaign: every attack family plus the classic kinds,
+   uniformly weighted — so attacks land on an already-perturbed cluster,
+   and `--faults <fault_names campaign>` replays the identical mix. *)
+let campaign = { default with mix = List.map (fun k -> (k, 1.0)) all_kinds }
 
 (* Restrict the mix to the named kinds (the CLI's --faults list). *)
 let with_faults t names =
@@ -109,14 +146,21 @@ let with_faults t names =
 
 let fault_names t = List.map (fun (k, _) -> kind_to_string k) t.mix
 
-(* Weighted draw from the mix. *)
+(* Weighted draw from the mix.  Entries with weight <= 0 are never
+   sampled (a 0.0 weight means "present in the mix but disabled"); if no
+   entry has positive weight there is nothing to draw. *)
 let draw t rng =
-  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 t.mix in
-  let x = Sim.Rng.float rng *. total in
-  let rec pick acc = function
-    | [] -> fst (List.hd t.mix)
-    | (k, w) :: rest -> if x < acc +. w then k else pick (acc +. w) rest
-  in
-  pick 0.0 t.mix
+  let mix = List.filter (fun (_, w) -> w > 0.0) t.mix in
+  match mix with
+  | [] -> None
+  | mix ->
+    let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 mix in
+    let x = Sim.Rng.float rng *. total in
+    let rec pick acc = function
+      | [ (k, _) ] -> k (* float rounding: x can graze total *)
+      | (k, w) :: rest -> if x < acc +. w then k else pick (acc +. w) rest
+      | [] -> assert false
+    in
+    Some (pick 0.0 mix)
 
 let heal_delay t rng = Sim.Rng.uniform rng ~lo:t.heal_after_lo ~hi:t.heal_after_hi

@@ -15,12 +15,26 @@ type fault_kind =
   | Latency_spike  (** deterministic added latency *)
   | Torn_tail  (** buffer fsyncs, crash, lose the unsynced tail *)
   | Fsync_stall  (** buffer fsyncs; flush at heal *)
+  | Clock_drift  (** skew the leader's clock rate beyond the lease margin *)
+  | Clock_step  (** step the leader's clock by a fixed skew *)
+  | Disk_corrupt  (** flip bytes in a stored log entry, then crash *)
+  | Asym_partition  (** drop follower->leader traffic only (ack starvation) *)
+  | Election_storm  (** force simultaneous elections on several followers *)
 
 val kind_to_string : fault_kind -> string
 
 (** CLI names: crash, leader-crash, transfer, partition, isolate, drop,
-    dup, reorder, spike, torn-tail, fsync-stall. *)
+    dup, reorder, spike, torn-tail, fsync-stall, clock-drift,
+    clock-step, corrupt, asym-partition, storm. *)
 val kind_of_string : string -> fault_kind option
+
+(** The original crash/partition/message-fault repertoire — the
+    [default] mix. *)
+val classic_kinds : fault_kind list
+
+(** The adversarial attack families (clock, corruption, asymmetric
+    partition, election storm) — added by [campaign]. *)
+val attack_kinds : fault_kind list
 
 val all_kinds : fault_kind list
 
@@ -37,9 +51,21 @@ type t = {
   reorder_delay : float;  (** max extra delay for reordered/dup copies, µs *)
   spike_latency : float;  (** added one-way latency for Latency_spike, µs *)
   torn_tail_k : int;  (** max unsynced entries lost by Torn_tail *)
+  drift_rate : float;
+      (** Clock_drift: fractional rate skew (0.05 = 5% fast/slow) *)
+  step_skew : float;  (** Clock_step: magnitude of the one-shot jump, µs *)
+  storm_nodes : int;
+      (** Election_storm: followers forced to campaign at once *)
 }
 
+(** The classic mix only; chaos-smoke keeps its historical behavior. *)
 val default : t
+
+(** Every attack family plus the classic kinds, uniformly weighted, so
+    attacks land on an already-perturbed cluster;
+    [with_faults default (fault_names campaign)] replays the identical
+    mix. *)
+val campaign : t
 
 (** Restrict the mix to the named kinds (the CLI's --faults list);
     [Error] on an unknown name or an empty list. *)
@@ -47,7 +73,8 @@ val with_faults : t -> string list -> (t, string) result
 
 val fault_names : t -> string list
 
-(** Weighted draw from the mix. *)
-val draw : t -> Sim.Rng.t -> fault_kind
+(** Weighted draw from the mix.  Entries with weight [<= 0.0] are never
+    sampled; [None] iff no entry has positive weight. *)
+val draw : t -> Sim.Rng.t -> fault_kind option
 
 val heal_delay : t -> Sim.Rng.t -> float

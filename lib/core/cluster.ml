@@ -75,6 +75,15 @@ let raft_of t id =
   | Some (Tailer_node l) -> Some (Logtailer.raft l)
   | None -> None
 
+(* The node's local clock (fault-injection point): owned by the
+   server/logtailer object, so it survives crash/restart cycles — bit
+   like the host's oscillator surviving a process restart. *)
+let clock_of t id =
+  match node t id with
+  | Some (Mysql_node s) -> Some (Server.clock s)
+  | Some (Tailer_node l) -> Some (Logtailer.clock l)
+  | None -> None
+
 let is_crashed t id =
   match node t id with
   | Some (Mysql_node s) -> Server.is_crashed s

@@ -75,6 +75,10 @@ val tailers : t -> Logtailer.t list
 
 val raft_of : t -> string -> Raft.Node.t option
 
+(** The node's local clock (chaos fault-injection point); owned by the
+    server/logtailer object, so it survives crash/restart cycles. *)
+val clock_of : t -> string -> Sim.Clock.t option
+
 val is_crashed : t -> string -> bool
 
 (** The node currently acting as Raft leader, if any. *)

@@ -12,6 +12,7 @@ type t = {
   id : string;
   region : string;
   engine : Sim.Engine.t;
+  clock : Sim.Clock.t; (* local clock: Raft timers run on it *)
   trace : Sim.Trace.t;
   params : Params.t;
   send : dst:string -> Wire.t -> unit;
@@ -26,6 +27,8 @@ type t = {
 }
 
 let id t = t.id
+
+let clock t = t.clock
 
 let raft t = match t.raft with Some r -> r | None -> failwith (t.id ^ ": raft not wired")
 
@@ -85,21 +88,23 @@ let make_callbacks t =
   cb
 
 let make_raft t =
-  Raft.Node.create ~metrics:t.metrics ?tracebuf:t.tracebuf ~engine:t.engine ~id:t.id
-    ~region:t.region
+  Raft.Node.create ~metrics:t.metrics ?tracebuf:t.tracebuf ~clock:t.clock
+    ~engine:t.engine ~id:t.id ~region:t.region
     ~send:(fun ~dst msg -> t.send ~dst (Wire.Raft_msg msg))
     ~log:(Raft.Node.log_ops_of_store t.log)
     ~callbacks:(make_callbacks t) ~params:t.params.Params.raft
     ~initial_config:t.initial_config ~durable:t.durable ~trace:t.trace ()
 
-let create ?metrics ?tracebuf ~engine ~id ~region ~send ~params ~initial_config
+let create ?metrics ?tracebuf ?clock ~engine ~id ~region ~send ~params ~initial_config
     ~trace () =
   let metrics = match metrics with Some m -> m | None -> Obs.Metrics.create ~node:id () in
+  let clock = match clock with Some c -> c | None -> Sim.Clock.create ~engine () in
   let t =
     {
       id;
       region;
       engine;
+      clock;
       trace;
       params;
       send;
@@ -146,6 +151,14 @@ let restart t =
   if t.crashed then begin
     t.crashed <- false;
     let torn = Binlog.Log_store.crash_recover_log t.log in
+    let corruption = Binlog.Log_store.scan_for_corruption t.log in
     t.raft <- Some (make_raft t);
+    (match corruption with
+    | Some r ->
+      tracef t "%s: recovery truncated %d corrupt-suffix entries from index %d" t.id
+        (List.length r.Binlog.Log_store.cr_dropped)
+        r.Binlog.Log_store.cr_first_corrupt;
+      Raft.Node.set_vote_floor (raft t) r.Binlog.Log_store.cr_pre_truncation_tail
+    | None -> ());
     tracef t "%s: restarted (lost %d torn log entries)" t.id (List.length torn)
   end

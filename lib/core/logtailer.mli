@@ -11,6 +11,7 @@ type t
 val create :
   ?metrics:Obs.Metrics.t ->
   ?tracebuf:Obs.Tracebuf.t ->
+  ?clock:Sim.Clock.t ->
   engine:Sim.Engine.t ->
   id:string ->
   region:string ->
@@ -22,6 +23,10 @@ val create :
   t
 
 val id : t -> string
+
+(** The local clock its Raft timers run on (chaos fault-injection
+    point). *)
+val clock : t -> Sim.Clock.t
 
 val metrics : t -> Obs.Metrics.t
 

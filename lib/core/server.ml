@@ -24,6 +24,11 @@ type t = {
   region : string;
   replicaset : string;
   engine : Sim.Engine.t;
+  clock : Sim.Clock.t;
+    (* this server's local clock: Raft timers, lease arithmetic and the
+       read path's staleness anchors all run on it, so injected clock
+       faults distort exactly what they would on a real host.  Trace and
+       metrics timestamps intentionally stay on engine (true) time. *)
   trace : Sim.Trace.t;
   params : Params.t;
   send : dst:string -> Wire.t -> unit;
@@ -74,6 +79,8 @@ and gtid_waiter = {
 }
 
 let id t = t.id
+
+let clock t = t.clock
 
 let raft t = match t.raft with Some r -> r | None -> failwith (t.id ^ ": raft not wired")
 
@@ -491,8 +498,8 @@ let make_callbacks t =
   cb
 
 let make_raft t =
-  Raft.Node.create ~metrics:t.metrics ?tracebuf:t.tracebuf ~engine:t.engine ~id:t.id
-    ~region:t.region
+  Raft.Node.create ~metrics:t.metrics ?tracebuf:t.tracebuf ~clock:t.clock
+    ~engine:t.engine ~id:t.id ~region:t.region
     ~send:(fun ~dst msg -> t.send ~dst (Wire.Raft_msg msg))
     ~log:(Raft.Node.log_ops_of_store t.log)
     ~callbacks:(make_callbacks t) ~params:t.params.Params.raft
@@ -607,8 +614,11 @@ let read t ~table ~key =
 let make_read_service t =
   let ops =
     {
-      Read.Service.now = (fun () -> Sim.Engine.now t.engine);
-      schedule = (fun ~delay f -> ignore (Sim.Engine.schedule t.engine ~delay f));
+      (* The service measures staleness and retry windows on the host's
+         clock: a drifting clock misjudges anchor age exactly as a real
+         bounded-staleness implementation would. *)
+      Read.Service.now = (fun () -> Sim.Clock.now t.clock);
+      schedule = (fun ~delay f -> ignore (Sim.Clock.schedule t.clock ~delay f));
       read_index = (fun k -> Raft.Node.remote_read_index (raft t) k);
       lease_valid = (fun () -> Raft.Node.lease_valid (raft t));
       staleness_anchor = (fun () -> Raft.Node.staleness_anchor (raft t));
@@ -724,6 +734,23 @@ let restart t =
        (torn-tail fault); Raft never acked those entries, so losing them
        is safe — the leader re-replicates them. *)
     let torn = Binlog.Log_store.crash_recover_log t.log in
+    (* CRC sweep: unlike the torn tail, bit rot can hit entries this node
+       already acked toward commit.  Truncate from the first corrupt
+       entry (normal replication re-fetches the suffix) and clean up the
+       GTID metadata of dropped transactions, like any truncation. *)
+    let corruption = Binlog.Log_store.scan_for_corruption t.log in
+    (match corruption with
+    | Some r ->
+      List.iter
+        (fun e ->
+          match Binlog.Entry.gtid e with
+          | Some gtid -> t.truncated_gtids <- gtid :: t.truncated_gtids
+          | None -> ())
+        r.Binlog.Log_store.cr_dropped;
+      tracef t "%s: recovery found corrupt entry at index %d; truncated %d entries"
+        t.id r.Binlog.Log_store.cr_first_corrupt
+        (List.length r.Binlog.Log_store.cr_dropped)
+    | None -> ());
     Binlog.Writeset.clear t.writeset;
     t.pipeline <-
       Pipeline.create ~metrics:t.metrics ~engine:t.engine ~params:t.params
@@ -731,6 +758,13 @@ let restart t =
     Binlog.Log_store.switch_mode t.log Binlog.Log_store.Relay;
     t.raft <- Some (make_raft t);
     install_coalesce t;
+    (* The dropped suffix may contain committed data: fence this node's
+       votes below the pre-truncation tail until replication restores it,
+       so no quorum ignorant of those entries can form. *)
+    (match corruption with
+    | Some r ->
+      Raft.Node.set_vote_floor (raft t) r.Binlog.Log_store.cr_pre_truncation_tail
+    | None -> ());
     Pipeline.notify_commit_index t.pipeline (Raft.Node.commit_index (raft t));
     start_applier_from_recovery_point t;
     (* Rebuild the applied-through cursor from scratch: the crash may
@@ -764,15 +798,17 @@ let handle_message t ~src msg =
 
 (* ----- construction ----- *)
 
-let create ?metrics ?tracebuf ~engine ~id ~region ~replicaset ~send ~discovery ~params
-    ~initial_config ~trace () =
+let create ?metrics ?tracebuf ?clock ~engine ~id ~region ~replicaset ~send ~discovery
+    ~params ~initial_config ~trace () =
   let metrics = match metrics with Some m -> m | None -> Obs.Metrics.create ~node:id () in
+  let clock = match clock with Some c -> c | None -> Sim.Clock.create ~engine () in
   let t =
     {
       id;
       region;
       replicaset;
       engine;
+      clock;
       trace;
       params;
       send;

@@ -20,6 +20,7 @@ type t
 val create :
   ?metrics:Obs.Metrics.t ->
   ?tracebuf:Obs.Tracebuf.t ->
+  ?clock:Sim.Clock.t ->
   engine:Sim.Engine.t ->
   id:string ->
   region:string ->
@@ -33,6 +34,11 @@ val create :
   t
 
 val id : t -> string
+
+(** This server's local clock — Raft timers, lease arithmetic and read
+    staleness all run on it (fault-injection point for chaos; a pristine
+    one is created when [create] is not handed one). *)
+val clock : t -> Sim.Clock.t
 
 val raft : t -> Raft.Node.t
 

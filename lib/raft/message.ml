@@ -43,6 +43,10 @@ type append_response = {
        stall) from "never arrived" (degraded PROXY_OP / loss), which is
        what decides whether a windowed send must be replayed. *)
   request_seq : int; (* the [seq] of the AppendEntries being answered *)
+  follower_time : float;
+    (* follower clock at reply; the leader cross-checks its own clock's
+       rate against these (a leader whose oscillator drifts relative to
+       its quorum must not trust lease intervals it measured itself) *)
 }
 
 type vote_phase = Pre | Real | Mock of { snapshot : Binlog.Opid.t }
@@ -59,6 +63,14 @@ type request_vote = {
      ships its constraints back, so a candidate can never win an election
      whose quorum fails to cover a region that may hold committed data. *)
   candidate_constraint_term : int;
+  (* True only for elections started by a TimeoutNow from the current
+     leader (leadership transfer / logtailer handoff).  Such elections
+     may bypass voter leader-stickiness: the initiating leader has
+     already voided its own lease, so an immediate successor cannot
+     enable a stale lease read.  Any other Real election — including a
+     disruptive forced one — must wait out the stickiness window, which
+     outlasts every lease the deposed leader could still hold. *)
+  transfer : bool;
 }
 
 type vote_response = {
@@ -128,8 +140,9 @@ let rec describe = function
       (if r.success then "ok" else "fail")
       r.last_log_index
   | Request_vote rv ->
-    Printf.sprintf "Vote-req(%s, t%d, %s, last %s)" (phase_to_string rv.phase) rv.term
-      rv.candidate
+    Printf.sprintf "Vote-req(%s%s, t%d, %s, last %s)" (phase_to_string rv.phase)
+      (if rv.transfer then "/transfer" else "")
+      rv.term rv.candidate
       (Binlog.Opid.to_string rv.last_opid)
   | Request_vote_response vr ->
     Printf.sprintf "Vote-resp(%s, t%d from %s, %s)" (phase_to_string vr.phase) vr.term

@@ -39,6 +39,9 @@ type append_response = {
           "appended, sync pending" from "never arrived" for the leader's
           send-window bookkeeping *)
   request_seq : int;  (** the [seq] of the AppendEntries being answered *)
+  follower_time : float;
+      (** follower clock at reply — the leader's cross-check that its own
+          clock's rate agrees with its quorum's before trusting a lease *)
 }
 
 type vote_phase = Pre | Real | Mock of { snapshot : Binlog.Opid.t }
@@ -52,6 +55,10 @@ type request_vote = {
   candidate_constraint_term : int;
       (** FlexiRaft voting history: the highest constraint term the
           candidate knows; staler-than-voter candidates are denied *)
+  transfer : bool;
+      (** started by the leader's TimeoutNow (leadership transfer):
+          exempt from voter leader-stickiness, because the initiating
+          leader already voided its own lease *)
 }
 
 type vote_response = {

@@ -120,6 +120,16 @@ type params = {
   (* Safety margin subtracted from the lease duration to absorb clock
      rate drift between leader and voters (LeaseGuard).  A margin at or
      above the election timeout disables the lease entirely. *)
+  max_clock_drift : float;
+  (* Maximum relative oscillator drift the deployment is specified for
+     (0.05 = clocks may run up to 5% fast or slow).  The lease duration
+     is scaled down by this factor so a lease measured on a clock that is
+     slow by up to this much still expires, in true time, before any
+     correct voter's election timeout.  Drift beyond the spec is handled
+     by detection (heartbeat-interval watchdog, quorum timestamp
+     cross-check, backward-step monotonicity), which suppresses the lease
+     rather than trusting it.  0 = assume perfect clocks (the pre-clock-
+     model behaviour). *)
 }
 
 let default_params =
@@ -144,6 +154,7 @@ let default_params =
     cache_bytes = 4 * 1024 * 1024;
     use_leader_lease = true;
     lease_drift_margin = 50.0 *. Sim.Engine.ms;
+    max_clock_drift = 0.0;
   }
 
 (* Durable per-identity state (survives crashes): the Raft term and vote,
@@ -169,7 +180,10 @@ type inflight = {
   if_first : int; (* first entry index carried *)
   if_last : int; (* last entry index carried *)
   if_bytes : int;
-  if_sent_at : float;
+  if_sent_at : float; (* leader's local clock at send *)
+  if_sent_global : float;
+  (* engine (true) time at the same instant: the partner stamp from
+     which the lease's expired-by-global-time oracle is derived *)
 }
 
 type peer_state = {
@@ -197,10 +211,20 @@ type peer_state = {
      acknowledged at the current term.  The follower reset its election
      timer no earlier than this instant, which is what the leader-lease
      computation quantifies over. *)
-  mutable hb_sent : (int * float) list;
-  (* (seq, send time) of recent empty AEs, newest first and bounded:
-     heartbeats are never windowed, so their send times live here for
-     the [acked_send_time] lookup. *)
+  mutable acked_send_global : float;
+  (* The engine-time partner stamp of [acked_send_time], maintained in
+     lockstep so the lease's global-time oracle tracks the same event. *)
+  mutable hb_sent : (int * float * float) list;
+  (* (seq, local send time, global send time) of recent empty AEs,
+     newest first and bounded: heartbeats are never windowed, so their
+     send times live here for the [acked_send_time] lookup. *)
+  mutable offset_sample : (float * float) option;
+  (* (follower_time, our local receipt time) from this peer's last ack:
+     the baseline for the clock-rate cross-check.  Between two acks the
+     follower-reported interval and our locally measured interval must
+     agree within the configured drift spec — a larger disagreement
+     means one of the two oscillators is off and the lease cannot be
+     trusted. *)
 }
 
 type election = {
@@ -249,6 +273,7 @@ type meters = {
   m_commit_advances : Obs.Metrics.counter;
   m_retransmits : Obs.Metrics.counter;
   m_nacks : Obs.Metrics.counter;
+  m_regressions : Obs.Metrics.counter; (* follower log ends below match_index *)
   m_window : Obs.Metrics.gauge; (* in-flight entry AEs across all peers *)
   m_batch_bytes : Obs.Metrics.histogram; (* payload bytes per entry AE *)
   m_election_latency : Obs.Metrics.histogram; (* us, Real-phase start -> won *)
@@ -258,6 +283,9 @@ type meters = {
   m_lease_extensions : Obs.Metrics.counter;
   m_lease_revocations : Obs.Metrics.counter;
   m_readindex_batch : Obs.Metrics.histogram; (* waiters sharing one round *)
+  m_backward_steps : Obs.Metrics.counter; (* local clock ran backwards *)
+  m_clock_suspects : Obs.Metrics.counter; (* lease suppressed on clock anomaly *)
+  m_stale_serves : Obs.Metrics.counter; (* lease reads past global expiry (oracle) *)
 }
 
 let make_meters m =
@@ -274,6 +302,7 @@ let make_meters m =
     m_commit_advances = Obs.Metrics.counter m "raft.commit_advances";
     m_retransmits = Obs.Metrics.counter m "raft.retransmits";
     m_nacks = Obs.Metrics.counter m "raft.nacks";
+    m_regressions = Obs.Metrics.counter m "raft.follower_log_regressions";
     m_window = Obs.Metrics.gauge m "raft.window_inflight";
     m_batch_bytes = Obs.Metrics.histogram m "raft.ae_batch_bytes";
     m_election_latency = Obs.Metrics.histogram m "raft.election_latency_us";
@@ -283,10 +312,18 @@ let make_meters m =
     m_lease_extensions = Obs.Metrics.counter m "raft.lease_extensions";
     m_lease_revocations = Obs.Metrics.counter m "raft.lease_revocations";
     m_readindex_batch = Obs.Metrics.histogram m "raft.readindex_batch";
+    m_backward_steps = Obs.Metrics.counter m "clock.backward_steps";
+    m_clock_suspects = Obs.Metrics.counter m "clock.suspect_events";
+    m_stale_serves = Obs.Metrics.counter m "raft.lease_stale_serves";
   }
 
 type t = {
   engine : Sim.Engine.t;
+  clock : Sim.Clock.t;
+  (* this node's view of time: every timeout, timestamp and lease
+     interval below is measured on it, never on the engine directly
+     (except the global-time lease oracle, which exists to catch exactly
+     that class of bug) *)
   id : node_id;
   region : string;
   send : dst:node_id -> Message.t -> unit;
@@ -320,7 +357,13 @@ type t = {
   append_times : (int, float) Hashtbl.t;
   mutable election_started_at : float; (* neg_infinity when no election *)
   (* --- consistency-tiered read path --- *)
-  mutable lease_until : float; (* leader lease expiry; neg_infinity = none *)
+  mutable lease_until : float; (* leader lease expiry, local clock; neg_infinity = none *)
+  mutable lease_until_global : float;
+  (* The same lease interval evaluated on the engine's true clock: the
+     instant after which a correct-clock voter could have completed an
+     election.  Serving past it while the local reading still looks
+     valid is the stale-lease bug; [stale_lease_serves] counts it and
+     the chaos checker fails the run on any nonzero count. *)
   mutable lease_blocked : bool;
   (* Set for the span of a leadership transfer: TimeoutNow lets the
      target win an election without waiting out a timeout, so lease
@@ -338,6 +381,30 @@ type t = {
      AppendEntries whose [leader_last_index] our log covers: every write
      acknowledged before leader_time has index <= that commit_index, so
      an engine applied through it is fresh as of leader_time. *)
+  (* --- clock-anomaly defences (LeaseGuard) --- *)
+  mutable last_local_now : float;
+  (* High-water mark of local readings: a reading below it means the
+     clock stepped backwards, which voids every interval measured across
+     the step. *)
+  mutable clock_suspect_until : float;
+  (* Local instant until which the lease fast path is suppressed because
+     a clock anomaly was detected (backward step, heartbeat-interval
+     mismatch, or rate disagreement with the quorum).  The suppression
+     window exceeds the lease duration, so any lease granted before the
+     anomaly has locally expired by the time the path re-opens. *)
+  mutable last_hb_tick_local : float;
+  (* Local reading at the previous heartbeat tick; the tick fires on a
+     countdown armed before any mid-flight rate fault, so the measured
+     local interval diverging from [heartbeat_interval] is a watchdog
+     for rate steps even when no ack can reach us.  neg_infinity between
+     leaderships. *)
+  mutable stale_lease_serves : int; (* oracle: lease reads past global expiry *)
+  mutable vote_floor : Binlog.Opid.t option;
+  (* Set when corruption recovery truncated entries this node may have
+     acknowledged: until its log regains an entry at least as up-to-date
+     as the floor, it must not vote for (or campaign as) a candidate
+     whose log is behind the floor — its missing ack could otherwise
+     complete a quorum that fails to cover a committed entry. *)
 }
 
 let id t = t.id
@@ -372,14 +439,20 @@ let metrics t = t.metrics
 
 (* Stamp the local-append time of an entry; consumed when it commits. *)
 let note_append t entry =
-  Hashtbl.replace t.append_times (Binlog.Entry.index entry) (Sim.Engine.now t.engine)
+  Hashtbl.replace t.append_times (Binlog.Entry.index entry) (Sim.Clock.now t.clock);
+  (* Corruption-recovery vote floor: once the log regains an entry at
+     least as up-to-date as what was truncated, normal voting resumes. *)
+  match t.vote_floor with
+  | Some fl when Binlog.Opid.at_least_as_up_to_date_as (Binlog.Entry.opid entry) fl ->
+    t.vote_floor <- None
+  | _ -> ()
 
 (* Commit-index advanced over (from_index-1, to_index]: count it, observe
    append->commit latency for locally stamped indexes, and emit one
    "consensus-commit" trace event per index so a transaction's consensus
    step is visible on every node that learned of the commit. *)
 let note_commit t ~from_index ~to_index =
-  let now = Sim.Engine.now t.engine in
+  let now = Sim.Clock.now t.clock in
   Obs.Metrics.incr t.meters.m_commit_advances;
   for idx = from_index to to_index do
     (match Hashtbl.find_opt t.append_times idx with
@@ -422,7 +495,7 @@ let rec reset_election_timer t =
   t.election_timer <- None;
   if (not t.stopped) && t.role <> Types.Leader && is_voter t then
     t.election_timer <-
-      Some (Sim.Engine.schedule t.engine ~delay:(election_timeout t) (fun () ->
+      Some (Sim.Clock.schedule t.clock ~delay:(election_timeout t) (fun () ->
                 on_election_timeout t))
 
 and on_election_timeout t =
@@ -431,6 +504,51 @@ and on_election_timeout t =
     else begin_election t ~phase:Message.Real;
     reset_election_timer t
   end
+
+(* ----- clock-anomaly defences ----- *)
+
+(* Suppress the lease fast path for a full election window of local time.
+   The window exceeds any lease duration, so whatever lease interval was
+   granted before the anomaly has locally expired by the time the path
+   re-opens; while suppressed, linearizable reads pay a ReadIndex round,
+   which is anomaly-proof (it re-confirms leadership through the quorum
+   rather than through elapsed time). *)
+and suspect_clock t ~local_now:lnow ~reason =
+  let window =
+    (float_of_int t.params.missed_heartbeats *. t.params.heartbeat_interval)
+    +. t.params.election_jitter
+  in
+  if lnow +. window > t.clock_suspect_until then begin
+    if t.clock_suspect_until <= lnow then begin
+      Obs.Metrics.incr t.meters.m_clock_suspects;
+      tracef t "clock" "%s: clock suspect (%s); lease suppressed" t.id reason
+    end;
+    t.clock_suspect_until <- lnow +. window
+  end;
+  revoke_lease t ~reason
+
+(* Every read of the local clock doubles as a monotonicity watchdog: a
+   reading below the high-water mark means the clock stepped backwards,
+   voiding every interval measured across the step. *)
+and local_now t =
+  let lnow = Sim.Clock.now t.clock in
+  if lnow +. 1e-6 < t.last_local_now then begin
+    Obs.Metrics.incr t.meters.m_backward_steps;
+    tracef t "clock" "%s: backward clock step (%.0f -> %.0f us)" t.id t.last_local_now
+      lnow;
+    suspect_clock t ~local_now:lnow ~reason:"backward clock step"
+  end;
+  if lnow > t.last_local_now then t.last_local_now <- lnow;
+  lnow
+
+(* Does the post-corruption vote floor rule out a log ending at [opid]?
+   The floor is the pre-truncation tail recorded by crash recovery: logs
+   below it may be missing committed entries and must neither campaign
+   nor collect votes until replication restores them past it. *)
+and vote_floor_blocks t opid =
+  match t.vote_floor with
+  | None -> false
+  | Some fl -> not (Binlog.Opid.at_least_as_up_to_date_as opid fl)
 
 (* ----- sending with optional proxy routing ----- *)
 
@@ -444,7 +562,7 @@ and send_routed t ~hops ~final msg =
    payloads directly; its region-mates receive PROXY_OPs through it.
    Returns None when no healthy member exists (route around, §4.2.3). *)
 and designated_proxy t ~region =
-  let now = Sim.Engine.now t.engine in
+  let now = local_now t in
   let healthy_cutoff = 3.0 *. t.params.heartbeat_interval in
   let candidates =
     Hashtbl.fold
@@ -502,7 +620,7 @@ and arm_retransmit t peer ~delay =
   if not t.stopped then
     peer.retransmit_timer <-
       Some
-        (Sim.Engine.schedule t.engine ~delay (fun () ->
+        (Sim.Clock.schedule t.clock ~delay (fun () ->
              peer.retransmit_timer <- None;
              on_retransmit_timeout t peer))
 
@@ -520,7 +638,7 @@ and on_retransmit_timeout t peer =
     match peer.inflight with
     | [] -> ()
     | oldest :: _ ->
-      let age = Sim.Engine.now t.engine -. oldest.if_sent_at in
+      let age = local_now t -. oldest.if_sent_at in
       let timeout = retransmit_after t peer in
       if age +. 1e-3 >= timeout then begin
         (* The oldest windowed send (or its response) is presumed lost:
@@ -561,6 +679,7 @@ and send_entry_batch t peer =
       let last = List.nth entries (List.length entries - 1) in
       let last_idx = Binlog.Entry.index last in
       let bytes = List.fold_left (fun acc e -> acc + Binlog.Entry.size e) 0 entries in
+      let sent_local = local_now t in
       let ae reply_route payload =
         {
           Message.term = t.durable.current_term;
@@ -571,7 +690,7 @@ and send_entry_batch t peer =
           commit_index = t.commit_index;
           seq = peer.send_seq;
           reply_route;
-          leader_time = Sim.Engine.now t.engine;
+          leader_time = sent_local;
           leader_last_index = last_index t;
         }
       in
@@ -583,7 +702,8 @@ and send_entry_batch t peer =
               if_first = from_index;
               if_last = last_idx;
               if_bytes = bytes;
-              if_sent_at = Sim.Engine.now t.engine;
+              if_sent_at = sent_local;
+              if_sent_global = Sim.Engine.now t.engine;
             };
           ];
       peer.next_index <- last_idx + 1;
@@ -640,10 +760,12 @@ and send_heartbeat t peer =
       prev_index
   | Some prev_term ->
     peer.send_seq <- peer.send_seq + 1;
-    let now = Sim.Engine.now t.engine in
+    let now = local_now t in
     (* Remember the send time (bounded) so the ack can feed the lease. *)
     let keep = (2 * t.params.max_inflight_aes) + 8 in
-    peer.hb_sent <- (peer.send_seq, now) :: List.filteri (fun i _ -> i < keep) peer.hb_sent;
+    peer.hb_sent <-
+      (peer.send_seq, now, Sim.Engine.now t.engine)
+      :: List.filteri (fun i _ -> i < keep) peer.hb_sent;
     Obs.Metrics.incr t.meters.m_heartbeats_sent;
     t.send ~dst:peer.peer_id
       (Message.Append_entries
@@ -737,6 +859,21 @@ and committed_in_current_term t =
   | None -> false
 
 and lease_duration t =
+  (* Measured on the leader's own clock.  Scaling the election window by
+     (1 - max_clock_drift) is what makes the margin actually cover the
+     configured drift: a leader slow by up to the spec still sees this
+     many local microseconds elapse within
+       (window * (1 - drift) - margin) / (1 - drift) < window - margin
+     true microseconds — strictly inside any correct voter's election
+     timeout. *)
+  (float_of_int t.params.missed_heartbeats *. t.params.heartbeat_interval
+  *. (1.0 -. t.params.max_clock_drift))
+  -. t.params.lease_drift_margin
+
+(* The same interval on the engine's true clock: the bound a correct
+   voter's election timeout actually guarantees.  Feeds the oracle only —
+   no node decision may read it. *)
+and lease_duration_global t =
   (float_of_int t.params.missed_heartbeats *. t.params.heartbeat_interval)
   -. t.params.lease_drift_margin
 
@@ -752,16 +889,21 @@ and extend_lease t =
     t.role = Types.Leader && t.params.use_leader_lease && (not t.lease_blocked)
     && lease_duration t > 0.0
   then begin
-    let now = Sim.Engine.now t.engine in
+    (* Candidate thresholds are (local, global) stamp pairs of the same
+       send events; quorum selection runs entirely on the local stamps
+       (the only ones a real node has), the global partner just keeps
+       the oracle pointed at the same event. *)
     let candidates =
-      now
+      (local_now t, Sim.Engine.now t.engine)
       :: Hashtbl.fold
            (fun _ p acc ->
-             if p.acked_send_time > neg_infinity then p.acked_send_time :: acc else acc)
+             if p.acked_send_time > neg_infinity then
+               (p.acked_send_time, p.acked_send_global) :: acc
+             else acc)
            t.peers []
     in
     let cfg = config t in
-    let quorum_at threshold =
+    let quorum_at (threshold, _) =
       let acks =
         t.id
         :: Hashtbl.fold
@@ -772,10 +914,11 @@ and extend_lease t =
     in
     let sorted = List.sort_uniq (fun a b -> compare b a) candidates in
     match List.find_opt quorum_at sorted with
-    | Some threshold ->
+    | Some (threshold, threshold_global) ->
       let until = threshold +. lease_duration t in
       if until > t.lease_until then begin
         t.lease_until <- until;
+        t.lease_until_global <- threshold_global +. lease_duration_global t;
         Obs.Metrics.incr t.meters.m_lease_extensions
       end
     | None -> ()
@@ -786,7 +929,8 @@ and revoke_lease t ~reason =
     tracef t "raft" "%s: lease revoked (%s)" t.id reason;
     Obs.Metrics.incr t.meters.m_lease_revocations
   end;
-  t.lease_until <- neg_infinity
+  t.lease_until <- neg_infinity;
+  t.lease_until_global <- neg_infinity
 
 (* Fail every queued and in-flight read; on leadership loss the reads
    must re-resolve against the new leader, not silently time out. *)
@@ -829,7 +973,7 @@ and maybe_start_read_round t =
     in
     round.rr_deadline <-
       Some
-        (Sim.Engine.schedule t.engine ~delay:deadline (fun () ->
+        (Sim.Clock.schedule t.clock ~delay:deadline (fun () ->
              match t.read_round with
              | Some r when r == round ->
                t.read_round <- None;
@@ -879,7 +1023,20 @@ and note_read_ack t ~from ~request_seq =
 and read_index t k =
   if t.stopped then k (Error "stopped")
   else if t.role <> Types.Leader then k (Error "not the leader")
-  else if lease_valid t then k (Ok t.commit_index)
+  else if lease_valid t then begin
+    (* Safety oracle: the lease just passed the node's *local* check, but
+       was it still live by the engine's global clock?  A serve past
+       [lease_until_global] means the drift margin failed to cover the
+       injected clock fault — the exact violation the chaos campaign
+       hunts.  Counted, never blocked: the checker must see the bug. *)
+    if Sim.Engine.now t.engine > t.lease_until_global then begin
+      t.stale_lease_serves <- t.stale_lease_serves + 1;
+      Obs.Metrics.incr t.meters.m_stale_serves;
+      tracef t "raft" "%s: lease read served %.0f us past global expiry" t.id
+        (Sim.Engine.now t.engine -. t.lease_until_global)
+    end;
+    k (Ok t.commit_index)
+  end
   else begin
     t.read_queue <- k :: t.read_queue;
     maybe_start_read_round t
@@ -888,7 +1045,14 @@ and read_index t k =
 and lease_valid t =
   t.role = Types.Leader && t.params.use_leader_lease && (not t.lease_blocked)
   && committed_in_current_term t
-  && Sim.Engine.now t.engine < t.lease_until
+  &&
+  (* The lease is measured on this node's own clock: validity must be
+     judged by the same (possibly faulty) clock, with [lease_duration]'s
+     drift margin — not the engine's global time, which a real server
+     cannot read.  A clock-suspect verdict suppresses the fast path until
+     the suspicion window has drained. *)
+  let lnow = local_now t in
+  lnow >= t.clock_suspect_until && lnow < t.lease_until
 
 (* ----- config handling ----- *)
 
@@ -934,10 +1098,12 @@ and sync_peers t =
               srtt = 0.0;
               ae_budget = t.params.max_bytes_per_ae;
               retransmit_timer = None;
-              last_ack = Sim.Engine.now t.engine;
+              last_ack = local_now t;
               responded = false;
               acked_send_time = neg_infinity;
+              acked_send_global = neg_infinity;
               hb_sent = [];
+              offset_sample = None;
             })
       cfg.Types.members;
     let stale =
@@ -966,6 +1132,7 @@ and step_down t ~term ~new_leader =
   | None -> ());
   cancel_timer t.heartbeat_timer;
   t.heartbeat_timer <- None;
+  t.last_hb_tick_local <- neg_infinity;
   if was_leader then begin
     tracef t "raft" "%s: stepping down at term %d" t.id t.durable.current_term;
     (* §3.3 demotion: the lease dies with the role — a deposed leader
@@ -996,6 +1163,8 @@ and become_leader t =
   (* A new term starts with no lease and no read state; extensions
      resume from this term's own acks. *)
   t.lease_until <- neg_infinity;
+  t.lease_until_global <- neg_infinity;
+  t.last_hb_tick_local <- neg_infinity;
   t.lease_blocked <- false;
   fail_reads t ~reason:"new leadership term";
   reset_peers t;
@@ -1021,7 +1190,7 @@ and become_leader t =
 (* Optional auto step-down (extension; see params): has a data quorum
    acknowledged this leader within the configured window? *)
 and quorum_contact_recent t =
-  let now = Sim.Engine.now t.engine in
+  let now = local_now t in
   let acks =
     t.id
     :: Hashtbl.fold
@@ -1036,6 +1205,25 @@ and start_heartbeats t =
   cancel_timer t.heartbeat_timer;
   let rec tick () =
     if t.role = Types.Leader && not t.stopped then begin
+      (* Tick-interval watchdog: the countdown below was armed for
+         [heartbeat_interval] local microseconds at the rate in effect
+         then.  If the oscillator's rate changed while the tick was in
+         flight, the local elapsed time measured now disagrees with what
+         was requested — the one local observable a rate step cannot
+         hide, and the only drift detector that still works when a
+         partition is starving the ack-based cross-check. *)
+      let lnow = local_now t in
+      if t.last_hb_tick_local > neg_infinity then begin
+        let elapsed = lnow -. t.last_hb_tick_local in
+        let tol =
+          max (5.0 *. Sim.Engine.ms) (0.02 *. t.params.heartbeat_interval)
+        in
+        if
+          t.params.max_clock_drift > 0.0
+          && abs_float (elapsed -. t.params.heartbeat_interval) > tol
+        then suspect_clock t ~local_now:lnow ~reason:"heartbeat tick off-interval"
+      end;
+      t.last_hb_tick_local <- lnow;
       if
         t.params.auto_step_down_after > 0.0
         && (not (quorum_contact_recent t))
@@ -1052,18 +1240,24 @@ and start_heartbeats t =
            reset. *)
         replicate_all t ~allow_empty:true;
         t.heartbeat_timer <-
-          Some (Sim.Engine.schedule t.engine ~delay:t.params.heartbeat_interval tick)
+          Some (Sim.Clock.schedule t.clock ~delay:t.params.heartbeat_interval tick)
       end
     end
   in
   t.heartbeat_timer <-
-    Some (Sim.Engine.schedule t.engine ~delay:t.params.heartbeat_interval tick)
+    Some (Sim.Clock.schedule t.clock ~delay:t.params.heartbeat_interval tick)
 
 (* ----- elections ----- *)
 
-and begin_election t ~phase =
+and begin_election ?(transfer = false) t ~phase =
   let cfg = config t in
-  if is_voter t then begin
+  if vote_floor_blocks t (last_opid t) then
+    (* Corruption recovery truncated entries this node may once have
+       acked: until replication restores a log at least as up-to-date as
+       the pre-truncation tail, campaigning could elect a leader whose
+       log misses committed data.  Sit out; the timer re-arms. *)
+    tracef t "raft" "%s: election suppressed (log below vote floor)" t.id
+  else if is_voter t then begin
     let election_term =
       match phase with
       | Message.Real ->
@@ -1105,6 +1299,7 @@ and begin_election t ~phase =
           last_opid = last_opid t;
           phase;
           candidate_constraint_term = constraint_term t;
+          transfer;
         }
     in
     List.iter
@@ -1141,6 +1336,7 @@ and begin_mock_election t ~snapshot ~requester =
         last_opid = last_opid t;
         phase = Message.Mock { snapshot };
         candidate_constraint_term = constraint_term t;
+        transfer = false;
       }
   in
   List.iter
@@ -1148,7 +1344,7 @@ and begin_mock_election t ~snapshot ~requester =
     cfg.Types.members;
   (* Guard against vote loss: decide "failed" after a timeout. *)
   ignore
-    (Sim.Engine.schedule t.engine ~delay:t.params.mock_election_timeout (fun () ->
+    (Sim.Clock.schedule t.clock ~delay:t.params.mock_election_timeout (fun () ->
          match t.election with
          | Some e when e.phase = Message.Mock { snapshot } && not e.decided ->
            e.decided <- true;
@@ -1199,8 +1395,14 @@ and check_election_quorum t election =
 
 and handle_request_vote t (rv : Message.request_vote) =
   let my_last = last_opid t in
-  let log_ok = Binlog.Opid.at_least_as_up_to_date_as rv.last_opid my_last in
-  let now = Sim.Engine.now t.engine in
+  let log_ok =
+    Binlog.Opid.at_least_as_up_to_date_as rv.last_opid my_last
+    (* Corruption fence: this node once held (and may have acked) entries
+       up to its vote floor; a candidate whose log ends below the floor
+       could win without them.  Withhold until the candidate catches up. *)
+    && not (vote_floor_blocks t rv.last_opid)
+  in
+  let now = local_now t in
   let heard_from_leader_recently =
     t.leader_id <> None
     && now -. t.last_leader_contact
@@ -1230,6 +1432,18 @@ and handle_request_vote t (rv : Message.request_vote) =
       if rv.term > t.durable.current_term then step_down t ~term:rv.term ~new_leader:None;
       rv.term = t.durable.current_term && log_ok && history_ok
       && (t.durable.voted_for = None || t.durable.voted_for = Some rv.candidate)
+      (* Leader stickiness applies to Real votes too, not just Pre.  The
+         lease-safety argument needs it: a voter that recently acked the
+         leader stays sticky for missed_heartbeats·hb, which outlasts the
+         drift-margined lease anchored at that ack — so no election
+         quorum (which must intersect the lease's data quorum) can seat
+         a new leader while the old lease is live.  Pre-vote alone does
+         not give this: a forced election (chaos storm, or any path that
+         skips Pre) goes straight to Real.  TimeoutNow-initiated
+         transfers are exempt — the initiating leader already voided its
+         lease — otherwise handoff to a freshly-heartbeaten target would
+         deadlock. *)
+      && (rv.transfer || not heard_from_leader_recently)
   in
   (match rv.phase with
   | Message.Real when granted ->
@@ -1292,13 +1506,14 @@ and handle_append_entries t ~src:_ (ae : Message.append_entries) =
         last_log_index = last_index t;
         last_appended_index = last_index t;
         request_seq = ae.seq;
+        follower_time = local_now t;
       }
   end
   else begin
     if ae.term > t.durable.current_term || t.role <> Types.Follower then
       step_down t ~term:ae.term ~new_leader:(Some ae.leader_id);
     t.leader_id <- Some ae.leader_id;
-    t.last_leader_contact <- Sim.Engine.now t.engine;
+    t.last_leader_contact <- local_now t;
     (match t.durable.last_known_leader with
     | Some (term, _) when term >= ae.term -> ()
     | _ -> t.durable.last_known_leader <- Some (ae.term, ae.leader_region));
@@ -1320,6 +1535,7 @@ and handle_append_entries t ~src:_ (ae : Message.append_entries) =
           last_log_index = max 0 hint;
           last_appended_index = last_index t;
           request_seq = ae.seq;
+          follower_time = local_now t;
         }
     end
     else begin
@@ -1366,13 +1582,21 @@ and handle_append_entries t ~src:_ (ae : Message.append_entries) =
       if entries = [] then apply_entries () else t.log.run_batched apply_entries;
       let appended = List.rev !appended in
       if appended <> [] then t.callbacks.on_entries_appended appended;
-      (* Staleness anchor for bounded reads: once our log covers the
-         leader's tail as of [leader_time], every write acked before
-         that instant (index <= commit_index) is in our log; the engine
-         catches up to [commit_index] to actually serve it. *)
-      if last_index t >= ae.leader_last_index && ae.leader_time > fst t.freshness then
+      (* How far THIS request verified our log matches the leader's: the
+         prev check plus the entries it carried.  The raw log tail is
+         not usable in anything below — after a leadership change it may
+         hold a stale-term suffix awaiting truncation, and an old
+         leader's divergent entries must never be committed or anchor
+         freshness just because a new leader's heartbeat (anchored at a
+         low match_index) happened to carry a high commit index. *)
+      let confirmed = prev_index + List.length entries in
+      (* Staleness anchor for bounded reads: once our VERIFIED prefix
+         covers the leader's tail as of [leader_time], every write acked
+         before that instant (index <= commit_index) is in our log; the
+         engine catches up to [commit_index] to actually serve it. *)
+      if confirmed >= ae.leader_last_index && ae.leader_time > fst t.freshness then
         t.freshness <- (ae.leader_time, ae.commit_index);
-      let new_commit = min ae.commit_index (last_index t) in
+      let new_commit = min ae.commit_index confirmed in
       if new_commit > t.commit_index then begin
         let prev_commit = t.commit_index in
         t.commit_index <- new_commit;
@@ -1387,12 +1611,12 @@ and handle_append_entries t ~src:_ (ae : Message.append_entries) =
           (* Ack only the durable prefix: an fsync-stalled follower must
              not let the leader commit on entries a crash could tear off. *)
           last_log_index = t.log.durable_index ();
-          (* How far THIS request verified our log matches the leader's:
-             the prev check plus the entries it carried.  Deliberately NOT
-             the raw log tail — a leftover stale-term suffix beyond what
-             the request covered must not look like an ack. *)
-          last_appended_index = prev_index + List.length entries;
+          (* Deliberately [confirmed], never the raw log tail — a
+             leftover stale-term suffix beyond what the request covered
+             must not look like an ack. *)
+          last_appended_index = confirmed;
           request_seq = ae.seq;
+          follower_time = local_now t;
         }
     end
   end
@@ -1403,9 +1627,30 @@ and handle_append_response t (r : Message.append_response) =
     match Hashtbl.find_opt t.peers r.from with
     | None -> ()
     | Some peer ->
-      let now = Sim.Engine.now t.engine in
+      let now = local_now t in
       peer.last_ack <- now;
       peer.responded <- true;
+      (* Quorum clock cross-check: between two acks from the same peer,
+         the interval measured on our clock and the interval between the
+         peer's reply stamps must agree to within twice the configured
+         drift spec (either clock may drift) plus scheduling slack.  A
+         leader whose oscillator runs outside spec relative to its quorum
+         sees every peer disagree with it and must stop trusting lease
+         intervals it measured itself.  This is the detector that catches
+         steady-state over-spec drift, which no local observation can. *)
+      if t.params.max_clock_drift > 0.0 then begin
+        (match peer.offset_sample with
+        | Some (prev_ft, prev_local) when now > prev_local +. 1.0 ->
+          let d_local = now -. prev_local in
+          let d_peer = r.follower_time -. prev_ft in
+          let allowed =
+            (2.0 *. t.params.max_clock_drift *. d_local) +. (5.0 *. Sim.Engine.ms)
+          in
+          if abs_float (d_peer -. d_local) > allowed then
+            suspect_clock t ~local_now:now ~reason:"clock rate disagrees with quorum"
+        | _ -> ());
+        peer.offset_sample <- Some (r.follower_time, now)
+      end;
       if r.success then begin
         (* RTT sample when the answered send is still in the window. *)
         (match List.find_opt (fun f -> f.if_seq = r.request_seq) peer.inflight with
@@ -1417,17 +1662,28 @@ and handle_append_response t (r : Message.append_response) =
              peer (or path) is congested: back the batch size off. *)
           if rtt > 4.0 *. peer.srtt then shrink_budget peer
         | None -> ());
-        (* Recover the acked send's local send time (windowed entry AE or
-           remembered heartbeat) for the lease computation. *)
+        (* Recover the acked send's send time (windowed entry AE or
+           remembered heartbeat) for the lease computation.  The local and
+           global stamps of the same send event travel in lockstep: the
+           local one feeds the lease, the global twin feeds the
+           stale-by-global-time oracle. *)
         (match
            List.find_opt (fun f -> f.if_seq = r.request_seq) peer.inflight
          with
-        | Some f -> peer.acked_send_time <- max peer.acked_send_time f.if_sent_at
+        | Some f ->
+          if f.if_sent_at > peer.acked_send_time then begin
+            peer.acked_send_time <- f.if_sent_at;
+            peer.acked_send_global <- f.if_sent_global
+          end
         | None -> (
-          match List.assoc_opt r.request_seq peer.hb_sent with
-          | Some sent_at ->
-            peer.acked_send_time <- max peer.acked_send_time sent_at;
-            peer.hb_sent <- List.filter (fun (seq, _) -> seq > r.request_seq) peer.hb_sent
+          match List.find_opt (fun (seq, _, _) -> seq = r.request_seq) peer.hb_sent with
+          | Some (_, sent_local, sent_global) ->
+            if sent_local > peer.acked_send_time then begin
+              peer.acked_send_time <- sent_local;
+              peer.acked_send_global <- sent_global
+            end;
+            peer.hb_sent <-
+              List.filter (fun (seq, _, _) -> seq > r.request_seq) peer.hb_sent
           | None -> ()));
         extend_lease t;
         note_read_ack t ~from:r.from ~request_seq:r.request_seq;
@@ -1470,6 +1726,24 @@ and handle_append_response t (r : Message.append_response) =
         Obs.Metrics.incr t.meters.m_nacks;
         drain_window t peer;
         peer.rewind_seq <- peer.send_seq;
+        (* A follower whose advertised log end sits below its recorded
+           match has REGRESSED: crash recovery truncated entries this
+           leader had already confirmed matching (torn tail, or the
+           corruption scan's truncate-and-refetch).  The monotonicity
+           assumption behind [match_index] is void for such a peer — if
+           the rewind stays clamped above its log end, every re-probe
+           anchors at an index the follower no longer has and
+           replication wedges forever.  Dropping the match to the
+           surviving prefix is safe: truncation only removes suffixes,
+           so everything at or below the new log end was confirmed
+           matching before and still is. *)
+        if r.last_log_index < peer.match_index then begin
+          Obs.Metrics.incr t.meters.m_regressions;
+          tracef t "raft" "%s: %s log regressed to %d (match was %d); resetting match"
+            t.id r.from r.last_log_index peer.match_index;
+          peer.match_index <- r.last_log_index;
+          peer.delivered <- min peer.delivered r.last_log_index
+        end;
         peer.next_index <-
           max (peer.match_index + 1)
             (max 1 (min (peer.next_index - 1) (r.last_log_index + 1)));
@@ -1524,7 +1798,7 @@ let transfer_leadership t ~target =
       if t.transfer <> None then Error "transfer already in progress"
       else begin
         let deadline =
-          Sim.Engine.schedule t.engine ~delay:t.params.transfer_timeout (fun () ->
+          Sim.Clock.schedule t.clock ~delay:t.params.transfer_timeout (fun () ->
               abort_transfer t ~reason:"timeout")
         in
         let tr = { transfer_target = target; quiesced = false; transfer_deadline = deadline } in
@@ -1680,7 +1954,7 @@ let remote_read_index t k =
         float_of_int t.params.missed_heartbeats *. t.params.heartbeat_interval
       in
       let timer =
-        Sim.Engine.schedule t.engine ~delay:timeout (fun () ->
+        Sim.Clock.schedule t.clock ~delay:timeout (fun () ->
             match Hashtbl.find_opt t.pending_remote_reads rid with
             | Some (k, _) ->
               Hashtbl.remove t.pending_remote_reads rid;
@@ -1694,10 +1968,30 @@ let lease_valid t = lease_valid t
 
 let lease_until t = t.lease_until
 
+let lease_until_global t = t.lease_until_global
+
 let lease_blocked t = t.lease_blocked
 
+(* Stale-lease oracle readout: lease fast-path serves issued after the
+   lease had expired by *global* time.  Any non-zero delta between checker
+   sweeps is a linearizability-safety violation. *)
+let lease_stale_serves t = t.stale_lease_serves
+
+let clock t = t.clock
+
+(* Recovery hook: crash recovery truncated the log at a corrupt entry;
+   [opid] is the pre-truncation tail.  Until replication restores the log
+   past it, this node neither campaigns nor votes for candidates whose
+   logs end below it (see [vote_floor_blocks]). *)
+let set_vote_floor t opid =
+  if not (Binlog.Opid.at_least_as_up_to_date_as (last_opid t) opid) then begin
+    t.vote_floor <- Some opid;
+    tracef t "raft" "%s: vote floor set at %s (post-corruption)" t.id
+      (Binlog.Opid.to_string opid)
+  end
+
 let staleness_anchor t =
-  if t.role = Types.Leader then (Sim.Engine.now t.engine, t.commit_index) else t.freshness
+  if t.role = Types.Leader then (Sim.Clock.now t.clock, t.commit_index) else t.freshness
 
 let committed_in_current_term t = committed_in_current_term t
 
@@ -1737,16 +2031,16 @@ let handle_proxied t ~next_hops ~inner =
       (* We are the final proxy: wait (bounded) for our log to contain the
          referenced entries, then reconstitute. *)
       let expected_last_term = last_term in
-      let deadline = Sim.Engine.now t.engine +. t.params.proxy_wait in
+      let deadline = Sim.Clock.now t.clock +. t.params.proxy_wait in
       let rec attempt () =
         if t.stopped then ()
         else if
           Binlog.Opid.index (t.log.last_opid ()) >= last
-          || Sim.Engine.now t.engine >= deadline
+          || Sim.Clock.now t.clock >= deadline
         then
           deliver_reconstituted t ~dst ae ~first_index ~last_index:last ~expected_last_term
         else
-          ignore (Sim.Engine.schedule t.engine ~delay:t.params.proxy_retry_interval attempt)
+          ignore (Sim.Clock.schedule t.clock ~delay:t.params.proxy_retry_interval attempt)
       in
       attempt ();
       Some ()
@@ -1769,7 +2063,7 @@ let rec handle_message t ~src msg =
     | Message.Timeout_now { term } ->
       if term >= t.durable.current_term && is_voter t && t.role <> Types.Leader then begin
         tracef t "raft" "%s: TimeoutNow received; starting election" t.id;
-        begin_election t ~phase:Message.Real
+        begin_election t ~phase:Message.Real ~transfer:true
       end
     | Message.Run_mock_election { snapshot; requester; _ } ->
       begin_mock_election t ~snapshot ~requester
@@ -1800,12 +2094,16 @@ let rec handle_message t ~src msg =
 
 (* ----- lifecycle ----- *)
 
-let create ?metrics ?tracebuf ~engine ~id ~region ~send ~log ~callbacks ~params
+let create ?metrics ?tracebuf ?clock ~engine ~id ~region ~send ~log ~callbacks ~params
     ~initial_config ~durable ~trace () =
   let metrics = match metrics with Some m -> m | None -> Obs.Metrics.create ~node:id () in
+  let clock =
+    match clock with Some c -> c | None -> Sim.Clock.create ~engine ()
+  in
   let t =
     {
       engine;
+      clock;
       id;
       region;
       send;
@@ -1837,12 +2135,18 @@ let create ?metrics ?tracebuf ~engine ~id ~region ~send ~log ~callbacks ~params
       append_times = Hashtbl.create 256;
       election_started_at = neg_infinity;
       lease_until = neg_infinity;
+      lease_until_global = neg_infinity;
       lease_blocked = false;
       read_round = None;
       read_queue = [];
       next_read_rid = 0;
       pending_remote_reads = Hashtbl.create 16;
       freshness = (neg_infinity, 0);
+      last_local_now = Sim.Clock.now clock;
+      clock_suspect_until = neg_infinity;
+      last_hb_tick_local = neg_infinity;
+      stale_lease_serves = 0;
+      vote_floor = None;
     }
   in
   (* Recover config history from the log (restart path). *)
@@ -1870,6 +2174,7 @@ let stop t =
   t.heartbeat_timer <- None;
   Hashtbl.iter (fun _ p -> cancel_retransmit p) t.peers;
   t.lease_until <- neg_infinity;
+  t.lease_until_global <- neg_infinity;
   fail_reads t ~reason:"node stopped";
   let remote = Hashtbl.fold (fun rid v acc -> (rid, v) :: acc) t.pending_remote_reads [] in
   Hashtbl.reset t.pending_remote_reads;

@@ -91,6 +91,14 @@ type params = {
       (** safety margin subtracted from the lease duration to absorb
           clock rate drift between leader and voters; a margin at or
           above the election timeout disables the lease *)
+  max_clock_drift : float;
+      (** clock-fault spec the lease must survive: the largest absolute
+          per-node oscillator rate error (e.g. 0.01 = ±1%) the deployment
+          promises.  Scales the lease duration down by (1 - drift) so a
+          fast local clock still locally expires the lease before any
+          healthy voter's election timer can fire, and arms the drift
+          detectors (ack cross-check, tick watchdog).  0 (default)
+          disables both, preserving the pre-clock-model behaviour. *)
 }
 
 val default_params : params
@@ -106,10 +114,14 @@ type t
 (** [metrics] receives the node's raft.* counters and latency histograms
     (a private registry is created when omitted); [tracebuf] receives
     OpId-correlated "consensus-commit" events as the commit index
-    advances. *)
+    advances; [clock] is this node's local clock (a pristine one is
+    created when omitted) — every election, heartbeat, lease and
+    staleness interval the node measures runs on it, so injected clock
+    faults distort exactly what they would on a real server. *)
 val create :
   ?metrics:Obs.Metrics.t ->
   ?tracebuf:Obs.Tracebuf.t ->
+  ?clock:Sim.Clock.t ->
   engine:Sim.Engine.t ->
   id:node_id ->
   region:string ->
@@ -188,11 +200,34 @@ val remote_read_index : t -> ((int, string) result -> unit) -> unit
     current-term entry has committed, and the expiry is in the future. *)
 val lease_valid : t -> bool
 
-(** Current lease expiry ([neg_infinity] when none). *)
+(** Current lease expiry on this node's local clock ([neg_infinity] when
+    none). *)
 val lease_until : t -> float
+
+(** The same lease's expiry by the engine's global clock — the safety
+    oracle the chaos checker compares serves against; real servers have
+    no analogue of this. *)
+val lease_until_global : t -> float
 
 (** Lease extension is blocked by an unresolved leadership transfer. *)
 val lease_blocked : t -> bool
+
+(** Lease fast-path serves issued after the lease had expired by global
+    time: the stale-read safety oracle's count.  Any increase between
+    checker sweeps is a linearizability violation. *)
+val lease_stale_serves : t -> int
+
+(** This node's local clock (fault-injection point for chaos). *)
+val clock : t -> Sim.Clock.t
+
+(** Post-corruption fence: crash recovery truncated the log at a corrupt
+    entry and [opid] was the pre-truncation tail.  Until replication
+    restores this node's log to at least [opid], it neither campaigns nor
+    grants votes (Pre or Real) to candidates whose logs end below it —
+    entries up to [opid] may have been acked toward commit, so a quorum
+    ignorant of them must not form.  No-op if the log already covers
+    [opid]; cleared automatically once an append reaches it. *)
+val set_vote_floor : t -> Binlog.Opid.t -> unit
 
 (** [(as_of, index)]: the engine is fresh as of [as_of] once it has
     applied through [index] — the leader's own clock and commit index,

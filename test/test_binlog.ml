@@ -134,6 +134,109 @@ let test_entry_size_positive () =
   let e = entry ~term:1 ~index:1 () in
   Alcotest.(check bool) "has size" true (Binlog.Entry.size e > 0)
 
+(* ----- corruption detection (the chaos disk-rot model) ----- *)
+
+(* Every Event variant, wrapped in a transaction entry: the CRC stamped
+   at make-time must verify clean, and both corruption flavours (payload
+   rot under a stale checksum, bit-rot inside the checksum field) must
+   make [verify] fail. *)
+let all_event_bodies () =
+  let g = gtid "srv1" 7 in
+  [
+    ("format-description", Binlog.Event.Format_description);
+    ( "previous-gtids",
+      Binlog.Event.Previous_gtids (Binlog.Gtid_set.add Binlog.Gtid_set.empty g) );
+    ("gtid-event", Binlog.Event.Gtid_event g);
+    ("table-map", Binlog.Event.Table_map { table = "t" });
+    ( "write-rows",
+      Binlog.Event.Write_rows
+        {
+          table = "t";
+          ops =
+            [
+              Binlog.Event.Insert { key = "k"; value = "v" };
+              Binlog.Event.Update { key = "k"; before = "v"; after = "w" };
+              Binlog.Event.Delete { key = "k"; before = "w" };
+            ];
+        } );
+    ("query", Binlog.Event.Query { sql = "UPDATE t SET v = 1" });
+    ("xid", Binlog.Event.Xid { xid = 42L });
+    ("rotate", Binlog.Event.Rotate { next_file = "binlog.000002" });
+  ]
+
+let test_corruption_detected_every_event_variant () =
+  List.iter
+    (fun (name, body) ->
+      let payload =
+        Binlog.Entry.Transaction
+          {
+            gtid = gtid "srv1" 7;
+            events = [ Binlog.Event.make body; Binlog.Event.make (Binlog.Event.Xid { xid = 9L }) ];
+          }
+      in
+      let e = Binlog.Entry.make ~opid:(Binlog.Opid.make ~term:1 ~index:1) payload in
+      Alcotest.(check bool) (name ^ ": clean verifies") true (Binlog.Entry.verify e);
+      Alcotest.(check bool)
+        (name ^ ": body rot detected") false
+        (Binlog.Entry.verify (Binlog.Entry.corrupt e Binlog.Entry.Body));
+      Alcotest.(check bool)
+        (name ^ ": header rot detected") false
+        (Binlog.Entry.verify (Binlog.Entry.corrupt e Binlog.Entry.Header)))
+    (all_event_bodies ())
+
+let test_corruption_detected_non_txn_payloads () =
+  List.iter
+    (fun (name, payload) ->
+      let e = Binlog.Entry.make ~opid:(Binlog.Opid.make ~term:1 ~index:1) payload in
+      Alcotest.(check bool) (name ^ ": clean verifies") true (Binlog.Entry.verify e);
+      List.iter
+        (fun flavor ->
+          Alcotest.(check bool)
+            (name ^ ": rot detected") false
+            (Binlog.Entry.verify (Binlog.Entry.corrupt e flavor)))
+        [ Binlog.Entry.Header; Binlog.Entry.Body ])
+    [
+      ("noop", Binlog.Entry.Noop);
+      ("config-change", Binlog.Entry.Config_change { description = "add my9"; encoded = "+my9" });
+      ("rotate-marker", Binlog.Entry.Rotate_marker { next_file = "binlog.000003" });
+    ]
+
+(* CRC-32 guarantee the recovery scan leans on: ANY single-bit flip in
+   an entry's stored payload bytes changes the checksum, so corruption
+   of one bit can never slip through [verify] on re-read. *)
+let prop_single_bit_flip_detected =
+  QCheck.Test.make ~name:"single-bit flip in stored payload bytes is always detected"
+    ~count:500
+    QCheck.(
+      triple
+        (pair small_nat (string_of_size Gen.(1 -- 20)))
+        (string_of_size Gen.(0 -- 40))
+        small_nat)
+    (fun ((gno, key), value, bitpos) ->
+      let payload =
+        Binlog.Entry.Transaction
+          {
+            gtid = gtid "srv1" (gno + 1);
+            events =
+              [
+                Binlog.Event.make (Binlog.Event.Gtid_event (gtid "srv1" (gno + 1)));
+                Binlog.Event.make
+                  (Binlog.Event.Write_rows
+                     { table = "t"; ops = [ Binlog.Event.Insert { key; value } ] });
+              ];
+          }
+      in
+      let e = Binlog.Entry.make ~opid:(Binlog.Opid.make ~term:1 ~index:1) payload in
+      (* the byte image [Entry.make] checksummed, as stored on disk *)
+      let bytes = Bytes.of_string (Marshal.to_string (Binlog.Entry.payload e) []) in
+      let bit = bitpos mod (8 * Bytes.length bytes) in
+      let i = bit / 8 in
+      Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor (1 lsl (bit mod 8))));
+      not
+        (Int32.equal
+           (Binlog.Checksum.string (Bytes.to_string bytes))
+           (Binlog.Entry.checksum e)))
+
 let test_event_sizes () =
   let small = Binlog.Event.make (Binlog.Event.Xid { xid = 1L }) in
   let big =
@@ -160,6 +263,28 @@ let test_log_append_and_read () =
   | None -> Alcotest.fail "missing entry");
   Alcotest.(check int) "entries_from" 3
     (List.length (Binlog.Log_store.entries_from log ~from_index:8 ~max_count:100))
+
+(* Recovery-time corruption scan: a CRC-failing entry mid-log truncates
+   everything from it onward (the suffix is untrustworthy) and the
+   report carries the pre-truncation tail (the vote-floor fence). *)
+let test_log_corruption_scan_truncates_suffix () =
+  let log = Binlog.Log_store.create () in
+  for i = 1 to 10 do
+    Binlog.Log_store.append log (entry ~term:1 ~index:i ())
+  done;
+  Alcotest.(check (option pass)) "clean log scans clean" None
+    (Binlog.Log_store.scan_for_corruption log);
+  Alcotest.(check bool) "corrupt injects" true
+    (Binlog.Log_store.corrupt_entry log ~index:6 ~flavor:Binlog.Entry.Body);
+  match Binlog.Log_store.scan_for_corruption log with
+  | None -> Alcotest.fail "scan missed the corrupt entry"
+  | Some r ->
+    Alcotest.(check int) "first corrupt index" 6 r.Binlog.Log_store.cr_first_corrupt;
+    Alcotest.(check int) "suffix dropped" 5 (List.length r.Binlog.Log_store.cr_dropped);
+    Alcotest.(check int) "log truncated to 5" 5 (Binlog.Log_store.last_index log);
+    Alcotest.(check int) "pre-truncation tail preserved" 10
+      (Binlog.Opid.index r.Binlog.Log_store.cr_pre_truncation_tail);
+    Alcotest.(check bool) "detected counted" true (r.Binlog.Log_store.cr_detected >= 1)
 
 let test_log_append_gap_rejected () =
   let log = Binlog.Log_store.create () in
@@ -262,10 +387,17 @@ let suites =
         Alcotest.test_case "checksum roundtrip" `Quick test_entry_checksum_roundtrip;
         Alcotest.test_case "entry size" `Quick test_entry_size_positive;
         Alcotest.test_case "event sizes" `Quick test_event_sizes;
+        Alcotest.test_case "corruption detected per event variant" `Quick
+          test_corruption_detected_every_event_variant;
+        Alcotest.test_case "corruption detected per payload kind" `Quick
+          test_corruption_detected_non_txn_payloads;
+        QCheck_alcotest.to_alcotest prop_single_bit_flip_detected;
       ] );
     ( "binlog.log_store",
       [
         Alcotest.test_case "append and read" `Quick test_log_append_and_read;
+        Alcotest.test_case "corruption scan truncates suffix" `Quick
+          test_log_corruption_scan_truncates_suffix;
         Alcotest.test_case "gap rejected" `Quick test_log_append_gap_rejected;
         Alcotest.test_case "truncate" `Quick test_log_truncate;
         Alcotest.test_case "rotation and SHOW BINARY LOGS" `Quick test_log_rotation_and_file_list;

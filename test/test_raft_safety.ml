@@ -38,6 +38,18 @@ let ops_of_harness w =
     heal_all_network = (fun () -> Sim.Network.heal_all w.h.Test_raft.net);
     store_of = (fun id -> Some (Test_raft.get w.h id).Test_raft.store);
     transfer = (fun ~target:_ -> Error "no orchestration in the bare harness");
+    clock_of =
+      (fun id ->
+        let n = Test_raft.get w.h id in
+        if n.Test_raft.up then Some (Raft.Node.clock (Test_raft.raft n)) else None);
+    set_link_faults =
+      (fun ~src ~dst spec -> Sim.Network.set_link_faults w.h.Test_raft.net ~src ~dst spec);
+    clear_link_faults =
+      (fun ~src ~dst -> Sim.Network.clear_link_faults w.h.Test_raft.net ~src ~dst);
+    force_election =
+      (fun id ->
+        let n = Test_raft.get w.h id in
+        if n.Test_raft.up then Raft.Node.trigger_election (Test_raft.raft n));
   }
 
 (* No storage engine behind bare Raft nodes: engine invariants are
