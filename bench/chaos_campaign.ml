@@ -35,8 +35,13 @@ let run () =
     (fun (name, mix, max_clock_drift) ->
       Printf.printf "\n%s attacks:\n" name;
       let spec = { Chaos.Schedule.campaign with Chaos.Schedule.mix } in
+      (* auto_purge keeps compacting the primary's binlog mid-attack, so
+         recovering peers routinely land behind the purge horizon and
+         must be rescued by InstallSnapshot — every family now also
+         exercises the snapshot path. *)
       let reports =
-        Chaos.Nemesis.sweep ~spec ~max_clock_drift ~seeds:(seeds ()) ~steps:(steps ()) ()
+        Chaos.Nemesis.sweep ~spec ~max_clock_drift ~auto_purge:true ~seeds:(seeds ())
+          ~steps:(steps ()) ()
       in
       List.iter
         (fun r ->

@@ -42,6 +42,8 @@ let read_bench () = Read_bench.run ()
 
 let apply_bench () = Apply_bench.run ()
 
+let snapshot_bench () = Snapshot_bench.run ()
+
 let experiments =
   [
     ("table1", "Table 1: role mapping", table1);
@@ -64,6 +66,9 @@ let experiments =
     ( "apply",
       "A5: parallel apply workers x skew x cost sweep, gate on 4 lanes >= 2.5x serial",
       apply_bench );
+    ( "snapshot",
+      "A7: purged-log rejoin, gate on InstallSnapshot >= 5x faster than full replay",
+      snapshot_bench );
   ]
 
 let run_all () =

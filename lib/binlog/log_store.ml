@@ -259,6 +259,61 @@ let purged_below t = t.purged_below
 (* OpId of the highest purged entry ([Opid.zero] if nothing purged). *)
 let purge_boundary_opid t = t.purge_boundary
 
+(* Rebase the store at a snapshot boundary (InstallSnapshot receipt).
+   If the local log already holds the boundary entry with the matching
+   term, only the prefix through the boundary is purged and the tail is
+   retained (Raft's retain-following-entries rule); like [purge_to], the
+   purged entries' GTIDs stay in the set (they live on in Previous-GTIDs
+   headers), now unioned with the snapshot's.  Otherwise the whole log is
+   discarded: the store becomes an empty log whose purge boundary is
+   [last] and whose GTID set is the snapshot's.  Returns the conflicting
+   tail entries that were dropped (ascending; [] in the retain case) so
+   the embedder can clean up GTID metadata and fence its applier. *)
+let install_snapshot t ~last ~gtids =
+  let b = Opid.index last in
+  if b <= 0 then invalid_arg "Log_store.install_snapshot: zero boundary";
+  if b < t.purged_below - 1 then [] (* already purged past this snapshot *)
+  else if term_at t b = Some (Opid.term last) then begin
+    (* retain: purge [purged_below, b] in place *)
+    for i = t.purged_below to min b (last_index t) do
+      Vec.set t.entries i None
+    done;
+    let keep =
+      List.filter_map
+        (fun f ->
+          if f.first > 0 && f.last <= b then None
+          else begin
+            if f.first > 0 && f.first <= b then f.first <- b + 1;
+            Some f
+          end)
+        t.files
+    in
+    t.files <- (if keep = [] then [ fresh_file t ] else keep);
+    t.purged_below <- max t.purged_below (b + 1);
+    if b >= Opid.index t.purge_boundary then t.purge_boundary <- last;
+    if last_index t <= b then t.last_cached <- last;
+    t.synced_index <- max t.synced_index b;
+    t.gtids <- Gtid_set.union t.gtids gtids;
+    []
+  end
+  else begin
+    (* conflicting or missing boundary: drop the whole remaining log *)
+    let removed =
+      if last_index t >= t.purged_below then truncate_from t ~from_index:t.purged_below
+      else []
+    in
+    while last_index t < b do
+      Vec.push t.entries None
+    done;
+    t.purged_below <- b + 1;
+    t.purge_boundary <- last;
+    t.last_cached <- last;
+    t.synced_index <- b (* the snapshot itself is durable *);
+    t.gtids <- gtids;
+    t.files <- [ fresh_file t ];
+    removed
+  end
+
 let gtid_set t = t.gtids
 
 let fsync_count t = t.fsyncs

@@ -65,6 +65,15 @@ val purged_below : t -> int
     term stays answerable through {!term_at}. *)
 val purge_boundary_opid : t -> Opid.t
 
+(** Rebase the store at a snapshot boundary (InstallSnapshot receipt).
+    If the boundary entry is already present with the matching term, the
+    prefix through it is purged in place and the tail retained;
+    otherwise the whole log is discarded and the store becomes an empty
+    log whose purge boundary is [last] and GTID set is [gtids].  Returns
+    the dropped conflicting tail (ascending; [] in the retain case).
+    Raises [Invalid_argument] on a zero boundary. *)
+val install_snapshot : t -> last:Opid.t -> gtids:Gtid_set.t -> Entry.t list
+
 (** All GTIDs currently present in the log. *)
 val gtid_set : t -> Gtid_set.t
 

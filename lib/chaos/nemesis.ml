@@ -575,7 +575,7 @@ let repro_command r =
    lease fast path so CI exercises linearizability both ways. *)
 let run ?(spec = Schedule.default) ?(quorum = Raft.Quorum.Single_region_dynamic)
     ?(lease = true) ?(max_clock_drift = 0.0) ?(step_duration = 0.25 *. Sim.Engine.s)
-    ?(rate_per_s = 150.0) ?(echo = false) ~seed ~steps () =
+    ?(rate_per_s = 150.0) ?(echo = false) ?(auto_purge = false) ~seed ~steps () =
   let params =
     { Myraft.Params.default with
       raft =
@@ -610,9 +610,26 @@ let run ?(spec = Schedule.default) ?(quorum = Raft.Quorum.Single_region_dynamic)
       ()
   in
   let linreg = Linreg.start ~backend ~invariants:inv () in
-  for _ = 1 to steps do
+  (* Aggressive log maintenance under fire: rotate then purge on the
+     current primary so crashed/partitioned peers come back to find
+     their tail gone — the InstallSnapshot rescue path must keep the
+     ring convergent.  Purge only drops closed files, hence the flush
+     (rotate) first. *)
+  let maybe_purge i =
+    if auto_purge && i mod 3 = 0 then
+      match Myraft.Cluster.primary cluster with
+      | Some srv when not (Myraft.Server.is_crashed srv) ->
+        ignore (Myraft.Server.flush_binary_logs srv);
+        let purged = Myraft.Server.purge_binary_logs srv in
+        if purged > 0 then
+          Sim.Trace.record trace ~tag:"nemesis" "auto-purge: %d binlog files dropped on %s"
+            purged (Myraft.Server.id srv)
+      | _ -> ()
+  in
+  for i = 1 to steps do
     step nemesis;
     Myraft.Cluster.run_for cluster step_duration;
+    maybe_purge i;
     Invariants.check inv
   done;
   (* Heal, stop traffic, let the ring settle, then require convergence. *)
@@ -711,9 +728,10 @@ let report_summary r =
 
 (* Seed sweep for CI smoke: run [seeds] and return the reports; the exit
    gate is simply "no report has violations". *)
-let sweep ?spec ?quorum ?lease ?max_clock_drift ?step_duration ?rate_per_s ~seeds ~steps
-    () =
+let sweep ?spec ?quorum ?lease ?max_clock_drift ?step_duration ?rate_per_s ?auto_purge
+    ~seeds ~steps () =
   List.map
     (fun seed ->
-      run ?spec ?quorum ?lease ?max_clock_drift ?step_duration ?rate_per_s ~seed ~steps ())
+      run ?spec ?quorum ?lease ?max_clock_drift ?step_duration ?rate_per_s ?auto_purge
+        ~seed ~steps ())
     seeds

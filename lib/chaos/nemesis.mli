@@ -107,7 +107,11 @@ val repro_command : report -> string
     true) toggles the leader-lease read fast path; [max_clock_drift]
     (default 0.0) is handed to the Raft layer as the clock-drift margin
     its leases must absorb — run the clock-attack families with it at or
-    above the schedule's [drift_rate].  On violations, dumps the trace
+    above the schedule's [drift_rate].  [auto_purge] (default false)
+    rotates and purges the primary's binlog every few steps, so peers
+    that fall behind a fault find their tail compacted away and must be
+    rescued by an engine-checkpoint InstallSnapshot — the
+    purged-log-replication stress mode.  On violations, dumps the trace
     tail and the repro command to stderr. *)
 val run :
   ?spec:Schedule.t ->
@@ -117,6 +121,7 @@ val run :
   ?step_duration:float ->
   ?rate_per_s:float ->
   ?echo:bool ->
+  ?auto_purge:bool ->
   seed:int ->
   steps:int ->
   unit ->
@@ -132,6 +137,7 @@ val sweep :
   ?max_clock_drift:float ->
   ?step_duration:float ->
   ?rate_per_s:float ->
+  ?auto_purge:bool ->
   seeds:int list ->
   steps:int ->
   unit ->

@@ -401,8 +401,14 @@ let begin_promotion t ~noop_index =
 
 let start_applier_from_recovery_point t =
   (* Step 5: position the applier from the engine's recovery protocol —
-     the last transaction committed in engine determines the cursor. *)
-  let from_index = Binlog.Opid.index (Storage.Engine.last_committed_opid t.storage) + 1 in
+     the last transaction committed in engine determines the cursor.  A
+     compacted log cannot replay below its purge boundary; everything
+     there is covered by the engine state that came with the
+     snapshot/backup, so the cursor starts at the boundary at least. *)
+  let recovered =
+    Binlog.Opid.index (Storage.Engine.last_committed_opid t.storage) + 1
+  in
+  let from_index = max recovered (Binlog.Log_store.purged_below t.log) in
   let backlog = Binlog.Log_store.entries_from t.log ~from_index ~max_count:max_int in
   Applier.start (applier t) ~from_index ~backlog
 
@@ -448,6 +454,74 @@ let begin_demotion t =
                     start_applier_from_recovery_point t
                   end))
          end))
+
+(* ----- snapshots (engine checkpoints for log compaction, §A.1) ----- *)
+
+(* Produce an engine-checkpoint snapshot at the applied-through
+   watermark: every transaction at or below the boundary is committed in
+   the engine, so the checkpoint plus the log tail above the boundary is
+   the complete replica state.  None when the boundary's term is not
+   answerable (nothing applied yet, or the cursor fell behind the
+   store's own purge boundary — no consistent snapshot exists). *)
+let take_snapshot t =
+  let boundary = applied_through t in
+  if boundary <= 0 then None
+  else
+    match Binlog.Log_store.term_at t.log boundary with
+    | None -> None
+    | Some term ->
+      let last = Binlog.Opid.make ~term ~index:boundary in
+      let data =
+        Storage.Engine.encode_checkpoint (Storage.Engine.checkpoint t.storage)
+      in
+      Obs.Metrics.bump t.metrics "server.snapshots_taken";
+      tracef t "%s: engine checkpoint at %s (%d bytes)" t.id
+        (Binlog.Opid.to_string last) (String.length data);
+      Some
+        (Raft.Snapshot.make ~last
+           ~gtids:(Storage.Engine.gtid_executed t.storage)
+           ~config:(Raft.Node.config (raft t))
+           ~data ())
+
+(* Restore the engine from a received, verified checkpoint (the Raft
+   node has already rebased the log at the boundary).  In-flight
+   prepared transactions belong to the pre-install state and are rolled
+   back; the applier is re-pointed at the restored recovery cursor. *)
+let install_snapshot t ~snapshot =
+  let meta = Raft.Snapshot.meta snapshot in
+  let b = Binlog.Opid.index meta.Raft.Snapshot.last in
+  ignore (Pipeline.abort_all t.pipeline);
+  (* Re-arm immediately: abort_all leaves the pipeline rejecting
+     submissions until reset, but post-install tailing resumes through
+     the same pipeline on a replica. *)
+  Pipeline.reset t.pipeline;
+  List.iter
+    (fun gtid -> Storage.Engine.rollback_prepared t.storage ~gtid)
+    (Storage.Engine.prepared_gtids t.storage);
+  if Binlog.Opid.index (Storage.Engine.last_committed_opid t.storage) < b then begin
+    let ck = Storage.Engine.decode_checkpoint (Raft.Snapshot.data snapshot) in
+    Storage.Engine.restore t.storage ck;
+    Obs.Metrics.bump t.metrics "server.snapshots_installed";
+    tracef t "%s: engine restored from snapshot at %s" t.id
+      (Binlog.Opid.to_string meta.Raft.Snapshot.last)
+  end
+  else
+    (* The engine already covers the boundary (e.g. only the log lagged);
+       restoring would regress it. *)
+    tracef t "%s: snapshot at %s skipped engine restore (already applied)" t.id
+      (Binlog.Opid.to_string meta.Raft.Snapshot.last);
+  (* Everything through the boundary is applied by construction. *)
+  t.exec_index <- max t.exec_index b;
+  let ready, waiting =
+    List.partition (fun (index, _) -> index <= t.exec_index) t.apply_waiters
+  in
+  t.apply_waiters <- waiting;
+  List.iter (fun (_, k) -> k ()) ready;
+  advance_exec_cursor t;
+  if t.role = Replica && not t.crashed then begin
+    Applier.stop (applier t);
+    start_applier_from_recovery_point t
+  end
 
 (* ----- raft wiring (the mysql_raft_repl plugin, §3.1) ----- *)
 
@@ -495,6 +569,8 @@ let make_callbacks t =
     (fun ~reason ->
       tracef t "%s: transfer aborted (%s); re-enabling writes" t.id reason;
       if t.role = Primary && Raft.Node.is_leader (raft t) then t.writes_enabled <- true);
+  cb.Raft.Node.take_snapshot <- (fun () -> take_snapshot t);
+  cb.Raft.Node.install_snapshot <- (fun ~snapshot -> install_snapshot t ~snapshot);
   cb
 
 let make_raft t =
@@ -679,9 +755,14 @@ let flush_binary_logs t =
    region-watermark heuristic (§A.1), so severely lagging out-of-region
    members can still request old files.  Whole closed files whose last
    entry is at or below the safe index are dropped; returns the number of
-   files purged. *)
+   files purged.
+
+   The local applier's watermark floors the purge: entries the engine
+   has not applied yet are the only replayable copy of that data on this
+   host, and any future engine-checkpoint snapshot must cover everything
+   purged — a checkpoint can only cover what has been applied. *)
 let purge_binary_logs t =
-  let safe = Raft.Node.safe_purge_index (raft t) in
+  let safe = min (Raft.Node.safe_purge_index (raft t)) (applied_through t) in
   let rec boundary purged = function
     | (name, first, last, closed) :: rest ->
       if closed && first > 0 && last <= safe && rest <> [] then boundary (purged + 1) rest
@@ -767,9 +848,17 @@ let restart t =
     | None -> ());
     Pipeline.notify_commit_index t.pipeline (Raft.Node.commit_index (raft t));
     start_applier_from_recovery_point t;
-    (* Rebuild the applied-through cursor from scratch: the crash may
-       have torn entries the old cursor had passed. *)
-    t.exec_index <- 0;
+    (* Rebuild the applied-through cursor: the crash may have torn
+       entries the old cursor had passed.  It cannot be re-walked from
+       index 1 on a compacted log — the purged prefix has no entries to
+       scan — so restart it from what the engine provably holds: the
+       last committed transaction, and the purge boundary (purging below
+       the applied watermark is refused, so the purged prefix was
+       applied). *)
+    t.exec_index <-
+      max
+        (Binlog.Opid.index (Storage.Engine.last_committed_opid t.storage))
+        (Binlog.Log_store.purged_below t.log - 1);
     advance_exec_cursor t;
     tracef t "%s: restarted (recovery rolled back %d prepared txns, lost %d torn log entries)"
       t.id rolled_back (List.length torn)

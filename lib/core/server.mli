@@ -104,9 +104,17 @@ val applied_through : t -> int
     files once consensus committed.  Primary only. *)
 val flush_binary_logs : t -> (unit, string) result
 
-(** PURGE BINARY LOGS, gated on Raft's region watermarks; returns how
-    many files were purged. *)
+(** PURGE BINARY LOGS, gated on Raft's region watermarks, the
+    cluster-wide peer floor (learners, in-flight windows, snapshot
+    installs) and the local applied-through watermark; returns how many
+    files were purged. *)
 val purge_binary_logs : t -> int
+
+(** Engine-checkpoint snapshot at the applied-through watermark (the
+    source a wedged peer's InstallSnapshot rescue ships); [None] when no
+    consistent boundary exists yet.  Also wired into the Raft node's
+    [take_snapshot] callback. *)
+val take_snapshot : t -> Raft.Snapshot.t option
 
 (** {2 Lifecycle} *)
 

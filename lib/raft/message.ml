@@ -85,6 +85,30 @@ type vote_response = {
   vote_constraint : (int * string) option;
 }
 
+(* One chunk of a snapshot transfer (InstallSnapshot).  The full
+   metadata rides on every chunk — it is small next to the payload and
+   makes the stop-and-wait transfer resumable from any chunk: a follower
+   that lost the transfer state acks [received_through = 0] and the
+   leader restarts from there. *)
+type install_snapshot = {
+  term : int;
+  leader_id : node_id;
+  snapshot_id : int; (* leader-unique transfer id *)
+  meta : Snapshot.meta; (* boundary OpId, GTIDs, config, checksum, size *)
+  offset : int; (* byte offset of this chunk within the payload *)
+  chunk : string;
+}
+
+type install_snapshot_response = {
+  term : int;
+  from : node_id;
+  snapshot_id : int;
+  received_through : int;
+    (* contiguous payload bytes the follower now holds; equal to the
+       payload size once the install has been applied *)
+  success : bool; (* false aborts the transfer (checksum failure etc.) *)
+}
+
 type t =
   | Append_entries of append_entries
   | Append_entries_response of append_response
@@ -95,6 +119,8 @@ type t =
   | Mock_election_result of { ok : bool; target : node_id; votes : int }
   | Read_index_request of { rid : int; from : node_id }
   | Read_index_reply of { rid : int; index : int; error : string option }
+  | Install_snapshot of install_snapshot
+  | Install_snapshot_response of install_snapshot_response
   | Proxied of { next_hops : node_id list; inner : t }
 
 (* Wire sizes in bytes, used for the §4.2.2 bandwidth accounting.  Header
@@ -117,6 +143,8 @@ let rec size = function
   | Mock_election_result _ -> 24
   | Read_index_request _ -> 20
   | Read_index_reply _ -> 24
+  | Install_snapshot is -> 64 + String.length is.chunk
+  | Install_snapshot_response _ -> 28
   | Proxied { next_hops; inner } -> 16 + (4 * List.length next_hops) + size inner
 
 let phase_to_string = function
@@ -156,5 +184,16 @@ let rec describe = function
   | Read_index_reply { rid; index; error } ->
     Printf.sprintf "ReadIndex-reply(#%d, %s)" rid
       (match error with Some e -> "error: " ^ e | None -> Printf.sprintf "index %d" index)
+  | Install_snapshot is ->
+    Printf.sprintf "InstallSnapshot(t%d from %s, #%d, last %s, bytes %d..%d/%d)" is.term
+      is.leader_id is.snapshot_id
+      (Binlog.Opid.to_string is.meta.Snapshot.last)
+      is.offset
+      (is.offset + String.length is.chunk)
+      is.meta.Snapshot.total_bytes
+  | Install_snapshot_response r ->
+    Printf.sprintf "InstallSnapshot-resp(t%d from %s, #%d, through %d, %s)" r.term r.from
+      r.snapshot_id r.received_through
+      (if r.success then "ok" else "abort")
   | Proxied { next_hops; inner } ->
     Printf.sprintf "Proxied(via %s: %s)" (String.concat "," next_hops) (describe inner)

@@ -70,6 +70,28 @@ type vote_response = {
   vote_constraint : (int * string) option;
 }
 
+(** One chunk of a snapshot transfer (InstallSnapshot).  The metadata
+    rides on every chunk, so the stop-and-wait transfer is resumable
+    from any offset a follower acks. *)
+type install_snapshot = {
+  term : int;
+  leader_id : node_id;
+  snapshot_id : int;  (** leader-unique transfer id *)
+  meta : Snapshot.meta;
+  offset : int;  (** byte offset of this chunk within the payload *)
+  chunk : string;
+}
+
+type install_snapshot_response = {
+  term : int;
+  from : node_id;
+  snapshot_id : int;
+  received_through : int;
+      (** contiguous payload bytes held; the payload size once the
+          install has been applied *)
+  success : bool;  (** false aborts the transfer (checksum failure etc.) *)
+}
+
 type t =
   | Append_entries of append_entries
   | Append_entries_response of append_response
@@ -82,6 +104,8 @@ type t =
       (** follower → leader: run a ReadIndex round on my behalf *)
   | Read_index_reply of { rid : int; index : int; error : string option }
       (** leader → follower: the confirmed read index (or why not) *)
+  | Install_snapshot of install_snapshot
+  | Install_snapshot_response of install_snapshot_response
   | Proxied of { next_hops : node_id list; inner : t }
 
 (** Wire size in bytes for bandwidth accounting (§4.2.2). *)

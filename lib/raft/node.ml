@@ -34,6 +34,15 @@ type log_ops = {
       (* Run a batch of appends under one coalesced fsync (group commit):
          [durable_index] covers the whole batch after return.  Logs
          without group commit may use [fun f -> f ()]. *)
+  purged_below : unit -> int;
+      (* Entries below this index may have been compacted away; the
+         leader cannot construct an AppendEntries prev anchor below it
+         (minus one: the boundary's own term stays answerable). *)
+  install_snapshot :
+    last:Binlog.Opid.t -> gtids:Binlog.Gtid_set.t -> Binlog.Entry.t list;
+      (* Rebase the log at a snapshot boundary (InstallSnapshot receipt):
+         retain a matching tail or discard a conflicting one; returns the
+         dropped suffix for the same cleanup a truncation gets. *)
 }
 
 let log_ops_of_store (store : Binlog.Log_store.t) =
@@ -45,6 +54,9 @@ let log_ops_of_store (store : Binlog.Log_store.t) =
     truncate_from = (fun i -> Binlog.Log_store.truncate_from store ~from_index:i);
     durable_index = (fun () -> Binlog.Log_store.synced_index store);
     run_batched = (fun f -> Binlog.Log_store.with_batched_fsync store f);
+    purged_below = (fun () -> Binlog.Log_store.purged_below store);
+    install_snapshot =
+      (fun ~last ~gtids -> Binlog.Log_store.install_snapshot store ~last ~gtids);
   }
 
 (* Orchestration callbacks from Raft into the state machine (§3.3). *)
@@ -57,6 +69,14 @@ type callbacks = {
   mutable on_quiesce : unit -> unit;
   mutable on_transfer_aborted : reason:string -> unit;
   mutable on_config_change : Types.config -> unit;
+  mutable take_snapshot : unit -> Snapshot.t option;
+  (* Produce an engine-checkpoint snapshot to rescue a peer wedged behind
+     the purge boundary.  None = no checkpoint source (witness, or the
+     embedder declined); the wedge then stays visible as a counter. *)
+  mutable install_snapshot : snapshot:Snapshot.t -> unit;
+  (* Restore the engine from a received checkpoint.  Called after the
+     log has been rebased at the boundary but before the commit index
+     advances over it. *)
 }
 
 let default_callbacks () =
@@ -69,6 +89,8 @@ let default_callbacks () =
     on_quiesce = (fun () -> ());
     on_transfer_aborted = (fun ~reason:_ -> ());
     on_config_change = (fun _ -> ());
+    take_snapshot = (fun () -> None);
+    install_snapshot = (fun ~snapshot:_ -> ());
   }
 
 type params = {
@@ -130,6 +152,15 @@ type params = {
      cross-check, backward-step monotonicity), which suppresses the lease
      rather than trusting it.  0 = assume perfect clocks (the pre-clock-
      model behaviour). *)
+  snapshot_chunk_bytes : int;
+  (* Payload bytes per InstallSnapshot chunk (stop-and-wait: one chunk
+     in flight per transfer). *)
+  snapshot_rate_bytes_per_s : float;
+  (* Pacing for the chunk stream, so a bulk install cannot starve the
+     entry-AE pipeline to the healthy peers.  0 disables pacing. *)
+  snapshot_retransmit_timeout : float;
+  (* Resend the unacked chunk from the last acked offset after this
+     long; what lets a transfer survive a lost chunk or ack. *)
 }
 
 let default_params =
@@ -155,6 +186,9 @@ let default_params =
     use_leader_lease = true;
     lease_drift_margin = 50.0 *. Sim.Engine.ms;
     max_clock_drift = 0.0;
+    snapshot_chunk_bytes = 64 * 1024;
+    snapshot_rate_bytes_per_s = 8.0 *. 1024.0 *. 1024.0;
+    snapshot_retransmit_timeout = 500.0 *. Sim.Engine.ms;
   }
 
 (* Durable per-identity state (survives crashes): the Raft term and vote,
@@ -184,6 +218,17 @@ type inflight = {
   if_sent_global : float;
   (* engine (true) time at the same instant: the partner stamp from
      which the lease's expired-by-global-time oracle is derived *)
+}
+
+(* One in-progress snapshot transfer to a peer: stop-and-wait chunks,
+   resent from the acked offset on timeout, paced by the configured byte
+   rate between acks.  The snapshot itself is immutable for the span of
+   the transfer (the leader keeps replicating and purging around it). *)
+type snap_xfer = {
+  sx_id : int; (* leader-unique transfer id *)
+  sx_snapshot : Snapshot.t;
+  mutable sx_acked : int; (* contiguous bytes the follower confirmed *)
+  mutable sx_timer : Sim.Engine.handle option; (* pacing or retransmit *)
 }
 
 type peer_state = {
@@ -225,6 +270,13 @@ type peer_state = {
      agree within the configured drift spec — a larger disagreement
      means one of the two oscillators is off and the lease cannot be
      trusted. *)
+  mutable snap : snap_xfer option;
+  (* In-flight snapshot install; entry replication and heartbeats to
+     this peer pause until it completes or aborts. *)
+  mutable wedged : bool;
+  (* The peer's frontier sits below the purge boundary and cannot be
+     served from the log.  Dedups the raft.purge_wedges counter to one
+     bump per episode. *)
 }
 
 type election = {
@@ -286,6 +338,14 @@ type meters = {
   m_backward_steps : Obs.Metrics.counter; (* local clock ran backwards *)
   m_clock_suspects : Obs.Metrics.counter; (* lease suppressed on clock anomaly *)
   m_stale_serves : Obs.Metrics.counter; (* lease reads past global expiry (oracle) *)
+  m_purge_wedges : Obs.Metrics.counter; (* peer frontier fell behind the purge boundary *)
+  m_snapshots_taken : Obs.Metrics.counter; (* checkpoints produced for installs *)
+  m_snapshot_chunks_sent : Obs.Metrics.counter;
+  m_snapshot_bytes_sent : Obs.Metrics.counter;
+  m_snapshot_retransmits : Obs.Metrics.counter; (* chunk resends after timeout *)
+  m_snapshots_sent : Obs.Metrics.counter; (* transfers completed (leader side) *)
+  m_snapshots_installed : Obs.Metrics.counter; (* installs applied (follower side) *)
+  m_snapshot_aborts : Obs.Metrics.counter; (* failed verify / refused install *)
 }
 
 let make_meters m =
@@ -315,7 +375,25 @@ let make_meters m =
     m_backward_steps = Obs.Metrics.counter m "clock.backward_steps";
     m_clock_suspects = Obs.Metrics.counter m "clock.suspect_events";
     m_stale_serves = Obs.Metrics.counter m "raft.lease_stale_serves";
+    m_purge_wedges = Obs.Metrics.counter m "raft.purge_wedges";
+    m_snapshots_taken = Obs.Metrics.counter m "snapshot.taken";
+    m_snapshot_chunks_sent = Obs.Metrics.counter m "snapshot.chunks_sent";
+    m_snapshot_bytes_sent = Obs.Metrics.counter m "snapshot.bytes_sent";
+    m_snapshot_retransmits = Obs.Metrics.counter m "snapshot.chunk_retransmits";
+    m_snapshots_sent = Obs.Metrics.counter m "snapshot.sends_completed";
+    m_snapshots_installed = Obs.Metrics.counter m "snapshot.installs";
+    m_snapshot_aborts = Obs.Metrics.counter m "snapshot.aborts";
   }
+
+(* Follower side of an InstallSnapshot transfer: chunks accumulate here
+   until the payload is complete and verified.  Keyed by (leader, id) so
+   a duplicate or crossed transfer restarts cleanly. *)
+type pending_install = {
+  pi_leader : node_id;
+  pi_id : int;
+  pi_meta : Snapshot.meta;
+  pi_buf : Buffer.t;
+}
 
 type t = {
   engine : Sim.Engine.t;
@@ -399,6 +477,8 @@ type t = {
      for rate steps even when no ack can reach us.  neg_infinity between
      leaderships. *)
   mutable stale_lease_serves : int; (* oracle: lease reads past global expiry *)
+  mutable next_snapshot_id : int; (* leader-unique InstallSnapshot transfer ids *)
+  mutable pending_install : pending_install option; (* follower-side transfer *)
   mutable vote_floor : Binlog.Opid.t option;
   (* Set when corruption recovery truncated entries this node may have
      acknowledged: until its log regains an entry at least as up-to-date
@@ -600,13 +680,28 @@ and cancel_retransmit peer =
   (match peer.retransmit_timer with Some h -> Sim.Engine.cancel h | None -> ());
   peer.retransmit_timer <- None
 
+and cancel_snap_timer xfer =
+  (match xfer.sx_timer with Some h -> Sim.Engine.cancel h | None -> ());
+  xfer.sx_timer <- None
+
+and cancel_snap peer =
+  match peer.snap with
+  | Some xfer ->
+    cancel_snap_timer xfer;
+    peer.snap <- None
+  | None -> ()
+
 and drain_window t peer =
   peer.inflight <- [];
   cancel_retransmit peer;
   update_window_gauge t
 
 and reset_peers t =
-  Hashtbl.iter (fun _ p -> cancel_retransmit p) t.peers;
+  Hashtbl.iter
+    (fun _ p ->
+      cancel_retransmit p;
+      cancel_snap p)
+    t.peers;
   Hashtbl.reset t.peers
 
 (* Effective retransmission timeout: the configured floor or a smoothed-
@@ -672,6 +767,7 @@ and send_entry_batch t peer =
     | None ->
       tracef t "raft" "%s: cannot replicate to %s: index %d purged" t.id peer.peer_id
         prev_index;
+      note_purge_wedge t peer;
       false
     | Some prev_term ->
       let prev_opid = Binlog.Opid.make ~term:prev_term ~index:prev_index in
@@ -757,7 +853,8 @@ and send_heartbeat t peer =
   match t.log.term_at prev_index with
   | None ->
     tracef t "raft" "%s: cannot heartbeat %s: index %d purged" t.id peer.peer_id
-      prev_index
+      prev_index;
+    note_purge_wedge t peer
   | Some prev_term ->
     peer.send_seq <- peer.send_seq + 1;
     let now = local_now t in
@@ -783,17 +880,29 @@ and send_heartbeat t peer =
          })
 
 and replicate_to t peer ~allow_empty =
-  if t.role = Types.Leader then begin
-    let sent_entries = ref false in
-    let blocked = ref false in
-    while
-      (not !blocked)
-      && List.length peer.inflight < t.params.max_inflight_aes
-      && peer.next_index <= last_index t
-    do
-      if send_entry_batch t peer then sent_entries := true else blocked := true
-    done;
-    if (not !sent_entries) && allow_empty then send_heartbeat t peer
+  (* A peer mid-install gets neither entries nor heartbeats: its log is
+     about to be rebased, and a crossing AppendEntries could anchor at an
+     index the install is removing.  The chunk stream doubles as the
+     leader's liveness signal to it. *)
+  if t.role = Types.Leader && peer.snap = None then begin
+    if peer.next_index < t.log.purged_below () then
+      (* The frontier fell into the purged hole: no prev anchor exists,
+         so ordinary replication cannot make progress.  Flag the wedge
+         and try the snapshot rescue. *)
+      note_purge_wedge t peer
+    else begin
+      peer.wedged <- false;
+      let sent_entries = ref false in
+      let blocked = ref false in
+      while
+        (not !blocked)
+        && List.length peer.inflight < t.params.max_inflight_aes
+        && peer.next_index <= last_index t
+      do
+        if send_entry_batch t peer then sent_entries := true else blocked := true
+      done;
+      if (not !sent_entries) && allow_empty then send_heartbeat t peer
+    end
   end
 
 and replicate_all t ~allow_empty =
@@ -1104,6 +1213,8 @@ and sync_peers t =
               acked_send_global = neg_infinity;
               hb_sent = [];
               offset_sample = None;
+              snap = None;
+              wedged = false;
             })
       cfg.Types.members;
     let stale =
@@ -1751,6 +1862,326 @@ and handle_append_response t (r : Message.append_response) =
         replicate_to t peer ~allow_empty:true
       end
 
+(* ----- snapshot shipping (InstallSnapshot) ----- *)
+
+(* The purged-hole wedge: binlog purge removed the prefix this peer still
+   needs, so no AppendEntries prev anchor below the boundary can be
+   constructed and ordinary replication is stuck forever — the bug this
+   subsystem exists to fix.  Count the episode once and try to rescue
+   with an engine-checkpoint install. *)
+(* Same liveness notion as the safe-purge floor: a peer that acked
+   within twice the failure-detection window is assumed reachable. *)
+and peer_recently_acked t peer =
+  let grace =
+    2.0 *. float_of_int t.params.missed_heartbeats *. t.params.heartbeat_interval
+  in
+  local_now t -. peer.last_ack <= grace
+
+and note_purge_wedge t peer =
+  if t.role = Types.Leader && peer.next_index < t.log.purged_below () then begin
+    if not peer.wedged then begin
+      peer.wedged <- true;
+      Obs.Metrics.incr t.meters.m_purge_wedges;
+      tracef t "raft" "%s: %s wedged behind purge boundary %d (next_index %d)" t.id
+        peer.peer_id
+        (t.log.purged_below ())
+        peer.next_index
+    end;
+    (* Only ship a checkpoint to a peer that has recently answered:
+       starting a transfer toward a presumed-down peer freezes the
+       boundary at today's state, and by the time the peer returns the
+       stale image forces it to replay everything committed since.
+       Probing instead means the rescue starts on the peer's first
+       contact, with a checkpoint taken at that moment. *)
+    if peer_recently_acked t peer then maybe_install_snapshot t peer;
+    (* If no transfer is running (peer presumed down, or no checkpoint
+       source), keep contact: a wedged peer gets neither entries nor
+       ordinary heartbeats (no prev anchor exists below the boundary),
+       and a live one would otherwise start elections.  The probe's
+       nack refreshes [last_ack], arming the next wedge check. *)
+    if peer.snap = None then probe_wedged_peer t peer
+  end
+
+(* Empty AppendEntries anchored at the purge boundary — the lowest index
+   whose term the compacted log still answers.  A peer behind the
+   boundary nacks it (keeping the exchange alive); a peer whose frontier
+   was only spuriously rewound confirms it and unwedges. *)
+and probe_wedged_peer t peer =
+  let boundary = t.log.purged_below () - 1 in
+  match t.log.term_at boundary with
+  | None -> ()
+  | Some prev_term ->
+    peer.send_seq <- peer.send_seq + 1;
+    let now = local_now t in
+    let keep = (2 * t.params.max_inflight_aes) + 8 in
+    peer.hb_sent <-
+      (peer.send_seq, now, Sim.Engine.now t.engine)
+      :: List.filteri (fun i _ -> i < keep) peer.hb_sent;
+    Obs.Metrics.incr t.meters.m_heartbeats_sent;
+    t.send ~dst:peer.peer_id
+      (Message.Append_entries
+         {
+           Message.term = t.durable.current_term;
+           leader_id = t.id;
+           leader_region = t.region;
+           prev_opid = Binlog.Opid.make ~term:prev_term ~index:boundary;
+           payload = Message.Entries [];
+           commit_index = t.commit_index;
+           seq = peer.send_seq;
+           reply_route = [];
+           leader_time = now;
+           leader_last_index = last_index t;
+         })
+
+and maybe_install_snapshot t peer =
+  if t.role = Types.Leader && (not t.stopped) && peer.snap = None then begin
+    match t.callbacks.take_snapshot () with
+    | None ->
+      (* No checkpoint source (witness leader, or the embedder declined):
+         the wedge stays detectable through raft.purge_wedges. *)
+      ()
+    | Some snapshot
+      when Binlog.Opid.index (Snapshot.last snapshot) < t.log.purged_below () - 1 ->
+      (* The checkpoint ends below the purge boundary; installing it
+         would leave the same hole between checkpoint and log. *)
+      tracef t "raft" "%s: checkpoint %s cannot cover purge boundary %d" t.id
+        (Binlog.Opid.to_string (Snapshot.last snapshot))
+        (t.log.purged_below ())
+    | Some snapshot ->
+      Obs.Metrics.incr t.meters.m_snapshots_taken;
+      t.next_snapshot_id <- t.next_snapshot_id + 1;
+      let xfer =
+        { sx_id = t.next_snapshot_id; sx_snapshot = snapshot; sx_acked = 0; sx_timer = None }
+      in
+      (* Entry replication to this peer pauses: drain its window so a
+         late ack cannot move the frontier mid-install. *)
+      drain_window t peer;
+      peer.rewind_seq <- peer.send_seq;
+      peer.snap <- Some xfer;
+      tracef t "raft" "%s: installing %s on %s (#%d)" t.id
+        (Snapshot.describe snapshot)
+        peer.peer_id xfer.sx_id;
+      send_snapshot_chunk t peer xfer
+  end
+
+(* Is this exact transfer still the live one for this exact peer record?
+   Leadership and membership changes reset the peer table, so timers must
+   re-validate both identities before acting. *)
+and snap_live t peer xfer =
+  (not t.stopped)
+  && t.role = Types.Leader
+  && (match Hashtbl.find_opt t.peers peer.peer_id with
+     | Some p -> p == peer
+     | None -> false)
+  && (match peer.snap with Some x -> x == xfer | None -> false)
+
+and send_snapshot_chunk t peer xfer =
+  if snap_live t peer xfer then begin
+    let snapshot = xfer.sx_snapshot in
+    let chunk =
+      Snapshot.chunk snapshot ~offset:xfer.sx_acked
+        ~max_bytes:t.params.snapshot_chunk_bytes
+    in
+    Obs.Metrics.incr t.meters.m_snapshot_chunks_sent;
+    Obs.Metrics.add t.meters.m_snapshot_bytes_sent (String.length chunk);
+    t.send ~dst:peer.peer_id
+      (Message.Install_snapshot
+         {
+           term = t.durable.current_term;
+           leader_id = t.id;
+           snapshot_id = xfer.sx_id;
+           meta = Snapshot.meta snapshot;
+           offset = xfer.sx_acked;
+           chunk;
+         });
+    (* Stop-and-wait: one chunk outstanding per transfer.  A lost chunk
+       or ack is resent from the acked offset after the timeout. *)
+    cancel_snap_timer xfer;
+    xfer.sx_timer <-
+      Some
+        (Sim.Clock.schedule t.clock ~delay:t.params.snapshot_retransmit_timeout
+           (fun () ->
+             xfer.sx_timer <- None;
+             if snap_live t peer xfer then begin
+               Obs.Metrics.incr t.meters.m_snapshot_retransmits;
+               send_snapshot_chunk t peer xfer
+             end))
+  end
+
+and handle_install_snapshot_response t (r : Message.install_snapshot_response) =
+  if r.term > t.durable.current_term then step_down t ~term:r.term ~new_leader:None
+  else if t.role = Types.Leader then
+    match Hashtbl.find_opt t.peers r.from with
+    | None -> ()
+    | Some peer -> (
+      match peer.snap with
+      | Some xfer when xfer.sx_id = r.snapshot_id ->
+        peer.last_ack <- local_now t;
+        peer.responded <- true;
+        if not r.success then begin
+          (* Checksum failure or refusal: drop the transfer.  If the peer
+             is still wedged, the next replication attempt starts a fresh
+             one from a fresh checkpoint. *)
+          Obs.Metrics.incr t.meters.m_snapshot_aborts;
+          cancel_snap_timer xfer;
+          peer.snap <- None;
+          tracef t "raft" "%s: snapshot #%d to %s aborted by follower" t.id xfer.sx_id
+            r.from
+        end
+        else begin
+          let total = Snapshot.size xfer.sx_snapshot in
+          if r.received_through >= total then begin
+            (* Installed: the follower holds the engine state and an
+               empty (or matching) log tail at the boundary; resume
+               ordinary replication from just above it.  The boundary
+               counts toward commit — the checkpoint covers applied,
+               committed state, now durably on the follower. *)
+            cancel_snap_timer xfer;
+            peer.snap <- None;
+            peer.wedged <- false;
+            let b = Binlog.Opid.index (Snapshot.last xfer.sx_snapshot) in
+            peer.next_index <- b + 1;
+            peer.match_index <- max peer.match_index b;
+            peer.delivered <- max peer.delivered b;
+            Obs.Metrics.incr t.meters.m_snapshots_sent;
+            tracef t "raft" "%s: snapshot #%d installed on %s (boundary %d)" t.id
+              xfer.sx_id r.from b;
+            advance_commit t;
+            replicate_to t peer ~allow_empty:true
+          end
+          else begin
+            if r.received_through > xfer.sx_acked then
+              xfer.sx_acked <- r.received_through;
+            (* Pace the stream so a bulk install cannot monopolize the
+               link the entry-AE pipeline shares. *)
+            let delay =
+              if t.params.snapshot_rate_bytes_per_s <= 0.0 then 1.0
+              else
+                float_of_int t.params.snapshot_chunk_bytes
+                /. t.params.snapshot_rate_bytes_per_s *. Sim.Engine.s
+            in
+            cancel_snap_timer xfer;
+            xfer.sx_timer <-
+              Some
+                (Sim.Clock.schedule t.clock ~delay (fun () ->
+                     xfer.sx_timer <- None;
+                     send_snapshot_chunk t peer xfer))
+          end
+        end
+      | _ -> ())
+
+(* ----- snapshot receipt (follower side) ----- *)
+
+and handle_install_snapshot t (is : Message.install_snapshot) =
+  let reply success received_through =
+    t.send ~dst:is.leader_id
+      (Message.Install_snapshot_response
+         {
+           term = t.durable.current_term;
+           from = t.id;
+           snapshot_id = is.snapshot_id;
+           received_through;
+           success;
+         })
+  in
+  if is.term < t.durable.current_term then reply false 0
+  else begin
+    (* Same authority rules as AppendEntries: the sender is this term's
+       live leader, so adopt it and hold elections off. *)
+    if is.term > t.durable.current_term || t.role <> Types.Follower then
+      step_down t ~term:is.term ~new_leader:(Some is.leader_id);
+    t.leader_id <- Some is.leader_id;
+    t.last_leader_contact <- local_now t;
+    reset_election_timer t;
+    let last = is.meta.Snapshot.last in
+    let boundary = Binlog.Opid.index last in
+    if t.log.term_at boundary = Some (Binlog.Opid.term last) then
+      (* Our log already matches through the boundary: nothing to
+         install (duplicate transfer, or we caught up in the interim).
+         A full ack completes the leader's transfer. *)
+      reply true is.meta.Snapshot.total_bytes
+    else begin
+      let pi =
+        match t.pending_install with
+        | Some pi when pi.pi_id = is.snapshot_id && pi.pi_leader = is.leader_id -> pi
+        | _ ->
+          let pi =
+            {
+              pi_leader = is.leader_id;
+              pi_id = is.snapshot_id;
+              pi_meta = is.meta;
+              pi_buf = Buffer.create (max 64 is.meta.Snapshot.total_bytes);
+            }
+          in
+          t.pending_install <- Some pi;
+          pi
+      in
+      let have = Buffer.length pi.pi_buf in
+      (* In-order chunk: append.  Duplicate or gap: just re-ack the
+         contiguous prefix; the stop-and-wait sender resumes from it. *)
+      if is.offset = have then Buffer.add_string pi.pi_buf is.chunk;
+      let have = Buffer.length pi.pi_buf in
+      if have >= is.meta.Snapshot.total_bytes then begin
+        t.pending_install <- None;
+        let data = Buffer.contents pi.pi_buf in
+        if not (Snapshot.verify_data pi.pi_meta data) then begin
+          (* Corrupted in transit (or a mixed-up transfer): refuse, which
+             aborts the leader's transfer and lets it restart cleanly. *)
+          Obs.Metrics.incr t.meters.m_snapshot_aborts;
+          tracef t "raft" "%s: snapshot #%d failed verification; refusing" t.id
+            is.snapshot_id;
+          reply false 0
+        end
+        else begin
+          finish_install t ~meta:pi.pi_meta ~data;
+          reply true have
+        end
+      end
+      else reply true have
+    end
+  end
+
+(* Apply a complete, verified snapshot: rebase the log at the boundary,
+   splice the membership history, restore the engine, and advance the
+   commit index over the prefix that no longer exists. *)
+and finish_install t ~meta ~data =
+  let last = meta.Snapshot.last in
+  let b = Binlog.Opid.index last in
+  tracef t "raft" "%s: installing snapshot at %s (%d bytes)" t.id
+    (Binlog.Opid.to_string last) (String.length data);
+  (* A conflicting tail dropped by the rebase gets the same §3.3-step-4
+     cleanup a truncation does. *)
+  let removed = t.log.install_snapshot ~last ~gtids:meta.Snapshot.gtids in
+  Log_cache.truncate_from t.cache ~index:1;
+  if removed <> [] then t.callbacks.on_truncated removed;
+  (* Config entries below the boundary vanished with the prefix; the
+     snapshot's config is authoritative as of [b].  Entries above it (a
+     retained tail) still override. *)
+  let above = List.filter (fun (i, _) -> i > b) t.config_stack in
+  let before = config t in
+  t.config_stack <- above @ [ (b, meta.Snapshot.config) ];
+  if config t <> before then begin
+    sync_peers t;
+    t.callbacks.on_config_change (config t);
+    reset_election_timer t
+  end;
+  t.callbacks.install_snapshot ~snapshot:{ Snapshot.meta; data };
+  Obs.Metrics.incr t.meters.m_snapshots_installed;
+  (* Everything the checkpoint covers is committed by definition. *)
+  if b > t.commit_index then begin
+    let prev = t.commit_index in
+    t.commit_index <- b;
+    note_commit t ~from_index:(prev + 1) ~to_index:b;
+    t.callbacks.on_commit_advance ~commit_index:b
+  end;
+  (* The restored state is at least as up-to-date as anything this node
+     ever acked below the boundary: a post-corruption vote floor at or
+     below the tail is satisfied. *)
+  match t.vote_floor with
+  | Some fl when Binlog.Opid.at_least_as_up_to_date_as (last_opid t) fl ->
+    t.vote_floor <- None
+  | _ -> ()
+
 (* ----- leadership transfer (§2.2 promotion + §4.3 mock elections) ----- *)
 
 and abort_transfer t ~reason =
@@ -1914,12 +2345,43 @@ let region_watermark t ~region:r =
 
 let safe_purge_index t =
   if t.role <> Types.Leader then 0
-  else
+  else begin
+    (* §A.1 region watermarks: a file may only go once its contents have
+       been shipped into every voter region. *)
     let regions = Types.regions_with_voters (config t) in
     let watermark =
       List.fold_left (fun acc r -> min acc (region_watermark t ~region:r)) max_int regions
     in
-    min watermark t.commit_index
+    (* Cluster-wide floor: learners and other non-voting members tail
+       this log too, and the region watermarks ignore them — purging past
+       a live peer's confirmed prefix (or under the base of its in-flight
+       window) wedges it behind the hole the moment its next batch needs
+       a prev anchor there.  A peer is live while it acked within a grace
+       window; one silent longer is presumed down and excluded, since
+       holding the floor for it forever would mean never purging (the
+       snapshot rescue covers it when it returns).  An in-flight snapshot
+       install fences the floor at its boundary so the tail the install
+       resumes into stays intact. *)
+    let grace =
+      2.0 *. float_of_int t.params.missed_heartbeats *. t.params.heartbeat_interval
+    in
+    let now = local_now t in
+    let peer_floor =
+      Hashtbl.fold
+        (fun _ p acc ->
+          match p.snap with
+          | Some xfer -> min acc (Binlog.Opid.index (Snapshot.last xfer.sx_snapshot))
+          | None ->
+            if now -. p.last_ack <= grace then
+              min acc
+                (List.fold_left
+                   (fun m f -> min m (f.if_first - 1))
+                   p.match_index p.inflight)
+            else acc)
+        t.peers max_int
+    in
+    min (min watermark peer_floor) t.commit_index
+  end
 
 let match_index_of t ~peer =
   match Hashtbl.find_opt t.peers peer with Some p -> Some p.match_index | None -> None
@@ -1928,6 +2390,17 @@ let window_of t ~peer =
   match Hashtbl.find_opt t.peers peer with
   | Some p -> Some (List.length p.inflight)
   | None -> None
+
+let snapshot_in_flight t ~peer =
+  match Hashtbl.find_opt t.peers peer with
+  | Some p -> p.snap <> None
+  | None -> false
+
+let purge_wedges t = Obs.Metrics.counter_value t.meters.m_purge_wedges
+
+let snapshots_sent t = Obs.Metrics.counter_value t.meters.m_snapshots_sent
+
+let snapshots_installed t = Obs.Metrics.counter_value t.meters.m_snapshots_installed
 
 (* The embedder coalesced a group of its own appends into one fsync
    (group commit on the leader's write path): the local durable index
@@ -2080,6 +2553,8 @@ let rec handle_message t ~src msg =
       else
         t.send ~dst:from
           (Message.Read_index_reply { rid; index = 0; error = Some "not the leader" })
+    | Message.Install_snapshot is -> handle_install_snapshot t is
+    | Message.Install_snapshot_response r -> handle_install_snapshot_response t r
     | Message.Read_index_reply { rid; index; error } -> (
       match Hashtbl.find_opt t.pending_remote_reads rid with
       | Some (k, timer) ->
@@ -2146,6 +2621,8 @@ let create ?metrics ?tracebuf ?clock ~engine ~id ~region ~send ~log ~callbacks ~
       clock_suspect_until = neg_infinity;
       last_hb_tick_local = neg_infinity;
       stale_lease_serves = 0;
+      next_snapshot_id = 0;
+      pending_install = None;
       vote_floor = None;
     }
   in
@@ -2172,7 +2649,12 @@ let stop t =
   cancel_timer t.heartbeat_timer;
   t.election_timer <- None;
   t.heartbeat_timer <- None;
-  Hashtbl.iter (fun _ p -> cancel_retransmit p) t.peers;
+  Hashtbl.iter
+    (fun _ p ->
+      cancel_retransmit p;
+      cancel_snap p)
+    t.peers;
+  t.pending_install <- None;
   t.lease_until <- neg_infinity;
   t.lease_until_global <- neg_infinity;
   fail_reads t ~reason:"node stopped";

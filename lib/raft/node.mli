@@ -30,6 +30,13 @@ type log_ops = {
       (** Run a batch of appends under one coalesced fsync (group
           commit): [durable_index] covers the whole batch after return.
           Logs without group commit may use [fun f -> f ()]. *)
+  purged_below : unit -> int;
+      (** Entries below this index may have been compacted away; no
+          AppendEntries prev anchor below it (minus one) exists. *)
+  install_snapshot :
+    last:Binlog.Opid.t -> gtids:Binlog.Gtid_set.t -> Binlog.Entry.t list;
+      (** Rebase the log at a snapshot boundary: retain a matching tail
+          or discard a conflicting one; returns the dropped suffix. *)
 }
 
 (** Specialize the abstraction to a {!Binlog.Log_store}. *)
@@ -46,6 +53,13 @@ type callbacks = {
   mutable on_quiesce : unit -> unit;
   mutable on_transfer_aborted : reason:string -> unit;
   mutable on_config_change : Types.config -> unit;
+  mutable take_snapshot : unit -> Snapshot.t option;
+      (** Produce an engine-checkpoint snapshot to rescue a peer wedged
+          behind the purge boundary; [None] = no checkpoint source (the
+          wedge stays visible as [raft.purge_wedges]). *)
+  mutable install_snapshot : snapshot:Snapshot.t -> unit;
+      (** Restore the engine from a received, verified checkpoint; the
+          log has already been rebased at the boundary. *)
 }
 
 (** All callbacks are no-ops. *)
@@ -99,6 +113,13 @@ type params = {
           healthy voter's election timer can fire, and arms the drift
           detectors (ack cross-check, tick watchdog).  0 (default)
           disables both, preserving the pre-clock-model behaviour. *)
+  snapshot_chunk_bytes : int;
+      (** payload bytes per InstallSnapshot chunk (stop-and-wait) *)
+  snapshot_rate_bytes_per_s : float;
+      (** pacing of the chunk stream so a bulk install cannot starve the
+          entry pipeline; 0 disables pacing *)
+  snapshot_retransmit_timeout : float;
+      (** resend the unacked chunk from the acked offset after this long *)
 }
 
 val default_params : params
@@ -281,6 +302,20 @@ val match_index_of : t -> peer:node_id -> int option
 
 (** Entry-carrying AppendEntries currently in a peer's sliding window. *)
 val window_of : t -> peer:node_id -> int option
+
+(** A snapshot install to this peer is in progress (entry replication to
+    it is paused). *)
+val snapshot_in_flight : t -> peer:node_id -> bool
+
+(** Episodes of a peer frontier falling behind the purge boundary
+    (the [raft.purge_wedges] counter). *)
+val purge_wedges : t -> int
+
+(** Snapshot transfers this leader completed ([snapshot.sends_completed]). *)
+val snapshots_sent : t -> int
+
+(** Snapshots this node installed as a follower ([snapshot.installs]). *)
+val snapshots_installed : t -> int
 
 (** Tell Raft the embedder coalesced a group of leader-side appends into
     one fsync: the local durable index advanced, so commit may too. *)

@@ -175,3 +175,64 @@ let checksum_at t ~count =
 
 (* The [n]th committed transaction (0-based, commit order). *)
 let nth_commit t n = Vec.get_opt t.commit_log n
+
+(* ----- engine-checkpoint snapshots (log compaction / InstallSnapshot) ----- *)
+
+(* Everything a snapshot must carry to reseat a follower's engine:
+   committed table content, the executed-GTID set, the recovery cursor,
+   and the cumulative commit-digest chain — without the chain a restored
+   replica could no longer prove history convergence against its peers
+   (the §5.1 prefix-checksum comparisons). *)
+type checkpoint = {
+  ck_rows : (string * (string * string * Binlog.Gtid.t option) list) list;
+  ck_gtid_executed : Binlog.Gtid_set.t;
+  ck_last_committed_opid : Binlog.Opid.t;
+  ck_committed_count : int;
+  ck_digests : int32 list;
+  ck_commit_log : (Binlog.Gtid.t * Binlog.Opid.t) list;
+}
+
+let checkpoint t =
+  let rows =
+    Hashtbl.fold
+      (fun tbl_name tbl acc ->
+        let rows =
+          Hashtbl.fold (fun key r acc -> (key, r.value, r.last_writer) :: acc) tbl []
+        in
+        (tbl_name, rows) :: acc)
+      t.tables []
+  in
+  {
+    ck_rows = rows;
+    ck_gtid_executed = t.gtid_executed;
+    ck_last_committed_opid = t.last_committed_opid;
+    ck_committed_count = t.committed_count;
+    ck_digests = Vec.to_list t.commit_digests;
+    ck_commit_log = Vec.to_list t.commit_log;
+  }
+
+(* Reseat the engine from a checkpoint.  Prepared-but-uncommitted
+   transactions don't survive (same as crash recovery); commit listeners
+   do — they belong to the server wiring, not the replicated state. *)
+let restore t ck =
+  ignore (crash_recover t);
+  Hashtbl.reset t.tables;
+  Hashtbl.reset t.locks;
+  List.iter
+    (fun (tbl_name, rows) ->
+      let tbl = table t tbl_name in
+      List.iter
+        (fun (key, value, last_writer) -> Hashtbl.replace tbl key { value; last_writer })
+        rows)
+    ck.ck_rows;
+  t.gtid_executed <- ck.ck_gtid_executed;
+  t.last_committed_opid <- ck.ck_last_committed_opid;
+  t.committed_count <- ck.ck_committed_count;
+  ignore (Vec.truncate_to t.commit_digests 0);
+  List.iter (Vec.push t.commit_digests) ck.ck_digests;
+  ignore (Vec.truncate_to t.commit_log 0);
+  List.iter (Vec.push t.commit_log) ck.ck_commit_log
+
+let encode_checkpoint ck = Marshal.to_string ck []
+
+let decode_checkpoint s : checkpoint = Marshal.from_string s 0

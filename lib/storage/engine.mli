@@ -65,3 +65,20 @@ val checksum_at : t -> count:int -> int32
 
 (** The [n]th committed transaction (0-based, commit order). *)
 val nth_commit : t -> int -> (Binlog.Gtid.t * Binlog.Opid.t) option
+
+(** A full engine state capture for snapshot shipping: table content,
+    executed-GTID set, recovery cursor, and the cumulative commit-digest
+    chain (so a restored replica still proves history convergence). *)
+type checkpoint
+
+val checkpoint : t -> checkpoint
+
+(** Reseat the engine from a checkpoint: prepared transactions are
+    rolled back (as in crash recovery), committed state is replaced
+    wholesale; commit listeners survive. *)
+val restore : t -> checkpoint -> unit
+
+(** Serialization for the InstallSnapshot wire payload. *)
+val encode_checkpoint : checkpoint -> string
+
+val decode_checkpoint : string -> checkpoint

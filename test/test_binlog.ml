@@ -359,6 +359,132 @@ let test_log_switch_mode_rewires_names () =
   (* entries survive the rewiring *)
   Alcotest.(check bool) "entries intact" true (Binlog.Log_store.entry_at log 1 <> None)
 
+(* ----- InstallSnapshot rebase (log compaction §A.1) ----- *)
+
+let test_install_snapshot_retain_tail () =
+  let log = Binlog.Log_store.create () in
+  for i = 1 to 8 do
+    Binlog.Log_store.append log (entry ~term:1 ~index:i ())
+  done;
+  (* boundary entry present with matching term: purge-in-place, keep tail *)
+  let dropped =
+    Binlog.Log_store.install_snapshot log
+      ~last:(Binlog.Opid.make ~term:1 ~index:5)
+      ~gtids:(Binlog.Gtid_set.add_interval Binlog.Gtid_set.empty ~source:"snap" ~lo:1 ~hi:5)
+  in
+  Alcotest.(check int) "no conflicting tail" 0 (List.length dropped);
+  Alcotest.(check int) "purged below" 6 (Binlog.Log_store.purged_below log);
+  Alcotest.(check int) "boundary opid" 5
+    (Binlog.Opid.index (Binlog.Log_store.purge_boundary_opid log));
+  Alcotest.(check (option int)) "boundary term answerable" (Some 1)
+    (Binlog.Log_store.term_at log 5);
+  Alcotest.(check bool) "prefix gone" true (Binlog.Log_store.entry_at log 3 = None);
+  Alcotest.(check bool) "tail retained" true (Binlog.Log_store.entry_at log 7 <> None);
+  Alcotest.(check int) "tail index unchanged" 8 (Binlog.Log_store.last_index log);
+  Alcotest.(check bool) "snapshot gtids merged" true
+    (Binlog.Gtid_set.contains (Binlog.Log_store.gtid_set log) (gtid "snap" 3))
+
+let test_install_snapshot_discard_rebase () =
+  let log = Binlog.Log_store.create () in
+  for i = 1 to 8 do
+    Binlog.Log_store.append log (entry ~term:1 ~index:i ())
+  done;
+  (* boundary unknown locally: the whole log conflicts and is dropped *)
+  let gtids = Binlog.Gtid_set.add_interval Binlog.Gtid_set.empty ~source:"snap" ~lo:1 ~hi:50 in
+  let dropped =
+    Binlog.Log_store.install_snapshot log ~last:(Binlog.Opid.make ~term:3 ~index:50) ~gtids
+  in
+  Alcotest.(check int) "whole log dropped" 8 (List.length dropped);
+  Alcotest.(check int) "rebased tail" 50 (Binlog.Log_store.last_index log);
+  Alcotest.(check int) "purged below" 51 (Binlog.Log_store.purged_below log);
+  Alcotest.(check (option int)) "boundary term answerable" (Some 3)
+    (Binlog.Log_store.term_at log 50);
+  Alcotest.(check string) "gtid set replaced" (Binlog.Gtid_set.to_string gtids)
+    (Binlog.Gtid_set.to_string (Binlog.Log_store.gtid_set log));
+  (* tailing resumes at the boundary: the next append must be b+1 *)
+  Binlog.Log_store.append log (entry ~term:3 ~index:51 ~gno:51 ());
+  Alcotest.(check int) "append after rebase" 51
+    (Binlog.Opid.index (Binlog.Log_store.last_opid log))
+
+(* Interleave purge_to / truncate_from / rotate / install_snapshot and
+   check the compaction bookkeeping never drifts: [purged_below] is
+   always [purge_boundary_opid + 1], the boundary term stays answerable,
+   purged slots read as absent, and the tail never retreats into the
+   purged range. *)
+let prop_compaction_invariants =
+  let op_gen = QCheck.(list_of_size Gen.(1 -- 40) (pair (0 -- 4) (0 -- 10))) in
+  QCheck.Test.make ~name:"compaction invariants under interleaved ops" ~count:300 op_gen
+    (fun ops ->
+      let log = Binlog.Log_store.create () in
+      let next_gno = ref 0 in
+      let max_term = ref 1 in
+      let append term =
+        incr next_gno;
+        Binlog.Log_store.append log
+          (entry ~term ~index:(Binlog.Log_store.last_index log + 1) ~gno:!next_gno ())
+      in
+      append 1;
+      let check_invariants () =
+        let pb = Binlog.Log_store.purged_below log in
+        let boundary = Binlog.Log_store.purge_boundary_opid log in
+        pb >= 1
+        && Binlog.Opid.index boundary = pb - 1
+        && Binlog.Log_store.last_index log >= pb - 1
+        && (pb = 1
+           || Binlog.Log_store.term_at log (pb - 1) = Some (Binlog.Opid.term boundary))
+        && Binlog.Log_store.entry_at log (pb - 1) = None
+        && Binlog.Log_store.entry_at log (pb / 2) = None
+      in
+      List.for_all
+        (fun (kind, arg) ->
+          let last = Binlog.Log_store.last_index log in
+          let pb = Binlog.Log_store.purged_below log in
+          (match kind with
+          | 0 -> append !max_term
+          | 1 -> Binlog.Log_store.rotate log
+          | 2 ->
+            (* purge to a file picked from the current list: everything
+               strictly older is dropped *)
+            let files = Binlog.Log_store.file_names log in
+            let file = List.nth files (arg mod List.length files) in
+            Binlog.Log_store.purge_to log ~file
+          | 3 ->
+            (* truncate somewhere in the un-purged range *)
+            let from_index = pb + (arg mod (last - pb + 2)) in
+            ignore (Binlog.Log_store.truncate_from log ~from_index)
+          | _ ->
+            (* install: half the time at a held index with its real term
+               (retain), otherwise past the tail at a new term (discard) *)
+            if arg mod 2 = 0 && last >= pb then begin
+              let b = pb + (arg mod (last - pb + 1)) in
+              match Binlog.Log_store.term_at log b with
+              | Some term ->
+                ignore
+                  (Binlog.Log_store.install_snapshot log
+                     ~last:(Binlog.Opid.make ~term ~index:b)
+                     ~gtids:Binlog.Gtid_set.empty)
+              | None -> ()
+            end
+            else begin
+              let b = last + 1 + (arg mod 5) in
+              let term = !max_term + 1 in
+              max_term := term;
+              ignore
+                (Binlog.Log_store.install_snapshot log
+                   ~last:(Binlog.Opid.make ~term ~index:b)
+                   ~gtids:
+                     (Binlog.Gtid_set.add_interval Binlog.Gtid_set.empty ~source:"snap"
+                        ~lo:1 ~hi:b))
+            end);
+          check_invariants ())
+        ops
+      &&
+      (* the store still extends: one more append at the tail goes in *)
+      let tail = Binlog.Log_store.last_index log in
+      max_term := !max_term + 1;
+      append !max_term;
+      Binlog.Log_store.last_index log = tail + 1)
+
 let test_log_term_regression_rejected () =
   let log = Binlog.Log_store.create () in
   Binlog.Log_store.append log (entry ~term:3 ~index:1 ());
@@ -404,5 +530,10 @@ let suites =
         Alcotest.test_case "purge" `Quick test_log_purge;
         Alcotest.test_case "binlog/relay rewiring" `Quick test_log_switch_mode_rewires_names;
         Alcotest.test_case "term regression rejected" `Quick test_log_term_regression_rejected;
+        Alcotest.test_case "install snapshot retains tail" `Quick
+          test_install_snapshot_retain_tail;
+        Alcotest.test_case "install snapshot discard-rebases" `Quick
+          test_install_snapshot_discard_rebase;
+        QCheck_alcotest.to_alcotest prop_compaction_invariants;
       ] );
   ]

@@ -11,6 +11,7 @@ let () =
         Test_storage.suites;
         Test_raft.suites;
         Test_raft_safety.suites;
+        Test_snapshot.suites;
         Test_chaos.suites;
         Test_pipeline.suites;
         Test_myraft.suites;
