@@ -5,27 +5,38 @@
 
 let seeds = [ 101; 102; 103; 104; 105 ]
 
+(* Multi-Raft mode is heavier (4 groups, one checker each), so the
+   sharded leg sweeps fewer seeds. *)
+let sharded_seeds = [ 101; 102; 103 ]
+
+let sharded_groups = 4
+
 let steps = 60
 
 let run () =
   Common.header "Chaos smoke — nemesis seed sweep with invariant checking";
   let total_violations = ref 0 in
+  let runs = ref 0 in
   let snapshots = ref [] in
+  let tally reports =
+    List.iter
+      (fun r ->
+        incr runs;
+        total_violations := !total_violations + List.length r.Chaos.Nemesis.r_violations;
+        snapshots := r.Chaos.Nemesis.r_metrics :: !snapshots;
+        Printf.printf "  %s\n%!" (Chaos.Nemesis.report_summary r))
+      reports
+  in
   List.iter
     (fun quorum ->
       Printf.printf "\n%s quorum:\n" (Chaos.Nemesis.quorum_name quorum);
-      let reports = Chaos.Nemesis.sweep ~quorum ~seeds ~steps () in
-      List.iter
-        (fun r ->
-          total_violations := !total_violations + List.length r.Chaos.Nemesis.r_violations;
-          snapshots := r.Chaos.Nemesis.r_metrics :: !snapshots;
-          Printf.printf "  %s\n%!" (Chaos.Nemesis.report_summary r))
-        reports)
+      tally (Chaos.Nemesis.sweep ~quorum ~seeds ~steps ()))
     [ Raft.Quorum.Single_region_dynamic; Raft.Quorum.Majority ];
+  Printf.printf "\n%d-shard multi-Raft (flexi quorum):\n" sharded_groups;
+  tally (Chaos.Nemesis.sweep ~shards:sharded_groups ~seeds:sharded_seeds ~steps ());
   Common.write_metrics_json (Obs.Metrics.merge_all ~node:"chaos-smoke" !snapshots);
   if !total_violations = 0 then
-    Printf.printf "\nchaos smoke: %d runs, zero invariant violations\n%!"
-      (2 * List.length seeds)
+    Printf.printf "\nchaos smoke: %d runs, zero invariant violations\n%!" !runs
   else begin
     Printf.printf "\nchaos smoke: %d INVARIANT VIOLATIONS\n%!" !total_violations;
     exit 1

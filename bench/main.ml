@@ -44,6 +44,8 @@ let apply_bench () = Apply_bench.run ()
 
 let snapshot_bench () = Snapshot_bench.run ()
 
+let shards_bench () = Shards_bench.run ()
+
 let experiments =
   [
     ("table1", "Table 1: role mapping", table1);
@@ -69,6 +71,9 @@ let experiments =
     ( "snapshot",
       "A7: purged-log rejoin, gate on InstallSnapshot >= 5x faster than full replay",
       snapshot_bench );
+    ( "shards",
+      "S1: multi-Raft groups x skew sweep, gate on 4 groups >= 2.5x tps at < 2x msgs",
+      shards_bench );
   ]
 
 let run_all () =

@@ -275,7 +275,11 @@ let metrics seed echo secs json =
 (* Nemesis-driven chaos: a seeded, composable fault schedule with the
    continuous Raft invariant checker; identical seed → identical run. *)
 let chaos seed echo steps faults quorum seeds metrics_json no_lease campaign
-    max_clock_drift =
+    max_clock_drift shards auto_purge =
+  if shards < 1 then begin
+    Printf.eprintf "chaos: --shards must be >= 1\n%!";
+    exit 2
+  end;
   let base = if campaign then Chaos.Schedule.campaign else Chaos.Schedule.default in
   let spec =
     match faults with
@@ -302,8 +306,12 @@ let chaos seed echo steps faults quorum seeds metrics_json no_lease campaign
     List.map
       (fun seed ->
         let r =
-          Chaos.Nemesis.run ~spec ~quorum ~lease:(not no_lease) ~max_clock_drift ~echo
-            ~seed ~steps ()
+          if shards > 1 then
+            Chaos.Nemesis.run_sharded ~spec ~quorum ~lease:(not no_lease)
+              ~max_clock_drift ~auto_purge ~shards ~seed ~steps ()
+          else
+            Chaos.Nemesis.run ~spec ~quorum ~lease:(not no_lease) ~max_clock_drift ~echo
+              ~auto_purge ~seed ~steps ()
         in
         Printf.printf "%s\n%!" (Chaos.Nemesis.report_summary r);
         r)
@@ -360,6 +368,24 @@ let max_clock_drift_arg =
           "Clock-drift margin the Raft layer absorbs in its lease arithmetic (e.g. \
            0.05 = 5%).  Run clock attacks with this at or above the schedule's drift \
            rate; at 0.0 leases trust the local clock blindly.")
+
+let auto_purge_arg =
+  Arg.(
+    value & flag
+    & info [ "auto-purge" ]
+        ~doc:
+          "Rotate and purge the primary's binlog every few steps, so peers that fall \
+           behind a fault find their tail compacted away and must be rescued by an \
+           engine-checkpoint InstallSnapshot (the purged-log-replication stress mode).")
+
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"M"
+        ~doc:
+          "Run the schedule against $(docv) Raft groups multiplexed on the ring \
+           (multi-Raft mode with the coalescing mux); invariants are checked per \
+           group.  Default 1 = the classic single-group run.")
 
 let quorum_arg =
   Arg.(
@@ -427,7 +453,7 @@ let () =
           Term.(
             const chaos $ seed_arg $ trace_arg $ steps_arg $ faults_arg $ quorum_arg
             $ seeds_arg $ metrics_json_arg $ no_lease_arg $ campaign_arg
-            $ max_clock_drift_arg);
+            $ max_clock_drift_arg $ shards_arg $ auto_purge_arg);
       ]
   in
   exit (Cmd.eval root)

@@ -512,6 +512,7 @@ let probes_of_cluster c =
 type report = {
   r_seed : int;
   r_steps : int;
+  r_shards : int; (* Raft groups multiplexed on the ring (1 = classic) *)
   r_quorum : Raft.Quorum.mode;
   r_lease : bool; (* leader-lease fast path enabled? *)
   r_max_clock_drift : float; (* drift margin the Raft layer was told to absorb *)
@@ -561,12 +562,13 @@ let quorum_name = function
 
 let repro_command r =
   Printf.sprintf
-    "dune exec bin/myraft_cli.exe -- chaos --seed %d --steps %d --faults %s --quorum %s%s%s"
+    "dune exec bin/myraft_cli.exe -- chaos --seed %d --steps %d --faults %s --quorum %s%s%s%s"
     r.r_seed r.r_steps (String.concat "," r.r_faults) (quorum_name r.r_quorum)
     (if r.r_lease then "" else " --no-lease")
     (if r.r_max_clock_drift > 0.0 then
        Printf.sprintf " --max-clock-drift %g" r.r_max_clock_drift
      else "")
+    (if r.r_shards > 1 then Printf.sprintf " --shards %d" r.r_shards else "")
 
 (* Run a seeded chaos schedule against a full MyRaft cluster under an
    open-loop workload plus the linearizable-register read checker,
@@ -671,6 +673,7 @@ let run ?(spec = Schedule.default) ?(quorum = Raft.Quorum.Single_region_dynamic)
     {
       r_seed = seed;
       r_steps = steps;
+      r_shards = 1;
       r_quorum = quorum;
       r_lease = lease;
       r_max_clock_drift = max_clock_drift;
@@ -714,8 +717,10 @@ let run ?(spec = Schedule.default) ?(quorum = Raft.Quorum.Single_region_dynamic)
 
 let report_summary r =
   Printf.sprintf
-    "seed %d · %s · lease %s · %d steps · %d injections (%s) · committed idx %d · %d client commits · lin reads %d (%d stale-lin, %d stale-eventual) · drop/dup/reorder %d/%d/%d · %d violations · digest %ld"
-    r.r_seed (quorum_name r.r_quorum)
+    "seed %d%s · %s · lease %s · %d steps · %d injections (%s) · committed idx %d · %d client commits · lin reads %d (%d stale-lin, %d stale-eventual) · drop/dup/reorder %d/%d/%d · %d violations · digest %ld"
+    r.r_seed
+    (if r.r_shards > 1 then Printf.sprintf " · %d shards" r.r_shards else "")
+    (quorum_name r.r_quorum)
     (if r.r_lease then "on" else "off")
     r.r_steps r.r_total_injections
     (String.concat ", "
@@ -726,12 +731,191 @@ let report_summary r =
     r.r_stale_eventual r.r_fault_dropped r.r_duplicated r.r_reordered
     (List.length r.r_violations) r.r_trace_digest
 
+(* ----- multi-Raft (sharded) chaos ----- *)
+
+(* Physical control surface over a multi-Raft deployment: crash/restart/
+   isolate hit a node's instance of every group at once (one process),
+   clocks are per physical node, while the leader-aimed and disk fault
+   families target group 0 as the representative shard — its invariant
+   checker is the one that must catch any damage. *)
+let ops_of_multi m =
+  let net = Shard.Mux.network (Shard.Multi.mux m) in
+  let g0 = Shard.Multi.cluster m 0 in
+  let store_of id =
+    match Myraft.Cluster.node g0 id with
+    | Some (Myraft.Cluster.Mysql_node s) -> Some (Myraft.Server.log s)
+    | Some (Myraft.Cluster.Tailer_node l) -> Some (Myraft.Logtailer.log l)
+    | None -> None
+  in
+  {
+    node_ids = Shard.Multi.member_ids m;
+    region_of = (fun id -> Option.value (Shard.Multi.region_of m id) ~default:"?");
+    is_up = (fun id -> not (Shard.Multi.is_crashed m id));
+    leader = (fun () -> Myraft.Cluster.raft_leader g0);
+    crash = Shard.Multi.crash_node m;
+    restart = Shard.Multi.restart_node m;
+    isolate = Shard.Multi.isolate_node m;
+    heal_node = Shard.Multi.heal_node m;
+    cut_regions = (fun r1 r2 -> Sim.Network.cut_regions net r1 r2);
+    heal_regions = (fun r1 r2 -> Sim.Network.heal_regions net r1 r2);
+    set_node_faults = Sim.Network.set_node_faults net;
+    clear_node_faults = Sim.Network.clear_node_faults net;
+    heal_all_network = (fun () -> Sim.Network.heal_all net);
+    store_of;
+    transfer = (fun ~target -> Myraft.Cluster.transfer_leadership g0 ~target);
+    clock_of = (fun id -> Shard.Multi.clock_of m id);
+    set_link_faults = (fun ~src ~dst spec -> Sim.Network.set_link_faults net ~src ~dst spec);
+    clear_link_faults = (fun ~src ~dst -> Sim.Network.clear_link_faults net ~src ~dst);
+    force_election =
+      (fun id ->
+        match Myraft.Cluster.raft_of g0 id with
+        | Some r -> Raft.Node.trigger_election r
+        | None -> ());
+  }
+
+(* One group's full convergence: commit indexes and log tails equal on
+   every member, appliers drained. *)
+let group_settled c =
+  match Myraft.Cluster.raft_leader c with
+  | None -> false
+  | Some _ ->
+    let raft_of id = Myraft.Cluster.raft_of c id in
+    let ids = Myraft.Cluster.member_ids c in
+    let indexes = List.filter_map (fun id -> Option.map Raft.Node.commit_index (raft_of id)) ids in
+    let tails =
+      List.filter_map
+        (fun id -> Option.map (fun r -> Binlog.Opid.index (Raft.Node.last_opid r)) (raft_of id))
+        ids
+    in
+    (match (indexes, tails) with
+    | i :: rest, tl :: more ->
+      List.for_all (fun j -> j = i) rest
+      && List.for_all (fun j -> j = tl) more
+      && List.for_all
+           (fun srv -> Myraft.Server.applied_through srv >= i)
+           (Myraft.Cluster.servers c)
+    | _ -> false)
+
+(* The sharded counterpart of {!run}: the same fault schedule against a
+   multi-Raft deployment (every chaos member hosts [shards] groups behind
+   the coalescing mux), routed workload traffic across all shards, and
+   one invariant checker per group — safety is per consensus group, and
+   every group must also reconverge after the final heal. *)
+let run_sharded ?(spec = Schedule.default) ?(quorum = Raft.Quorum.Single_region_dynamic)
+    ?(lease = true) ?(max_clock_drift = 0.0) ?(step_duration = 0.25 *. Sim.Engine.s)
+    ?(rate_per_s = 150.0) ?(auto_purge = false) ~shards ~seed ~steps () =
+  let params =
+    { Myraft.Params.default with
+      raft =
+        { Myraft.Params.default.Myraft.Params.raft with
+          Raft.Node.quorum_mode = quorum;
+          use_leader_lease = lease;
+          max_clock_drift
+        }
+    }
+  in
+  let multi =
+    Shard.Multi.create ~seed ~params ~members:(chaos_members ()) ~groups:shards ()
+  in
+  Shard.Multi.bootstrap multi;
+  let backend = Shard.Multi.backend multi in
+  let gen =
+    Workload.Generator.create ~backend ~client_id:"chaos-client" ~region:"r1" ()
+  in
+  Workload.Generator.start_open_loop gen ~rate_per_s;
+  let engine = Shard.Multi.engine multi in
+  let trace = Sim.Trace.create ~echo:false engine in
+  let nemesis =
+    create ~engine ~trace ~rng:(Sim.Rng.of_int (seed lxor 0x6e656d65)) ~spec
+      ~ops:(ops_of_multi multi)
+  in
+  let invs =
+    List.map
+      (fun c ->
+        Invariants.create
+          ~snapshot:(fun () -> Myraft.Cluster.metrics_snapshot c)
+          ~now:(fun () -> Sim.Engine.now engine)
+          ~probes:(probes_of_cluster c) ())
+      (Shard.Multi.clusters multi)
+  in
+  let check_all () = List.iter Invariants.check invs in
+  let linreg = Linreg.start ~backend ~invariants:(List.hd invs) () in
+  let maybe_purge i =
+    if auto_purge && i mod 3 = 0 then
+      List.iter
+        (fun c ->
+          match Myraft.Cluster.primary c with
+          | Some srv when not (Myraft.Server.is_crashed srv) ->
+            ignore (Myraft.Server.flush_binary_logs srv);
+            ignore (Myraft.Server.purge_binary_logs srv)
+          | _ -> ())
+        (Shard.Multi.clusters multi)
+  in
+  for i = 1 to steps do
+    step nemesis;
+    Shard.Multi.run_for multi step_duration;
+    maybe_purge i;
+    check_all ()
+  done;
+  Workload.Generator.stop gen;
+  Linreg.stop linreg;
+  heal_now nemesis;
+  let settled =
+    Shard.Multi.run_until multi ~timeout:(90.0 *. Sim.Engine.s) (fun () ->
+        List.for_all group_settled (Shard.Multi.clusters multi))
+  in
+  check_all ();
+  if settled then List.iter Invariants.check_converged invs
+  else
+    Sim.Trace.record trace ~tag:"nemesis"
+      "WARNING: some shard did not reconverge within timeout";
+  let net = Shard.Mux.network (Shard.Multi.mux multi) in
+  let report =
+    {
+      r_seed = seed;
+      r_steps = steps;
+      r_shards = shards;
+      r_quorum = quorum;
+      r_lease = lease;
+      r_max_clock_drift = max_clock_drift;
+      r_faults = Schedule.fault_names spec;
+      r_injections = injections nemesis;
+      r_total_injections = total_injections nemesis;
+      r_committed =
+        List.fold_left (fun acc inv -> max acc (Invariants.max_committed inv)) 0 invs;
+      r_workload_committed = (Workload.Generator.stats gen).Workload.Generator.committed;
+      r_lin_reads_ok = (Linreg.stats linreg).Linreg.lin_ok;
+      r_lin_violations = (Linreg.stats linreg).Linreg.lin_violations;
+      r_stale_eventual = (Linreg.stats linreg).Linreg.ev_stale;
+      r_violations = List.concat_map Invariants.violations invs;
+      r_trace_digest = digest_trace trace;
+      r_fault_dropped = Sim.Network.fault_dropped net;
+      r_duplicated = Sim.Network.duplicated net;
+      r_reordered = Sim.Network.reordered net;
+      r_metrics =
+        Obs.Metrics.merge (Shard.Multi.metrics_snapshot multi) (metrics_snapshot nemesis);
+    }
+  in
+  if report.r_violations <> [] then begin
+    Printf.eprintf "=== INVARIANT VIOLATIONS (seed %d, %d shards) ===\n" seed shards;
+    List.iter
+      (fun v -> Printf.eprintf "  %s\n" (Invariants.violation_to_string v))
+      report.r_violations;
+    Printf.eprintf "repro: %s\n%!" (repro_command report)
+  end;
+  report
+
 (* Seed sweep for CI smoke: run [seeds] and return the reports; the exit
-   gate is simply "no report has violations". *)
+   gate is simply "no report has violations".  [shards > 1] runs every
+   seed against the multi-Raft deployment instead. *)
 let sweep ?spec ?quorum ?lease ?max_clock_drift ?step_duration ?rate_per_s ?auto_purge
-    ~seeds ~steps () =
+    ?(shards = 1) ~seeds ~steps () =
   List.map
     (fun seed ->
-      run ?spec ?quorum ?lease ?max_clock_drift ?step_duration ?rate_per_s ?auto_purge
-        ~seed ~steps ())
+      if shards > 1 then
+        run_sharded ?spec ?quorum ?lease ?max_clock_drift ?step_duration ?rate_per_s
+          ?auto_purge ~shards ~seed ~steps ()
+      else
+        run ?spec ?quorum ?lease ?max_clock_drift ?step_duration ?rate_per_s ?auto_purge
+          ~seed ~steps ())
     seeds

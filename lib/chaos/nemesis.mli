@@ -71,6 +71,7 @@ val probes_of_cluster : Myraft.Cluster.t -> Invariants.probe list
 type report = {
   r_seed : int;
   r_steps : int;
+  r_shards : int;  (** Raft groups multiplexed on the ring (1 = classic) *)
   r_quorum : Raft.Quorum.mode;
   r_lease : bool;  (** leader-lease fast path enabled? *)
   r_max_clock_drift : float;
@@ -129,7 +130,35 @@ val run :
 
 val report_summary : report -> string
 
-(** Seed sweep for CI smoke: the gate is "no report has violations". *)
+(** {2 Multi-Raft (sharded) chaos} *)
+
+(** Physical control surface over a multi-Raft deployment: crash,
+    restart, isolation and clock faults hit a node's instance of every
+    group at once (one process); leader-aimed and disk fault families
+    target group 0 as the representative shard. *)
+val ops_of_multi : Shard.Multi.t -> ops
+
+(** The sharded counterpart of {!run}: the same fault schedule against
+    [shards] Raft groups multiplexed on the chaos ring behind the
+    coalescing mux, with routed workload traffic and one invariant
+    checker per group — safety holds per consensus group, and every
+    group must reconverge after the final heal. *)
+val run_sharded :
+  ?spec:Schedule.t ->
+  ?quorum:Raft.Quorum.mode ->
+  ?lease:bool ->
+  ?max_clock_drift:float ->
+  ?step_duration:float ->
+  ?rate_per_s:float ->
+  ?auto_purge:bool ->
+  shards:int ->
+  seed:int ->
+  steps:int ->
+  unit ->
+  report
+
+(** Seed sweep for CI smoke: the gate is "no report has violations".
+    [shards > 1] runs every seed via {!run_sharded}. *)
 val sweep :
   ?spec:Schedule.t ->
   ?quorum:Raft.Quorum.mode ->
@@ -138,6 +167,7 @@ val sweep :
   ?step_duration:float ->
   ?rate_per_s:float ->
   ?auto_purge:bool ->
+  ?shards:int ->
   seeds:int list ->
   steps:int ->
   unit ->

@@ -1,0 +1,94 @@
+(* Shard-leader placement balancer.
+
+   With many Raft groups multiplexed on the same nodes, where each
+   group's leader sits decides both the per-node write load and the
+   cross-region byte flow (Fast Raft's fan-out argument: cross-region
+   traffic should not scale with group count).  This module computes and
+   applies a placement that spreads leaders evenly — first across
+   regions, then across nodes within a region — using graceful
+   TransferLeadership, never elections.
+
+   Deliberately generic: it sees consensus groups only through the
+   [group] record of closures, so the control plane does not depend on
+   the shard library (shard depends on control, not the reverse). *)
+
+type group = {
+  g_index : int; (* shard number, for reporting *)
+  g_leader : unit -> string option; (* current leader node, if any *)
+  g_region_of : string -> string option; (* node -> region *)
+  g_candidates : unit -> string list;
+      (* nodes able to host this group's leader (primary-capable,
+         healthy), in preference order *)
+  g_transfer : target:string -> (unit, string) result;
+      (* graceful TransferLeadership on the group's current leader *)
+}
+
+type move = { mv_group : int; mv_from : string option; mv_to : string }
+
+type plan = { moves : move list; balanced : bool }
+
+(* Round-robin assignment: walk the groups in index order handing each
+   the least-loaded candidate, counting load first by region then by
+   node.  Deterministic for a given input order, so repeated calls
+   converge instead of oscillating. *)
+let desired_placement ~groups =
+  let region_load = Hashtbl.create 8 in
+  let node_load = Hashtbl.create 8 in
+  let load tbl k = Option.value (Hashtbl.find_opt tbl k) ~default:0 in
+  let bump tbl k = Hashtbl.replace tbl k (load tbl k + 1) in
+  List.map
+    (fun g ->
+      let candidates = g.g_candidates () in
+      let scored =
+        List.mapi
+          (fun pos n ->
+            let region =
+              Option.value (g.g_region_of n) ~default:"?"
+            in
+            (* Lexicographic: region load, node load, stability (keep
+               the current leader when tied), then candidate order. *)
+            let keep = if g.g_leader () = Some n then 0 else 1 in
+            ((load region_load region, load node_load n, keep, pos), n))
+          candidates
+      in
+      match List.sort compare scored with
+      | [] -> (g, None)
+      | (_, best) :: _ ->
+        bump node_load best;
+        (match g.g_region_of best with Some r -> bump region_load r | None -> ());
+        (g, Some best))
+    groups
+
+let plan ~groups =
+  let assignment = desired_placement ~groups in
+  let moves =
+    List.filter_map
+      (fun (g, want) ->
+        match want with
+        | None -> None
+        | Some target ->
+          let current = g.g_leader () in
+          if current = Some target then None
+          else Some { mv_group = g.g_index; mv_from = current; mv_to = target })
+      assignment
+  in
+  { moves; balanced = moves = [] }
+
+(* Apply the plan: one graceful transfer per misplaced group.  Transfers
+   are asynchronous (quiesce, catch-up, TimeoutNow) — the caller decides
+   how long to let the simulation settle and whether to re-plan.
+   Returns the moves attempted and any per-group transfer errors. *)
+let rebalance ~groups =
+  let p = plan ~groups in
+  let errors =
+    List.filter_map
+      (fun mv ->
+        match List.find_opt (fun g -> g.g_index = mv.mv_group) groups with
+        | None -> None
+        | Some g -> (
+          match g.g_transfer ~target:mv.mv_to with
+          | Ok () -> None
+          | Error e -> Some (mv.mv_group, e)))
+      p.moves
+  in
+  (p, errors)

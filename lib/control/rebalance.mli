@@ -1,0 +1,36 @@
+(** Shard-leader placement balancer for multi-Raft deployments.
+
+    Computes a placement that spreads group leaders evenly — first
+    across regions, then across nodes — and applies it with graceful
+    TransferLeadership.  Generic over the [group] closure record so the
+    control plane does not depend on the shard library. *)
+
+type group = {
+  g_index : int;  (** shard number, for reporting *)
+  g_leader : unit -> string option;  (** current leader node, if any *)
+  g_region_of : string -> string option;  (** node -> region *)
+  g_candidates : unit -> string list;
+      (** nodes able to host this group's leader (primary-capable,
+          healthy), in preference order *)
+  g_transfer : target:string -> (unit, string) result;
+      (** graceful TransferLeadership on the group's current leader *)
+}
+
+type move = { mv_group : int; mv_from : string option; mv_to : string }
+
+type plan = { moves : move list; balanced : bool }
+
+(** Deterministic round-robin assignment: groups in index order each
+    take the least-loaded candidate (region load, then node load, with
+    a stability bonus for the incumbent leader).  Repeated calls
+    converge rather than oscillate. *)
+val desired_placement : groups:group list -> (group * string option) list
+
+(** The transfers that would bring the current placement to the desired
+    one; [balanced] when none are needed. *)
+val plan : groups:group list -> plan
+
+(** Apply {!plan} with one graceful transfer per misplaced group;
+    transfers complete asynchronously in simulation time.  Returns the
+    plan and any per-group transfer errors. *)
+val rebalance : groups:group list -> plan * (int * string) list

@@ -1,7 +1,17 @@
 (* Replicaset assembly: builds a full MyRaft ring (MySQL servers +
    logtailers) on a simulated multi-region network, wires service
    discovery, and exposes the control operations the experiments use
-   (bootstrap, crash/restart, partitions, leadership transfer). *)
+   (bootstrap, crash/restart, partitions, leadership transfer).
+
+   Two modes:
+   - standalone (the default): the cluster owns its engine, topology,
+     network, trace, discovery and trace ring — one consensus group in
+     the world, exactly the pre-shard behaviour;
+   - shared (multi-Raft): the embedder (Shard.Multi) hands in one
+     engine/trace/discovery plus a [transport] — closures over a shared
+     multiplexing network — and many group clusters ride the same
+     physical nodes.  The cluster then owns no network of its own and
+     every wire/fault operation routes through the transport. *)
 
 type member_spec = {
   spec_id : string;
@@ -18,13 +28,42 @@ let logtailer id region =
 
 type node = Mysql_node of Server.t | Tailer_node of Logtailer.t
 
+(* The wire/fault surface a group cluster needs from whoever owns the
+   physical network.  In standalone mode these close over the cluster's
+   own [Sim.Network]; in shared mode over the shard mux. *)
+type transport = {
+  tr_send : src:string -> dst:string -> Wire.t -> unit;
+  tr_register : string -> (src:string -> Wire.t -> unit) -> unit;
+  tr_add_node : id:string -> region:string -> unit; (* must be idempotent *)
+  tr_set_down : string -> unit;
+  tr_set_up : string -> unit;
+  tr_isolate : string -> unit;
+  tr_heal : string -> unit;
+  tr_set_link_latency : a:string -> b:string -> latency:float -> unit;
+}
+
+(* Shared infrastructure for one group of a multi-Raft deployment. *)
+type shared = {
+  sh_engine : Sim.Engine.t;
+  sh_trace : Sim.Trace.t;
+  sh_discovery : Service_discovery.t;
+  sh_tracebuf : Obs.Tracebuf.t;
+  sh_group : int; (* this cluster's group tag *)
+  sh_clock_of : string -> Sim.Clock.t option;
+      (* per-physical-node clocks: every group instance on a node shares
+         its oscillator, so injected clock faults hit them all alike *)
+  sh_transport : transport;
+}
+
 type t = {
   engine : Sim.Engine.t;
-  topology : Sim.Topology.t;
-  network : Wire.t Sim.Network.t;
+  network : Wire.t Sim.Network.t option; (* None in shared (multi-Raft) mode *)
+  transport : transport;
   trace : Sim.Trace.t;
   discovery : Service_discovery.t;
   replicaset : string;
+  group : int;
+  clock_override : string -> Sim.Clock.t option;
   params : Params.t;
   nodes : (string, node) Hashtbl.t;
   mutable member_order : string list;
@@ -34,7 +73,14 @@ type t = {
 
 let engine t = t.engine
 
-let network t = t.network
+let network t =
+  match t.network with
+  | Some n -> n
+  | None -> invalid_arg "Cluster.network: shared-transport (multi-Raft) mode"
+
+let transport t = t.transport
+
+let group t = t.group
 
 let trace t = t.trace
 
@@ -98,27 +144,30 @@ let metrics_of t id =
 
 (* A registry-shaped view of the network's counters, built on demand:
    sim cannot depend on obs (obs sits above sim), so the network exports
-   raw stat rows and the cluster dresses them as metrics. *)
+   raw stat rows and the cluster dresses them as metrics.  In shared
+   mode the mux owns the network and exports these itself. *)
 let network_metrics t =
   let m = Obs.Metrics.create ~node:"network" () in
-  let net = t.network in
-  Obs.Metrics.bump ~by:(Sim.Network.total_messages net) m "net.messages";
-  Obs.Metrics.bump ~by:(Sim.Network.total_bytes net) m "net.bytes";
-  Obs.Metrics.bump ~by:(Sim.Network.cross_region_bytes net) m "net.cross_region_bytes";
-  Obs.Metrics.bump ~by:(Sim.Network.dropped net) m "net.dropped";
-  Obs.Metrics.bump ~by:(Sim.Network.fault_dropped net) m "net.fault_dropped";
-  Obs.Metrics.bump ~by:(Sim.Network.duplicated net) m "net.duplicated";
-  Obs.Metrics.bump ~by:(Sim.Network.reordered net) m "net.reordered";
-  List.iter
-    (fun (src, dst, msgs, bytes) ->
-      Obs.Metrics.bump ~by:msgs m (Printf.sprintf "net.link.%s->%s.messages" src dst);
-      Obs.Metrics.bump ~by:bytes m (Printf.sprintf "net.link.%s->%s.bytes" src dst))
-    (Sim.Network.link_stat_rows net);
-  List.iter
-    (fun (rs, rd, msgs, bytes) ->
-      Obs.Metrics.bump ~by:msgs m (Printf.sprintf "net.region.%s->%s.messages" rs rd);
-      Obs.Metrics.bump ~by:bytes m (Printf.sprintf "net.region.%s->%s.bytes" rs rd))
-    (Sim.Network.region_stat_rows net);
+  (match t.network with
+  | None -> ()
+  | Some net ->
+    Obs.Metrics.bump ~by:(Sim.Network.total_messages net) m "net.messages";
+    Obs.Metrics.bump ~by:(Sim.Network.total_bytes net) m "net.bytes";
+    Obs.Metrics.bump ~by:(Sim.Network.cross_region_bytes net) m "net.cross_region_bytes";
+    Obs.Metrics.bump ~by:(Sim.Network.dropped net) m "net.dropped";
+    Obs.Metrics.bump ~by:(Sim.Network.fault_dropped net) m "net.fault_dropped";
+    Obs.Metrics.bump ~by:(Sim.Network.duplicated net) m "net.duplicated";
+    Obs.Metrics.bump ~by:(Sim.Network.reordered net) m "net.reordered";
+    List.iter
+      (fun (src, dst, msgs, bytes) ->
+        Obs.Metrics.bump ~by:msgs m (Printf.sprintf "net.link.%s->%s.messages" src dst);
+        Obs.Metrics.bump ~by:bytes m (Printf.sprintf "net.link.%s->%s.bytes" src dst))
+      (Sim.Network.link_stat_rows net);
+    List.iter
+      (fun (rs, rd, msgs, bytes) ->
+        Obs.Metrics.bump ~by:msgs m (Printf.sprintf "net.region.%s->%s.messages" rs rd);
+        Obs.Metrics.bump ~by:bytes m (Printf.sprintf "net.region.%s->%s.bytes" rs rd))
+      (Sim.Network.region_stat_rows net));
   m
 
 (* Cluster-wide snapshot: every node's registry merged with the
@@ -164,24 +213,96 @@ let config_of_specs specs =
         specs;
   }
 
+(* A standalone cluster's transport: closures over its own network. *)
+let transport_of_network topology network =
+  {
+    tr_send =
+      (fun ~src ~dst msg -> Sim.Network.send network ~src ~dst ~size:(Wire.size msg) msg);
+    tr_register = (fun id handler -> Sim.Network.register network id handler);
+    tr_add_node =
+      (fun ~id ~region ->
+        if not (Sim.Topology.mem topology id) then
+          Sim.Topology.add_node topology ~id ~region);
+    tr_set_down = (fun id -> Sim.Network.set_down network id);
+    tr_set_up = (fun id -> Sim.Network.set_up network id);
+    tr_isolate = (fun id -> Sim.Network.isolate_node network id);
+    tr_heal = (fun id -> Sim.Network.heal_node network id);
+    tr_set_link_latency =
+      (fun ~a ~b ~latency -> Sim.Network.set_link_latency network ~a ~b ~latency);
+  }
+
+(* Construct and wire one node object, register its message handler. *)
+let make_node t spec ~initial_config =
+  let id = spec.spec_id in
+  let send_from ~dst msg = t.transport.tr_send ~src:id ~dst msg in
+  let clock = t.clock_override id in
+  let n =
+    match spec.spec_kind with
+    | Raft.Types.Mysql_server ->
+      Mysql_node
+        (Server.create ~tracebuf:t.tracebuf ?clock ~group:t.group ~engine:t.engine ~id
+           ~region:spec.spec_region ~replicaset:t.replicaset ~send:send_from
+           ~discovery:t.discovery ~params:t.params ~initial_config ~trace:t.trace ())
+    | Raft.Types.Logtailer ->
+      Tailer_node
+        (Logtailer.create ~tracebuf:t.tracebuf ?clock ~group:t.group ~engine:t.engine
+           ~id ~region:spec.spec_region ~send:send_from ~params:t.params
+           ~initial_config ~trace:t.trace ())
+  in
+  Hashtbl.replace t.nodes id n;
+  t.transport.tr_register id (fun ~src msg ->
+      match Hashtbl.find_opt t.nodes id with
+      | Some (Mysql_node server) -> Server.handle_message server ~src msg
+      | Some (Tailer_node l) -> Logtailer.handle_message l ~src msg
+      | None -> ())
+
 let create ?(seed = 7) ?(params = Params.default) ?(latency = Sim.Latency.default)
-    ?(echo_trace = false) ~replicaset ~members () =
-  let engine = Sim.Engine.create ~seed () in
-  let topology = Sim.Topology.create () in
-  List.iter (fun s -> Sim.Topology.add_node topology ~id:s.spec_id ~region:s.spec_region) members;
-  let network = Sim.Network.create engine topology ~latency () in
-  let trace = Sim.Trace.create ~echo:echo_trace engine in
-  let discovery = Service_discovery.create engine in
+    ?(echo_trace = false) ?shared ~replicaset ~members () =
+  let engine, network, transport, trace, discovery, tracebuf, group, clock_override =
+    match shared with
+    | None ->
+      let engine = Sim.Engine.create ~seed () in
+      let topology = Sim.Topology.create () in
+      List.iter
+        (fun s -> Sim.Topology.add_node topology ~id:s.spec_id ~region:s.spec_region)
+        members;
+      let network = Sim.Network.create engine topology ~latency () in
+      let trace = Sim.Trace.create ~echo:echo_trace engine in
+      let discovery = Service_discovery.create engine in
+      ( engine,
+        Some network,
+        transport_of_network topology network,
+        trace,
+        discovery,
+        Obs.Tracebuf.create (),
+        0,
+        fun _ -> None )
+    | Some sh ->
+      (* Physical nodes may already exist (another group registered
+         them); tr_add_node is idempotent by contract. *)
+      List.iter
+        (fun s -> sh.sh_transport.tr_add_node ~id:s.spec_id ~region:s.spec_region)
+        members;
+      ( sh.sh_engine,
+        None,
+        sh.sh_transport,
+        sh.sh_trace,
+        sh.sh_discovery,
+        sh.sh_tracebuf,
+        sh.sh_group,
+        sh.sh_clock_of )
+  in
   let initial_config = config_of_specs members in
-  let tracebuf = Obs.Tracebuf.create () in
   let t =
     {
       engine;
-      topology;
       network;
+      transport;
       trace;
       discovery;
       replicaset;
+      group;
+      clock_override;
       params;
       nodes = Hashtbl.create 16;
       member_order = List.map (fun s -> s.spec_id) members;
@@ -189,31 +310,7 @@ let create ?(seed = 7) ?(params = Params.default) ?(latency = Sim.Latency.defaul
       tracebuf;
     }
   in
-  let send ~src ~dst msg =
-    Sim.Network.send network ~src ~dst ~size:(Wire.size msg) msg
-  in
-  List.iter
-    (fun s ->
-      let id = s.spec_id in
-      let send_from ~dst msg = send ~src:id ~dst msg in
-      let n =
-        match s.spec_kind with
-        | Raft.Types.Mysql_server ->
-          Mysql_node
-            (Server.create ~tracebuf ~engine ~id ~region:s.spec_region ~replicaset
-               ~send:send_from ~discovery ~params ~initial_config ~trace ())
-        | Raft.Types.Logtailer ->
-          Tailer_node
-            (Logtailer.create ~tracebuf ~engine ~id ~region:s.spec_region ~send:send_from
-               ~params ~initial_config ~trace ())
-      in
-      Hashtbl.replace t.nodes id n;
-      Sim.Network.register network id (fun ~src msg ->
-          match Hashtbl.find_opt t.nodes id with
-          | Some (Mysql_node server) -> Server.handle_message server ~src msg
-          | Some (Tailer_node l) -> Logtailer.handle_message l ~src msg
-          | None -> ()))
-    members;
+  List.iter (fun s -> make_node t s ~initial_config) members;
   t
 
 (* Create and wire a brand-new node at runtime (the "allocate and prepare
@@ -221,10 +318,7 @@ let create ?(seed = 7) ?(params = Params.default) ?(latency = Sim.Latency.defaul
    outside the ring; the caller then issues AddMember on the leader. *)
 let add_server t spec =
   if Hashtbl.mem t.nodes spec.spec_id then invalid_arg "Cluster.add_server: duplicate id";
-  Sim.Topology.add_node t.topology ~id:spec.spec_id ~region:spec.spec_region;
-  let send_from ~dst msg =
-    Sim.Network.send t.network ~src:spec.spec_id ~dst ~size:(Wire.size msg) msg
-  in
+  t.transport.tr_add_node ~id:spec.spec_id ~region:spec.spec_region;
   (* The newcomer's view of the ring: the current leader's config (it is
      not a member yet; the AddMember entry will make it one). *)
   let base_config =
@@ -233,38 +327,18 @@ let add_server t spec =
       match raft_of t leader_id with Some r -> Raft.Node.config r | None -> t.initial_config)
     | None -> t.initial_config
   in
-  let n =
-    match spec.spec_kind with
-    | Raft.Types.Mysql_server ->
-      Mysql_node
-        (Server.create ~tracebuf:t.tracebuf ~engine:t.engine ~id:spec.spec_id
-           ~region:spec.spec_region ~replicaset:t.replicaset ~send:send_from
-           ~discovery:t.discovery ~params:t.params ~initial_config:base_config
-           ~trace:t.trace ())
-    | Raft.Types.Logtailer ->
-      Tailer_node
-        (Logtailer.create ~tracebuf:t.tracebuf ~engine:t.engine ~id:spec.spec_id
-           ~region:spec.spec_region ~send:send_from ~params:t.params
-           ~initial_config:base_config ~trace:t.trace ())
-  in
-  Hashtbl.replace t.nodes spec.spec_id n;
-  Sim.Network.register t.network spec.spec_id (fun ~src msg ->
-      match Hashtbl.find_opt t.nodes spec.spec_id with
-      | Some (Mysql_node server) -> Server.handle_message server ~src msg
-      | Some (Tailer_node l) -> Logtailer.handle_message l ~src msg
-      | None -> ());
+  make_node t spec ~initial_config:base_config;
   t.member_order <- t.member_order @ [ spec.spec_id ]
 
 (* ----- clients ----- *)
 
 let register_client t ~id ~region ~handler =
-  Sim.Topology.add_node t.topology ~id ~region;
-  Sim.Network.register t.network id handler
+  t.transport.tr_add_node ~id ~region;
+  t.transport.tr_register id handler
 
-let send_from_client t ~client ~dst msg =
-  Sim.Network.send t.network ~src:client ~dst ~size:(Wire.size msg) msg
+let send_from_client t ~client ~dst msg = t.transport.tr_send ~src:client ~dst msg
 
-let set_link_latency t ~a ~b ~latency = Sim.Network.set_link_latency t.network ~a ~b ~latency
+let set_link_latency t ~a ~b ~latency = t.transport.tr_set_link_latency ~a ~b ~latency
 
 (* ----- time control ----- *)
 
@@ -313,18 +387,18 @@ let crash t id =
   | Some (Mysql_node s) -> Server.crash s
   | Some (Tailer_node l) -> Logtailer.crash l
   | None -> invalid_arg ("Cluster.crash: unknown node " ^ id));
-  Sim.Network.set_down t.network id
+  t.transport.tr_set_down id
 
 let restart t id =
-  Sim.Network.set_up t.network id;
+  t.transport.tr_set_up id;
   match node t id with
   | Some (Mysql_node s) -> Server.restart s
   | Some (Tailer_node l) -> Logtailer.restart l
   | None -> invalid_arg ("Cluster.restart: unknown node " ^ id)
 
-let isolate t id = Sim.Network.isolate_node t.network id
+let isolate t id = t.transport.tr_isolate id
 
-let heal t id = Sim.Network.heal_node t.network id
+let heal t id = t.transport.tr_heal id
 
 (* Ask the current leader to gracefully transfer leadership to [target].
    Returns an error when there is no leader or Raft rejects the call. *)

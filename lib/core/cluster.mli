@@ -17,13 +17,48 @@ val logtailer : string -> string -> member_spec
 
 type node = Mysql_node of Server.t | Tailer_node of Logtailer.t
 
+(** The wire/fault surface a group cluster needs from whoever owns the
+    physical network.  Standalone clusters build one over their own
+    [Sim.Network]; in multi-Raft mode [Shard.Multi] hands every group a
+    transport over the shared mux.  [tr_add_node] must be idempotent —
+    many groups register the same physical nodes. *)
+type transport = {
+  tr_send : src:string -> dst:string -> Wire.t -> unit;
+  tr_register : string -> (src:string -> Wire.t -> unit) -> unit;
+  tr_add_node : id:string -> region:string -> unit;
+  tr_set_down : string -> unit;
+  tr_set_up : string -> unit;
+  tr_isolate : string -> unit;
+  tr_heal : string -> unit;
+  tr_set_link_latency : a:string -> b:string -> latency:float -> unit;
+}
+
+(** Shared infrastructure for one group of a multi-Raft deployment:
+    engine, trace, discovery and trace ring are owned by the embedder
+    and common to all groups; [sh_clock_of] returns the physical node's
+    clock so every group instance on a node shares its oscillator. *)
+type shared = {
+  sh_engine : Sim.Engine.t;
+  sh_trace : Sim.Trace.t;
+  sh_discovery : Service_discovery.t;
+  sh_tracebuf : Obs.Tracebuf.t;
+  sh_group : int;
+  sh_clock_of : string -> Sim.Clock.t option;
+  sh_transport : transport;
+}
+
 type t
 
+(** With [?shared] the cluster becomes one group of a multi-Raft
+    deployment: it owns no engine or network ([seed], [latency] and
+    [echo_trace] are ignored) and all wire/fault operations route
+    through the shared transport. *)
 val create :
   ?seed:int ->
   ?params:Params.t ->
   ?latency:Sim.Latency.t ->
   ?echo_trace:bool ->
+  ?shared:shared ->
   replicaset:string ->
   members:member_spec list ->
   unit ->
@@ -33,7 +68,14 @@ val create :
 
 val engine : t -> Sim.Engine.t
 
+(** The cluster's own network.  @raise Invalid_argument in shared
+    (multi-Raft) mode, where the mux owns the one network. *)
 val network : t -> Wire.t Sim.Network.t
+
+val transport : t -> transport
+
+(** Multi-Raft group tag (0 for a standalone cluster). *)
+val group : t -> int
 
 val trace : t -> Sim.Trace.t
 

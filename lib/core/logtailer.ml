@@ -11,6 +11,7 @@
 type t = {
   id : string;
   region : string;
+  group : int; (* multi-Raft group tag; 0 outside shard mode *)
   engine : Sim.Engine.t;
   clock : Sim.Clock.t; (* local clock: Raft timers run on it *)
   trace : Sim.Trace.t;
@@ -89,20 +90,21 @@ let make_callbacks t =
 
 let make_raft t =
   Raft.Node.create ~metrics:t.metrics ?tracebuf:t.tracebuf ~clock:t.clock
-    ~engine:t.engine ~id:t.id ~region:t.region
+    ~group:t.group ~engine:t.engine ~id:t.id ~region:t.region
     ~send:(fun ~dst msg -> t.send ~dst (Wire.Raft_msg msg))
     ~log:(Raft.Node.log_ops_of_store t.log)
     ~callbacks:(make_callbacks t) ~params:t.params.Params.raft
     ~initial_config:t.initial_config ~durable:t.durable ~trace:t.trace ()
 
-let create ?metrics ?tracebuf ?clock ~engine ~id ~region ~send ~params ~initial_config
-    ~trace () =
+let create ?metrics ?tracebuf ?clock ?(group = 0) ~engine ~id ~region ~send ~params
+    ~initial_config ~trace () =
   let metrics = match metrics with Some m -> m | None -> Obs.Metrics.create ~node:id () in
   let clock = match clock with Some c -> c | None -> Sim.Clock.create ~engine () in
   let t =
     {
       id;
       region;
+      group;
       engine;
       clock;
       trace;

@@ -12,6 +12,7 @@ val create :
   ?metrics:Obs.Metrics.t ->
   ?tracebuf:Obs.Tracebuf.t ->
   ?clock:Sim.Clock.t ->
+  ?group:int ->
   engine:Sim.Engine.t ->
   id:string ->
   region:string ->

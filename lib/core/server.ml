@@ -22,6 +22,7 @@ type pending_retry = { mutable attempts : int }
 type t = {
   id : string;
   region : string;
+  group : int; (* multi-Raft group tag; 0 outside shard mode *)
   replicaset : string;
   engine : Sim.Engine.t;
   clock : Sim.Clock.t;
@@ -575,7 +576,7 @@ let make_callbacks t =
 
 let make_raft t =
   Raft.Node.create ~metrics:t.metrics ?tracebuf:t.tracebuf ~clock:t.clock
-    ~engine:t.engine ~id:t.id ~region:t.region
+    ~group:t.group ~engine:t.engine ~id:t.id ~region:t.region
     ~send:(fun ~dst msg -> t.send ~dst (Wire.Raft_msg msg))
     ~log:(Raft.Node.log_ops_of_store t.log)
     ~callbacks:(make_callbacks t) ~params:t.params.Params.raft
@@ -887,14 +888,15 @@ let handle_message t ~src msg =
 
 (* ----- construction ----- *)
 
-let create ?metrics ?tracebuf ?clock ~engine ~id ~region ~replicaset ~send ~discovery
-    ~params ~initial_config ~trace () =
+let create ?metrics ?tracebuf ?clock ?(group = 0) ~engine ~id ~region ~replicaset
+    ~send ~discovery ~params ~initial_config ~trace () =
   let metrics = match metrics with Some m -> m | None -> Obs.Metrics.create ~node:id () in
   let clock = match clock with Some c -> c | None -> Sim.Clock.create ~engine () in
   let t =
     {
       id;
       region;
+      group;
       replicaset;
       engine;
       clock;

@@ -161,6 +161,15 @@ type params = {
   snapshot_retransmit_timeout : float;
   (* Resend the unacked chunk from the last acked offset after this
      long; what lets a transfer survive a lost chunk or ack. *)
+  hb_suppress_limit : int;
+  (* Multi-Raft heartbeat coalescing: when a shared transport reports it
+     recently carried traffic to a peer's node, an idle leader may skip
+     up to this many consecutive empty AppendEntries to that peer — the
+     follower's failover clock is reset by the transport's per-node
+     liveness tap instead (note_transport_liveness).  Suppression only
+     ever *shortens* the lease-extension stream, never lengthens a
+     follower's patience beyond its configured election timeout, so it
+     is safe by construction.  0 disables (single-group behaviour). *)
 }
 
 let default_params =
@@ -189,6 +198,7 @@ let default_params =
     snapshot_chunk_bytes = 64 * 1024;
     snapshot_rate_bytes_per_s = 8.0 *. 1024.0 *. 1024.0;
     snapshot_retransmit_timeout = 500.0 *. Sim.Engine.ms;
+    hb_suppress_limit = 0;
   }
 
 (* Durable per-identity state (survives crashes): the Raft term and vote,
@@ -277,6 +287,16 @@ type peer_state = {
   (* The peer's frontier sits below the purge boundary and cannot be
      served from the log.  Dedups the raft.purge_wedges counter to one
      bump per episode. *)
+  mutable sent_commit : int;
+  (* Highest commit_index shipped to this peer in any AppendEntries.
+     Heartbeat suppression requires sent_commit >= commit_index: a
+     transport liveness tap carries no commit marker, so a heartbeat
+     whose only job is to propagate a commit advance must not be
+     skipped. *)
+  mutable hb_suppressed : int;
+  (* Consecutive empty AEs skipped in favour of transport liveness;
+     capped at hb_suppress_limit so a real (commit-bearing, ack-
+     soliciting) heartbeat still flows periodically. *)
 }
 
 type election = {
@@ -346,6 +366,8 @@ type meters = {
   m_snapshots_sent : Obs.Metrics.counter; (* transfers completed (leader side) *)
   m_snapshots_installed : Obs.Metrics.counter; (* installs applied (follower side) *)
   m_snapshot_aborts : Obs.Metrics.counter; (* failed verify / refused install *)
+  m_hb_suppressed : Obs.Metrics.counter; (* empty AEs skipped, mux carried liveness *)
+  m_transport_resets : Obs.Metrics.counter; (* failover clock resets from mux taps *)
 }
 
 let make_meters m =
@@ -383,6 +405,8 @@ let make_meters m =
     m_snapshots_sent = Obs.Metrics.counter m "snapshot.sends_completed";
     m_snapshots_installed = Obs.Metrics.counter m "snapshot.installs";
     m_snapshot_aborts = Obs.Metrics.counter m "snapshot.aborts";
+    m_hb_suppressed = Obs.Metrics.counter m "raft.heartbeats_suppressed";
+    m_transport_resets = Obs.Metrics.counter m "raft.transport_liveness_resets";
   }
 
 (* Follower side of an InstallSnapshot transfer: chunks accumulate here
@@ -404,6 +428,10 @@ type t = {
      that class of bug) *)
   id : node_id;
   region : string;
+  group : int;
+  (* Multi-Raft: which consensus group this instance belongs to.  Pure
+     tagging — the group never changes the protocol, only how the shard
+     mux frames and demultiplexes this node's traffic. *)
   send : dst:node_id -> Message.t -> unit;
   log : log_ops;
   durable : durable;
@@ -485,11 +513,23 @@ type t = {
      as the floor, it must not vote for (or campaign as) a candidate
      whose log is behind the floor — its missing ack could otherwise
      complete a quorum that fails to cover a committed entry. *)
+  mutable transport_carrier : (dst:node_id -> bool) option;
+  (* Shard-mux hook: answers "did the shared transport recently carry a
+     frame from this node to [dst]'s node?".  When it did, an idle
+     leader may suppress its empty AppendEntries to [dst] (see
+     hb_suppress_limit); the follower's failover clock is reset by the
+     transport's liveness tap instead. *)
+  mutable last_transport_reset : float;
+  (* Local time of the last transport-driven election-timer reset;
+     rate-limits note_transport_liveness so a busy mux link does not
+     re-arm the timer on every delivered packet. *)
 }
 
 let id t = t.id
 
 let region t = t.region
+
+let group t = t.group
 
 let role t = t.role
 
@@ -803,6 +843,8 @@ and send_entry_batch t peer =
             };
           ];
       peer.next_index <- last_idx + 1;
+      peer.sent_commit <- max peer.sent_commit t.commit_index;
+      peer.hb_suppressed <- 0;
       if peer.retransmit_timer = None then
         arm_retransmit t peer ~delay:(retransmit_after t peer);
       update_window_gauge t;
@@ -864,6 +906,8 @@ and send_heartbeat t peer =
       (peer.send_seq, now, Sim.Engine.now t.engine)
       :: List.filteri (fun i _ -> i < keep) peer.hb_sent;
     Obs.Metrics.incr t.meters.m_heartbeats_sent;
+    peer.sent_commit <- max peer.sent_commit t.commit_index;
+    peer.hb_suppressed <- 0;
     t.send ~dst:peer.peer_id
       (Message.Append_entries
          {
@@ -878,6 +922,26 @@ and send_heartbeat t peer =
            leader_time = now;
            leader_last_index = last_index t;
          })
+
+(* Multi-Raft heartbeat coalescing: may the empty AE to [peer] be
+   skipped this tick?  Only when this group is fully idle towards the
+   peer (nothing in flight, log and commit marker both caught up, peer
+   has acked this leadership) and the shared transport vouches that the
+   peer's node saw a frame from us recently — some co-located group's
+   beat carries the liveness for all of them.  The consecutive-skip cap
+   bounds how long the peer can go without a real, ack-soliciting AE
+   (the lease and the clock cross-check both feed on acks). *)
+and hb_suppressible t peer =
+  t.params.hb_suppress_limit > 0
+  && peer.hb_suppressed < t.params.hb_suppress_limit
+  && peer.inflight = []
+  && peer.snap = None
+  && peer.responded
+  && peer.match_index >= last_index t
+  && peer.sent_commit >= t.commit_index
+  && (match t.transport_carrier with
+     | Some carried -> carried ~dst:peer.peer_id
+     | None -> false)
 
 and replicate_to t peer ~allow_empty =
   (* A peer mid-install gets neither entries nor heartbeats: its log is
@@ -901,7 +965,12 @@ and replicate_to t peer ~allow_empty =
       do
         if send_entry_batch t peer then sent_entries := true else blocked := true
       done;
-      if (not !sent_entries) && allow_empty then send_heartbeat t peer
+      if (not !sent_entries) && allow_empty then
+        if hb_suppressible t peer then begin
+          peer.hb_suppressed <- peer.hb_suppressed + 1;
+          Obs.Metrics.incr t.meters.m_hb_suppressed
+        end
+        else send_heartbeat t peer
     end
   end
 
@@ -1215,6 +1284,8 @@ and sync_peers t =
               offset_sample = None;
               snap = None;
               wedged = false;
+              sent_commit = 0;
+              hb_suppressed = 0;
             })
       cfg.Types.members;
     let stale =
@@ -2569,8 +2640,8 @@ let rec handle_message t ~src msg =
 
 (* ----- lifecycle ----- *)
 
-let create ?metrics ?tracebuf ?clock ~engine ~id ~region ~send ~log ~callbacks ~params
-    ~initial_config ~durable ~trace () =
+let create ?metrics ?tracebuf ?clock ?(group = 0) ~engine ~id ~region ~send ~log
+    ~callbacks ~params ~initial_config ~durable ~trace () =
   let metrics = match metrics with Some m -> m | None -> Obs.Metrics.create ~node:id () in
   let clock =
     match clock with Some c -> c | None -> Sim.Clock.create ~engine ()
@@ -2581,6 +2652,7 @@ let create ?metrics ?tracebuf ?clock ~engine ~id ~region ~send ~log ~callbacks ~
       clock;
       id;
       region;
+      group;
       send;
       log;
       durable;
@@ -2624,6 +2696,8 @@ let create ?metrics ?tracebuf ?clock ~engine ~id ~region ~send ~log ~callbacks ~
       next_snapshot_id = 0;
       pending_install = None;
       vote_floor = None;
+      transport_carrier = None;
+      last_transport_reset = neg_infinity;
     }
   in
   (* Recover config history from the log (restart path). *)
@@ -2667,6 +2741,28 @@ let stop t =
     remote
 
 let is_stopped t = t.stopped
+
+(* ----- shard-mux transport liveness (multi-Raft) ----- *)
+
+let set_transport_carrier t f = t.transport_carrier <- Some f
+
+(* The shared transport delivered a frame from [from]'s node to ours:
+   the process hosting our leader is alive and reachable, which is
+   exactly what an empty AppendEntries would have proven.  Reset the
+   failover clock iff [from] is the leader we are currently following —
+   frames from anyone else say nothing about our leader.  Rate-limited
+   to half a heartbeat interval so a busy link does not re-arm the timer
+   on every packet. *)
+let note_transport_liveness t ~from =
+  if (not t.stopped) && t.role = Types.Follower && t.leader_id = Some from then begin
+    let lnow = local_now t in
+    if lnow -. t.last_transport_reset >= 0.5 *. t.params.heartbeat_interval then begin
+      t.last_transport_reset <- lnow;
+      t.last_leader_contact <- lnow;
+      Obs.Metrics.incr t.meters.m_transport_resets;
+      reset_election_timer t
+    end
+  end
 
 let describe t =
   Printf.sprintf "%s: %s term=%d commit=%d last=%s leader=%s" t.id

@@ -120,6 +120,15 @@ type params = {
           entry pipeline; 0 disables pacing *)
   snapshot_retransmit_timeout : float;
       (** resend the unacked chunk from the acked offset after this long *)
+  hb_suppress_limit : int;
+      (** multi-Raft heartbeat coalescing: maximum consecutive empty
+          AppendEntries an idle leader may skip to a peer while the
+          shard mux vouches it recently carried a frame to that peer's
+          node (the follower's failover clock is reset by
+          {!note_transport_liveness} instead).  Suppression can only
+          shorten the lease-extension stream, never extend a follower's
+          patience, so it cannot create a second leader.  0 = disabled
+          (single-group behaviour). *)
 }
 
 val default_params : params
@@ -143,6 +152,7 @@ val create :
   ?metrics:Obs.Metrics.t ->
   ?tracebuf:Obs.Tracebuf.t ->
   ?clock:Sim.Clock.t ->
+  ?group:int ->
   engine:Sim.Engine.t ->
   id:node_id ->
   region:string ->
@@ -265,6 +275,27 @@ val committed_in_current_term : t -> bool
 val id : t -> node_id
 
 val region : t -> string
+
+(** Multi-Raft group tag this instance was created with (default 0).
+    Purely identifying: the shard mux stamps it on every frame so many
+    groups can share one physical node and one network packet. *)
+val group : t -> int
+
+(** {2 Shard-mux transport liveness (multi-Raft)}
+
+    With many Raft groups multiplexed on the same nodes, per-group
+    heartbeats would dominate the wire.  The shard mux instead offers
+    two hooks: the leader asks [carrier ~dst] whether the shared
+    transport recently carried any frame from this node to [dst]'s node
+    (and if so may skip up to [hb_suppress_limit] consecutive empty
+    AppendEntries to it); the follower side receives
+    [note_transport_liveness ~from] whenever any frame from [from]'s
+    node is delivered locally, resetting its failover clock iff [from]
+    is the leader it currently follows. *)
+
+val set_transport_carrier : t -> (dst:node_id -> bool) -> unit
+
+val note_transport_liveness : t -> from:node_id -> unit
 
 val role : t -> Types.role
 

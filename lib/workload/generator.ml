@@ -68,6 +68,7 @@ type t = {
   mutable running : bool;
   key_space : int;
   key_dist : key_dist;
+  tables : string array; (* tables ops draw from, uniformly *)
   zipf_cdf : float array; (* cumulative pmf over ranks; empty unless Zipf *)
   value_mu : float; (* lognormal of row payload size *)
   value_sigma : float;
@@ -95,7 +96,8 @@ let zipf_cdf_table ~n ~theta =
     w
 
 let create ~backend ~client_id ~region ?client_latency ?(write_timeout = 5.0 *. Sim.Engine.s)
-    ?(key_space = 100_000) ?(key_dist = Uniform) ?(value_mu = log 420.0) ?(value_sigma = 0.4)
+    ?(key_space = 100_000) ?(key_dist = Uniform) ?(tables = [ "sbtest" ])
+    ?(value_mu = log 420.0) ?(value_sigma = 0.4)
     ?(bucket_width = Sim.Engine.s) ?(read_ratio = 0.0)
     ?(read_level = Read.Level.Eventual) ?read_target ?(read_timeout = 5.0 *. Sim.Engine.s)
     () =
@@ -119,6 +121,7 @@ let create ~backend ~client_id ~region ?client_latency ?(write_timeout = 5.0 *. 
       running = true;
       key_space;
       key_dist;
+      tables = (if tables = [] then [| "sbtest" |] else Array.of_list tables);
       zipf_cdf;
       value_mu;
       value_sigma;
@@ -246,12 +249,18 @@ let draw_key_index t =
 
 let draw_key t = Printf.sprintf "row-%d" (draw_key_index t)
 
+(* Multi-table workloads (shard routing hashes (table, key)): each op
+   lands on a uniformly drawn table. *)
+let draw_table t =
+  if Array.length t.tables = 1 then t.tables.(0)
+  else t.tables.(Sim.Rng.int t.rng (Array.length t.tables))
+
 (* Issue one write with generator-drawn key and payload size. *)
 let issue ?k t =
   let value_size =
     max 16 (int_of_float (Sim.Rng.lognormal t.rng ~mu:t.value_mu ~sigma:t.value_sigma))
   in
-  issue_op ?k t ~table:"sbtest" ~key:(draw_key t) ~value_size
+  issue_op ?k t ~table:(draw_table t) ~key:(draw_key t) ~value_size
 
 (* One generator-drawn op: a read with probability [read_ratio], else a
    write.  [k] settles either way. *)
@@ -259,7 +268,7 @@ let issue_mixed ?k t =
   if t.read_ratio > 0.0 && Sim.Rng.uniform t.rng ~lo:0.0 ~hi:1.0 < t.read_ratio then
     issue_read
       ?k:(match k with Some k -> Some (fun (_ : Backend.read_outcome) -> k true) | None -> None)
-      t ~table:"sbtest" ~key:(draw_key t)
+      t ~table:(draw_table t) ~key:(draw_key t)
   else issue ?k t
 
 (* Open-loop Poisson arrivals at [rate_per_s]. *)

@@ -34,7 +34,9 @@ type t
     latency model.  [read_ratio] is the fraction of generated ops that
     are reads, issued at [read_level] against [read_target] (default:
     the primary).  A [Read_your_writes None] level automatically carries
-    the session's last acknowledged GTID. *)
+    the session's last acknowledged GTID.  [tables] (default
+    [["sbtest"]]) is the table set ops draw from uniformly — multi-table
+    workloads exercise shard routing, which hashes (table, key). *)
 val create :
   backend:Backend.t ->
   client_id:string ->
@@ -43,6 +45,7 @@ val create :
   ?write_timeout:float ->
   ?key_space:int ->
   ?key_dist:key_dist ->
+  ?tables:string list ->
   ?value_mu:float ->
   ?value_sigma:float ->
   ?bucket_width:float ->

@@ -22,6 +22,7 @@ let () =
         Test_semisync.suites;
         Test_control.suites;
         Test_workload.suites;
+        Test_shard.suites;
         Test_apply.suites;
         Test_read.suites;
         Test_misc.suites;
