@@ -74,6 +74,8 @@ let proxy ?(seed = 41) () =
                  reply_route = [ "x" ];
                  leader_time = 0.0;
                  leader_last_index = 1;
+                 cfg_id = Raft.Types.cfg_id_zero;
+                 cfg = None;
                };
          })
   in
@@ -112,6 +114,8 @@ let proxy ?(seed = 41) () =
            reply_route = [];
            leader_time = 0.0;
            leader_last_index = 1;
+           cfg_id = Raft.Types.cfg_id_zero;
+           cfg = None;
          })
   in
   let burden batch =

@@ -1,9 +1,14 @@
-(* Chaos smoke: a short nemesis seed sweep over both quorum modes, for
-   CI to gate on zero invariant violations.
+(* Chaos smoke: a short nemesis seed sweep over both quorum modes, plus
+   a membership-churn leg (classic + sharded scenarios), for CI to gate
+   on zero invariant violations.
 
      dune exec bench/main.exe -- chaos-smoke *)
 
 let seeds = [ 101; 102; 103; 104; 105 ]
+
+(* One seed over every churn scenario keeps the smoke gate fast; the
+   nightly churn campaign sweeps more. *)
+let churn_seeds = [ 101 ]
 
 (* Multi-Raft mode is heavier (4 groups, one checker each), so the
    sharded leg sweeps fewer seeds. *)
@@ -34,6 +39,20 @@ let run () =
     [ Raft.Quorum.Single_region_dynamic; Raft.Quorum.Majority ];
   Printf.printf "\n%d-shard multi-Raft (flexi quorum):\n" sharded_groups;
   tally (Chaos.Nemesis.sweep ~shards:sharded_groups ~seeds:sharded_seeds ~steps ());
+  Printf.printf "\nmembership churn (classic + sharded):\n";
+  List.iter
+    (fun r ->
+      incr runs;
+      total_violations := !total_violations + List.length r.Chaos.Churn.c_violations;
+      (if not r.Chaos.Churn.c_converged then begin
+         (* non-convergence gates the smoke run like a violation *)
+         incr total_violations;
+         Printf.printf "  UNCONVERGED %s seed %d\n" r.Chaos.Churn.c_scenario
+           r.Chaos.Churn.c_seed
+       end);
+      snapshots := r.Chaos.Churn.c_metrics :: !snapshots;
+      Printf.printf "  %s\n%!" (Chaos.Churn.report_summary r))
+    (Chaos.Churn.sweep ~seeds:churn_seeds ());
   Common.write_metrics_json (Obs.Metrics.merge_all ~node:"chaos-smoke" !snapshots);
   if !total_violations = 0 then
     Printf.printf "\nchaos smoke: %d runs, zero invariant violations\n%!" !runs

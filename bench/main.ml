@@ -46,6 +46,8 @@ let snapshot_bench () = Snapshot_bench.run ()
 
 let shards_bench () = Shards_bench.run ()
 
+let churn_bench () = Churn_bench.run ()
+
 let experiments =
   [
     ("table1", "Table 1: role mapping", table1);
@@ -74,6 +76,9 @@ let experiments =
     ( "shards",
       "S1: multi-Raft groups x skew sweep, gate on 4 groups >= 2.5x tps at < 2x msgs",
       shards_bench );
+    ( "churn",
+      "A8: membership churn / evacuation / self-healing campaign, gate on zero violations",
+      churn_bench );
   ]
 
 let run_all () =

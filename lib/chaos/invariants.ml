@@ -40,7 +40,7 @@ type committed_entry = { c_term : int; c_sum : int32; c_reporter : string }
 
 type t = {
   now : unit -> float;
-  probes : probe list;
+  mutable probes : probe list;
   snapshot : (unit -> Obs.Metrics.snapshot) option;
   committed : (int, committed_entry) Hashtbl.t;
   leaders_by_term : (int, string) Hashtbl.t;
@@ -49,6 +49,11 @@ type t = {
   stale_serves_seen : (string, int) Hashtbl.t; (* per-probe lease_stale_serves high-water *)
   crc_cursor : (string, int) Hashtbl.t; (* per-probe rotating CRC re-verify cursor *)
   seen_violations : (string * string, unit) Hashtbl.t; (* dedup key *)
+  configs_seen : (int * int, string * string) Hashtbl.t;
+      (* (cfg_term, cfg_version) -> (membership signature, first reporter) *)
+  checked_reconfig : (int * int * string, unit) Hashtbl.t;
+      (* (cfg_term, cfg_version, leader) completeness re-verifications *)
+  mutable newest_cfg : (Raft.Types.cfg_id * Raft.Types.config) option;
   mutable max_committed : int;
   mutable violations : violation list; (* newest first *)
 }
@@ -65,9 +70,19 @@ let create ?snapshot ~now ~probes () =
     stale_serves_seen = Hashtbl.create 16;
     crc_cursor = Hashtbl.create 16;
     seen_violations = Hashtbl.create 16;
+    configs_seen = Hashtbl.create 16;
+    checked_reconfig = Hashtbl.create 16;
+    newest_cfg = None;
     max_committed = 0;
     violations = [];
   }
+
+(* Probes may join mid-run: membership churn provisions brand-new nodes
+   that must fall under the same committed-prefix and convergence
+   checks.  Idempotent per probe id. *)
+let add_probe t probe =
+  if not (List.exists (fun p -> p.probe_id = probe.probe_id) t.probes) then
+    t.probes <- t.probes @ [ probe ]
 
 let violate t invariant fmt =
   Printf.ksprintf
@@ -299,13 +314,116 @@ let check_committed_crc t =
         | _ -> ())
     t.probes
 
+(* ----- logless reconfiguration safety ----- *)
+
+let membership_signature cfg =
+  String.concat ","
+    (List.sort compare
+       (List.map
+          (fun m ->
+            Printf.sprintf "%s%s@%s" m.Raft.Types.id
+              (if m.Raft.Types.voter then "*" else "-")
+              m.Raft.Types.region)
+          (Raft.Types.config_members cfg)))
+
+(* Three oracles over the gossiped config state:
+
+   - config integrity: one identity, one membership — two nodes holding
+     the same (term, version) with different member lists mean the
+     gossip forked;
+   - quorum-overlap safety: consecutive adopted configs must share a
+     voter (checked whenever the observed newest identity advances by
+     exactly one version, i.e. no step was missed between checks);
+   - no committed-entry loss across reconfig: whenever a leader is first
+     seen under a new config identity, every globally pinned committed
+     entry must still be in its log (the reconfig counterpart of leader
+     completeness — a membership swap must not strand committed data on
+     evicted members only). *)
+let check_config_integrity t =
+  List.iter
+    (fun p ->
+      if p.probe_up () then
+        match p.probe_raft () with
+        | None -> ()
+        | Some raft ->
+          let cid = Raft.Node.config_id raft in
+          let cfg = Raft.Node.config raft in
+          let key = (cid.Raft.Types.cfg_term, cid.Raft.Types.cfg_version) in
+          let sg = membership_signature cfg in
+          (* The zero identity is the pre-gossip bootstrap placeholder:
+             a freshly provisioned joiner snapshots the membership of
+             the moment as its starting view and only learns the real
+             config identity from its first AppendEntries, so bodies
+             under v0@t0 legitimately differ between joiners provisioned
+             at different instants.  Only adopted identities (v >= 1)
+             make the one-membership-per-identity claim. *)
+          if key = (0, 0) then ()
+          else
+          (match Hashtbl.find_opt t.configs_seen key with
+          | None -> Hashtbl.replace t.configs_seen key (sg, p.probe_id)
+          | Some (sg0, reporter) when sg0 <> sg ->
+            violate t "config-integrity"
+              "config %s is [%s] on %s but [%s] on %s"
+              (Raft.Types.cfg_id_to_string cid)
+              sg0 reporter sg p.probe_id
+          | Some _ -> ());
+          (match t.newest_cfg with
+          | Some (best, best_cfg) when Raft.Types.cfg_id_newer cid best ->
+            if
+              cid.Raft.Types.cfg_version <= best.Raft.Types.cfg_version + 1
+              && not (Raft.Types.voters_overlap best_cfg cfg)
+            then
+              violate t "reconfig-overlap"
+                "config %s [%s] shares no voter with its predecessor %s [%s]"
+                (Raft.Types.cfg_id_to_string cid)
+                sg
+                (Raft.Types.cfg_id_to_string best)
+                (membership_signature best_cfg);
+            t.newest_cfg <- Some (cid, cfg)
+          | Some _ -> ()
+          | None -> t.newest_cfg <- Some (cid, cfg));
+          if Raft.Node.is_leader raft then begin
+            let rkey =
+              (cid.Raft.Types.cfg_term, cid.Raft.Types.cfg_version, p.probe_id)
+            in
+            if not (Hashtbl.mem t.checked_reconfig rkey) then begin
+              Hashtbl.replace t.checked_reconfig rkey ();
+              match p.probe_store () with
+              | None -> ()
+              | Some store ->
+                let purged = Binlog.Log_store.purged_below store in
+                Hashtbl.iter
+                  (fun i c ->
+                    if i >= purged then
+                      match Binlog.Log_store.entry_at store i with
+                      | None ->
+                        violate t "reconfig-completeness"
+                          "leader %s under config %s lost committed index %d"
+                          p.probe_id
+                          (Raft.Types.cfg_id_to_string cid)
+                          i
+                      | Some e ->
+                        let term, sum = entry_sig e in
+                        if term <> c.c_term || sum <> c.c_sum then
+                          violate t "reconfig-completeness"
+                            "leader %s under config %s holds a different entry at \
+                             committed index %d"
+                            p.probe_id
+                            (Raft.Types.cfg_id_to_string cid)
+                            i)
+                  t.committed
+            end
+          end)
+    t.probes
+
 let check t =
   check_election_safety t;
   check_commit_safety t;
   check_leader_completeness t;
   check_engine_convergence t;
   check_stale_lease_reads t;
-  check_committed_crc t
+  check_committed_crc t;
+  check_config_integrity t
 
 (* ----- end-of-run convergence (after healing + settling) ----- *)
 

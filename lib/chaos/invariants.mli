@@ -5,9 +5,13 @@
     commit safety + log matching on committed prefixes (across crashes,
     restarts and torn tails), leader completeness, engine-history
     convergence, no lease-path read served past the lease's global-time
-    expiry, and no committed entry failing its checksum.  Violations are
-    recorded rather than raised so a chaos run can finish and report
-    them all alongside the repro seed. *)
+    expiry, no committed entry failing its checksum, and the logless
+    reconfiguration oracles: one membership per config identity,
+    quorum overlap between consecutive adopted configs, and no
+    committed-entry loss across a reconfig (every leader first seen
+    under a new config identity must still hold the full committed
+    prefix).  Violations are recorded rather than raised so a chaos run
+    can finish and report them all alongside the repro seed. *)
 
 (** One cluster member, observed through closures so the same checker
     serves full MyRaft clusters and bare Raft test harnesses.  All
@@ -40,6 +44,10 @@ val create :
   probes:probe list ->
   unit ->
   t
+
+(** Add a probe mid-run (membership churn provisions brand-new nodes
+    that must fall under the same checks).  Idempotent per probe id. *)
+val add_probe : t -> probe -> unit
 
 (** Run every invariant once; new violations are recorded
     (deduplicated). *)

@@ -71,9 +71,13 @@ let start_binlog_janitor ?(interval = 2.0 *. s) ?(keep_files = 3) cluster =
   j
 
 (* Replace [dead] with a freshly allocated member of the same kind and
-   region: RemoveMember, then allocate (optionally seeding the newcomer
-   from a backup — required when the history it needs has been purged
-   from the ring), then AddMember, then wait until it has caught up. *)
+   region, redundancy-first: allocate and prepare the newcomer
+   (optionally seeding it from a backup — required when the history it
+   needs has been purged from the ring), AddMember it as a learner, wait
+   until it has caught up, promote it to the corpse's voter grade, and
+   only then RemoveMember the corpse.  The ring never has fewer healthy
+   copies mid-swap than it started with, and a failure at any step
+   leaves the original membership's redundancy intact. *)
 let replace_member ?backup cluster ~dead ~replacement_id =
   let started = Myraft.Cluster.now cluster in
   match leader_raft cluster with
@@ -82,64 +86,87 @@ let replace_member ?backup cluster ~dead ~replacement_id =
     match Raft.Types.find_member (Raft.Node.config leader) dead with
     | None -> Error (dead ^ " is not a member")
     | Some old_member -> (
-      match Raft.Node.remove_member leader dead with
-      | Error e -> Error ("RemoveMember: " ^ e)
+      (* allocate and prepare the new member (outside the ring) *)
+      let spec =
+        match old_member.Raft.Types.kind with
+        | Raft.Types.Mysql_server ->
+          Myraft.Cluster.mysql ~voter:false replacement_id old_member.Raft.Types.region
+        | Raft.Types.Logtailer ->
+          Myraft.Cluster.logtailer replacement_id old_member.Raft.Types.region
+      in
+      Myraft.Cluster.add_server cluster spec;
+      (match backup with
+      | Some b -> (
+        match
+          (match Myraft.Cluster.server cluster replacement_id with
+          | Some srv -> Downstream.Backup.restore_into_server b srv
+          | None -> (
+            match Myraft.Cluster.tailer cluster replacement_id with
+            | Some lt -> Downstream.Backup.restore_into_tailer b lt
+            | None -> Error "replacement node vanished"))
+        with
+        | Ok () -> ()
+        | Error e -> failwith ("backup restore: " ^ e))
+      | None -> ());
+      match
+        Raft.Node.add_member leader
+          {
+            Raft.Types.id = replacement_id;
+            region = old_member.Raft.Types.region;
+            voter = false; (* joins as a learner; promoted after catch-up *)
+            kind = old_member.Raft.Types.kind;
+          }
+      with
+      | Error e -> Error ("AddMember: " ^ e)
       | Ok _ ->
-        if not (wait_config_settled cluster ~pred:(fun c -> not (Raft.Types.is_member c dead)))
-        then Error "RemoveMember did not commit"
-        else begin
-          (* allocate and prepare the new member *)
-          let spec =
-            match old_member.Raft.Types.kind with
-            | Raft.Types.Mysql_server ->
-              Myraft.Cluster.mysql ~voter:old_member.Raft.Types.voter replacement_id
-                old_member.Raft.Types.region
-            | Raft.Types.Logtailer ->
-              Myraft.Cluster.logtailer replacement_id old_member.Raft.Types.region
-          in
-          Myraft.Cluster.add_server cluster spec;
-          (match backup with
-          | Some b -> (
-            match
-              (match Myraft.Cluster.server cluster replacement_id with
-              | Some srv -> Downstream.Backup.restore_into_server b srv
-              | None -> (
-                match Myraft.Cluster.tailer cluster replacement_id with
-                | Some lt -> Downstream.Backup.restore_into_tailer b lt
-                | None -> Error "replacement node vanished"))
-            with
-            | Ok () -> ()
-            | Error e -> failwith ("backup restore: " ^ e))
-          | None -> ());
-          match
-            Raft.Node.add_member leader
-              {
-                Raft.Types.id = replacement_id;
-                region = old_member.Raft.Types.region;
-                voter = old_member.Raft.Types.voter;
-                kind = old_member.Raft.Types.kind;
-              }
-          with
-          | Error e -> Error ("AddMember: " ^ e)
-          | Ok _ ->
-            let caught_up () =
-              match Myraft.Cluster.raft_of cluster replacement_id with
-              | Some r ->
-                Raft.Types.is_member (Raft.Node.config r) replacement_id
-                && Binlog.Opid.index (Raft.Node.last_opid r)
-                   >= Raft.Node.commit_index leader
-              | None -> false
-            in
-            if
-              not
-                (Myraft.Cluster.run_until cluster ~timeout:(60.0 *. s) (fun () ->
-                     caught_up ()))
-            then Error "replacement did not catch up"
+        let caught_up () =
+          match Myraft.Cluster.raft_of cluster replacement_id with
+          | Some r ->
+            Raft.Types.is_member (Raft.Node.config r) replacement_id
+            && Binlog.Opid.index (Raft.Node.last_opid r)
+               >= Raft.Node.commit_index leader
+          | None -> false
+        in
+        if
+          not
+            (Myraft.Cluster.run_until cluster ~timeout:(60.0 *. s) (fun () ->
+                 caught_up ()))
+        then Error "replacement did not catch up"
+        else
+          let promote () =
+            if not old_member.Raft.Types.voter then Ok ()
             else
-              Ok
-                {
-                  removed = dead;
-                  added = replacement_id;
-                  duration_us = Myraft.Cluster.now cluster -. started;
-                }
-        end))
+              (* the AddMember must have committed before the next change *)
+              if not (wait_config_settled cluster ~pred:(fun c ->
+                          Raft.Types.is_member c replacement_id))
+              then Error "AddMember did not commit"
+              else
+                match Raft.Node.promote_learner leader replacement_id with
+                | Error e -> Error ("Promote: " ^ e)
+                | Ok _ ->
+                  if
+                    wait_config_settled cluster ~pred:(fun c ->
+                        match Raft.Types.find_member c replacement_id with
+                        | Some m -> m.Raft.Types.voter
+                        | None -> false)
+                  then Ok ()
+                  else Error "Promote did not commit"
+          in
+          match promote () with
+          | Error e -> Error e
+          | Ok () -> (
+            match Raft.Node.remove_member leader dead with
+            | Error e -> Error ("RemoveMember: " ^ e)
+            | Ok _ ->
+              if
+                not
+                  (wait_config_settled cluster ~pred:(fun c ->
+                       not (Raft.Types.is_member c dead)))
+              then Error "RemoveMember did not commit"
+              else
+                Ok
+                  {
+                    removed = dead;
+                    added = replacement_id;
+                    duration_us = Myraft.Cluster.now cluster -. started;
+                  })))

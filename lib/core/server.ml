@@ -482,6 +482,7 @@ let take_snapshot t =
         (Raft.Snapshot.make ~last
            ~gtids:(Storage.Engine.gtid_executed t.storage)
            ~config:(Raft.Node.config (raft t))
+           ~cfg_id:(Raft.Node.config_id (raft t))
            ~data ())
 
 (* Restore the engine from a received, verified checkpoint (the Raft

@@ -28,6 +28,14 @@ type append_entries = {
     (* leader clock at send; the follower's staleness anchor for
        bounded-staleness reads once its log covers [leader_last_index] *)
   leader_last_index : int; (* leader log tail at send *)
+  cfg_id : Types.cfg_id;
+    (* identity of the leader's current config (logless reconfiguration):
+       always carried, so a follower can tell it is stale even when the
+       membership body was elided *)
+  cfg : Types.config option;
+    (* the membership body, gossiped only while the leader has not yet
+       seen this peer acknowledge [cfg_id]; a follower adopts it iff
+       [cfg_id] is strictly newer than its own *)
 }
 
 type append_response = {
@@ -43,6 +51,9 @@ type append_response = {
        stall) from "never arrived" (degraded PROXY_OP / loss), which is
        what decides whether a windowed send must be replayed. *)
   request_seq : int; (* the [seq] of the AppendEntries being answered *)
+  cfg_id : Types.cfg_id;
+    (* identity of the config installed on the responder; the leader
+       stops attaching the membership body once this catches up *)
   follower_time : float;
     (* follower clock at reply; the leader cross-checks its own clock's
        rate against these (a leader whose oscillator drifts relative to
@@ -71,6 +82,10 @@ type request_vote = {
      disruptive forced one — must wait out the stickiness window, which
      outlasts every lease the deposed leader could still hold. *)
   transfer : bool;
+  cfg_id : Types.cfg_id;
+    (* identity of the candidate's installed config: a voter holding a
+       strictly newer config denies the vote (logless reconfiguration
+       election restriction) and ships its config back *)
 }
 
 type vote_response = {
@@ -83,6 +98,11 @@ type vote_response = {
      both feed the candidate's intersection-region computation. *)
   last_known_leader : (int * string) option;
   vote_constraint : (int * string) option;
+  cfg : (Types.cfg_id * Types.config) option;
+    (* carried when the voter's installed config is strictly newer than
+       the candidate's: lets a stale candidate adopt it immediately
+       (and, if no longer a voter, stand down) instead of waiting for
+       leader gossip *)
 }
 
 (* One chunk of a snapshot transfer (InstallSnapshot).  The full
@@ -134,10 +154,15 @@ let rec size = function
         List.fold_left (fun acc e -> acc + Binlog.Entry.size e) 0 entries
       | Refs _ -> 12
     in
-    52 + (4 * List.length ae.reply_route) + payload_size
-  | Append_entries_response _ -> 36
-  | Request_vote _ -> 48
-  | Request_vote_response _ -> 44
+    let cfg_size =
+      match ae.cfg with None -> 0 | Some c -> Types.config_wire_size c
+    in
+    60 + (4 * List.length ae.reply_route) + payload_size + cfg_size
+  | Append_entries_response _ -> 44
+  | Request_vote _ -> 56
+  | Request_vote_response vr ->
+    44
+    + (match vr.cfg with None -> 0 | Some (_, c) -> 8 + Types.config_wire_size c)
   | Timeout_now _ -> 16
   | Run_mock_election _ -> 32
   | Mock_election_result _ -> 24
@@ -161,8 +186,11 @@ let rec describe = function
       | Refs { first_index; last_index; _ } ->
         Printf.sprintf "PROXY_OP %d..%d" first_index last_index
     in
-    Printf.sprintf "AE(t%d from %s, prev %s, %s, commit %d)" ae.term ae.leader_id
+    Printf.sprintf "AE(t%d from %s, prev %s, %s, commit %d, cfg %s%s)" ae.term
+      ae.leader_id
       (Binlog.Opid.to_string ae.prev_opid) payload ae.commit_index
+      (Types.cfg_id_to_string ae.cfg_id)
+      (match ae.cfg with None -> "" | Some _ -> "+body")
   | Append_entries_response r ->
     Printf.sprintf "AE-resp(t%d from %s, %s, last %d)" r.term r.from
       (if r.success then "ok" else "fail")

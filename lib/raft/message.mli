@@ -25,6 +25,12 @@ type append_entries = {
       (** leader clock at send — the follower's staleness anchor for
           bounded-staleness reads once its log covers [leader_last_index] *)
   leader_last_index : int;  (** leader log tail at send *)
+  cfg_id : Types.cfg_id;
+      (** identity of the leader's current config (logless
+          reconfiguration) — always carried *)
+  cfg : Types.config option;
+      (** membership body, attached only while the leader has not seen
+          this peer acknowledge [cfg_id]; adopted iff strictly newer *)
 }
 
 type append_response = {
@@ -39,6 +45,8 @@ type append_response = {
           "appended, sync pending" from "never arrived" for the leader's
           send-window bookkeeping *)
   request_seq : int;  (** the [seq] of the AppendEntries being answered *)
+  cfg_id : Types.cfg_id;
+      (** config installed on the responder; gates further gossip *)
   follower_time : float;
       (** follower clock at reply — the leader's cross-check that its own
           clock's rate agrees with its quorum's before trusting a lease *)
@@ -59,6 +67,9 @@ type request_vote = {
       (** started by the leader's TimeoutNow (leadership transfer):
           exempt from voter leader-stickiness, because the initiating
           leader already voided its own lease *)
+  cfg_id : Types.cfg_id;
+      (** candidate's installed config; voters with strictly newer
+          configs deny the vote (logless election restriction) *)
 }
 
 type vote_response = {
@@ -68,6 +79,9 @@ type vote_response = {
   phase : vote_phase;
   last_known_leader : (int * string) option;
   vote_constraint : (int * string) option;
+  cfg : (Types.cfg_id * Types.config) option;
+      (** the voter's config when strictly newer than the candidate's,
+          so a stale candidate adopts it without waiting for gossip *)
 }
 
 (** One chunk of a snapshot transfer (InstallSnapshot).  The metadata

@@ -211,10 +211,21 @@ type durable = {
   mutable voted_for : node_id option;
   mutable last_known_leader : (int * string) option; (* (term, region) *)
   mutable vote_constraint : (int * string) option; (* (term, region) *)
+  mutable d_config : (Types.cfg_id * Types.config) option;
+  (* Logless reconfiguration: the installed config IS durable state, not
+     log state.  Forgetting it across a restart could resurrect a config
+     this node already voted or acked past, letting two disjoint quorums
+     form. *)
 }
 
 let fresh_durable () =
-  { current_term = 0; voted_for = None; last_known_leader = None; vote_constraint = None }
+  {
+    current_term = 0;
+    voted_for = None;
+    last_known_leader = None;
+    vote_constraint = None;
+    d_config = None;
+  }
 
 (* One entry-carrying AppendEntries outstanding in a peer's window.
    Windows hold contiguous index ranges, oldest first; empty AEs
@@ -297,6 +308,12 @@ type peer_state = {
   (* Consecutive empty AEs skipped in favour of transport liveness;
      capped at hb_suppress_limit so a real (commit-bearing, ack-
      soliciting) heartbeat still flows periodically. *)
+  mutable cfg_acked : Types.cfg_id;
+  (* Newest config identity any response from this peer has reported
+     installed.  Gates config gossip (the membership body rides the AE
+     only while this trails the leader's cfg_id) and feeds the C1
+     reconfig precondition (a quorum of the current config holds the
+     current config in the current term). *)
 }
 
 type election = {
@@ -368,6 +385,10 @@ type meters = {
   m_snapshot_aborts : Obs.Metrics.counter; (* failed verify / refused install *)
   m_hb_suppressed : Obs.Metrics.counter; (* empty AEs skipped, mux carried liveness *)
   m_transport_resets : Obs.Metrics.counter; (* failover clock resets from mux taps *)
+  m_reconfig_changes : Obs.Metrics.counter; (* membership changes initiated (leader) *)
+  m_reconfig_adoptions : Obs.Metrics.counter; (* configs installed (any source) *)
+  m_reconfig_vote_denials : Obs.Metrics.counter; (* votes denied to staler-config candidates *)
+  m_reconfig_gossip_bodies : Obs.Metrics.counter; (* AEs that carried a full config body *)
 }
 
 let make_meters m =
@@ -407,6 +428,10 @@ let make_meters m =
     m_snapshot_aborts = Obs.Metrics.counter m "snapshot.aborts";
     m_hb_suppressed = Obs.Metrics.counter m "raft.heartbeats_suppressed";
     m_transport_resets = Obs.Metrics.counter m "raft.transport_liveness_resets";
+    m_reconfig_changes = Obs.Metrics.counter m "reconfig.changes";
+    m_reconfig_adoptions = Obs.Metrics.counter m "reconfig.adoptions";
+    m_reconfig_vote_denials = Obs.Metrics.counter m "reconfig.vote_denials";
+    m_reconfig_gossip_bodies = Obs.Metrics.counter m "reconfig.gossip_bodies";
   }
 
 (* Follower side of an InstallSnapshot transfer: chunks accumulate here
@@ -443,8 +468,12 @@ type t = {
   mutable role : Types.role;
   mutable leader_id : node_id option;
   mutable commit_index : int;
-  mutable config_stack : (int * Types.config) list; (* head = current *)
-  mutable pending_config_index : int option;
+  mutable cfg : Types.config;
+  mutable cfg_id : Types.cfg_id;
+  (* The installed config and its (version, term) identity — logless
+     reconfiguration: configs never ride the log, they live here, are
+     gossiped on AppendEntries/RequestVote, and a strictly newer identity
+     always wins.  Mirrored into [durable.d_config] on every install. *)
   peers : (node_id, peer_state) Hashtbl.t;
   mutable election : election option;
   mutable election_timer : Sim.Engine.handle option;
@@ -545,7 +574,9 @@ let last_opid t = t.log.last_opid ()
 
 let last_index t = Binlog.Opid.index (last_opid t)
 
-let config t = match t.config_stack with (_, c) :: _ -> c | [] -> assert false
+let config t = t.cfg
+
+let config_id t = t.cfg_id
 
 let quorum_mode t = t.params.quorum_mode
 
@@ -792,6 +823,16 @@ and on_retransmit_timeout t peer =
       end
       else arm_retransmit t peer ~delay:(timeout -. age)
 
+(* Attach the membership body only while the peer's acknowledged config
+   identity trails ours; after one ack the stream drops back to the bare
+   identity, keeping steady-state AE bandwidth flat. *)
+and gossip_body t peer =
+  if Types.cfg_id_newer t.cfg_id peer.cfg_acked then begin
+    Obs.Metrics.incr t.meters.m_reconfig_gossip_bodies;
+    Some t.cfg
+  end
+  else None
+
 (* Ship one byte-budgeted batch from the send frontier; returns false
    when there is nothing sendable (hole at the frontier or purged prev). *)
 and send_entry_batch t peer =
@@ -816,6 +857,7 @@ and send_entry_batch t peer =
       let last_idx = Binlog.Entry.index last in
       let bytes = List.fold_left (fun acc e -> acc + Binlog.Entry.size e) 0 entries in
       let sent_local = local_now t in
+      let cfg_body = gossip_body t peer in
       let ae reply_route payload =
         {
           Message.term = t.durable.current_term;
@@ -828,6 +870,8 @@ and send_entry_batch t peer =
           reply_route;
           leader_time = sent_local;
           leader_last_index = last_index t;
+          cfg_id = t.cfg_id;
+          cfg = cfg_body;
         }
       in
       peer.inflight <-
@@ -921,6 +965,8 @@ and send_heartbeat t peer =
            reply_route = [];
            leader_time = now;
            leader_last_index = last_index t;
+           cfg_id = t.cfg_id;
+           cfg = gossip_body t peer;
          })
 
 (* Multi-Raft heartbeat coalescing: may the empty AE to [peer] be
@@ -1014,9 +1060,6 @@ and advance_commit t =
       if term_ok then begin
         let prev_commit = t.commit_index in
         t.commit_index <- n;
-        (match t.pending_config_index with
-        | Some i when i <= n -> t.pending_config_index <- None
-        | _ -> ());
         note_commit t ~from_index:(prev_commit + 1) ~to_index:n;
         t.callbacks.on_commit_advance ~commit_index:n;
         (* Reads queued behind "no current-term commit yet" can start
@@ -1232,29 +1275,30 @@ and lease_valid t =
   let lnow = local_now t in
   lnow >= t.clock_suspect_until && lnow < t.lease_until
 
-(* ----- config handling ----- *)
+(* ----- config handling (logless reconfiguration) ----- *)
 
-and apply_config_entry t entry =
-  match Binlog.Entry.payload entry with
-  | Binlog.Entry.Config_change { encoded; description } ->
-    let cfg = Types.decode_config encoded in
-    t.config_stack <- (Binlog.Entry.index entry, cfg) :: t.config_stack;
-    sync_peers t;
-    tracef t "raft" "%s: config now [%s] (%s)" t.id (Types.describe_config cfg) description;
+(* Install a config with identity [cfg_id] as this node's current one.
+   The single write path for configs from every source — leader change,
+   AE gossip, vote-response gossip, snapshot metadata — so the durable
+   mirror, peer table, callback and metrics stay consistent.  Callers
+   must have checked the ordering ([cfg_id] strictly newer, or the
+   leader's own version bump / term rewrite). *)
+and install_config t ~cfg_id ~cfg ~why =
+  let old = t.cfg in
+  t.cfg <- cfg;
+  t.cfg_id <- cfg_id;
+  t.durable.d_config <- Some (cfg_id, cfg);
+  Obs.Metrics.incr t.meters.m_reconfig_adoptions;
+  sync_peers t;
+  tracef t "raft" "%s: config %s [%s] (%s)" t.id
+    (Types.cfg_id_to_string cfg_id)
+    (Types.describe_config cfg) why;
+  if not (Types.same_members old cfg) then begin
     t.callbacks.on_config_change cfg;
+    (* Membership changed under us: re-arm (or disarm) the failover
+       clock — this node may have just become, or ceased to be, a
+       voter. *)
     reset_election_timer t
-  | _ -> ()
-
-and revert_configs_from t ~index =
-  let rec pop = function
-    | (i, _) :: rest when i >= index && rest <> [] -> pop rest
-    | stack -> stack
-  in
-  let before = List.length t.config_stack in
-  t.config_stack <- pop t.config_stack;
-  if List.length t.config_stack <> before then begin
-    sync_peers t;
-    t.callbacks.on_config_change (config t)
   end
 
 (* Keep the leader's peer table in sync with the current config. *)
@@ -1286,6 +1330,7 @@ and sync_peers t =
               wedged = false;
               sent_commit = 0;
               hb_suppressed = 0;
+              cfg_acked = Types.cfg_id_zero;
             })
       cfg.Types.members;
     let stale =
@@ -1351,6 +1396,19 @@ and become_leader t =
   fail_reads t ~reason:"new leadership term";
   reset_peers t;
   sync_peers t;
+  (* Logless reconfiguration: rewrite the installed config's term to our
+     own (version kept).  The rewritten identity dominates any config a
+     deposed leader may have installed on a minority at a lower term, so
+     gossip converges the ring on OUR config — the config-state analogue
+     of the no-op below overwriting an uncommitted log tail. *)
+  if t.cfg_id.Types.cfg_term <> t.durable.current_term then
+    install_config t
+      ~cfg_id:
+        {
+          Types.cfg_version = t.cfg_id.Types.cfg_version;
+          cfg_term = t.durable.current_term;
+        }
+      ~cfg:t.cfg ~why:"election term rewrite";
   (* Assert leadership with a no-op entry; committing it consensus-commits
      the whole tail of the log (§3.3 promotion step 1). *)
   let noop_index = last_index t + 1 in
@@ -1482,6 +1540,7 @@ and begin_election ?(transfer = false) t ~phase =
           phase;
           candidate_constraint_term = constraint_term t;
           transfer;
+          cfg_id = t.cfg_id;
         }
     in
     List.iter
@@ -1519,6 +1578,7 @@ and begin_mock_election t ~snapshot ~requester =
         phase = Message.Mock { snapshot };
         candidate_constraint_term = constraint_term t;
         transfer = false;
+        cfg_id = t.cfg_id;
       }
   in
   List.iter
@@ -1595,11 +1655,19 @@ and handle_request_vote t (rv : Message.request_vote) =
      miss a region that committed data.  The denial response carries our
      constraints, so the candidate learns and retries correctly. *)
   let history_ok = rv.candidate_constraint_term >= constraint_term t in
+  (* Logless reconfiguration election restriction: never vote for a
+     candidate whose installed config is strictly staler than ours — it
+     could assemble a quorum of a config that was already replaced, one
+     that need not overlap the quorums committing entries under the
+     newer config.  The denial ships our config back (below) so the
+     candidate adopts it and retries under the right membership. *)
+  let config_ok = Types.cfg_id_at_least rv.cfg_id t.cfg_id in
+  if not config_ok then Obs.Metrics.incr t.meters.m_reconfig_vote_denials;
   let granted =
     match rv.phase with
     | Message.Pre ->
       (* Pre-votes don't disturb state; leader stickiness applies. *)
-      rv.term > t.durable.current_term && log_ok && history_ok
+      rv.term > t.durable.current_term && log_ok && history_ok && config_ok
       && not heard_from_leader_recently
     | Message.Mock { snapshot } ->
       (* §4.3: reject when this voter lags the leader's snapshot and sits
@@ -1612,7 +1680,7 @@ and handle_request_vote t (rv : Message.request_vote) =
       rv.term > t.durable.current_term && not (in_candidate_region && lagging)
     | Message.Real ->
       if rv.term > t.durable.current_term then step_down t ~term:rv.term ~new_leader:None;
-      rv.term = t.durable.current_term && log_ok && history_ok
+      rv.term = t.durable.current_term && log_ok && history_ok && config_ok
       && (t.durable.voted_for = None || t.durable.voted_for = Some rv.candidate)
       (* Leader stickiness applies to Real votes too, not just Pre.  The
          lease-safety argument needs it: a voter that recently acked the
@@ -1655,11 +1723,26 @@ and handle_request_vote t (rv : Message.request_vote) =
          phase = rv.phase;
          last_known_leader = t.durable.last_known_leader;
          vote_constraint = t.durable.vote_constraint;
+         cfg =
+           (if Types.cfg_id_newer t.cfg_id rv.cfg_id then Some (t.cfg_id, t.cfg)
+            else None);
        })
 
 and handle_vote_response t (vr : Message.vote_response) =
   if vr.term > t.durable.current_term then step_down t ~term:vr.term ~new_leader:None
-  else
+  else begin
+    (* Config gossip on the vote path: a denial from a newer-config voter
+       carries the config; adopt it.  If we are no longer a voter under
+       it, the candidacy was illegitimate — stand down instead of
+       spamming a ring that has moved on. *)
+    (match vr.cfg with
+    | Some (cid, cfg) when Types.cfg_id_newer cid t.cfg_id ->
+      install_config t ~cfg_id:cid ~cfg ~why:("vote gossip from " ^ vr.from);
+      if not (is_voter t) then begin
+        t.election <- None;
+        if t.role = Types.Candidate then t.role <- Types.Follower
+      end
+    | _ -> ());
     match t.election with
     | Some election when election.phase = vr.phase && not election.decided ->
       election.auth_hint <- best_hint election.auth_hint vr.last_known_leader;
@@ -1669,6 +1752,7 @@ and handle_vote_response t (vr : Message.vote_response) =
         check_election_quorum t election
       end
     | _ -> ()
+  end
 
 (* ----- append entries (follower side) ----- *)
 
@@ -1688,6 +1772,7 @@ and handle_append_entries t ~src:_ (ae : Message.append_entries) =
         last_log_index = last_index t;
         last_appended_index = last_index t;
         request_seq = ae.seq;
+        cfg_id = t.cfg_id;
         follower_time = local_now t;
       }
   end
@@ -1700,6 +1785,13 @@ and handle_append_entries t ~src:_ (ae : Message.append_entries) =
     | Some (term, _) when term >= ae.term -> ()
     | _ -> t.durable.last_known_leader <- Some (ae.term, ae.leader_region));
     reset_election_timer t;
+    (* Logless config gossip: adopt a strictly newer config before the
+       prev check — membership is orthogonal to log matching, and the
+       reply's [cfg_id] echo must reflect what we now hold either way. *)
+    (match ae.cfg with
+    | Some cfg when Types.cfg_id_newer ae.cfg_id t.cfg_id ->
+      install_config t ~cfg_id:ae.cfg_id ~cfg ~why:("gossip from " ^ ae.leader_id)
+    | _ -> ());
     let prev = ae.prev_opid in
     let prev_index = Binlog.Opid.index prev in
     let ok_prev =
@@ -1717,6 +1809,7 @@ and handle_append_entries t ~src:_ (ae : Message.append_entries) =
           last_log_index = max 0 hint;
           last_appended_index = last_index t;
           request_seq = ae.seq;
+          cfg_id = t.cfg_id;
           follower_time = local_now t;
         }
     end
@@ -1738,24 +1831,22 @@ and handle_append_entries t ~src:_ (ae : Message.append_entries) =
             match have with
             | Some term when term = Binlog.Entry.term entry -> () (* already have it *)
             | Some _ ->
-              (* Conflicting suffix: truncate, clean up GTIDs, revert configs
-                 (§3.3 demotion step 4), then append. *)
+              (* Conflicting suffix: truncate, clean up GTIDs (§3.3
+                 demotion step 4), then append.  Configs are log-free
+                 state now — truncation does not touch them. *)
               let removed = t.log.truncate_from idx in
               Log_cache.truncate_from t.cache ~index:idx;
-              revert_configs_from t ~index:idx;
               if removed <> [] then t.callbacks.on_truncated removed;
               t.log.append entry;
               Log_cache.put t.cache entry;
               note_append t entry;
-              appended := entry :: !appended;
-              apply_config_entry t entry
+              appended := entry :: !appended
             | None ->
               if idx = last_index t + 1 then begin
                 t.log.append entry;
                 Log_cache.put t.cache entry;
                 note_append t entry;
-                appended := entry :: !appended;
-                apply_config_entry t entry
+                appended := entry :: !appended
               end)
           entries
       in
@@ -1798,6 +1889,7 @@ and handle_append_entries t ~src:_ (ae : Message.append_entries) =
              must not look like an ack. *)
           last_appended_index = confirmed;
           request_seq = ae.seq;
+          cfg_id = t.cfg_id;
           follower_time = local_now t;
         }
     end
@@ -1812,6 +1904,10 @@ and handle_append_response t (r : Message.append_response) =
       let now = local_now t in
       peer.last_ack <- now;
       peer.responded <- true;
+      (* Config gossip bookkeeping: success or failure, the response says
+         which config the peer holds — newest wins, and once it matches
+         ours the AE stream stops attaching the membership body. *)
+      if Types.cfg_id_newer r.cfg_id peer.cfg_acked then peer.cfg_acked <- r.cfg_id;
       (* Quorum clock cross-check: between two acks from the same peer,
          the interval measured on our clock and the interval between the
          peer's reply stamps must agree to within twice the configured
@@ -2002,6 +2098,8 @@ and probe_wedged_peer t peer =
            reply_route = [];
            leader_time = now;
            leader_last_index = last_index t;
+           cfg_id = t.cfg_id;
+           cfg = gossip_body t peer;
          })
 
 and maybe_install_snapshot t peer =
@@ -2225,17 +2323,13 @@ and finish_install t ~meta ~data =
   let removed = t.log.install_snapshot ~last ~gtids:meta.Snapshot.gtids in
   Log_cache.truncate_from t.cache ~index:1;
   if removed <> [] then t.callbacks.on_truncated removed;
-  (* Config entries below the boundary vanished with the prefix; the
-     snapshot's config is authoritative as of [b].  Entries above it (a
-     retained tail) still override. *)
-  let above = List.filter (fun (i, _) -> i > b) t.config_stack in
-  let before = config t in
-  t.config_stack <- above @ [ (b, meta.Snapshot.config) ];
-  if config t <> before then begin
-    sync_peers t;
-    t.callbacks.on_config_change (config t);
-    reset_election_timer t
-  end;
+  (* Logless reconfiguration: the snapshot carries the config identity
+     as of the boundary; ordinary newest-wins ordering decides adoption
+     (a node restored from an old checkpoint must not regress a config
+     it already held). *)
+  if Types.cfg_id_newer meta.Snapshot.cfg_id t.cfg_id then
+    install_config t ~cfg_id:meta.Snapshot.cfg_id ~cfg:meta.Snapshot.config
+      ~why:"snapshot install";
   t.callbacks.install_snapshot ~snapshot:{ Snapshot.meta; data };
   Obs.Metrics.incr t.meters.m_snapshots_installed;
   (* Everything the checkpoint covers is committed by definition. *)
@@ -2346,23 +2440,69 @@ let client_append t payload =
     Ok opid
   end
 
+(* C1 (config commitment): a data quorum of the CURRENT config holds the
+   current config in the current term.  Until it does, the previous
+   config may still be live on a quorum and a further change could strand
+   the ring between two non-overlapping memberships. *)
+let config_committed t =
+  t.role = Types.Leader
+  && t.cfg_id.Types.cfg_term = t.durable.current_term
+  &&
+  let acks =
+    t.id
+    :: Hashtbl.fold
+         (fun pid p acc ->
+           if Types.cfg_id_at_least p.cfg_acked t.cfg_id then pid :: acc else acc)
+         t.peers []
+  in
+  Quorum.data_quorum_satisfied t.params.quorum_mode t.cfg ~leader_region:t.region ~acks
+
+(* C2 (oplog commitment overlap): everything committed in the current
+   term is already replicated to a data quorum of the NEW config, so no
+   committed entry depends on a quorum the new config cannot reproduce. *)
+let oplog_covers t new_config =
+  committed_in_current_term t
+  &&
+  let n = t.commit_index in
+  let acks =
+    (if t.log.durable_index () >= n then [ t.id ] else [])
+    @ Hashtbl.fold
+        (fun pid p acc -> if p.match_index >= n then pid :: acc else acc)
+        t.peers []
+  in
+  Quorum.data_quorum_satisfied t.params.quorum_mode new_config ~leader_region:t.region
+    ~acks
+
 let change_membership t new_config ~description =
+  let ids = Types.member_ids new_config in
   if t.role <> Types.Leader then Error "not the leader"
-  else if t.pending_config_index <> None then
+  else if not (config_committed t) then
     Error "a membership change is already in progress"
-  else begin
-    let encoded = Types.encode_config new_config in
-    match client_append t (Binlog.Entry.Config_change { description; encoded }) with
-    | Error e -> Error e
-    | Ok opid ->
-      t.pending_config_index <- Some (Binlog.Opid.index opid);
-      t.config_stack <- (Binlog.Opid.index opid, new_config) :: t.config_stack;
-      sync_peers t;
-      t.callbacks.on_config_change new_config;
-      tracef t "raft" "%s: membership change '%s' at index %d" t.id description
-        (Binlog.Opid.index opid);
-      Ok opid
-  end
+  else if Types.voters new_config = [] then Error "new config has no voters"
+  else if List.length (List.sort_uniq compare ids) <> List.length ids then
+    Error "duplicate member ids"
+  else
+    match Types.find_member new_config t.id with
+    | None -> Error "leader cannot remove itself (transfer first)"
+    | Some m when not m.Types.voter ->
+      Error "leader cannot demote itself (transfer first)"
+    | Some _ ->
+      if not (oplog_covers t new_config) then
+        Error "current-term commits not yet covered by a quorum of the new config"
+      else begin
+        let cfg_id =
+          {
+            Types.cfg_version = t.cfg_id.Types.cfg_version + 1;
+            cfg_term = t.durable.current_term;
+          }
+        in
+        Obs.Metrics.incr t.meters.m_reconfig_changes;
+        install_config t ~cfg_id ~cfg:new_config ~why:description;
+        (* Gossip immediately: the change "commits" (C1 for the *next*
+           change) once a quorum of the new config acks this identity. *)
+        replicate_all t ~allow_empty:true;
+        Ok cfg_id
+      end
 
 let add_member t member =
   let cfg = config t in
@@ -2394,7 +2534,32 @@ let promote_learner t member_id =
     in
     change_membership t { Types.members } ~description:("promote " ^ member_id)
 
-let has_pending_config_change t = t.pending_config_index <> None
+let demote_voter t member_id =
+  let cfg = config t in
+  match Types.find_member cfg member_id with
+  | None -> Error "not a member"
+  | Some m when not m.Types.voter -> Error "already a learner"
+  | Some m ->
+    let members =
+      List.map
+        (fun x -> if x.Types.id = member_id then { m with Types.voter = false } else x)
+        cfg.Types.members
+    in
+    change_membership t { Types.members } ~description:("demote " ^ member_id)
+
+(* Chain an additional observer behind whatever the embedder already
+   wired: config events fan out to the state machine first, then to
+   late subscribers (shard router caches, healers, tests). *)
+let subscribe_config_change t f =
+  let prev = t.callbacks.on_config_change in
+  t.callbacks.on_config_change <- (fun cfg -> prev cfg; f cfg)
+
+(* Derived, never stored: a change is "pending" while its config has not
+   yet been acknowledged by a quorum of itself in the current term.  A
+   leader crash mid-reconfig therefore cannot wedge the successor — the
+   new leader's term rewrite starts a fresh commitment cycle, and a
+   demoted or restarted node reports false (it is not the leader). *)
+let has_pending_config_change t = t.role = Types.Leader && not (config_committed t)
 
 let trigger_election t =
   if t.role <> Types.Leader && is_voter t then begin_election t ~phase:Message.Real
@@ -2646,6 +2811,13 @@ let create ?metrics ?tracebuf ?clock ?(group = 0) ~engine ~id ~region ~send ~log
   let clock =
     match clock with Some c -> c | None -> Sim.Clock.create ~engine ()
   in
+  (* Logless reconfiguration: the durable mirror outranks the bootstrap
+     config on restart — the log is not scanned (configs never ride it). *)
+  let init_cfg_id, init_cfg =
+    match durable.d_config with
+    | Some (cid, c) -> (cid, c)
+    | None -> (Types.cfg_id_zero, initial_config)
+  in
   let t =
     {
       engine;
@@ -2664,8 +2836,8 @@ let create ?metrics ?tracebuf ?clock ?(group = 0) ~engine ~id ~region ~send ~log
       role = Types.Follower;
       leader_id = None;
       commit_index = 0;
-      config_stack = [ (0, initial_config) ];
-      pending_config_index = None;
+      cfg = init_cfg;
+      cfg_id = init_cfg_id;
       peers = Hashtbl.create 16;
       election = None;
       election_timer = None;
@@ -2700,20 +2872,6 @@ let create ?metrics ?tracebuf ?clock ?(group = 0) ~engine ~id ~region ~send ~log
       last_transport_reset = neg_infinity;
     }
   in
-  (* Recover config history from the log (restart path). *)
-  let rec scan idx =
-    if idx <= Binlog.Opid.index (log.last_opid ()) then begin
-      (match log.entry_at idx with
-      | Some entry -> (
-        match Binlog.Entry.payload entry with
-        | Binlog.Entry.Config_change { encoded; _ } ->
-          t.config_stack <- (idx, Types.decode_config encoded) :: t.config_stack
-        | _ -> ())
-      | None -> ());
-      scan (idx + 1)
-    end
-  in
-  scan 1;
   reset_election_timer t;
   t
 

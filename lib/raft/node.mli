@@ -9,7 +9,15 @@
 
     kuduraft behaviours kept on purpose: no automatic leader step-down;
     graceful TransferLeadership runs no pre-election (mock elections
-    fill that gap); one membership change at a time. *)
+    fill that gap); one membership change at a time.
+
+    Membership is managed by logless dynamic reconfiguration (Schultz et
+    al., arXiv 2102.11960): configs live in per-node durable state keyed
+    by a [(version, term)] identity, ride AppendEntries/RequestVote
+    instead of the log, and newest identity wins.  A change is accepted
+    only when the current config is committed (installed by a data
+    quorum of itself in the current term) and the current term's commits
+    are covered by a data quorum of the new config. *)
 
 type node_id = Types.node_id
 
@@ -133,8 +141,9 @@ type params = {
 
 val default_params : params
 
-(** Durable per-identity state (survives crashes): term, vote, and the
-    FlexiRaft last-known-leader / voting-history constraints. *)
+(** Durable per-identity state (survives crashes): term, vote, the
+    FlexiRaft last-known-leader / voting-history constraints, and the
+    installed config with its identity (logless reconfiguration). *)
 type durable
 
 val fresh_durable : unit -> durable
@@ -179,15 +188,28 @@ val handle_message : t -> src:node_id -> Message.t -> unit
 (** Append a payload; Raft assigns the OpId and starts replication. *)
 val client_append : t -> Binlog.Entry.payload -> (Binlog.Opid.t, string) result
 
-(** Membership changes (§2.2) — one at a time. *)
+(** Membership changes (§2.2) — one at a time, logless.  On success the
+    new config is installed locally with the returned identity and
+    gossiped; it is committed once {!has_pending_config_change} drops.
+    Errors: not the leader, previous change still uncommitted, the two
+    safety preconditions unmet, no voters, duplicate ids, or the leader
+    removing/demoting itself (transfer first). *)
 val change_membership :
-  t -> Types.config -> description:string -> (Binlog.Opid.t, string) result
+  t -> Types.config -> description:string -> (Types.cfg_id, string) result
 
-val add_member : t -> Types.member -> (Binlog.Opid.t, string) result
+val add_member : t -> Types.member -> (Types.cfg_id, string) result
 
-val remove_member : t -> node_id -> (Binlog.Opid.t, string) result
+val remove_member : t -> node_id -> (Types.cfg_id, string) result
 
-val promote_learner : t -> node_id -> (Binlog.Opid.t, string) result
+val promote_learner : t -> node_id -> (Types.cfg_id, string) result
+
+val demote_voter : t -> node_id -> (Types.cfg_id, string) result
+
+(** Observe installed-config events (adoption, local change, snapshot,
+    election term rewrite with a membership delta).  Chains behind any
+    callback the embedder wired; survives until the node object is
+    rebuilt (i.e. re-subscribe after a restart). *)
+val subscribe_config_change : t -> (Types.config -> unit) -> unit
 
 (** Graceful transfer: optional mock election, quiesce, catch-up,
     TimeoutNow (§2.2, §4.3).  Completion/abort is reported through the
@@ -313,10 +335,22 @@ val last_index : t -> int
 
 val config : t -> Types.config
 
+(** Identity of the installed config: [(version, term)], bumped by
+    {!change_membership}, term-rewritten on election win. *)
+val config_id : t -> Types.cfg_id
+
+(** The installed config has been acknowledged by a data quorum of
+    itself in the current term — the C1 precondition for the next
+    change.  Always false on non-leaders. *)
+val config_committed : t -> bool
+
 val quorum_mode : t -> Quorum.mode
 
 val is_voter : t -> bool
 
+(** Derived (never stored): leader and the installed config is not yet
+    committed.  A demoted or restarted node therefore reports false —
+    a leader crash mid-reconfig cannot wedge its successor. *)
 val has_pending_config_change : t -> bool
 
 val elections_started : t -> int

@@ -17,6 +17,9 @@ type meta = {
   last : Binlog.Opid.t; (* last included (index, term) *)
   gtids : Binlog.Gtid_set.t; (* GTIDs covered by the checkpoint *)
   config : Types.config; (* membership as of [last] *)
+  cfg_id : Types.cfg_id;
+    (* identity of [config] (logless reconfiguration): the restored
+       node adopts it only when strictly newer than what it holds *)
   dep_epoch : int; (* writeset dependency epoch (boundary index) *)
   checksum : int32; (* digest of [data] *)
   total_bytes : int;
@@ -24,7 +27,7 @@ type meta = {
 
 type t = { meta : meta; data : string }
 
-let make ?dep_epoch ~last ~gtids ~config ~data () =
+let make ?dep_epoch ?(cfg_id = Types.cfg_id_zero) ~last ~gtids ~config ~data () =
   let dep_epoch = Option.value dep_epoch ~default:(Binlog.Opid.index last) in
   {
     meta =
@@ -32,6 +35,7 @@ let make ?dep_epoch ~last ~gtids ~config ~data () =
         last;
         gtids;
         config;
+        cfg_id;
         dep_epoch;
         checksum = Binlog.Checksum.string data;
         total_bytes = String.length data;

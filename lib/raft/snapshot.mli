@@ -11,6 +11,9 @@ type meta = {
   last : Binlog.Opid.t;  (** last included (index, term) *)
   gtids : Binlog.Gtid_set.t;  (** GTIDs covered by the checkpoint *)
   config : Types.config;  (** membership as of [last] *)
+  cfg_id : Types.cfg_id;
+      (** identity of [config]; adopted on install only if strictly
+          newer than the restored node's own *)
   dep_epoch : int;  (** writeset dependency epoch (boundary index) *)
   checksum : int32;  (** digest of the payload *)
   total_bytes : int;
@@ -18,9 +21,11 @@ type meta = {
 
 type t = { meta : meta; data : string }
 
-(** [dep_epoch] defaults to the boundary index. *)
+(** [dep_epoch] defaults to the boundary index; [cfg_id] to
+    {!Types.cfg_id_zero} (never adopted). *)
 val make :
   ?dep_epoch:int ->
+  ?cfg_id:Types.cfg_id ->
   last:Binlog.Opid.t ->
   gtids:Binlog.Gtid_set.t ->
   config:Types.config ->

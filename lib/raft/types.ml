@@ -63,6 +63,57 @@ let encode_config c = Marshal.to_string c []
 
 let decode_config s : config = Marshal.from_string s 0
 
+(* ----- logless dynamic reconfiguration ----- *)
+
+(* Configs live in per-node state, not the oplog (Schultz et al.,
+   arXiv 2102.11960): every config carries an identity ordered
+   lexicographically by (config_term, config_version).  A leader bumps
+   the version on every membership change and rewrites the term to its
+   own on election, so an uncommitted config installed by a deposed
+   leader always loses to the new leader's rewrite. *)
+type cfg_id = { cfg_version : int; cfg_term : int }
+
+let cfg_id_zero = { cfg_version = 0; cfg_term = 0 }
+
+let cfg_id_compare a b =
+  compare (a.cfg_term, a.cfg_version) (b.cfg_term, b.cfg_version)
+
+let cfg_id_newer a b = cfg_id_compare a b > 0
+
+let cfg_id_at_least a b = cfg_id_compare a b >= 0
+
+let cfg_id_to_string c = Printf.sprintf "v%d@t%d" c.cfg_version c.cfg_term
+
+(* Set equality on full member records: two configs with the same
+   membership (ids, regions, voter flags, kinds) are interchangeable for
+   callback purposes even when their identities differ (a term rewrite
+   changes the id, not the ring). *)
+let same_members a b =
+  let key m = (m.id, m.region, m.voter, m.kind) in
+  let sort c = List.sort compare (List.map key c.members) in
+  sort a = sort b
+
+(* Necessary condition for quorum overlap between consecutive configs:
+   they share at least one voter.  Single-step changes (the only kind
+   the planner emits) always satisfy it. *)
+let voters_overlap a b =
+  let va = voter_ids a and vb = voter_ids b in
+  List.exists (fun v -> List.mem v vb) va
+
+(* Size of the voter-set symmetric difference — how many voters a change
+   adds plus removes.  Safe single steps keep it at most 1. *)
+let voter_delta a b =
+  let va = voter_ids a and vb = voter_ids b in
+  List.length (List.filter (fun v -> not (List.mem v vb)) va)
+  + List.length (List.filter (fun v -> not (List.mem v va)) vb)
+
+(* Wire size of a gossiped config for bandwidth accounting: per member,
+   the id and region strings plus flags. *)
+let config_wire_size c =
+  List.fold_left
+    (fun acc m -> acc + String.length m.id + String.length m.region + 4)
+    8 c.members
+
 let describe_member m =
   Printf.sprintf "%s@%s(%s%s)" m.id m.region
     (match m.kind with Mysql_server -> "mysql" | Logtailer -> "logtailer")

@@ -48,6 +48,41 @@ val encode_config : config -> string
 
 val decode_config : string -> config
 
+(** {2 Logless dynamic reconfiguration}
+
+    Configs live in per-node state, not the oplog (Schultz et al.,
+    arXiv 2102.11960), identified and ordered lexicographically by
+    [(cfg_term, cfg_version)]: a leader bumps the version on every
+    membership change and rewrites the term to its own on election. *)
+
+type cfg_id = { cfg_version : int; cfg_term : int }
+
+val cfg_id_zero : cfg_id
+
+(** Lexicographic on (term, version). *)
+val cfg_id_compare : cfg_id -> cfg_id -> int
+
+(** [cfg_id_newer a b]: [a] is strictly newer than [b]. *)
+val cfg_id_newer : cfg_id -> cfg_id -> bool
+
+val cfg_id_at_least : cfg_id -> cfg_id -> bool
+
+val cfg_id_to_string : cfg_id -> string
+
+(** Same membership (ids, regions, voter flags, kinds), identity aside. *)
+val same_members : config -> config -> bool
+
+(** The two configs share at least one voter — the necessary condition
+    for quorum overlap between consecutive configs. *)
+val voters_overlap : config -> config -> bool
+
+(** Size of the voter-set symmetric difference; safe single steps keep
+    it at most 1. *)
+val voter_delta : config -> config -> int
+
+(** Wire size of a gossiped config (bandwidth accounting). *)
+val config_wire_size : config -> int
+
 val describe_member : member -> string
 
 val describe_config : config -> string

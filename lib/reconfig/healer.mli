@@ -1,0 +1,60 @@
+(** Self-healing fleet driver over a {!Myraft.Cluster}.
+
+    {!apply_target} executes a {!Planner} plan to an arbitrary target
+    membership: provisions fresh nodes for add-learner steps, waits for
+    catch-up before promotions (snapshot-fed when the join point is
+    behind the purge boundary), and transfers leadership out of members
+    the plan displaces, re-planning from the live config after every
+    committed step.
+
+    {!start} runs the reconcile loop: liveness telemetry against the
+    current config declares a member dead after [dead_after] down, then
+    a replacement is walked through provision -> join-as-learner ->
+    catch-up -> promote -> evict, one idempotent action per tick and
+    never while another change is pending.  Metrics are exported under
+    [healer.*]. *)
+
+(** The newest installed config across live nodes — the fleet's
+    effective membership even while a leader election is in flight.
+    [None] when every node is down. *)
+val newest_config : Myraft.Cluster.t -> Raft.Types.config option
+
+(** Drive the cluster's membership to [target].  Returns the number of
+    committed steps (0 = already there).  [on_step] fires after each
+    committed step — chaos harnesses hang invariant checks on it. *)
+val apply_target :
+  ?step_timeout:float ->
+  ?on_step:(Planner.step -> unit) ->
+  Myraft.Cluster.t ->
+  target:Raft.Types.config ->
+  (int, string) result
+
+type replacement = {
+  r_corpse : string;
+  r_replacement : string;
+  r_duration_us : float;
+}
+
+type t
+
+(** Start the reconcile loop on the cluster's engine.
+    [replacement_region] picks where a corpse's replacement lives
+    (default: same region); [on_replaced] fires after each completed
+    swap (leader placement hooks). *)
+val start :
+  ?check_interval:float ->
+  ?dead_after:float ->
+  ?replacement_region:(Raft.Types.member -> string) ->
+  ?on_replaced:(removed:string -> added:string -> unit) ->
+  Myraft.Cluster.t ->
+  t
+
+val stop : t -> unit
+
+(** Completed replacements, oldest first. *)
+val replacements : t -> replacement list
+
+(** The (corpse, replacement) pair currently being driven, if any. *)
+val in_flight : t -> (string * string) option
+
+val metrics_snapshot : t -> Obs.Metrics.snapshot

@@ -67,6 +67,22 @@ let install_carrier t ~group id =
         Mux.carried_recently t.mux ~group ~src:id ~dst ~within:t.hb_within)
   | None -> ()
 
+(* Membership-change tap: when any instance of group [group] adopts a
+   new config, drop the router's cached leader for the group if the
+   cached node is no longer a member — reconfiguration can evict or
+   demote the cached leader without a single client request being
+   rejected (the rejection-driven invalidation in [backend] never
+   fires for a node that simply stops answering). *)
+let install_config_tap t ~group id =
+  match Myraft.Cluster.raft_of t.clusters.(group) id with
+  | Some r ->
+    Raft.Node.subscribe_config_change r (fun cfg ->
+        match Router.cached_leader t.router ~group with
+        | Some cached when not (Raft.Types.is_member cfg cached) ->
+          Router.invalidate_leader t.router ~group
+        | _ -> ())
+  | None -> ()
+
 let create ?(seed = 7) ?(params = Myraft.Params.default) ?(latency = Sim.Latency.default)
     ?window ?hb_suppress_limit ?(members = Myraft.Cluster.small_members ()) ~groups () =
   if groups <= 0 then invalid_arg "Shard.Multi.create: groups must be positive";
@@ -145,7 +161,11 @@ let create ?(seed = 7) ?(params = Myraft.Params.default) ?(latency = Sim.Latency
   in
   Array.iteri
     (fun g c ->
-      List.iter (fun id -> install_carrier t ~group:g id) (Myraft.Cluster.member_ids c))
+      List.iter
+        (fun id ->
+          install_carrier t ~group:g id;
+          install_config_tap t ~group:g id)
+        (Myraft.Cluster.member_ids c))
     t.clusters;
   (* One liveness tap per physical node: any packet from the current
      leader's process resets every co-located follower instance's
@@ -254,8 +274,13 @@ let crash_node t id = Array.iter (fun c -> Myraft.Cluster.crash c id) t.clusters
 
 let restart_node t id =
   Array.iter (fun c -> Myraft.Cluster.restart c id) t.clusters;
-  (* restart rebuilt each group's raft instance: re-hook suppression *)
-  Array.iteri (fun g _ -> install_carrier t ~group:g id) t.clusters
+  (* restart rebuilt each group's raft instance: re-hook suppression
+     and the router's config-change invalidation tap *)
+  Array.iteri
+    (fun g _ ->
+      install_carrier t ~group:g id;
+      install_config_tap t ~group:g id)
+    t.clusters
 
 let isolate_node t id = Array.iter (fun c -> Myraft.Cluster.isolate c id) t.clusters
 

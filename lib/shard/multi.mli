@@ -94,8 +94,10 @@ val is_crashed : t -> string -> bool
 (** {2 Clients and observability} *)
 
 (** The routed front door: hashes each (table, key) through the
-    {!Router}, sends to the owning group's leader (cached, with
-    rejection-driven invalidation), and demultiplexes replies. *)
+    {!Router}, sends to the owning group's leader (cached, invalidated
+    both on request rejection and eagerly when a config change drops
+    the cached node from the group's membership), and demultiplexes
+    replies. *)
 val backend : t -> Workload.Backend.t
 
 (** Deployment-wide merged snapshot: all groups' registries plus

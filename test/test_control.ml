@@ -144,6 +144,85 @@ let test_replace_unknown_member_fails () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "replaced a non-member"
 
+(* ----- shard-leader rebalancer ----- *)
+
+(* A synthetic deployment: leaders live in refs, transfers mutate them
+   (or fail, modeling a group that is mid-reconfig). *)
+let mk_groups ?(reconfiguring = []) ~leaders ~candidates ~region_of () =
+  List.mapi
+    (fun i leader ->
+      {
+        Control.Rebalance.g_index = i;
+        g_leader = (fun () -> !leader);
+        g_region_of = (fun n -> List.assoc_opt n region_of);
+        g_candidates = (fun () -> candidates);
+        g_transfer =
+          (fun ~target ->
+            if List.mem i reconfiguring then Error "membership change in progress"
+            else begin
+              leader := Some target;
+              Ok ()
+            end);
+      })
+    leaders
+
+let three_region_nodes = [ ("n1", "r1"); ("n2", "r2"); ("n3", "r3") ]
+
+let test_rebalance_spreads_across_regions () =
+  (* all six leaders piled on one node *)
+  let leaders = List.init 6 (fun _ -> ref (Some "n1")) in
+  let groups =
+    mk_groups ~leaders ~candidates:[ "n1"; "n2"; "n3" ] ~region_of:three_region_nodes ()
+  in
+  let plan, errors = Control.Rebalance.rebalance ~groups in
+  Alcotest.(check (list (pair int string))) "no transfer errors" [] errors;
+  Alcotest.(check bool) "had to move" false plan.Control.Rebalance.balanced;
+  let count node =
+    List.length (List.filter (fun l -> !l = Some node) leaders)
+  in
+  List.iter
+    (fun (n, _) -> Alcotest.(check int) ("two leaders on " ^ n) 2 (count n))
+    three_region_nodes
+
+let test_rebalance_noop_when_balanced () =
+  let leaders = [ ref (Some "n1"); ref (Some "n2"); ref (Some "n3") ] in
+  let groups =
+    mk_groups ~leaders ~candidates:[ "n1"; "n2"; "n3" ] ~region_of:three_region_nodes ()
+  in
+  (* settle to the deterministic desired placement... *)
+  ignore (Control.Rebalance.rebalance ~groups);
+  (* ...after which another pass must not move anything (no oscillation) *)
+  let before = List.map (fun l -> !l) leaders in
+  let plan, errors = Control.Rebalance.rebalance ~groups in
+  Alcotest.(check (list (pair int string))) "no errors" [] errors;
+  Alcotest.(check bool) "balanced" true plan.Control.Rebalance.balanced;
+  Alcotest.(check int) "no moves" 0 (List.length plan.Control.Rebalance.moves);
+  Alcotest.(check bool) "leaders untouched" true (before = List.map (fun l -> !l) leaders)
+
+(* A group whose transfer is refused (membership change in flight)
+   reports the error without derailing the other groups' moves. *)
+let test_rebalance_skips_reconfiguring_group () =
+  let leaders = List.init 3 (fun _ -> ref (Some "n1")) in
+  let groups =
+    mk_groups ~reconfiguring:[ 1 ] ~leaders ~candidates:[ "n1"; "n2"; "n3" ]
+      ~region_of:three_region_nodes ()
+  in
+  let plan, errors = Control.Rebalance.rebalance ~groups in
+  Alcotest.(check bool) "plan wanted moves" false plan.Control.Rebalance.balanced;
+  (match errors with
+  | [ (1, reason) ] ->
+    Alcotest.(check bool) "reason surfaced" true
+      (Helpers.contains reason "membership change")
+  | other -> Alcotest.failf "expected exactly group 1 to fail, got %d errors"
+               (List.length other));
+  (* the groups that could move did *)
+  let moved =
+    List.filter
+      (fun l -> !l <> Some "n1")
+      [ List.nth leaders 0; List.nth leaders 2 ]
+  in
+  Alcotest.(check bool) "other groups progressed" true (moved <> [])
+
 let suites =
   [
     ( "control.lock",
@@ -165,5 +244,13 @@ let suites =
       [
         Alcotest.test_case "replace member" `Quick test_replace_member;
         Alcotest.test_case "unknown member rejected" `Quick test_replace_unknown_member_fails;
+      ] );
+    ( "control.rebalance",
+      [
+        Alcotest.test_case "spreads leaders across regions" `Quick
+          test_rebalance_spreads_across_regions;
+        Alcotest.test_case "no-op when balanced" `Quick test_rebalance_noop_when_balanced;
+        Alcotest.test_case "mid-reconfig group skipped, others move" `Quick
+          test_rebalance_skips_reconfiguring_group;
       ] );
   ]

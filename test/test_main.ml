@@ -23,6 +23,7 @@ let () =
         Test_control.suites;
         Test_workload.suites;
         Test_shard.suites;
+        Test_reconfig.suites;
         Test_apply.suites;
         Test_read.suites;
         Test_misc.suites;

@@ -145,6 +145,8 @@ let ae payload =
       reply_route = [];
       leader_time = 0.0;
       leader_last_index = 9;
+      cfg_id = Raft.Types.cfg_id_zero;
+      cfg = None;
     }
 
 let test_message_sizes_scale_with_payload () =

@@ -575,8 +575,10 @@ let test_one_change_at_a_time () =
   (match Raft.Node.remove_member r "n2" with
   | Ok _ -> Alcotest.fail "second concurrent change must be rejected"
   | Error _ -> ());
-  (* after the first commits, a second change is fine *)
+  (* after the first commits, a second change is fine (the new node's
+     infrastructure must exist first: config gossip starts immediately) *)
   Sim.Engine.run_for h.engine (2.0 *. s);
+  Sim.Topology.add_node (Sim.Network.topology h.net) ~id:"n5" ~region:"r1";
   match
     Raft.Node.add_member r { Raft.Types.id = "n5"; region = "r1"; voter = false; kind = mysql }
   with

@@ -467,6 +467,59 @@ let prop_sharded_equals_independent =
         (Shard.Multi.clusters multi);
       true)
 
+(* Satellite of the logless-reconfig work: the router's cached leader
+   for a group must be dropped the moment a config change removes the
+   cached node from that group's membership — eagerly, via the
+   config-change tap, not merely after a client request bounces. *)
+let test_multi_config_change_invalidates_router () =
+  let multi =
+    Shard.Multi.create ~seed:36 ~members:(three_region_members ()) ~groups:2 ()
+  in
+  Shard.Multi.bootstrap multi;
+  let c0 = Shard.Multi.cluster multi 0 in
+  let leader () =
+    match Myraft.Cluster.raft_leader c0 with
+    | Some id -> Option.get (Myraft.Cluster.raft_of c0 id)
+    | None -> Alcotest.fail "group 0 lost its leader"
+  in
+  (* join a learner, then point group 0's route cache at it — the stale
+     route a client would hold after a leadership-era membership swap *)
+  Myraft.Cluster.add_server c0 (Myraft.Cluster.logtailer "extra" "r1");
+  (match
+     Raft.Node.add_member (leader ())
+       { Raft.Types.id = "extra"; region = "r1"; voter = false; kind = Raft.Types.Logtailer }
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "add_member: %s" e);
+  let settled () = not (Raft.Node.has_pending_config_change (leader ())) in
+  Alcotest.(check bool) "join committed" true
+    (Myraft.Cluster.run_until c0 ~timeout:(30.0 *. s) settled);
+  let router = Shard.Multi.router multi in
+  Shard.Router.note_leader router ~group:0 ~node:"extra";
+  Alcotest.(check (option string)) "route cached" (Some "extra")
+    (Shard.Router.cached_leader router ~group:0);
+  (match Raft.Node.remove_member (leader ()) "extra" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "remove_member: %s" e);
+  Alcotest.(check bool) "eviction committed" true
+    (Myraft.Cluster.run_until c0 ~timeout:(30.0 *. s) (fun () ->
+         settled ()
+         && Shard.Router.cached_leader router ~group:0 = None));
+  (* a config change that keeps the cached node a member leaves the
+     cache alone (no gratuitous invalidation) *)
+  let l = Myraft.Cluster.raft_leader c0 in
+  Shard.Router.note_leader router ~group:0 ~node:(Option.get l);
+  let bystander =
+    List.find (fun id -> Some id <> l) [ "mysql1"; "mysql2"; "mysql3" ]
+  in
+  (match Raft.Node.demote_voter (leader ()) bystander with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "demote_voter: %s" e);
+  Alcotest.(check bool) "demote committed" true
+    (Myraft.Cluster.run_until c0 ~timeout:(30.0 *. s) settled);
+  Alcotest.(check (option string)) "route kept for retained member" l
+    (Shard.Router.cached_leader router ~group:0)
+
 let suites =
   [
     ( "shard.router",
@@ -499,6 +552,8 @@ let suites =
           test_multi_rebalance_respreads_leaders;
         Alcotest.test_case "physical crash fails over every group" `Quick
           test_multi_physical_crash_fails_over_all_groups;
+        Alcotest.test_case "config change invalidates the route cache" `Quick
+          test_multi_config_change_invalidates_router;
       ] );
     ( "shard.equivalence",
       [ QCheck_alcotest.to_alcotest prop_sharded_equals_independent ] );
