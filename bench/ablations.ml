@@ -89,7 +89,7 @@ let proxy ?(seed = 41) () =
            prev_opid = Binlog.Opid.zero;
            payload =
              Raft.Message.Entries
-               (List.init batch (fun i ->
+               (Array.init batch (fun i ->
                     Binlog.Entry.make
                       ~opid:(Binlog.Opid.make ~term:1 ~index:(i + 1))
                       (Binlog.Entry.Transaction

@@ -17,6 +17,12 @@ let quick = ref false
 let write_metrics_json snap =
   Option.iter
     (fun path ->
+      (* Every dump carries the process-wide gc.* gauges: one dedicated
+         registry sampled at write time (never per node — merged gauges
+         sum, and a per-process reading must appear exactly once). *)
+      let proc = Obs.Metrics.create ~node:"process" () in
+      Obs.Metrics.sample_gc proc;
+      let snap = Obs.Metrics.merge snap (Obs.Metrics.snapshot proc) in
       let oc = open_out path in
       output_string oc (Obs.Metrics.to_json snap);
       output_char oc '\n';
@@ -79,6 +85,48 @@ let semisync_ab_cluster ~seed ~costs =
   in
   Semisync.Cluster.bootstrap cluster ~leader_id:"mysql1";
   cluster
+
+(* ----- per-cell allocation accounting -----
+
+   Every closed-loop cell runs inside a [Gc.quick_stat] delta so the
+   benches report real allocator pressure next to the virtual-time
+   throughput numbers: minor-heap words tell us what the hot path costs
+   the collector, and words-per-committed-transaction is the figure the
+   bench-regression gate locks in.  All stats are process-wide deltas —
+   run one cell at a time. *)
+
+type alloc_stats = {
+  al_minor_words : float;
+  al_promoted_words : float;
+  al_major_words : float;
+  al_minor_collections : int;
+  al_major_collections : int;
+}
+
+let with_alloc_stats f =
+  let a = Gc.quick_stat () in
+  let v = f () in
+  let b = Gc.quick_stat () in
+  ( v,
+    {
+      al_minor_words = b.Gc.minor_words -. a.Gc.minor_words;
+      al_promoted_words = b.Gc.promoted_words -. a.Gc.promoted_words;
+      al_major_words = b.Gc.major_words -. a.Gc.major_words;
+      al_minor_collections = b.Gc.minor_collections - a.Gc.minor_collections;
+      al_major_collections = b.Gc.major_collections - a.Gc.major_collections;
+    } )
+
+let words_per_txn st ~txns =
+  if txns <= 0 then 0.0 else st.al_minor_words /. float_of_int txns
+
+(* JSON fragment (no surrounding braces) recording a cell's gc.* figures,
+   ready to splice into a bench cell object. *)
+let alloc_json st ~txns =
+  Printf.sprintf
+    "\"gc\": {\"minor_words\": %.0f, \"promoted_words\": %.0f, \"major_words\": %.0f, \
+     \"minor_collections\": %d, \"major_collections\": %d, \"minor_words_per_txn\": %.1f}"
+    st.al_minor_words st.al_promoted_words st.al_major_words st.al_minor_collections
+    st.al_major_collections (words_per_txn st ~txns)
 
 let pct h p = Stats.Histogram.percentile h p
 

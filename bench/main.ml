@@ -48,6 +48,8 @@ let shards_bench () = Shards_bench.run ()
 
 let churn_bench () = Churn_bench.run ()
 
+let proxy_scale () = Proxy_bench.run ()
+
 let experiments =
   [
     ("table1", "Table 1: role mapping", table1);
@@ -79,6 +81,9 @@ let experiments =
     ( "churn",
       "A8: membership churn / evacuation / self-healing campaign, gate on zero violations",
       churn_bench );
+    ( "proxy-scale",
+      "P4: 8-region x 104-replica fan-out, gate on tree saving >= 3x cross-region bytes",
+      proxy_scale );
   ]
 
 let run_all () =

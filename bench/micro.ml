@@ -78,6 +78,30 @@ let quorum_check =
          Raft.Quorum.data_quorum_satisfied Raft.Quorum.Single_region_dynamic cfg
            ~leader_region:"r1" ~acks))
 
+let pipeline_group_drain =
+  (* submit → flush group → consensus release → engine commit for 100
+     txns; exercises the preallocated group accumulator end to end *)
+  Test.make ~name:"pipeline group drain (100 txns)"
+    (Staged.stage (fun () ->
+         let engine = Sim.Engine.create () in
+         let p =
+           Myraft.Pipeline.create ~engine ~params:Myraft.Params.default ~is_primary_path:true
+             ()
+         in
+         let done_count = ref 0 in
+         for i = 1 to 100 do
+           Myraft.Pipeline.submit p
+             {
+               Myraft.Pipeline.label = "txn";
+               flush = (fun () -> Ok i);
+               finish = (fun ~ok:_ -> incr done_count);
+             }
+         done;
+         Myraft.Pipeline.notify_commit_index p 100;
+         Sim.Engine.run_for engine 0.1;
+         assert (!done_count = 100);
+         !done_count))
+
 let histogram_record =
   Test.make ~name:"histogram.record (1k samples)"
     (Staged.stage (fun () ->
@@ -90,7 +114,15 @@ let histogram_record =
 let run () =
   Common.header "M1 — micro-benchmarks (Bechamel, real time)";
   let tests =
-    [ gtid_set_add; gtid_set_contains; log_append; crc32; quorum_check; histogram_record ]
+    [
+      gtid_set_add;
+      gtid_set_contains;
+      log_append;
+      crc32;
+      quorum_check;
+      pipeline_group_drain;
+      histogram_record;
+    ]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 100) () in

@@ -1,25 +1,52 @@
 (* CRC-32 (IEEE 802.3 polynomial, reflected), the checksum MySQL stamps on
    binlog events.  MyRaft generates it at OpId-assignment time to detect
    later corruption; we verify it when the log abstraction reads entries
-   back for lagging followers. *)
+   back for lagging followers.
+
+   The arithmetic runs on native [int]s (the running CRC fits 32 bits, an
+   OCaml int holds 63): a boxed-[Int32] loop allocates a fresh box per
+   input byte, which on the commit hot path — one CRC per flushed entry
+   plus one per engine commit per node — dominated the minor heap.  The
+   streaming [feed_*] API exists for digests computed over structured
+   fields (the engine's commit-digest chain): callers fold fields in
+   directly instead of marshalling them into a throwaway string first. *)
 
 let table =
   lazy
     (Array.init 256 (fun n ->
-         let c = ref (Int32.of_int n) in
+         let c = ref n in
          for _ = 0 to 7 do
-           if Int32.logand !c 1l <> 0l then
-             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
-           else c := Int32.shift_right_logical !c 1
+           if !c land 1 <> 0 then c := 0xEDB88320 lxor (!c lsr 1) else c := !c lsr 1
          done;
          !c))
 
-let string s =
+(* Running (pre-inversion) CRC state: an immediate int, never boxed. *)
+type state = int
+
+let init = 0xFFFFFFFF
+
+let[@inline] feed_byte table crc b = table.((crc lxor b) land 0xFF) lxor (crc lsr 8)
+
+let feed_string crc s =
   let table = Lazy.force table in
-  let crc = ref 0xFFFFFFFFl in
-  String.iter
-    (fun ch ->
-      let idx = Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code ch))) 0xFFl) in
-      crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8))
-    s;
-  Int32.logxor !crc 0xFFFFFFFFl
+  let crc = ref crc in
+  for i = 0 to String.length s - 1 do
+    crc := feed_byte table !crc (Char.code (String.unsafe_get s i))
+  done;
+  !crc
+
+(* Feed a native int as 8 little-endian bytes (ints on the hot path are
+   log indexes, terms and GNOs — all well under 2^63). *)
+let feed_int crc n =
+  let table = Lazy.force table in
+  let crc = ref crc in
+  for shift = 0 to 7 do
+    crc := feed_byte table !crc ((n lsr (shift * 8)) land 0xFF)
+  done;
+  !crc
+
+let feed_int32 crc v = feed_int crc (Int32.to_int v land 0xFFFFFFFF)
+
+let finalize crc = Int32.of_int (crc lxor 0xFFFFFFFF)
+
+let string s = finalize (feed_string init s)

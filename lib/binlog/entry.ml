@@ -23,12 +23,17 @@ type deps = { last_committed : int; sequence_number : int }
 type t = {
   opid : Opid.t;
   payload : payload;
+  serialized : string;
+    (* the payload's wire form, computed exactly once at [make] time and
+       shared by every later read (replication, checksum verification,
+       proxy reconstitution).  Re-marshalling on each touch used to be
+       the single largest per-entry allocation on the commit path. *)
   checksum : int32;
   size : int;
   mutable deps : deps option;
 }
 
-let payload_bytes payload = Marshal.to_string payload []
+let serialize payload = Marshal.to_string payload []
 
 let payload_size payload =
   match payload with
@@ -39,14 +44,20 @@ let payload_size payload =
   | Rotate_marker { next_file } -> 27 + String.length next_file
 
 let make ~opid payload =
-  let checksum = Checksum.string (payload_bytes payload) in
+  let serialized = serialize payload in
+  let checksum = Checksum.string serialized in
   {
     opid;
     payload;
+    serialized;
     checksum;
     size = payload_size payload + 16 (* opid + checksum framing *);
     deps = None;
   }
+
+(* The memoized serialized form: repeated calls return the same physical
+   string — callers may slice it but must never mutate it. *)
+let payload_bytes t = t.serialized
 
 let opid t = t.opid
 
@@ -60,7 +71,7 @@ let size t = t.size
 
 let checksum t = t.checksum
 
-let verify t = Int32.equal (Checksum.string (payload_bytes t.payload)) t.checksum
+let verify t = Int32.equal (Checksum.string t.serialized) t.checksum
 
 let deps t = t.deps
 
@@ -103,7 +114,11 @@ let corrupt t flavor =
         Some (Config_change { c with description = c.description ^ "\x00" })
       | Rotate_marker { next_file } -> Some (Rotate_marker { next_file = next_file ^ "\x00" })
     in
-    (match mangled with Some payload -> { t with payload } | None -> flip_header ())
+    (match mangled with
+    (* the bit-rotted copy re-serializes its mangled payload (the stored
+       bytes changed); the checksum stays stale, so [verify] fails *)
+    | Some payload -> { t with payload; serialized = serialize payload }
+    | None -> flip_header ())
 
 let describe t =
   let body =

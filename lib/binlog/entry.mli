@@ -29,6 +29,12 @@ val index : t -> int
 
 val payload : t -> payload
 
+(** The payload's serialized wire form, computed once at {!make} time and
+    memoized: repeated calls return the same physical string (no
+    re-marshalling).  Callers may share and slice it but must not mutate
+    it. *)
+val payload_bytes : t -> string
+
 (** Approximate wire/disk size in bytes. *)
 val size : t -> int
 

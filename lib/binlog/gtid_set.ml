@@ -10,26 +10,49 @@ type interval = { lo : int; hi : int } (* inclusive, lo <= hi *)
 
 module Source_map = Map.Make (String)
 
-type t = interval list Source_map.t (* sorted by lo, disjoint, non-adjacent *)
+(* Intervals are sorted by lo DESCENDING, disjoint, non-adjacent.  The
+   hot operation by far is a server appending the next gno at the tip of
+   its gtid_executed set (every binlog append on every node), which with
+   this ordering only touches the list head — no sort, no rebuild. *)
+type t = interval list Source_map.t
 
 let empty = Source_map.empty
 
 let is_empty = Source_map.is_empty
 
-(* Normalize a sorted interval list: merge overlapping/adjacent runs. *)
+(* Normalize an ASCENDING-sorted interval list: merge overlapping or
+   adjacent runs.  Only used on the rare paths (union, remove) that
+   rebuild a whole list. *)
 let rec merge_sorted = function
   | a :: b :: rest ->
     if b.lo <= a.hi + 1 then merge_sorted ({ lo = a.lo; hi = max a.hi b.hi } :: rest)
     else a :: merge_sorted (b :: rest)
   | short -> short
 
+(* Canonical descending form from an arbitrary interval bag. *)
+let normalize_desc intervals =
+  List.rev (merge_sorted (List.sort (fun a b -> compare a.lo b.lo) intervals))
+
+(* Insert [lo, hi] into a descending list, merging where it overlaps or
+   touches.  Appending at the tip — the steady-state case — is O(1). *)
+let rec insert_desc ivs ~lo ~hi =
+  match ivs with
+  | [] -> [ { lo; hi } ]
+  | a :: rest ->
+    if lo > a.hi + 1 then { lo; hi } :: ivs (* strictly above the head *)
+    else if hi < a.lo - 1 then a :: insert_desc rest ~lo ~hi (* strictly below *)
+    else absorb_desc rest ~lo:(min lo a.lo) ~hi:(max hi a.hi)
+
+(* The merged interval may keep swallowing lower neighbours. *)
+and absorb_desc ivs ~lo ~hi =
+  match ivs with
+  | b :: rest when b.hi + 1 >= lo -> absorb_desc rest ~lo:(min lo b.lo) ~hi
+  | _ -> { lo; hi } :: ivs
+
 let add_interval t ~source ~lo ~hi =
   if lo > hi || lo < 1 then invalid_arg "Gtid_set.add_interval";
   let existing = Option.value (Source_map.find_opt source t) ~default:[] in
-  let merged =
-    merge_sorted (List.sort (fun a b -> compare a.lo b.lo) ({ lo; hi } :: existing))
-  in
-  Source_map.add source merged t
+  Source_map.add source (insert_desc existing ~lo ~hi) t
 
 let add t gtid = add_interval t ~source:(Gtid.source gtid) ~lo:(Gtid.gno gtid) ~hi:(Gtid.gno gtid)
 
@@ -45,7 +68,7 @@ let remove t gtid =
         if g < iv.hi then { lo = g + 1; hi = iv.hi } :: acc else acc
       end
     in
-    let remaining = List.rev (List.fold_left split [] intervals) in
+    let remaining = normalize_desc (List.fold_left split [] intervals) in
     if remaining = [] then Source_map.remove source t else Source_map.add source remaining t
 
 let contains t gtid =
@@ -56,10 +79,7 @@ let contains t gtid =
     List.exists (fun iv -> iv.lo <= g && g <= iv.hi) intervals
 
 let union a b =
-  Source_map.union
-    (fun _ ia ib ->
-      Some (merge_sorted (List.sort (fun x y -> compare x.lo y.lo) (ia @ ib))))
-    a b
+  Source_map.union (fun _ ia ib -> Some (normalize_desc (ia @ ib))) a b
 
 let cardinal t =
   Source_map.fold
@@ -108,7 +128,7 @@ let to_string t =
     Source_map.bindings t
     |> List.map (fun (source, intervals) ->
            let ivs =
-             List.map
+             List.rev_map
                (fun iv ->
                  if iv.lo = iv.hi then string_of_int iv.lo
                  else Printf.sprintf "%d-%d" iv.lo iv.hi)

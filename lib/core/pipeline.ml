@@ -14,10 +14,21 @@
 
    Stage 3 (Engine commit): the group is durably committed to the storage
    engine and each item's completion callback runs (returning success to
-   the client, releasing row locks).
+   the client, releasing row locks).  Groups released by consensus while
+   a commit cycle is running are MERGED into the next cycle — one fsync
+   ([commit_base_us]) covers them all, up to [group_commit_max]
+   transactions — which is how the engine side of group commit widens
+   under load (§3.5).
 
-   Groups move through stages strictly in order, one group at a time per
-   stage, mirroring the per-stage mutexes in MySQL.
+   Groups move through stages strictly in order, mirroring the per-stage
+   mutexes in MySQL.
+
+   Memory discipline: the flush stage accumulates submissions into a
+   reusable double-buffered array (no per-submit list cells), each
+   flushed group carries its items as one right-sized array, and an
+   item's Raft index is stored in a mutable field of its pending record
+   rather than a per-item pair.  Steady state allocates one pending
+   record per transaction and one array + group record per group.
 
    Each stage boundary is timestamped so the per-stage latency histograms
    (pipeline.flush_us / consensus_wait_us / engine_commit_us and the
@@ -30,36 +41,44 @@ type item = {
   finish : ok:bool -> unit;
 }
 
-(* An item plus its submission time, for stage latency accounting. *)
-type pending = { it : item; submitted_at : float }
+(* An item plus its submission time (for stage latency accounting) and,
+   once flushed, the Raft index it waits on. *)
+type pending = { it : item; submitted_at : float; mutable raft_index : int }
 
 type group = {
-  items : (pending * int) list;
+  items : pending array;
   group_max_index : int;
   flushed_at : float;
   mutable released_at : float; (* when consensus released it to stage 3 *)
 }
 
+(* Growable array of pendings, reused across flush cycles. *)
+type accum = { mutable buf : pending option array; mutable len : int }
+
 type meters = {
   m_txns_committed : Obs.Metrics.counter;
   m_txns_aborted : Obs.Metrics.counter;
   m_groups_formed : Obs.Metrics.counter;
+  m_groups_merged : Obs.Metrics.counter; (* commit cycles covering > 1 group *)
   m_queue_depth : Obs.Metrics.gauge;
   m_flush : Obs.Metrics.histogram; (* us, submit -> group flushed *)
   m_consensus_wait : Obs.Metrics.histogram; (* us, flushed -> released *)
   m_engine_commit : Obs.Metrics.histogram; (* us, released -> finished *)
   m_txn_total : Obs.Metrics.histogram; (* us, submit -> finished *)
   m_group_size : Obs.Metrics.histogram;
+  m_commit_cycle_txns : Obs.Metrics.histogram; (* txns per merged engine cycle *)
 }
 
 type t = {
   engine : Sim.Engine.t;
   params : Params.t;
-  mutable flush_queue : pending list; (* reversed: newest first *)
+  mutable submit_acc : accum; (* incoming submissions (stage-1 accumulator) *)
+  mutable flush_acc : accum; (* the batch currently flushing (double buffer) *)
   mutable flushing : bool;
-  mutable wait_queue : group list; (* reversed *)
-  mutable commit_queue : group list; (* reversed *)
+  wait_queue : group Queue.t;
+  commit_queue : group Queue.t;
   mutable committing : bool;
+  mutable commit_deadline_armed : bool;
   mutable commit_watermark : int; (* raft commit index *)
   mutable aborted : bool;
   (* Runs the whole flush group's appends as one unit; the embedder
@@ -78,11 +97,13 @@ let create ?metrics ~engine ~params ~is_primary_path () =
   {
     engine;
     params;
-    flush_queue = [];
+    submit_acc = { buf = Array.make 64 None; len = 0 };
+    flush_acc = { buf = Array.make 64 None; len = 0 };
     flushing = false;
-    wait_queue = [];
-    commit_queue = [];
+    wait_queue = Queue.create ();
+    commit_queue = Queue.create ();
     committing = false;
+    commit_deadline_armed = false;
     commit_watermark = 0;
     aborted = false;
     coalesce = (fun f -> f ());
@@ -95,14 +116,31 @@ let create ?metrics ~engine ~params ~is_primary_path () =
         m_txns_committed = Obs.Metrics.counter m "pipeline.txns_committed";
         m_txns_aborted = Obs.Metrics.counter m "pipeline.txns_aborted";
         m_groups_formed = Obs.Metrics.counter m "pipeline.groups_formed";
+        m_groups_merged = Obs.Metrics.counter m "pipeline.groups_merged";
         m_queue_depth = Obs.Metrics.gauge m "pipeline.queue_depth";
         m_flush = Obs.Metrics.histogram m "pipeline.flush_us";
         m_consensus_wait = Obs.Metrics.histogram m "pipeline.consensus_wait_us";
         m_engine_commit = Obs.Metrics.histogram m "pipeline.engine_commit_us";
         m_txn_total = Obs.Metrics.histogram m "pipeline.txn_total_us";
         m_group_size = Obs.Metrics.histogram m "pipeline.group_size";
+        m_commit_cycle_txns = Obs.Metrics.histogram m "pipeline.commit_cycle_txns";
       };
   }
+
+let accum_push a p =
+  if a.len = Array.length a.buf then begin
+    let bigger = Array.make (2 * Array.length a.buf) None in
+    Array.blit a.buf 0 bigger 0 a.len;
+    a.buf <- bigger
+  end;
+  a.buf.(a.len) <- Some p;
+  a.len <- a.len + 1
+
+let accum_get a i = match a.buf.(i) with Some p -> p | None -> assert false
+
+let accum_clear a =
+  Array.fill a.buf 0 a.len None;
+  a.len <- 0
 
 let set_coalesce t f = t.coalesce <- f
 
@@ -115,22 +153,32 @@ let mean_group_size t =
   else float_of_int t.flushed_txns /. float_of_int t.groups_formed
 
 let in_flight t =
-  List.length t.flush_queue
-  + List.fold_left (fun acc g -> acc + List.length g.items) 0 t.wait_queue
-  + List.fold_left (fun acc g -> acc + List.length g.items) 0 t.commit_queue
+  t.submit_acc.len
+  + Queue.fold (fun acc g -> acc + Array.length g.items) 0 t.wait_queue
+  + Queue.fold (fun acc g -> acc + Array.length g.items) 0 t.commit_queue
   + (if t.flushing then 1 else 0)
 
 let update_depth t =
   Obs.Metrics.set_gauge t.meters.m_queue_depth (float_of_int (in_flight t))
 
+(* One engine commit cycle over every released group waiting at stage 3,
+   merged up to [group_commit_max] transactions: [commit_base_us] (the
+   engine fsync) is paid once for the whole merged set. *)
 let rec start_commit_cycle t =
-  if (not t.committing) && t.commit_queue <> [] && not t.aborted then begin
+  if (not t.committing) && (not (Queue.is_empty t.commit_queue)) && not t.aborted
+  then begin
     t.committing <- true;
-    let groups = List.rev t.commit_queue in
-    t.commit_queue <- [];
-    let group = List.hd groups in
-    t.commit_queue <- List.rev (List.tl groups);
-    let n = List.length group.items in
+    let cap = max 1 t.params.Params.group_commit_max in
+    let rec take acc n =
+      match Queue.peek_opt t.commit_queue with
+      | Some g when n = 0 || n + Array.length g.items <= cap ->
+        ignore (Queue.pop t.commit_queue);
+        take (g :: acc) (n + Array.length g.items)
+      | _ -> (List.rev acc, n)
+    in
+    let groups, n = take [] 0 in
+    if List.length groups > 1 then Obs.Metrics.incr t.meters.m_groups_merged;
+    Obs.Metrics.record t.meters.m_commit_cycle_txns (float_of_int n);
     let cost =
       t.params.Params.commit_base_us
       +. (t.params.Params.commit_per_txn_us *. float_of_int n)
@@ -138,12 +186,15 @@ let rec start_commit_cycle t =
     ignore
       (Sim.Engine.schedule t.engine ~delay:cost (fun () ->
            let now = Sim.Engine.now t.engine in
-           Obs.Metrics.record t.meters.m_engine_commit (now -. group.released_at);
            List.iter
-             (fun (p, _) ->
-               p.it.finish ~ok:true;
-               Obs.Metrics.record t.meters.m_txn_total (now -. p.submitted_at))
-             group.items;
+             (fun group ->
+               Obs.Metrics.record t.meters.m_engine_commit (now -. group.released_at);
+               Array.iter
+                 (fun p ->
+                   p.it.finish ~ok:true;
+                   Obs.Metrics.record t.meters.m_txn_total (now -. p.submitted_at))
+                 group.items)
+             groups;
            t.committed_txns <- t.committed_txns + n;
            Obs.Metrics.add t.meters.m_txns_committed n;
            t.committing <- false;
@@ -151,18 +202,34 @@ let rec start_commit_cycle t =
            start_commit_cycle t))
   end
 
+(* With a positive deadline an idle commit stage waits that long before
+   its first fsync so more released groups can pile in. *)
+and arm_commit t =
+  if t.params.Params.group_commit_deadline_us <= 0.0 then start_commit_cycle t
+  else if (not t.committing) && not t.commit_deadline_armed then begin
+    t.commit_deadline_armed <- true;
+    ignore
+      (Sim.Engine.schedule t.engine ~delay:t.params.Params.group_commit_deadline_us
+         (fun () ->
+           t.commit_deadline_armed <- false;
+           start_commit_cycle t))
+  end
+
 (* Move consensus-committed groups from the wait stage to the commit
    stage, preserving order. *)
-let rec drain_wait t =
-  match List.rev t.wait_queue with
-  | group :: rest when group.group_max_index <= t.commit_watermark ->
-    t.wait_queue <- List.rev rest;
-    let now = Sim.Engine.now t.engine in
-    group.released_at <- now;
-    Obs.Metrics.record t.meters.m_consensus_wait (now -. group.flushed_at);
-    t.commit_queue <- group :: t.commit_queue;
-    drain_wait t
-  | _ -> start_commit_cycle t
+let drain_wait t =
+  let rec drain () =
+    match Queue.peek_opt t.wait_queue with
+    | Some group when group.group_max_index <= t.commit_watermark ->
+      ignore (Queue.pop t.wait_queue);
+      let now = Sim.Engine.now t.engine in
+      group.released_at <- now;
+      Obs.Metrics.record t.meters.m_consensus_wait (now -. group.flushed_at);
+      Queue.push group t.commit_queue;
+      drain ()
+    | _ -> arm_commit t
+  in
+  drain ()
 
 let notify_commit_index t index =
   if index > t.commit_watermark then begin
@@ -171,11 +238,14 @@ let notify_commit_index t index =
   end
 
 let rec start_flush_cycle t =
-  if (not t.flushing) && t.flush_queue <> [] && not t.aborted then begin
+  if (not t.flushing) && t.submit_acc.len > 0 && not t.aborted then begin
     t.flushing <- true;
-    let batch = List.rev t.flush_queue in
-    t.flush_queue <- [];
-    let n = List.length batch in
+    (* Double buffer: the submit accumulator becomes this cycle's batch;
+       new submissions land in the (cleared) other buffer. *)
+    let batch = t.submit_acc in
+    t.submit_acc <- t.flush_acc;
+    t.flush_acc <- batch;
+    let n = batch.len in
     let stamp = if t.is_primary_path then t.params.Params.raft_stamp_us else 0.0 in
     let cost =
       t.params.Params.flush_base_us
@@ -183,39 +253,49 @@ let rec start_flush_cycle t =
     in
     ignore
       (Sim.Engine.schedule t.engine ~delay:cost (fun () ->
-           if t.aborted then List.iter (fun p -> p.it.finish ~ok:false) batch
+           if t.aborted then begin
+             for i = 0 to n - 1 do
+               (accum_get batch i).it.finish ~ok:false
+             done;
+             accum_clear batch
+           end
            else begin
-             let flushed = ref [] in
+             let flushed = ref 0 in
+             let group_max_index = ref 0 in
              t.coalesce (fun () ->
-                 flushed :=
-                   List.filter_map
-                     (fun p ->
-                       match p.it.flush () with
-                       | Ok index -> Some (p, index)
-                       | Error _ ->
-                         p.it.finish ~ok:false;
-                         None)
-                     batch);
+                 for i = 0 to n - 1 do
+                   let p = accum_get batch i in
+                   match p.it.flush () with
+                   | Ok index ->
+                     p.raft_index <- index;
+                     if index > !group_max_index then group_max_index := index;
+                     (* compact survivors to the front, in order *)
+                     batch.buf.(!flushed) <- Some p;
+                     incr flushed
+                   | Error _ -> p.it.finish ~ok:false
+                 done);
              let flushed = !flushed in
-             if flushed <> [] then begin
-               let group_max_index =
-                 List.fold_left (fun acc (_, i) -> max acc i) 0 flushed
-               in
+             if flushed > 0 then begin
+               let items = Array.init flushed (fun i -> accum_get batch i) in
                let now = Sim.Engine.now t.engine in
-               List.iter
-                 (fun (p, _) ->
-                   Obs.Metrics.record t.meters.m_flush (now -. p.submitted_at))
-                 flushed;
-               Obs.Metrics.record t.meters.m_group_size
-                 (float_of_int (List.length flushed));
-               t.flushed_txns <- t.flushed_txns + List.length flushed;
+               Array.iter
+                 (fun p -> Obs.Metrics.record t.meters.m_flush (now -. p.submitted_at))
+                 items;
+               Obs.Metrics.record t.meters.m_group_size (float_of_int flushed);
+               t.flushed_txns <- t.flushed_txns + flushed;
                t.groups_formed <- t.groups_formed + 1;
                Obs.Metrics.incr t.meters.m_groups_formed;
-               t.wait_queue <-
-                 { items = flushed; group_max_index; flushed_at = now; released_at = now }
-                 :: t.wait_queue;
+               Queue.push
+                 {
+                   items;
+                   group_max_index = !group_max_index;
+                   flushed_at = now;
+                   released_at = now;
+                 }
+                 t.wait_queue;
                drain_wait t
              end;
+             accum_clear batch;
              t.flushing <- false;
              start_flush_cycle t
            end))
@@ -224,28 +304,38 @@ let rec start_flush_cycle t =
 let submit t item =
   if t.aborted then item.finish ~ok:false
   else begin
-    t.flush_queue <- { it = item; submitted_at = Sim.Engine.now t.engine } :: t.flush_queue;
+    accum_push t.submit_acc
+      { it = item; submitted_at = Sim.Engine.now t.engine; raft_index = 0 };
     update_depth t;
     start_flush_cycle t
   end
 
 (* Abort everything in flight: demotion step 1 (§3.3) — the prepared
-   transactions behind these items are rolled back by the caller. *)
+   transactions behind these items are rolled back by the caller.  The
+   group items are plain pending arrays, so this walks them in place (no
+   per-item list rebuilding). *)
 let abort_all t =
   t.aborted <- true;
-  let pending =
-    List.rev_append t.flush_queue
-      (List.concat_map
-         (fun g -> List.map fst g.items)
-         (List.rev_append t.wait_queue (List.rev t.commit_queue)))
+  let count = ref 0 in
+  for i = 0 to t.submit_acc.len - 1 do
+    (accum_get t.submit_acc i).it.finish ~ok:false;
+    incr count
+  done;
+  accum_clear t.submit_acc;
+  let abort_group g =
+    Array.iter
+      (fun p ->
+        p.it.finish ~ok:false;
+        incr count)
+      g.items
   in
-  t.flush_queue <- [];
-  t.wait_queue <- [];
-  t.commit_queue <- [];
-  List.iter (fun p -> p.it.finish ~ok:false) pending;
-  Obs.Metrics.add t.meters.m_txns_aborted (List.length pending);
+  Queue.iter abort_group t.wait_queue;
+  Queue.iter abort_group t.commit_queue;
+  Queue.clear t.wait_queue;
+  Queue.clear t.commit_queue;
+  Obs.Metrics.add t.meters.m_txns_aborted !count;
   update_depth t;
-  List.length pending
+  !count
 
 (* Re-arm after a role change (the pipeline object survives demote +
    promote cycles). *)
@@ -253,4 +343,5 @@ let reset t =
   t.aborted <- false;
   t.flushing <- false;
   t.committing <- false;
+  t.commit_deadline_armed <- false;
   t.commit_watermark <- 0

@@ -71,6 +71,17 @@ type t = {
   mutable apply_waiters : (int * (unit -> unit)) list;
   gtid_waiters : (Binlog.Gtid.t, gtid_waiter list) Hashtbl.t;
   mutable read_service : Read.Service.t option;
+  (* At-most-once session layer for client writes: highest write_id
+     executed per client.  Client write_ids are monotone per session and
+     healthy links are FIFO, so a Write_request at or below the floor can
+     only be a frame the chaos network duplicated (or re-ordered past its
+     successor) — re-executing it would mint a fresh GTID for a stale
+     payload and silently roll the row backwards, which is exactly the
+     write regression the linearizable-register checker flags.  A real
+     SQL session (one TCP stream) can never replay a transaction this
+     way.  In-memory only: a crash loses the floors, like a real server
+     losing its sessions. *)
+  client_write_floor : (string, int) Hashtbl.t;
 }
 
 and gtid_waiter = {
@@ -612,12 +623,16 @@ let submit_write t ~table ~ops ~reply =
              reject t ~reason:"demoted during prepare" ~reply
            else begin
              let gtid = Binlog.Gtid.make ~source:t.id ~gno:t.next_gno in
-             t.next_gno <- t.next_gno + 1;
              let writes = List.map (fun op -> (table, op)) ops in
              match Storage.Engine.prepare t.storage ~gtid ~writes with
              | exception Storage.Engine.Lock_conflict _ ->
                reject t ~reason:"lock wait conflict" ~reply
              | () ->
+               (* Claim the gno only once the prepare sticks: burning it
+                  on a lock-conflict reject would leave a permanent hole
+                  in every gtid_executed set, fragmenting the interval
+                  lists that each binlog append updates. *)
+               t.next_gno <- t.next_gno + 1;
                let xid = t.next_xid in
                t.next_xid <- Int64.add t.next_xid 1L;
                let events =
@@ -873,8 +888,17 @@ let handle_message t ~src msg =
     match msg with
     | Wire.Raft_msg m -> Raft.Node.handle_message (raft t) ~src m
     | Wire.Write_request { write_id; table; ops; client } ->
-      submit_write t ~table ~ops ~reply:(fun outcome ->
-          t.send ~dst:client (Wire.Write_reply { write_id; outcome }))
+      let floor = Option.value (Hashtbl.find_opt t.client_write_floor client) ~default:0 in
+      if write_id <= floor then
+        (* duplicated (or artifact-reordered) frame: already executed or
+           superseded — never re-execute; the client's timeout covers the
+           no-reply case *)
+        ()
+      else begin
+        Hashtbl.replace t.client_write_floor client write_id;
+        submit_write t ~table ~ops ~reply:(fun outcome ->
+            t.send ~dst:client (Wire.Write_reply { write_id; outcome }))
+      end
     | Wire.Read_request { read_id; level; read_table; key; read_client } ->
       serve_read t ~level ~table:read_table ~key (fun outcome ->
           if not t.crashed then
@@ -931,6 +955,7 @@ let create ?metrics ?tracebuf ?clock ?(group = 0) ~engine ~id ~region ~replicase
       apply_waiters = [];
       gtid_waiters = Hashtbl.create 32;
       read_service = None;
+      client_write_floor = Hashtbl.create 16;
     }
   in
   install_commit_listener t;

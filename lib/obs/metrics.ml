@@ -84,6 +84,26 @@ let record h v = Stats.Histogram.record h.h_data v
 
 let observe t name v = record (histogram t name) v
 
+(* ----- GC / allocator observability ----- *)
+
+(* Sample the process-wide allocator and collector state into gc.*
+   gauges.  [Gc.quick_stat] is exact for collection counts and cheap
+   (no heap traversal), which is what a bench harness wants to call
+   once per cell.  The numbers are per-process, not per-node: sample
+   into ONE dedicated registry (the bench harness's, or the CLI's
+   "process" registry), never into per-node registries that later get
+   merged — merged gauges sum, and summing a process-wide reading once
+   per node would overcount by the node count. *)
+let sample_gc t =
+  let s = Gc.quick_stat () in
+  set t "gc.minor_words" s.Gc.minor_words;
+  set t "gc.promoted_words" s.Gc.promoted_words;
+  set t "gc.major_words" s.Gc.major_words;
+  set t "gc.minor_collections" (float_of_int s.Gc.minor_collections);
+  set t "gc.major_collections" (float_of_int s.Gc.major_collections);
+  set t "gc.compactions" (float_of_int s.Gc.compactions);
+  set t "gc.heap_words" (float_of_int s.Gc.heap_words)
+
 (* ----- snapshots ----- *)
 
 type snapshot = {

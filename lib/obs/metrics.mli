@@ -51,6 +51,15 @@ val record : histogram -> float -> unit
 
 val observe : t -> string -> float -> unit
 
+(** {2 GC / allocator observability} *)
+
+(** Sample [Gc.quick_stat] into [gc.*] gauges on [t]: minor/major/
+    promoted words, minor/major collection counts, compactions, heap
+    words.  Process-wide readings — sample into one dedicated registry
+    per process (bench harness, CLI), never into per-node registries
+    that are later merged (merged gauges sum and would overcount). *)
+val sample_gc : t -> unit
+
 (** {2 Snapshots} *)
 
 (** An immutable, name-sorted view of a registry.  Merging sums counters

@@ -7,15 +7,30 @@
    abstraction — "parsing historical binary log files" — which we surface
    as a [disk_reads] counter so tests can assert the fallback happened.
 
-   Eviction is FIFO by index with a total-bytes budget, matching a cache
-   over a strictly appended sequence. *)
+   Storage is a power-of-two ring over the contiguous index range
+   [first_cached, last_cached]: slot for index i is [i land (cap - 1)].
+   Appends, evictions and lookups are O(1) with no per-entry cells to
+   allocate or collect — the Hashtbl this replaced paid a bucket cons per
+   [put] and hashed on every probe of the replication hot loop.  Eviction
+   is FIFO by index with a total-bytes budget, matching a cache over a
+   strictly appended sequence.
+
+   Batch reads come in two shapes: [read_slice] (the hot path) fills an
+   internal scratch buffer and returns a right-sized array — one
+   allocation per AppendEntries batch, no list cells, no [List.rev] — and
+   [read] wraps it for callers that want a list.  Returned slices hold
+   the entries themselves (immutable, their serialized bytes memoized),
+   so they stay valid however the cache evicts afterwards. *)
 
 type t = {
-  entries : (int, Binlog.Entry.t) Hashtbl.t;
+  mutable ring : Binlog.Entry.t array; (* slot for index i = i land (cap-1) *)
+  mutable cap : int; (* power of two, = Array.length ring *)
+  dummy : Binlog.Entry.t; (* fills unused slots so they retain nothing live *)
   mutable first_cached : int; (* lowest index still cached; 0 when empty *)
   mutable last_cached : int;
   mutable bytes : int;
   max_bytes : int;
+  mutable scratch : Binlog.Entry.t array; (* reused by read_slice *)
   mutable disk_reads : int;
   mutable hits : int;
   m_hits : Obs.Metrics.counter;
@@ -27,12 +42,16 @@ let create ?metrics ?(max_bytes = 4 * 1024 * 1024) () =
   (* Absent a registry, handles resolve against a throwaway one so the
      hot path never branches on an option. *)
   let m = match metrics with Some m -> m | None -> Obs.Metrics.create () in
+  let dummy = Binlog.Entry.make ~opid:Binlog.Opid.zero Binlog.Entry.Noop in
   {
-    entries = Hashtbl.create 1024;
+    ring = Array.make 1024 dummy;
+    cap = 1024;
+    dummy;
     first_cached = 0;
     last_cached = 0;
     bytes = 0;
     max_bytes;
+    scratch = Array.make 64 dummy;
     disk_reads = 0;
     hits = 0;
     m_hits = Obs.Metrics.counter m "raft.log_cache.hits";
@@ -40,24 +59,64 @@ let create ?metrics ?(max_bytes = 4 * 1024 * 1024) () =
     m_bytes = Obs.Metrics.gauge m "raft.log_cache.bytes";
   }
 
+let is_empty t = t.first_cached = 0
+
+let[@inline] slot t index = index land (t.cap - 1)
+
+let[@inline] get_cached t index =
+  if (not (is_empty t)) && index >= t.first_cached && index <= t.last_cached then
+    Some t.ring.(slot t index)
+  else None
+
+let contains t ~index =
+  (not (is_empty t)) && index >= t.first_cached && index <= t.last_cached
+
 let evict_oldest t =
-  match Hashtbl.find_opt t.entries t.first_cached with
-  | Some e ->
-    Hashtbl.remove t.entries t.first_cached;
-    t.bytes <- t.bytes - Binlog.Entry.size e;
-    t.first_cached <- t.first_cached + 1
-  | None -> t.first_cached <- t.first_cached + 1
+  let i = slot t t.first_cached in
+  t.bytes <- t.bytes - Binlog.Entry.size t.ring.(i);
+  t.ring.(i) <- t.dummy;
+  t.first_cached <- t.first_cached + 1
+
+(* Double the ring until [count] entries fit, re-seating live slots. *)
+let grow t count =
+  let cap = ref t.cap in
+  while count > !cap do
+    cap := !cap * 2
+  done;
+  let ring = Array.make !cap t.dummy in
+  for i = t.first_cached to t.last_cached do
+    ring.(i land (!cap - 1)) <- t.ring.(slot t i)
+  done;
+  t.ring <- ring;
+  t.cap <- !cap
 
 let put t entry =
   let index = Binlog.Entry.index entry in
-  if t.first_cached = 0 then t.first_cached <- index;
-  (* Re-inserting an index replaces the old entry; release its bytes so
-     the budget tracks what the table actually holds. *)
-  (match Hashtbl.find_opt t.entries index with
-  | Some old -> t.bytes <- t.bytes - Binlog.Entry.size old
-  | None -> ());
-  Hashtbl.replace t.entries index entry;
-  t.last_cached <- max t.last_cached index;
+  if is_empty t then begin
+    t.first_cached <- index;
+    t.last_cached <- index - 1
+  end
+  else if index >= t.first_cached && index <= t.last_cached then begin
+    (* Re-inserting an index replaces the old entry; release its bytes so
+       the budget tracks what the ring actually holds. *)
+    let i = slot t index in
+    t.bytes <- t.bytes - Binlog.Entry.size t.ring.(i);
+    t.ring.(i) <- t.dummy
+  end
+  else if index <> t.last_cached + 1 then begin
+    (* Non-contiguous with the cached range (cannot happen on a Raft log,
+       which appends at the tail; kept for safety): restart the cache at
+       this entry. *)
+    Array.fill t.ring 0 t.cap t.dummy;
+    t.bytes <- 0;
+    t.first_cached <- index;
+    t.last_cached <- index - 1
+  end;
+  if index > t.last_cached then begin
+    if index - t.first_cached + 1 > t.cap then grow t (index - t.first_cached + 1);
+    t.last_cached <- index
+  end;
+  t.ring.(slot t index) <- entry;
   t.bytes <- t.bytes + Binlog.Entry.size entry;
   while t.bytes > t.max_bytes && t.first_cached < t.last_cached do
     evict_oldest t
@@ -67,55 +126,70 @@ let put t entry =
 (* Drop cached entries at or above [index] (log truncation on the leader
    is impossible in Raft, but a demoted leader reuses the same cache). *)
 let truncate_from t ~index =
-  for i = index to t.last_cached do
-    match Hashtbl.find_opt t.entries i with
-    | Some e ->
-      Hashtbl.remove t.entries i;
-      t.bytes <- t.bytes - Binlog.Entry.size e
-    | None -> ()
-  done;
-  if t.last_cached >= index then t.last_cached <- index - 1;
-  if t.first_cached > t.last_cached then begin
-    t.first_cached <- 0;
-    t.last_cached <- 0;
-    t.bytes <- 0
+  if not (is_empty t) then begin
+    for i = max index t.first_cached to t.last_cached do
+      let s = slot t i in
+      t.bytes <- t.bytes - Binlog.Entry.size t.ring.(s);
+      t.ring.(s) <- t.dummy
+    done;
+    if t.last_cached >= index then t.last_cached <- index - 1;
+    if t.first_cached > t.last_cached then begin
+      t.first_cached <- 0;
+      t.last_cached <- 0;
+      t.bytes <- 0
+    end
   end;
   Obs.Metrics.set_gauge t.m_bytes (float_of_int t.bytes)
 
 (* Read [from_index, from_index+max_count) preferring the cache, falling
-   back to [read_log] for the cold prefix.  [max_bytes] additionally
-   bounds the batch: collection stops before the entry that would exceed
-   the budget, except that the first entry always ships so an oversized
-   transaction still makes progress one-per-AE. *)
-let read t ?(max_bytes = max_int) ~from_index ~max_count ~read_log () =
-  let rec collect idx n bytes acc =
-    if n = 0 then List.rev acc
-    else
-      let keep ~from_cache e =
-        let sz = Binlog.Entry.size e in
-        if acc <> [] && bytes + sz > max_bytes then List.rev acc
-        else begin
-          if from_cache then begin
-            t.hits <- t.hits + 1;
-            Obs.Metrics.incr t.m_hits
-          end
-          else begin
-            t.disk_reads <- t.disk_reads + 1;
-            Obs.Metrics.incr t.m_disk_reads
-          end;
-          collect (idx + 1) (n - 1) (bytes + sz) (e :: acc)
+   back to [read_log] for the cold prefix, into the scratch buffer.
+   [max_bytes] additionally bounds the batch: collection stops before the
+   entry that would exceed the budget, except that the first entry always
+   ships so an oversized transaction still makes progress one-per-AE.
+   Returns the number of entries filled. *)
+let read_scratch t ~max_bytes ~from_index ~max_count ~read_log =
+  if max_count > Array.length t.scratch then
+    t.scratch <- Array.make (max max_count (2 * Array.length t.scratch)) t.dummy;
+  let n = ref 0 in
+  let bytes = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !n < max_count do
+    let idx = from_index + !n in
+    let entry, from_cache =
+      match get_cached t idx with
+      | Some e -> (Some e, true)
+      | None -> (read_log idx, false)
+    in
+    match entry with
+    | None -> stop := true
+    | Some e ->
+      let sz = Binlog.Entry.size e in
+      if !n > 0 && !bytes + sz > max_bytes then stop := true
+      else begin
+        if from_cache then begin
+          t.hits <- t.hits + 1;
+          Obs.Metrics.incr t.m_hits
         end
-      in
-      match Hashtbl.find_opt t.entries idx with
-      | Some e -> keep ~from_cache:true e
-      | None -> (
-        match read_log idx with
-        | Some e -> keep ~from_cache:false e
-        | None -> List.rev acc)
-  in
-  collect from_index max_count 0 []
+        else begin
+          t.disk_reads <- t.disk_reads + 1;
+          Obs.Metrics.incr t.m_disk_reads
+        end;
+        t.scratch.(!n) <- e;
+        incr n;
+        bytes := !bytes + sz
+      end
+  done;
+  !n
 
-let contains t ~index = Hashtbl.mem t.entries index
+let read_slice t ?(max_bytes = max_int) ~from_index ~max_count ~read_log () =
+  let n = read_scratch t ~max_bytes ~from_index ~max_count ~read_log in
+  let out = Array.sub t.scratch 0 n in
+  (* don't let the scratch keep evicted entries alive between batches *)
+  Array.fill t.scratch 0 n t.dummy;
+  out
+
+let read t ?(max_bytes = max_int) ~from_index ~max_count ~read_log () =
+  Array.to_list (read_slice t ~max_bytes ~from_index ~max_count ~read_log ())
 
 let disk_reads t = t.disk_reads
 

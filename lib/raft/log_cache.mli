@@ -20,7 +20,17 @@ val truncate_from : t -> index:int -> unit
 (** Read a range preferring the cache, calling [read_log] for cold
     indexes; stops at the first missing entry.  [max_bytes] bounds the
     total payload: collection stops before exceeding the budget, but the
-    first entry always ships so oversized transactions still progress. *)
+    first entry always ships so oversized transactions still progress.
+
+    The hot-path shape: one right-sized array per call (no list cells).
+    The array holds the entries themselves — immutable, serialized bytes
+    memoized — so it stays valid however the cache evicts afterwards. *)
+val read_slice :
+  t -> ?max_bytes:int -> from_index:int -> max_count:int ->
+  read_log:(int -> Binlog.Entry.t option) -> unit ->
+  Binlog.Entry.t array
+
+(** [read_slice] as a list, for callers off the hot path. *)
 val read :
   t -> ?max_bytes:int -> from_index:int -> max_count:int ->
   read_log:(int -> Binlog.Entry.t option) -> unit ->

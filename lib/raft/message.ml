@@ -10,7 +10,10 @@
 type node_id = Types.node_id
 
 type ae_payload =
-  | Entries of Binlog.Entry.t list
+  | Entries of Binlog.Entry.t array
+    (* an array, not a list: the leader assembles each batch as one
+       right-sized slice from its log cache (no per-entry cells), and
+       receivers index it directly *)
   | Refs of { first_index : int; last_index : int; last_term : int }
     (* PROXY_OP: metadata only; [last_term] lets the proxy verify its local
        copy matches the leader's view before reconstituting *)
@@ -151,7 +154,7 @@ let rec size = function
     let payload_size =
       match ae.payload with
       | Entries entries ->
-        List.fold_left (fun acc e -> acc + Binlog.Entry.size e) 0 entries
+        Array.fold_left (fun acc e -> acc + Binlog.Entry.size e) 0 entries
       | Refs _ -> 12
     in
     let cfg_size =
@@ -181,8 +184,8 @@ let rec describe = function
   | Append_entries ae ->
     let payload =
       match ae.payload with
-      | Entries [] -> "heartbeat"
-      | Entries es -> Printf.sprintf "%d entries" (List.length es)
+      | Entries [||] -> "heartbeat"
+      | Entries es -> Printf.sprintf "%d entries" (Array.length es)
       | Refs { first_index; last_index; _ } ->
         Printf.sprintf "PROXY_OP %d..%d" first_index last_index
     in

@@ -359,6 +359,7 @@ type meters = {
   m_ae_rejected : Obs.Metrics.counter;
   m_proxy_forwards : Obs.Metrics.counter;
   m_proxy_degraded : Obs.Metrics.counter;
+  m_proxy_reconstitutions : Obs.Metrics.counter;
   m_commit_advances : Obs.Metrics.counter;
   m_retransmits : Obs.Metrics.counter;
   m_nacks : Obs.Metrics.counter;
@@ -402,6 +403,7 @@ let make_meters m =
     m_ae_rejected = Obs.Metrics.counter m "raft.ae_rejected";
     m_proxy_forwards = Obs.Metrics.counter m "raft.proxy_forwards";
     m_proxy_degraded = Obs.Metrics.counter m "raft.proxy_degraded";
+    m_proxy_reconstitutions = Obs.Metrics.counter m "raft.proxy_reconstitutions";
     m_commit_advances = Obs.Metrics.counter m "raft.commit_advances";
     m_retransmits = Obs.Metrics.counter m "raft.retransmits";
     m_nacks = Obs.Metrics.counter m "raft.nacks";
@@ -838,10 +840,10 @@ and gossip_body t peer =
 and send_entry_batch t peer =
   let from_index = peer.next_index in
   let entries =
-    Log_cache.read t.cache ~max_bytes:peer.ae_budget ~from_index
+    Log_cache.read_slice t.cache ~max_bytes:peer.ae_budget ~from_index
       ~max_count:t.params.max_entries_per_ae ~read_log:t.log.entry_at ()
   in
-  if entries = [] then false
+  if Array.length entries = 0 then false
   else begin
     let prev_index = from_index - 1 in
     match t.log.term_at prev_index with
@@ -853,9 +855,9 @@ and send_entry_batch t peer =
     | Some prev_term ->
       let prev_opid = Binlog.Opid.make ~term:prev_term ~index:prev_index in
       peer.send_seq <- peer.send_seq + 1;
-      let last = List.nth entries (List.length entries - 1) in
+      let last = entries.(Array.length entries - 1) in
       let last_idx = Binlog.Entry.index last in
-      let bytes = List.fold_left (fun acc e -> acc + Binlog.Entry.size e) 0 entries in
+      let bytes = Array.fold_left (fun acc e -> acc + Binlog.Entry.size e) 0 entries in
       let sent_local = local_now t in
       let cfg_body = gossip_body t peer in
       let ae reply_route payload =
@@ -959,7 +961,7 @@ and send_heartbeat t peer =
            leader_id = t.id;
            leader_region = t.region;
            prev_opid = Binlog.Opid.make ~term:prev_term ~index:prev_index;
-           payload = Message.Entries [];
+           payload = Message.Entries [||];
            commit_index = t.commit_index;
            seq = peer.send_seq;
            reply_route = [];
@@ -1820,11 +1822,11 @@ and handle_append_entries t ~src:_ (ae : Message.append_entries) =
         | Message.Refs _ ->
           (* A PROXY_OP reached a final destination un-reconstituted; treat
              as a heartbeat (degraded, §4.2.1). *)
-          []
+          [||]
       in
       let appended = ref [] in
       let apply_entries () =
-        List.iter
+        Array.iter
           (fun entry ->
             let idx = Binlog.Entry.index entry in
             let have = t.log.term_at idx in
@@ -1852,7 +1854,8 @@ and handle_append_entries t ~src:_ (ae : Message.append_entries) =
       in
       (* Coalesce the batch's appends into one fsync (group commit); the
          durable index read for the reply below covers the whole batch. *)
-      if entries = [] then apply_entries () else t.log.run_batched apply_entries;
+      if Array.length entries = 0 then apply_entries ()
+      else t.log.run_batched apply_entries;
       let appended = List.rev !appended in
       if appended <> [] then t.callbacks.on_entries_appended appended;
       (* How far THIS request verified our log matches the leader's: the
@@ -1862,7 +1865,7 @@ and handle_append_entries t ~src:_ (ae : Message.append_entries) =
          leader's divergent entries must never be committed or anchor
          freshness just because a new leader's heartbeat (anchored at a
          low match_index) happened to carry a high commit index. *)
-      let confirmed = prev_index + List.length entries in
+      let confirmed = prev_index + Array.length entries in
       (* Staleness anchor for bounded reads: once our VERIFIED prefix
          covers the leader's tail as of [leader_time], every write acked
          before that instant (index <= commit_index) is in our log; the
@@ -2092,7 +2095,7 @@ and probe_wedged_peer t peer =
            leader_id = t.id;
            leader_region = t.region;
            prev_opid = Binlog.Opid.make ~term:prev_term ~index:boundary;
-           payload = Message.Entries [];
+           payload = Message.Entries [||];
            commit_index = t.commit_index;
            seq = peer.send_seq;
            reply_route = [];
@@ -2711,7 +2714,7 @@ let deliver_reconstituted t ~dst (ae : Message.append_entries) ~first_index ~las
      [last] does not carry the term the leader expects, our log has not
      caught up to the leader's view; degrade rather than ship stale data. *)
   let rec gather idx acc =
-    if idx > last then Some (List.rev acc)
+    if idx > last then Some (Array.of_list (List.rev acc))
     else
       match t.log.entry_at idx with
       | Some e -> gather (idx + 1) (e :: acc)
@@ -2722,10 +2725,12 @@ let deliver_reconstituted t ~dst (ae : Message.append_entries) ~first_index ~las
   in
   let payload =
     match entries with
-    | Some entries -> Message.Entries entries
+    | Some entries ->
+      Obs.Metrics.incr t.meters.m_proxy_reconstitutions;
+      Message.Entries entries
     | None ->
       Obs.Metrics.incr t.meters.m_proxy_degraded;
-      Message.Entries [] (* degraded to heartbeat *)
+      Message.Entries [||] (* degraded to heartbeat *)
   in
   t.send ~dst (Message.Append_entries { ae with payload })
 

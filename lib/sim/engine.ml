@@ -48,18 +48,17 @@ let cancelled handle = handle.cancelled
    consecutive [run_until] calls compose. *)
 let run_until t limit =
   let rec loop () =
-    match Heap.peek t.queue with
-    | Some entry when entry.Heap.key <= limit ->
-      (match Heap.pop t.queue with
-       | None -> ()
-       | Some { Heap.key; value = handle, fn; _ } ->
-         t.now <- max t.now key;
-         if not handle.cancelled then begin
-           t.executed <- t.executed + 1;
-           fn ()
-         end;
-         loop ())
-    | _ -> t.now <- max t.now limit
+    if (not (Heap.is_empty t.queue)) && Heap.min_key t.queue <= limit then begin
+      let key = Heap.min_key t.queue in
+      let handle, fn = Heap.pop_min t.queue in
+      t.now <- max t.now key;
+      if not handle.cancelled then begin
+        t.executed <- t.executed + 1;
+        fn ()
+      end;
+      loop ()
+    end
+    else t.now <- max t.now limit
   in
   loop ()
 
@@ -69,17 +68,18 @@ let run_for t duration = run_until t (t.now +. duration)
 let run t ~max_events =
   let rec loop n =
     if n >= max_events then failwith "Engine.run: event budget exhausted"
-    else
-      match Heap.pop t.queue with
-      | None -> ()
-      | Some { Heap.key; value = handle, fn; _ } ->
-        t.now <- max t.now key;
-        if handle.cancelled then loop n
-        else begin
-          t.executed <- t.executed + 1;
-          fn ();
-          loop (n + 1)
-        end
+    else if Heap.is_empty t.queue then ()
+    else begin
+      let key = Heap.min_key t.queue in
+      let handle, fn = Heap.pop_min t.queue in
+      t.now <- max t.now key;
+      if handle.cancelled then loop n
+      else begin
+        t.executed <- t.executed + 1;
+        fn ();
+        loop (n + 1)
+      end
+    end
   in
   loop 0
 

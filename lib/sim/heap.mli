@@ -1,9 +1,9 @@
 (** Array-backed binary min-heap keyed by (key, seq).
 
     The sequence number breaks ties so same-instant events pop in push
-    order, keeping simulation runs deterministic. *)
-
-type 'a entry = { key : float; seq : int; value : 'a }
+    order, keeping simulation runs deterministic.  Keys, sequence
+    numbers and values live in parallel flat arrays, so the hot
+    push/pop cycle allocates nothing on steady state. *)
 
 type 'a t
 
@@ -15,6 +15,9 @@ val is_empty : 'a t -> bool
 
 val push : 'a t -> key:float -> seq:int -> 'a -> unit
 
-val peek : 'a t -> 'a entry option
+(** Smallest key currently in the heap.  Precondition: non-empty. *)
+val min_key : 'a t -> float
 
-val pop : 'a t -> 'a entry option
+(** Remove and return the value with the smallest (key, seq).
+    Precondition: non-empty. *)
+val pop_min : 'a t -> 'a

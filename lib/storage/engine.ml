@@ -93,6 +93,34 @@ let prepared_gtids t = Hashtbl.fold (fun g _ acc -> g :: acc) t.prepared []
 
 let release_locks t p = List.iter (fun k -> Hashtbl.remove t.locks k) p.locked_keys
 
+(* Fold one commit's identity into the digest chain: previous digest,
+   GTID, OpId, then each write's table/op-tag/fields.  Streaming the
+   fields through the CRC allocates nothing; the old form marshalled the
+   triple into a throwaway string and concatenated it on every commit on
+   every node.  The digest is deterministic across replicas because the
+   folded fields are exactly the replicated transaction identity. *)
+let commit_digest ~prev ~gtid ~opid writes =
+  let open Binlog.Checksum in
+  let st = feed_int32 init prev in
+  let st = feed_string st (Binlog.Gtid.source gtid) in
+  let st = feed_int st (Binlog.Gtid.gno gtid) in
+  let st = feed_int st (Binlog.Opid.term opid) in
+  let st = feed_int st (Binlog.Opid.index opid) in
+  let st =
+    List.fold_left
+      (fun st (tbl, op) ->
+        let st = feed_string st tbl in
+        match op with
+        | Binlog.Event.Insert { key; value } ->
+          feed_string (feed_string (feed_int st 1) key) value
+        | Binlog.Event.Update { key; before; after } ->
+          feed_string (feed_string (feed_string (feed_int st 2) key) before) after
+        | Binlog.Event.Delete { key; before } ->
+          feed_string (feed_string (feed_int st 3) key) before)
+      st writes
+  in
+  finalize st
+
 let apply_op t gtid (tbl_name, op) =
   let tbl = table t tbl_name in
   match op with
@@ -113,9 +141,7 @@ let commit_prepared t ~gtid ~opid =
       t.last_committed_opid <- opid;
     t.committed_count <- t.committed_count + 1;
     let prev = match Vec.last_opt t.commit_digests with Some d -> d | None -> 0l in
-    Vec.push t.commit_digests
-      (Binlog.Checksum.string
-         (Int32.to_string prev ^ Marshal.to_string (gtid, opid, p.writes) []));
+    Vec.push t.commit_digests (commit_digest ~prev ~gtid ~opid p.writes);
     Vec.push t.commit_log (gtid, opid);
     List.iter (fun f -> f gtid opid) t.commit_listeners
 

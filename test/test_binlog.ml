@@ -184,6 +184,33 @@ let test_corruption_detected_every_event_variant () =
         (Binlog.Entry.verify (Binlog.Entry.corrupt e Binlog.Entry.Header)))
     (all_event_bodies ())
 
+(* Serialized bytes are memoized at make time: repeated reads return the
+   SAME physical string (the hot path never re-marshals), the memo is the
+   marshalled payload, and re-stamping the OpId shares it. *)
+let test_payload_bytes_memoized () =
+  let payload =
+    Binlog.Entry.Transaction
+      {
+        gtid = gtid "srv1" 3;
+        events =
+          [
+            Binlog.Event.make
+              (Binlog.Event.Write_rows
+                 { table = "t"; ops = [ Binlog.Event.Insert { key = "k"; value = "v" } ] });
+          ];
+      }
+  in
+  let e = Binlog.Entry.make ~opid:(Binlog.Opid.make ~term:1 ~index:1) payload in
+  let b1 = Binlog.Entry.payload_bytes e in
+  let b2 = Binlog.Entry.payload_bytes e in
+  Alcotest.(check bool) "physically equal across reads" true (b1 == b2);
+  Alcotest.(check string) "memo is the marshalled payload" (Marshal.to_string payload []) b1;
+  let restamped = Binlog.Entry.with_opid e ~opid:(Binlog.Opid.make ~term:2 ~index:9) in
+  Alcotest.(check bool)
+    "re-stamping shares the memo" true
+    (Binlog.Entry.payload_bytes restamped == b1);
+  Alcotest.(check bool) "restamped still verifies" true (Binlog.Entry.verify restamped)
+
 let test_corruption_detected_non_txn_payloads () =
   List.iter
     (fun (name, payload) ->
@@ -513,6 +540,7 @@ let suites =
         Alcotest.test_case "checksum roundtrip" `Quick test_entry_checksum_roundtrip;
         Alcotest.test_case "entry size" `Quick test_entry_size_positive;
         Alcotest.test_case "event sizes" `Quick test_event_sizes;
+        Alcotest.test_case "payload bytes memoized" `Quick test_payload_bytes_memoized;
         Alcotest.test_case "corruption detected per event variant" `Quick
           test_corruption_detected_every_event_variant;
         Alcotest.test_case "corruption detected per payload kind" `Quick

@@ -150,23 +150,23 @@ let ae payload =
     }
 
 let test_message_sizes_scale_with_payload () =
-  let small = Raft.Message.size (ae (Raft.Message.Entries [ sample_entry 10 ])) in
-  let big = Raft.Message.size (ae (Raft.Message.Entries [ sample_entry 1000 ])) in
+  let small = Raft.Message.size (ae (Raft.Message.Entries [| sample_entry 10 |])) in
+  let big = Raft.Message.size (ae (Raft.Message.Entries [| sample_entry 1000 |])) in
   let refs =
     Raft.Message.size (ae (Raft.Message.Refs { first_index = 1; last_index = 64; last_term = 3 }))
   in
   Alcotest.(check bool) "payload dominates" true (big > small + 900);
   Alcotest.(check bool) "PROXY_OP is metadata-sized" true (refs < 100);
   Alcotest.(check bool) "heartbeat smaller than data" true
-    (Raft.Message.size (ae (Raft.Message.Entries [])) < small)
+    (Raft.Message.size (ae (Raft.Message.Entries [||])) < small)
 
 let test_message_describe_mentions_key_facts () =
   let text = Raft.Message.describe (ae (Raft.Message.Refs { first_index = 5; last_index = 9; last_term = 3 })) in
   Alcotest.(check bool) "PROXY_OP named" true (Helpers.contains text "PROXY_OP");
-  let hb = Raft.Message.describe (ae (Raft.Message.Entries [])) in
+  let hb = Raft.Message.describe (ae (Raft.Message.Entries [||])) in
   Alcotest.(check bool) "heartbeat named" true (Helpers.contains hb "heartbeat");
   let proxied =
-    Raft.Message.describe (Raft.Message.Proxied { next_hops = [ "x"; "y" ]; inner = ae (Raft.Message.Entries []) })
+    Raft.Message.describe (Raft.Message.Proxied { next_hops = [ "x"; "y" ]; inner = ae (Raft.Message.Entries [||]) })
   in
   Alcotest.(check bool) "route shown" true (Helpers.contains proxied "x,y")
 

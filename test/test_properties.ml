@@ -216,6 +216,123 @@ let prop_pessimistic_election_intersects_all_regions =
       let data_ok = Raft.Quorum.data_quorum_satisfied mode cfg ~leader_region ~acks in
       (not (election_ok && data_ok)) || List.exists (fun v -> List.mem v acks) votes)
 
+(* ----- log cache: sliced reads ----- *)
+
+(* The ring-backed [read_slice] must return byte-for-byte what the
+   pre-slice copying implementation returned: walk from [from_index]
+   preferring the cache, fall back to the log, stop at the first missing
+   index, stop before the entry that would blow the byte budget — except
+   that the first entry always ships. *)
+
+let cache_case_gen =
+  QCheck.Gen.(
+    let* n = 1 -- 60 in
+    let* sizes = list_repeat n (0 -- 800) in
+    let* cache_budget = 200 -- 20_000 in
+    let* log_hole = 0 -- 3 in
+    let* from_index = 1 -- n in
+    let* max_count = 0 -- 20 in
+    let* byte_budget = 50 -- 5_000 in
+    return (sizes, cache_budget, log_hole, from_index, max_count, byte_budget))
+
+let cache_arb =
+  QCheck.make
+    ~print:(fun (sizes, cb, hole, fi, mc, bb) ->
+      Printf.sprintf "n=%d cache=%dB hole=%d from=%d count=%d budget=%dB"
+        (List.length sizes) cb hole fi mc bb)
+    cache_case_gen
+
+let cache_entry ~index ~size =
+  Binlog.Entry.make
+    ~opid:(Binlog.Opid.make ~term:1 ~index)
+    (Binlog.Entry.Transaction
+       {
+         gtid = Binlog.Gtid.make ~source:"src" ~gno:index;
+         events =
+           [
+             Binlog.Event.make
+               (Binlog.Event.Write_rows
+                  {
+                    table = "t";
+                    ops = [ Binlog.Event.Insert { key = "k"; value = String.make size 'x' } ];
+                  });
+           ];
+       })
+
+(* Reference copying read, straight from the pre-slice implementation. *)
+let reference_read cache entries ~read_log ~from_index ~max_count ~max_bytes =
+  let rec collect idx n bytes acc =
+    if n = 0 then List.rev acc
+    else
+      let e =
+        if Raft.Log_cache.contains cache ~index:idx then Some entries.(idx - 1)
+        else read_log idx
+      in
+      match e with
+      | None -> List.rev acc
+      | Some e ->
+        let sz = Binlog.Entry.size e in
+        if acc <> [] && bytes + sz > max_bytes then List.rev acc
+        else collect (idx + 1) (n - 1) (bytes + sz) (e :: acc)
+  in
+  collect from_index max_count 0 []
+
+let prop_cache_slice_equals_copying_read =
+  QCheck.Test.make ~name:"sliced reads equal copying reads" ~count:500 cache_arb
+    (fun (sizes, cache_budget, log_hole, from_index, max_count, byte_budget) ->
+      let n = List.length sizes in
+      let entries =
+        Array.of_list (List.mapi (fun i size -> cache_entry ~index:(i + 1) ~size) sizes)
+      in
+      let cache = Raft.Log_cache.create ~max_bytes:cache_budget () in
+      Array.iter (Raft.Log_cache.put cache) entries;
+      (* the log is missing the last [log_hole] entries, so a cold read
+         past the hole stops early *)
+      let read_log idx =
+        if idx >= 1 && idx <= n - log_hole then Some entries.(idx - 1) else None
+      in
+      let expected =
+        reference_read cache entries ~read_log ~from_index ~max_count
+          ~max_bytes:byte_budget
+      in
+      let got =
+        Raft.Log_cache.read_slice cache ~max_bytes:byte_budget ~from_index ~max_count
+          ~read_log ()
+      in
+      Array.length got = List.length expected
+      && List.for_all2
+           (fun e g ->
+             Binlog.Entry.opid e = Binlog.Entry.opid g
+             && String.equal (Binlog.Entry.payload_bytes e) (Binlog.Entry.payload_bytes g))
+           expected (Array.to_list got))
+
+(* A slice handed to the transport must survive the cache evicting (or
+   truncating) the range under it: the slice holds the entries, not ring
+   slots. *)
+let test_slice_survives_eviction () =
+  let cache = Raft.Log_cache.create ~max_bytes:4_000 () in
+  let no_log _ = None in
+  for i = 1 to 10 do
+    Raft.Log_cache.put cache (cache_entry ~index:i ~size:100)
+  done;
+  let slice =
+    Raft.Log_cache.read_slice cache ~from_index:1 ~max_count:10 ~read_log:no_log ()
+  in
+  Alcotest.(check int) "sliced all ten" 10 (Array.length slice);
+  (* stuff the cache until indexes 1..10 are gone *)
+  let i = ref 11 in
+  while Raft.Log_cache.contains cache ~index:10 do
+    Raft.Log_cache.put cache (cache_entry ~index:!i ~size:600);
+    incr i
+  done;
+  Alcotest.(check bool) "evicted under the slice" false
+    (Raft.Log_cache.contains cache ~index:1);
+  Array.iteri
+    (fun k e ->
+      Alcotest.(check int) "index intact" (k + 1) (Binlog.Entry.index e);
+      Alcotest.(check bool) "entry still verifies" true (Binlog.Entry.verify e))
+    slice
+
 (* ----- windowed replication equivalence ----- *)
 
 (* Pipelining is a transport optimisation: under drop/duplicate/reorder
@@ -326,6 +443,11 @@ let suites =
         QCheck_alcotest.to_alcotest prop_flexiraft_quorum_intersection;
         QCheck_alcotest.to_alcotest prop_majority_quorums_intersect;
         QCheck_alcotest.to_alcotest prop_pessimistic_election_intersects_all_regions;
+      ] );
+    ( "properties.log_cache",
+      [
+        QCheck_alcotest.to_alcotest prop_cache_slice_equals_copying_read;
+        Alcotest.test_case "slice survives eviction" `Quick test_slice_survives_eviction;
       ] );
     ( "properties.window",
       [ QCheck_alcotest.to_alcotest prop_window_equivalence ] );

@@ -49,16 +49,13 @@ let test_heap_ordering () =
   done;
   let last = ref neg_infinity in
   let count = ref 0 in
-  let rec drain () =
-    match Sim.Heap.pop h with
-    | None -> ()
-    | Some e ->
-      if e.Sim.Heap.key < !last then Alcotest.fail "heap order violated";
-      last := e.Sim.Heap.key;
-      incr count;
-      drain ()
-  in
-  drain ();
+  while not (Sim.Heap.is_empty h) do
+    let key = Sim.Heap.min_key h in
+    let _v = Sim.Heap.pop_min h in
+    if key < !last then Alcotest.fail "heap order violated";
+    last := key;
+    incr count
+  done;
   Alcotest.(check int) "all popped" 1000 !count
 
 let test_heap_fifo_ties () =
@@ -67,9 +64,8 @@ let test_heap_fifo_ties () =
     Sim.Heap.push h ~key:1.0 ~seq:i i
   done;
   for i = 1 to 50 do
-    match Sim.Heap.pop h with
-    | Some e -> Alcotest.(check int) "tie broken by seq" i e.Sim.Heap.value
-    | None -> Alcotest.fail "missing entry"
+    if Sim.Heap.is_empty h then Alcotest.fail "missing entry"
+    else Alcotest.(check int) "tie broken by seq" i (Sim.Heap.pop_min h)
   done
 
 let test_engine_ordering () =
